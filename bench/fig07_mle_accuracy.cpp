@@ -1,0 +1,77 @@
+// Figure 7 — "Evaluate MLE algorithm through examples (10000 clients, 100
+// shuffling replica servers)."
+//
+// For each true persistent-bot count, place the bots uniformly, observe how
+// many replicas are attacked, and run the MLE.  Each data point is the mean
+// of 40 repetitions with a 99% confidence interval, exactly as in the paper.
+//
+// Shape to reproduce: the estimate tracks the truth closely until nearly
+// every replica is attacked, at which point it blows up towards N (the
+// degenerate all-attacked regime Theorem 1 exists to avoid).
+#include <iostream>
+
+#include "core/mle_estimator.h"
+#include "sim/experiment.h"
+#include "util/flags.h"
+#include "util/random.h"
+#include "util/table.h"
+
+using namespace shuffledef;
+using core::Count;
+
+int main(int argc, char** argv) {
+  util::Flags flags("fig07_mle_accuracy", "Figure 7: MLE accuracy");
+  auto& clients = flags.add_int("clients", 10000, "N, total clients");
+  auto& replicas = flags.add_int("replicas", 100, "P, shuffling replicas");
+  auto& reps = flags.add_int("reps", 40, "repetitions per data point");
+  auto& seed = flags.add_int("seed", 20140623, "base RNG seed");
+  flags.parse(argc, argv);
+
+  const Count per_replica = clients / replicas;
+  const core::AssignmentPlan plan(std::vector<Count>(
+      static_cast<std::size_t>(replicas), per_replica));
+  const core::MleEstimator mle;
+
+  const std::vector<Count> true_bots = {10,  20,  50,  80,  100,
+                                        150, 200, 250, 300, 350};
+
+  util::Table table(
+      "Figure 7 — MLE-estimated persistent bots and attacked-replica "
+      "percentage (" + std::to_string(clients) + " clients, " +
+      std::to_string(replicas) + " replicas, " + std::to_string(reps) +
+      " reps, 99% CI)");
+  table.set_headers({"true bots", "estimated bots (mean ± 99% CI)",
+                     "attacked replicas % (mean ± 99% CI)"});
+
+  for (const Count m : true_bots) {
+    util::Accumulator est;
+    util::Accumulator attacked_pct;
+    for (int r = 0; r < reps; ++r) {
+      util::Rng rng(static_cast<std::uint64_t>(seed) * 1000003 +
+                    static_cast<std::uint64_t>(m) * 131 +
+                    static_cast<std::uint64_t>(r));
+      const auto placed =
+          rng.multivariate_hypergeometric(plan.counts(), m);
+      std::vector<bool> attacked;
+      Count attacked_count = 0;
+      for (const auto b : placed) {
+        attacked.push_back(b > 0);
+        if (b > 0) ++attacked_count;
+      }
+      const core::ShuffleObservation obs{plan, std::move(attacked)};
+      est.add(static_cast<double>(mle.estimate(obs)));
+      attacked_pct.add(100.0 * static_cast<double>(attacked_count) /
+                       static_cast<double>(replicas));
+    }
+    const auto e = est.summary();
+    const auto a = attacked_pct.summary();
+    table.add_row({util::fmt(m),
+                   util::fmt_ci(e.mean, e.ci_half_width(0.99), 1),
+                   util::fmt_ci(a.mean, a.ci_half_width(0.99), 1)});
+  }
+  table.print_with_csv();
+  std::cout << "Reproduction check: estimates track the truth until the "
+               "attacked percentage saturates at 100%, then explode towards "
+               "N — the paper's degenerate regime." << std::endl;
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Microbenchmarks (google-benchmark) for the hot paths: planners, the MLE,
+// the hypergeometric sampler, one simulated shuffle round, and the event
+// loop.  These are engineering-facing numbers, complementing the paper's
+// Figures 5/6.
+#include <benchmark/benchmark.h>
+
+#include "core/algorithm_one.h"
+#include "core/greedy_planner.h"
+#include "core/mle_estimator.h"
+#include "core/separable_dp.h"
+#include "cloudsim/event_loop.h"
+#include "sim/shuffle_sim.h"
+#include "util/random.h"
+
+using namespace shuffledef;
+using core::Count;
+
+namespace {
+
+void BM_GreedyPlan(benchmark::State& state) {
+  const core::ShuffleProblem problem{state.range(0), state.range(0) / 10,
+                                     std::max<Count>(2, state.range(0) / 100)};
+  core::GreedyPlanner planner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(problem));
+  }
+}
+BENCHMARK(BM_GreedyPlan)->Arg(1000)->Arg(10000)->Arg(150000);
+
+void BM_SeparableDpValue(benchmark::State& state) {
+  const core::ShuffleProblem problem{state.range(0), state.range(0) / 2,
+                                     state.range(0) / 5};
+  core::SeparableDpPlanner planner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.value(problem));
+  }
+}
+BENCHMARK(BM_SeparableDpValue)->Arg(200)->Arg(500)->Arg(1000);
+
+void BM_AlgorithmOneValue(benchmark::State& state) {
+  const core::ShuffleProblem problem{state.range(0), state.range(0) / 2,
+                                     state.range(0) / 5};
+  core::AlgorithmOnePlanner planner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.value(problem));
+  }
+}
+BENCHMARK(BM_AlgorithmOneValue)->Arg(30)->Arg(60)->Arg(90);
+
+void BM_MleEstimate(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  const core::AssignmentPlan plan(std::vector<Count>(p, 100));
+  util::Rng rng(1);
+  // ~2 bots per replica on average: most replicas attacked, some clean, so
+  // the estimator runs its full refinement search rather than the
+  // all-attacked shortcut.
+  const auto placed = rng.multivariate_hypergeometric(
+      plan.counts(), static_cast<Count>(p) * 2);
+  std::vector<bool> attacked;
+  for (const auto b : placed) attacked.push_back(b > 0);
+  const core::ShuffleObservation obs{plan, attacked};
+  core::MleOptions opts;
+  opts.engine = state.range(1) == 0 ? core::LikelihoodEngine::kExact
+                                    : core::LikelihoodEngine::kGaussian;
+  const core::MleEstimator mle(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mle.estimate(obs));
+  }
+}
+BENCHMARK(BM_MleEstimate)
+    ->Args({100, 0})   // exact engine, Figure-7 scale
+    ->Args({100, 1})   // Gaussian engine, same scale
+    ->Args({1000, 1}); // Gaussian engine, live-controller scale
+
+void BM_HypergeometricSample(benchmark::State& state) {
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.hypergeometric(150000, 100000, 150));
+  }
+}
+BENCHMARK(BM_HypergeometricSample);
+
+void BM_ShuffleRound(benchmark::State& state) {
+  // One full simulated shuffle round at Figure-8 scale.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::ShuffleSimConfig cfg;
+    cfg.benign = {.initial = 50000, .rate = 0.0, .total_cap = 50000};
+    cfg.bots = {.initial = 100000, .rate = 0.0, .total_cap = 100000};
+    cfg.controller.planner = "greedy";
+    cfg.controller.replicas = 1000;
+    cfg.controller.use_mle = true;
+    cfg.controller.mle.engine = core::LikelihoodEngine::kGaussian;
+    cfg.max_rounds = 1;
+    cfg.seed = 3;
+    sim::ShuffleSimulator simulator(cfg);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(simulator.run());
+  }
+}
+BENCHMARK(BM_ShuffleRound)->Unit(benchmark::kMillisecond);
+
+void BM_EventLoopThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    cloudsim::EventLoop loop;
+    for (int i = 0; i < 10000; ++i) {
+      loop.schedule_at(static_cast<double>(i) * 1e-6, [] {});
+    }
+    loop.run();
+    benchmark::DoNotOptimize(loop.processed());
+  }
+}
+BENCHMARK(BM_EventLoopThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Shared runner for the multi-round shuffling figures (8, 9, 10).
+//
+// One simulation = the paper's §VI-A setup: the benign population is online
+// when the attack starts, persistent bots ramp in as a Poisson stream of
+// 5000 per 3 shuffles (capped at the configured total), the controller
+// estimates M by MLE each round (Gaussian engine at these replica counts)
+// and plans with the greedy algorithm over a fixed replica budget.
+#pragma once
+
+#include <string>
+
+#include "sim/experiment.h"
+#include "sim/shuffle_sim.h"
+#include "util/stats.h"
+
+namespace shuffledef::bench {
+
+struct SeriesPoint {
+  core::Count benign = 10000;
+  core::Count bots = 100000;
+  core::Count replicas = 1000;
+  double bot_rate_per_round = 5000.0 / 3.0;
+  double benign_rate_per_round = 100.0 / 3.0;
+  bool bots_all_at_start = false;
+  double target_fraction = 0.95;
+  core::Count max_rounds = 2000;
+};
+
+inline sim::ShuffleSimConfig make_sim_config(const SeriesPoint& pt,
+                                             std::uint64_t seed) {
+  sim::ShuffleSimConfig cfg;
+  // Benign clients are online when the attack begins; the configured
+  // trickle only tops the population up to the same total (see DESIGN.md §6).
+  cfg.benign = {.initial = pt.benign,
+                .rate = pt.benign_rate_per_round,
+                .total_cap = pt.benign};
+  cfg.bots = {.initial = pt.bots_all_at_start ? pt.bots : 0,
+              .rate = pt.bots_all_at_start ? 0.0 : pt.bot_rate_per_round,
+              .total_cap = pt.bots};
+  cfg.controller.planner = "greedy";
+  cfg.controller.replicas = pt.replicas;
+  cfg.controller.use_mle = true;
+  cfg.controller.mle.engine = core::LikelihoodEngine::kGaussian;
+  cfg.target_fraction = pt.target_fraction;
+  cfg.max_rounds = pt.max_rounds;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Mean (with CI) number of shuffles to save `fraction` of the benign
+/// population.  Runs that never reach the target count as max_rounds.
+inline util::Summary shuffles_to_save(const SeriesPoint& pt, double fraction,
+                                      int reps, std::uint64_t base_seed) {
+  return sim::repeat(reps, base_seed, [&](std::uint64_t seed) {
+    auto cfg = make_sim_config(pt, seed);
+    cfg.target_fraction = std::max(pt.target_fraction, fraction);
+    const auto result = sim::ShuffleSimulator(cfg).run();
+    const auto shuffles = result.shuffles_to_fraction(fraction);
+    return static_cast<double>(shuffles.value_or(pt.max_rounds));
+  });
+}
+
+/// Several thresholds from the *same* simulation runs (one sim per rep).
+inline std::vector<util::Summary> shuffles_to_save_multi(
+    const SeriesPoint& pt, const std::vector<double>& fractions, int reps,
+    std::uint64_t base_seed) {
+  std::vector<util::Accumulator> accs(fractions.size());
+  std::uint64_t state = base_seed;
+  for (int r = 0; r < reps; ++r) {
+    auto cfg = make_sim_config(pt, util::splitmix64(state));
+    double target = pt.target_fraction;
+    for (const double f : fractions) target = std::max(target, f);
+    cfg.target_fraction = target;
+    const auto result = sim::ShuffleSimulator(cfg).run();
+    for (std::size_t i = 0; i < fractions.size(); ++i) {
+      accs[i].add(static_cast<double>(
+          result.shuffles_to_fraction(fractions[i]).value_or(pt.max_rounds)));
+    }
+  }
+  std::vector<util::Summary> out;
+  out.reserve(accs.size());
+  for (const auto& a : accs) out.push_back(a.summary());
+  return out;
+}
+
+}  // namespace shuffledef::bench

@@ -1,0 +1,64 @@
+// A large-scale attack campaign, round by round.
+//
+// Reproduces the paper's headline scenario at full scale with the
+// count-based simulator: 50K benign clients online, a botnet ramping up to
+// 100K persistent bots, 1000 shuffling replicas, the MLE estimating the
+// attack each round and the greedy planner cutting buckets.  Prints a
+// round-by-round progress log plus the milestone shuffle counts.
+//
+// Build & run:  cmake --build build && ./build/examples/attack_campaign
+#include <iomanip>
+#include <iostream>
+
+#include "sim/shuffle_sim.h"
+
+using namespace shuffledef;
+using core::Count;
+
+int main() {
+  sim::ShuffleSimConfig cfg;
+  cfg.benign = {.initial = 50000, .rate = 100.0 / 3.0, .total_cap = 50000};
+  cfg.bots = {.initial = 0, .rate = 5000.0 / 3.0, .total_cap = 100000};
+  cfg.controller.planner = "greedy";
+  cfg.controller.replicas = 1000;
+  cfg.controller.use_mle = true;
+  cfg.controller.mle.engine = core::LikelihoodEngine::kGaussian;
+  cfg.target_fraction = 0.95;
+  cfg.max_rounds = 1000;
+  cfg.seed = 20140622;
+
+  std::cout << "Campaign: 50K benign clients, bots ramping to 100K "
+               "(Poisson 5000 per 3 shuffles), 1000 shuffling replicas, "
+               "MLE + greedy controller\n\n";
+  std::cout << "round | pool benign | pool bots | M-hat   | attacked | "
+               "saved now | saved total\n";
+
+  const auto result = sim::ShuffleSimulator(cfg).run();
+  for (const auto& r : result.rounds) {
+    if (r.round <= 10 || r.round % 20 == 0 ||
+        r.round == static_cast<Count>(result.rounds.size())) {
+      std::cout << std::setw(5) << r.round << " | " << std::setw(11)
+                << r.pool_benign << " | " << std::setw(9) << r.pool_bots
+                << " | " << std::setw(7) << r.bot_estimate << " | "
+                << std::setw(8) << r.attacked_replicas << " | "
+                << std::setw(9) << r.saved << " | " << std::setw(10)
+                << r.cumulative_saved << "\n";
+    }
+  }
+
+  std::cout << "\nMilestones:\n";
+  for (const double f : {0.5, 0.8, 0.9, 0.95}) {
+    const auto n = result.shuffles_to_fraction(f);
+    std::cout << "  " << static_cast<int>(f * 100) << "% of benign saved: ";
+    if (n.has_value()) {
+      std::cout << *n << " shuffles\n";
+    } else {
+      std::cout << "not reached\n";
+    }
+  }
+  std::cout << "\nEach shuffle costs seconds of user-perceived latency "
+               "(Figure 12), so the whole mitigation plays out in minutes "
+               "while the attackers end up quarantined on their own "
+               "replicas.\n";
+  return result.reached_target ? 0 : 1;
+}

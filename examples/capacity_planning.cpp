@@ -1,0 +1,72 @@
+// Capacity planning for a defense operator.
+//
+// Before deploying the shuffling defense you must answer: how many replicas
+// do I need for the attack sizes I expect, and what will mitigation cost in
+// shuffles and replica-hours?  This example sweeps attack sizes against
+// replica budgets and prints a planning matrix built from the same
+// primitives the live controller uses (Theorem-1 provisioning + greedy
+// planning + the count-based simulator).
+//
+// Build & run:  cmake --build build && ./build/examples/capacity_planning
+#include <iostream>
+
+#include "core/provisioning.h"
+#include "sim/shuffle_sim.h"
+#include "util/table.h"
+
+using namespace shuffledef;
+using core::Count;
+
+namespace {
+
+double shuffles_to_80(Count benign, Count bots, Count replicas) {
+  sim::ShuffleSimConfig cfg;
+  cfg.benign = {.initial = benign, .rate = 0.0, .total_cap = benign};
+  cfg.bots = {.initial = bots, .rate = 0.0, .total_cap = bots};
+  cfg.controller.planner = "greedy";
+  cfg.controller.replicas = replicas;
+  cfg.controller.use_mle = true;
+  cfg.controller.mle.engine = core::LikelihoodEngine::kGaussian;
+  cfg.target_fraction = 0.80;
+  cfg.max_rounds = 3000;
+  cfg.seed = 1234;
+  const auto result = sim::ShuffleSimulator(cfg).run();
+  return static_cast<double>(
+      result.shuffles_to_fraction(0.80).value_or(cfg.max_rounds));
+}
+
+}  // namespace
+
+int main() {
+  const Count benign = 20000;
+
+  util::Table t1("Theorem-1 floor: replicas needed so the MLE stays "
+                 "reliable (at least one clean replica in expectation)");
+  t1.set_headers({"expected attack (bots)", "min replicas"});
+  for (const Count bots : {1000, 5000, 10000, 25000, 50000, 100000}) {
+    t1.add_row({util::fmt(bots),
+                util::fmt(core::min_replicas_for_estimation(bots))});
+  }
+  t1.print_with_csv();
+
+  util::Table t2("Mitigation cost matrix — shuffles to save 80% of " +
+                 std::to_string(benign) + " benign clients (single run per "
+                 "cell; replica-rounds ~ shuffles x replicas)");
+  t2.set_headers({"bots \\ replicas", "250", "500", "1000", "2000"});
+  for (const Count bots : {5000, 10000, 25000, 50000}) {
+    std::vector<std::string> row{util::fmt(bots)};
+    for (const Count replicas : {250, 500, 1000, 2000}) {
+      row.push_back(util::fmt(shuffles_to_80(benign, bots, replicas), 0));
+    }
+    t2.add_row(std::move(row));
+  }
+  t2.print_with_csv();
+
+  std::cout << "Reading the matrix: doubling the replica budget roughly "
+               "halves the shuffle count, so the replica-rounds spent per "
+               "mitigation stay nearly constant — elasticity buys latency, "
+               "not extra total cost. Provision at least the Theorem-1 "
+               "floor, then scale by how fast you need the attack "
+               "quarantined.\n";
+  return 0;
+}

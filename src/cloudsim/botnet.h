@@ -1,0 +1,103 @@
+// The botnet: persistent bots, naive bots, and the botmaster (paper §II-B).
+//
+//   PersistentBot — runs the full client join flow (so it is whitelisted and
+//     indistinguishable from a benign client), then attacks its assigned
+//     replica with junk packets and/or computationally heavy requests.  It
+//     follows WebSocket shuffle redirects exactly like a browser, and
+//     reports every replica address it discovers to the botmaster.
+//
+//   Botmaster — aggregates the persistent bots' reconnaissance and
+//     periodically commands the naive bots to flood the currently known
+//     replica addresses (the "hit list").
+//
+//   NaiveBot — floods whatever addresses it was last told; it cannot follow
+//     moving targets, so after one server replacement its packets pour into
+//     detached NICs (the defense's evasion of hit-list attackers).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cloudsim/client_agent.h"
+#include "cloudsim/node.h"
+
+namespace shuffledef::cloudsim {
+
+struct PersistentBotConfig {
+  ClientConfig client;             // join-flow parameters
+  NodeId botmaster = kInvalidNode;
+  double junk_rate_pps = 0.0;      // junk packets/s at the current replica
+  double heavy_interval_s = 0.0;   // 0 = no computational attack
+  double heavy_cpu_seconds = 0.2;  // CPU burned per heavy request
+};
+
+class PersistentBot final : public ClientAgent {
+ public:
+  PersistentBot(World& world, std::string name, PersistentBotConfig config);
+
+  [[nodiscard]] std::uint64_t junk_sent() const { return junk_sent_; }
+  [[nodiscard]] std::uint64_t heavy_sent() const { return heavy_sent_; }
+
+ protected:
+  void on_connected() override;
+  void on_migrated(NodeId new_replica) override;
+
+ private:
+  void report_target();
+  void junk_tick();
+  void heavy_tick();
+
+  PersistentBotConfig bot_config_;
+  bool attacking_ = false;
+  std::uint64_t junk_sent_ = 0;
+  std::uint64_t heavy_sent_ = 0;
+};
+
+struct NaiveBotConfig {
+  double junk_rate_pps = 100.0;  // spread across the current hit list
+};
+
+class NaiveBot final : public Node {
+ public:
+  NaiveBot(World& world, std::string name, NaiveBotConfig config);
+
+  void on_message(const Message& msg) override;
+
+  [[nodiscard]] std::uint64_t junk_sent() const { return junk_sent_; }
+
+ private:
+  void flood_tick();
+
+  NaiveBotConfig config_;
+  std::vector<NodeId> targets_;
+  std::size_t next_target_ = 0;
+  bool ticking_ = false;
+  std::uint64_t junk_sent_ = 0;
+};
+
+struct BotmasterConfig {
+  double command_interval_s = 1.0;
+};
+
+class Botmaster final : public Node {
+ public:
+  Botmaster(World& world, std::string name, BotmasterConfig config);
+
+  void add_naive_bot(NodeId bot) { naive_bots_.push_back(bot); }
+
+  void on_start() override;
+  void on_message(const Message& msg) override;
+
+  [[nodiscard]] const std::set<NodeId>& hit_list() const { return hit_list_; }
+
+ private:
+  void command_tick();
+
+  BotmasterConfig config_;
+  std::vector<NodeId> naive_bots_;
+  std::set<NodeId> hit_list_;
+  bool hit_list_dirty_ = false;
+};
+
+}  // namespace shuffledef::cloudsim

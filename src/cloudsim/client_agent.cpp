@@ -1,0 +1,202 @@
+#include "cloudsim/client_agent.h"
+
+#include "util/logging.h"
+
+namespace shuffledef::cloudsim {
+
+ClientAgent::ClientAgent(World& world, std::string name, ClientConfig config)
+    : Node(world, std::move(name)), config_(std::move(config)) {
+  if (config_.ip.empty()) config_.ip = this->name();
+}
+
+void ClientAgent::on_start() {
+  world().register_ip(config_.ip, id());
+  loop().schedule_after(config_.start_time_s, [this] { start_join(); });
+}
+
+void ClientAgent::start_join() {
+  phase_ = Phase::kResolving;
+  ++generation_;
+  retries_ = 0;
+  ws_replica_ = kInvalidNode;  // any previous WebSocket is considered dead
+  ++hb_epoch_;                 // and its heartbeat chain with it
+  send(config_.dns, MessageType::kDnsQuery, kDnsMessageBytes,
+       DnsQueryPayload{config_.service});
+  arm_timeout();
+}
+
+void ClientAgent::request_page() {
+  phase_ = Phase::kLoadingPage;
+  ++generation_;
+  page_requested_at_ = loop().now();
+  send(replica_, MessageType::kHttpGet, kHttpRequestBytes,
+       HttpGetPayload{config_.ip, "/"});
+  arm_timeout();
+}
+
+void ClientAgent::arm_timeout() {
+  const std::uint64_t gen = generation_;
+  loop().schedule_after(config_.request_timeout_s,
+                        [this, gen] { handle_timeout(gen); });
+}
+
+void ClientAgent::schedule_browse() {
+  if (config_.browse_think_s <= 0.0) return;
+  const std::uint64_t gen = generation_;
+  loop().schedule_after(rng().exponential(1.0 / config_.browse_think_s),
+                        [this, gen] {
+                          // Only browse if nothing intervened (no shuffle,
+                          // timeout, or earlier reload in flight).
+                          if (gen != generation_ || phase_ != Phase::kConnected) {
+                            return;
+                          }
+                          retries_ = 0;
+                          request_page();
+                        });
+}
+
+void ClientAgent::schedule_heartbeat() {
+  if (config_.heartbeat_s <= 0.0 || ws_replica_ == kInvalidNode) return;
+  const std::uint64_t epoch = hb_epoch_;
+  loop().schedule_after(config_.heartbeat_s, [this, epoch] {
+    if (epoch != hb_epoch_ || ws_replica_ == kInvalidNode) return;
+    const std::uint64_t expect = ++ping_seq_;
+    send(ws_replica_, MessageType::kWsPing, kWsFrameBytes);
+    loop().schedule_after(config_.request_timeout_s, [this, epoch, expect] {
+      if (epoch != hb_epoch_) return;
+      if (pong_seq_ >= expect) {
+        schedule_heartbeat();  // alive: keep watching
+        return;
+      }
+      // Silence on the WebSocket: the replica died without pushing a
+      // redirect (instance failure).  Fall back to the pull path: rejoin
+      // through DNS, where the balancer routes a live replica.
+      ++stats_.heartbeat_failures;
+      ++stats_.rejoins;
+      start_join();
+    });
+  });
+}
+
+void ClientAgent::handle_timeout(std::uint64_t generation) {
+  if (generation != generation_ || phase_ == Phase::kConnected ||
+      phase_ == Phase::kIdle) {
+    return;  // the awaited reply arrived, or nothing is pending
+  }
+  ++stats_.timeouts;
+  stats_.timeout_at.push_back(loop().now());
+  if (++retries_ > config_.max_retries) {
+    // Too many failures on this path: rejoin from scratch via DNS (the
+    // load balancer's sticky record will route a live replica).
+    ++stats_.rejoins;
+    start_join();
+    return;
+  }
+  ++generation_;
+  switch (phase_) {
+    case Phase::kResolving:
+      send(config_.dns, MessageType::kDnsQuery, kDnsMessageBytes,
+           DnsQueryPayload{config_.service});
+      break;
+    case Phase::kContactingLb:
+      send(lb_, MessageType::kClientHello, kHttpRequestBytes,
+           ClientHelloPayload{config_.ip});
+      break;
+    case Phase::kLoadingPage:
+      send(replica_, MessageType::kHttpGet, kHttpRequestBytes,
+           HttpGetPayload{config_.ip, "/"});
+      break;
+    case Phase::kOpeningWs:
+      send(replica_, MessageType::kWsOpen, kWsFrameBytes,
+           WsOpenPayload{config_.ip});
+      break;
+    case Phase::kIdle:
+    case Phase::kConnected:
+      return;
+  }
+  arm_timeout();
+}
+
+void ClientAgent::on_message(const Message& msg) {
+  switch (msg.type) {
+    case MessageType::kDnsReply: {
+      if (phase_ != Phase::kResolving) break;
+      const auto& reply = std::any_cast<const DnsReplyPayload&>(msg.payload);
+      lb_ = reply.load_balancer;
+      phase_ = Phase::kContactingLb;
+      ++generation_;
+      retries_ = 0;
+      send(lb_, MessageType::kClientHello, kHttpRequestBytes,
+           ClientHelloPayload{config_.ip});
+      arm_timeout();
+      break;
+    }
+    case MessageType::kRedirect: {
+      if (phase_ != Phase::kContactingLb) break;
+      const auto& redirect =
+          std::any_cast<const RedirectPayload&>(msg.payload);
+      replica_ = redirect.target_replica;
+      retries_ = 0;
+      request_page();
+      break;
+    }
+    case MessageType::kHttpResponse: {
+      if (phase_ != Phase::kLoadingPage || msg.src != replica_) break;
+      stats_.page_loads.push_back(
+          PageLoadRecord{page_requested_at_, loop().now()});
+      if (stats_.first_page_at < 0.0) stats_.first_page_at = loop().now();
+      ++generation_;
+      retries_ = 0;
+      if (ws_replica_ == replica_) {
+        // Reload on an already-connected replica (browsing workload):
+        // the WebSocket is still up, no handshake needed.
+        phase_ = Phase::kConnected;
+        schedule_browse();
+        break;
+      }
+      phase_ = Phase::kOpeningWs;
+      send(replica_, MessageType::kWsOpen, kWsFrameBytes,
+           WsOpenPayload{config_.ip});
+      arm_timeout();
+      break;
+    }
+    case MessageType::kWsOpenAck: {
+      if (phase_ != Phase::kOpeningWs || msg.src != replica_) break;
+      phase_ = Phase::kConnected;
+      ++generation_;
+      ws_replica_ = replica_;
+      ++hb_epoch_;  // kill any stale heartbeat chain, start a fresh one
+      schedule_heartbeat();
+      if (migrating_) {
+        migrating_ = false;
+        stats_.migrations.push_back(
+            MigrationRecord{migration_started_at_, loop().now()});
+        on_migrated(replica_);
+      } else {
+        on_connected();
+      }
+      schedule_browse();
+      break;
+    }
+    case MessageType::kWsPong: {
+      if (msg.src == ws_replica_) pong_seq_ = ping_seq_;
+      break;
+    }
+    case MessageType::kWsPush: {
+      // Replica-initiated shuffle redirect: reload from the new location.
+      const auto& push = std::any_cast<const WsPushPayload&>(msg.payload);
+      if (!migrating_) {
+        migrating_ = true;
+        migration_started_at_ = loop().now();
+      }
+      replica_ = push.new_replica;
+      retries_ = 0;
+      request_page();
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace shuffledef::cloudsim

@@ -1,0 +1,115 @@
+// Browser-like client (the prototype's PlanetLab Firefox nodes).
+//
+// Join flow (architecture steps 1-6): resolve the service via DNS, contact
+// the returned load balancer, follow its redirect to a replica, fetch the
+// page, then keep a WebSocket open so the replica can push shuffle
+// redirects.  On a kWsPush the client reloads the page from the new replica
+// and re-opens the WebSocket — the measured "migration".
+//
+// Requests time out and retry (page responses are exactly what a flood
+// starves), and after too many failures the client rejoins from DNS — the
+// behaviour that lets benign-but-affected clients recover once they are
+// shuffled away from attackers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cloudsim/node.h"
+
+namespace shuffledef::cloudsim {
+
+struct ClientConfig {
+  std::string service = "www.example.com";
+  std::string ip;                  // unique client IP (identity)
+  NodeId dns = kInvalidNode;
+  double start_time_s = 0.0;
+  double request_timeout_s = 4.0;
+  int max_retries = 4;             // per request before rejoining via DNS
+  /// Browsing workload: mean think time between page reloads once
+  /// connected (exponential); 0 = load the page once and sit on the
+  /// WebSocket (the prototype behaviour).
+  double browse_think_s = 0.0;
+  /// WebSocket keepalive interval; a missed pong means the replica died
+  /// without pushing a redirect (instance failure), and the client falls
+  /// back to rejoining through DNS — the pull-based migration path.
+  /// 0 disables heartbeats.
+  double heartbeat_s = 0.0;
+};
+
+struct MigrationRecord {
+  double push_received_at = 0.0;
+  double completed_at = 0.0;
+  [[nodiscard]] double duration() const { return completed_at - push_received_at; }
+};
+
+struct PageLoadRecord {
+  double requested_at = 0.0;
+  double completed_at = 0.0;
+  [[nodiscard]] double duration() const { return completed_at - requested_at; }
+};
+
+struct ClientAgentStats {
+  std::vector<PageLoadRecord> page_loads;   // successful page loads
+  std::vector<MigrationRecord> migrations;  // completed shuffle migrations
+  std::vector<double> timeout_at;           // when each request timed out
+  double first_page_at = -1.0;              // absolute completion time
+  int timeouts = 0;
+  int rejoins = 0;
+  int heartbeat_failures = 0;  // dead replicas detected via missed pongs
+};
+
+class ClientAgent : public Node {
+ public:
+  ClientAgent(World& world, std::string name, ClientConfig config);
+
+  void on_start() override;
+  void on_message(const Message& msg) override;
+
+  [[nodiscard]] const ClientAgentStats& stats() const { return stats_; }
+  [[nodiscard]] NodeId current_replica() const { return replica_; }
+  [[nodiscard]] bool connected() const { return phase_ == Phase::kConnected; }
+  [[nodiscard]] const std::string& ip() const { return config_.ip; }
+
+ protected:
+  enum class Phase {
+    kIdle,
+    kResolving,
+    kContactingLb,
+    kLoadingPage,
+    kOpeningWs,
+    kConnected,
+  };
+
+  /// Subclass hooks (the persistent bot reuses the whole join flow).
+  virtual void on_connected() {}
+  virtual void on_migrated(NodeId /*new_replica*/) {}
+
+  void start_join();
+  void request_page();
+  void arm_timeout();
+  [[nodiscard]] Phase phase() const { return phase_; }
+
+  ClientConfig config_;
+  NodeId lb_ = kInvalidNode;
+  NodeId replica_ = kInvalidNode;
+
+ private:
+  void handle_timeout(std::uint64_t generation);
+  void schedule_browse();
+  void schedule_heartbeat();
+
+  Phase phase_ = Phase::kIdle;
+  std::uint64_t generation_ = 0;  // invalidates stale timeouts/replies
+  int retries_ = 0;
+  double page_requested_at_ = 0.0;
+  bool migrating_ = false;
+  double migration_started_at_ = 0.0;
+  NodeId ws_replica_ = kInvalidNode;  // replica with an open WebSocket
+  std::uint64_t ping_seq_ = 0;        // last ping sent
+  std::uint64_t pong_seq_ = 0;        // last pong received
+  std::uint64_t hb_epoch_ = 0;        // invalidates stale heartbeat chains
+  ClientAgentStats stats_;
+};
+
+}  // namespace shuffledef::cloudsim

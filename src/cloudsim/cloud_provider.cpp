@@ -1,0 +1,58 @@
+#include "cloudsim/cloud_provider.h"
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace shuffledef::cloudsim {
+
+CloudProvider::CloudProvider(World& world, CloudProviderConfig config)
+    : world_(world), config_(std::move(config)) {
+  if (config_.domains.empty()) {
+    throw std::invalid_argument("CloudProvider: needs at least one domain");
+  }
+  if (config_.boot_delay_s < 0.0) {
+    throw std::invalid_argument("CloudProvider: negative boot delay");
+  }
+}
+
+void CloudProvider::provision(std::function<void(NodeId)> ready) {
+  const std::int32_t domain =
+      config_.domains[next_domain_ % config_.domains.size()];
+  ++next_domain_;
+  const std::int64_t serial = ++provisioned_;
+  world_.loop().schedule_after(
+      config_.boot_delay_s,
+      [this, domain, serial, ready = std::move(ready)]() {
+        NicConfig nic = config_.replica_nic;
+        nic.domain = domain;
+        auto* replica = world_.spawn<ReplicaServer>(
+            nic, "replica-" + std::to_string(serial), config_.replica,
+            coordinator_);
+        ready(replica->id());
+      });
+}
+
+void CloudProvider::provision_many(
+    std::int64_t count, std::function<void(std::vector<NodeId>)> ready) {
+  if (count <= 0) {
+    throw std::invalid_argument("provision_many: count must be positive");
+  }
+  auto collected = std::make_shared<std::vector<NodeId>>();
+  collected->reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    provision([collected, count, ready](NodeId id) {
+      collected->push_back(id);
+      if (static_cast<std::int64_t>(collected->size()) == count) {
+        ready(*collected);
+      }
+    });
+  }
+}
+
+void CloudProvider::recycle(NodeId replica) {
+  world_.retire(replica);
+  ++recycled_;
+}
+
+}  // namespace shuffledef::cloudsim

@@ -1,0 +1,60 @@
+// Cloud provider control API: replica instance lifecycle.
+//
+// Models the IaaS operations the defense leans on (paper §III, §VII):
+// instantiating a replica server at a fresh, unpublished network location
+// (hot-spare activation after `boot_delay_s`) and recycling attacked
+// instances.  Placement cycles across the configured domains so consecutive
+// replicas land in different failure/bandwidth domains.
+//
+// This is infrastructure control, not data-plane traffic, so it is a plain
+// object driven through the event loop rather than a Node.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cloudsim/node.h"
+#include "cloudsim/replica_server.h"
+
+namespace shuffledef::cloudsim {
+
+struct CloudProviderConfig {
+  double boot_delay_s = 0.5;  // hot-spare activation, not a cold boot
+  NicConfig replica_nic;
+  ReplicaConfig replica;
+  std::vector<std::int32_t> domains = {0};
+};
+
+class CloudProvider {
+ public:
+  CloudProvider(World& world, CloudProviderConfig config);
+
+  void set_coordinator(NodeId coordinator) { coordinator_ = coordinator; }
+
+  /// Boot one replica in the next domain; `ready` fires with its address
+  /// after boot_delay_s.
+  void provision(std::function<void(NodeId)> ready);
+
+  /// Boot `count` replicas; `ready` fires once with all addresses when the
+  /// last one is up.
+  void provision_many(std::int64_t count,
+                      std::function<void(std::vector<NodeId>)> ready);
+
+  /// Terminate an instance: its NIC detaches, in-flight traffic is dropped.
+  void recycle(NodeId replica);
+
+  [[nodiscard]] std::int64_t provisioned() const { return provisioned_; }
+  [[nodiscard]] std::int64_t recycled() const { return recycled_; }
+  [[nodiscard]] std::int64_t active() const { return provisioned_ - recycled_; }
+
+ private:
+  World& world_;
+  CloudProviderConfig config_;
+  NodeId coordinator_ = kInvalidNode;
+  std::size_t next_domain_ = 0;
+  std::int64_t provisioned_ = 0;
+  std::int64_t recycled_ = 0;
+};
+
+}  // namespace shuffledef::cloudsim

@@ -1,0 +1,202 @@
+#include "cloudsim/coordination_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "util/logging.h"
+
+namespace shuffledef::cloudsim {
+
+CoordinationServer::CoordinationServer(World& world, std::string name,
+                                       CoordinatorConfig config)
+    : Node(world, std::move(name)),
+      config_(config),
+      controller_(config.controller) {}
+
+void CoordinationServer::set_infrastructure(
+    CloudProvider* provider, std::vector<LoadBalancer*> load_balancers) {
+  if (provider == nullptr) {
+    throw std::invalid_argument("CoordinationServer: null provider");
+  }
+  provider_ = provider;
+  load_balancers_ = std::move(load_balancers);
+  provider_->set_coordinator(id());
+}
+
+void CoordinationServer::register_replica(NodeId replica) {
+  active_replicas_.insert(replica);
+  for (auto* lb : load_balancers_) lb->add_replica(replica);
+}
+
+void CoordinationServer::add_hot_spare(NodeId replica) {
+  hot_spares_.push_back(replica);
+}
+
+ReplicaServer* CoordinationServer::replica_ptr(NodeId id) {
+  return dynamic_cast<ReplicaServer*>(world().node(id));
+}
+
+void CoordinationServer::on_message(const Message& msg) {
+  switch (msg.type) {
+    case MessageType::kAttackReport: {
+      const auto& report =
+          std::any_cast<const AttackReportPayload&>(msg.payload);
+      ++stats_.attack_reports;
+      if (!active_replicas_.contains(report.replica)) break;  // stale
+      attacked_.insert(report.replica);
+      schedule_round();
+      break;
+    }
+    case MessageType::kDecommission: {
+      const auto& dec =
+          std::any_cast<const DecommissionPayload&>(msg.payload);
+      active_replicas_.erase(dec.replica);
+      for (auto* lb : load_balancers_) lb->remove_replica(dec.replica);
+      provider_->recycle(dec.replica);
+      ++stats_.replicas_recycled;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void CoordinationServer::schedule_round() {
+  if (round_pending_ || round_in_flight_) return;
+  round_pending_ = true;
+  loop().schedule_after(config_.aggregation_window_s,
+                        [this] { execute_round(); });
+}
+
+void CoordinationServer::execute_round() {
+  round_pending_ = false;
+  if (attacked_.empty() || provider_ == nullptr) return;
+
+  // Snapshot the attacked replicas and the affected client pool.
+  std::vector<NodeId> attacked(attacked_.begin(), attacked_.end());
+  attacked_.clear();
+  std::vector<std::pair<std::string, NodeId>> pool;
+  std::vector<NodeId> still_active;
+  for (const NodeId r : attacked) {
+    if (!active_replicas_.contains(r)) continue;
+    still_active.push_back(r);
+    auto* replica = replica_ptr(r);
+    const auto clients = replica->connected_clients();
+    pool.insert(pool.end(), clients.begin(), clients.end());
+  }
+  attacked = std::move(still_active);
+  if (attacked.empty()) return;
+
+  // MLE observation: which of the previous round's replicas were attacked?
+  std::optional<core::ShuffleObservation> obs;
+  if (last_round_.has_value() && controller_.config().use_mle) {
+    std::vector<bool> flags;
+    flags.reserve(last_round_->replicas.size());
+    const std::set<NodeId> attacked_set(attacked.begin(), attacked.end());
+    for (const NodeId r : last_round_->replicas) {
+      flags.push_back(attacked_set.contains(r));
+    }
+    obs = core::ShuffleObservation{core::AssignmentPlan(last_round_->sizes),
+                                   std::move(flags)};
+  }
+  if (!seeded_estimate_) {
+    seeded_estimate_ = true;
+    controller_.set_bot_estimate(std::max<core::Count>(
+        1, static_cast<core::Count>(std::llround(
+               config_.initial_bot_fraction *
+               static_cast<double>(pool.size())))));
+  }
+
+  const auto decision =
+      controller_.decide(static_cast<core::Count>(pool.size()), obs);
+
+  round_in_flight_ = true;
+  const auto replica_count =
+      static_cast<std::int64_t>(decision.plan.replica_count());
+  SDEF_LOG(Info) << name() << ": shuffle round " << stats_.rounds_executed + 1
+                 << " — " << attacked.size() << " attacked, pool "
+                 << pool.size() << ", M-hat " << decision.bot_estimate
+                 << ", new replicas " << replica_count;
+
+  // Consume hot spares first; only the shortfall pays the boot delay.
+  std::vector<NodeId> ready;
+  while (!hot_spares_.empty() &&
+         static_cast<std::int64_t>(ready.size()) < replica_count) {
+    ready.push_back(hot_spares_.back());
+    hot_spares_.pop_back();
+  }
+  const std::int64_t shortfall =
+      replica_count - static_cast<std::int64_t>(ready.size());
+  if (shortfall == 0) {
+    deploy_shuffle(std::move(attacked), std::move(pool), std::move(decision),
+                   ready);
+    return;
+  }
+  provider_->provision_many(
+      shortfall, [this, attacked = std::move(attacked),
+                  pool = std::move(pool), decision = std::move(decision),
+                  ready = std::move(ready)](std::vector<NodeId> fresh) mutable {
+        ready.insert(ready.end(), fresh.begin(), fresh.end());
+        deploy_shuffle(std::move(attacked), std::move(pool),
+                       std::move(decision), ready);
+      });
+}
+
+void CoordinationServer::deploy_shuffle(
+    std::vector<NodeId> attacked,
+    std::vector<std::pair<std::string, NodeId>> pool,
+    core::RoundDecision decision, const std::vector<NodeId>& new_replicas) {
+  // Uniformly random client-to-bucket mapping: the controller fixed only
+  // the bucket sizes (paper §III-D: the coordination server "does not
+  // control the specific assignments of individual clients").
+  rng().shuffle(pool);
+
+  // Where does each client go?
+  std::vector<NodeId> target_of(pool.size(), kInvalidNode);
+  std::size_t cursor = 0;
+  for (std::size_t b = 0; b < new_replicas.size(); ++b) {
+    const auto size = static_cast<std::size_t>(decision.plan[b]);
+    for (std::size_t k = 0; k < size && cursor < pool.size(); ++k, ++cursor) {
+      target_of[cursor] = new_replicas[b];
+    }
+  }
+
+  // Pre-whitelist every client on its new replica and re-point sticky
+  // records, then order each attacked replica to push its redirects.
+  std::map<NodeId, ShuffleCommandPayload> commands;
+  std::map<NodeId, NodeId> current_home;  // client node -> old replica
+  for (const NodeId r : attacked) {
+    for (const auto& [ip, client] : replica_ptr(r)->connected_clients()) {
+      current_home[client] = r;
+    }
+  }
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    const auto& [ip, client] = pool[i];
+    const NodeId target = target_of[i];
+    if (target == kInvalidNode) continue;  // plan narrower than pool (guarded)
+    send(target, MessageType::kWhitelistAdd, kControlMessageBytes,
+         WhitelistAddPayload{ip, client});
+    for (auto* lb : load_balancers_) lb->update_binding(ip, target);
+    commands[current_home[client]].client_to_replica.emplace_back(client,
+                                                                  target);
+    ++stats_.clients_migrated;
+  }
+  for (const NodeId r : attacked) {
+    send(r, MessageType::kShuffleCommand, kControlMessageBytes,
+         commands[r]);  // empty command still decommissions the replica
+  }
+
+  // The new replicas join the active set (and serve fresh arrivals too).
+  for (const NodeId r : new_replicas) register_replica(r);
+
+  last_round_ = LastRound{new_replicas,
+                          std::vector<core::Count>(decision.plan.counts())};
+  ++stats_.rounds_executed;
+  round_in_flight_ = false;
+  // Reports that arrived while this round was deploying start the next one.
+  if (!attacked_.empty()) schedule_round();
+}
+
+}  // namespace shuffledef::cloudsim

@@ -1,0 +1,105 @@
+// Coordination server (paper §III-D): the central controller.
+//
+// Tracks the global replica set and client bindings, receives attack
+// reports over the dedicated command & control channel (a priority lane no
+// client can reach), and reacts to attacks by executing shuffle rounds:
+//
+//   report(s) arrive -> aggregate for a short window -> snapshot the
+//   attacked replicas' clients -> core::ShuffleController (MLE estimate +
+//   planner) sizes the new replica set and the assignment plan -> the cloud
+//   provider boots replacements -> clients are randomly mapped to buckets ->
+//   each attacked replica gets a kShuffleCommand and pushes WebSocket
+//   redirects -> decommissioned replicas are recycled.
+//
+// Replicas that stop being attacked simply stop reporting: their clients
+// are saved and stay put (non-shuffling replicas, paper §III-C).
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cloudsim/cloud_provider.h"
+#include "cloudsim/load_balancer.h"
+#include "cloudsim/node.h"
+#include "core/shuffle_controller.h"
+
+namespace shuffledef::cloudsim {
+
+struct CoordinatorConfig {
+  core::ControllerConfig controller;
+  /// Collect attack reports for this long before acting, so one round
+  /// covers every replica the botnet hit "simultaneously".
+  double aggregation_window_s = 0.3;
+  /// First-round bot estimate as a fraction of the affected pool.
+  double initial_bot_fraction = 0.1;
+};
+
+struct CoordinatorStats {
+  std::int64_t attack_reports = 0;
+  std::int64_t rounds_executed = 0;
+  std::int64_t clients_migrated = 0;
+  std::int64_t replicas_recycled = 0;
+};
+
+class CoordinationServer final : public Node {
+ public:
+  CoordinationServer(World& world, std::string name, CoordinatorConfig config);
+
+  /// Wire up the backend (must happen before traffic flows).
+  void set_infrastructure(CloudProvider* provider,
+                          std::vector<LoadBalancer*> load_balancers);
+
+  /// Register a pre-existing replica (initial deployment).
+  void register_replica(NodeId replica);
+
+  /// Add an already-booted standby replica.  Shuffle rounds consume spares
+  /// before asking the provider for fresh instances, skipping the boot
+  /// delay (paper §III-C: "a few hot spare replica servers can be
+  /// maintained at runtime to expedite the shuffling process").
+  void add_hot_spare(NodeId replica);
+
+  void on_message(const Message& msg) override;
+
+  [[nodiscard]] const CoordinatorStats& stats() const { return stats_; }
+  [[nodiscard]] const std::set<NodeId>& active_replicas() const {
+    return active_replicas_;
+  }
+  /// Replicas attacked since the last executed round (pending work).
+  [[nodiscard]] const std::set<NodeId>& attacked_replicas() const {
+    return attacked_;
+  }
+
+ private:
+  void schedule_round();
+  void execute_round();
+  void deploy_shuffle(std::vector<NodeId> attacked,
+                      std::vector<std::pair<std::string, NodeId>> pool,
+                      core::RoundDecision decision,
+                      const std::vector<NodeId>& new_replicas);
+  [[nodiscard]] ReplicaServer* replica_ptr(NodeId id);
+
+  CoordinatorConfig config_;
+  core::ShuffleController controller_;
+  CloudProvider* provider_ = nullptr;
+  std::vector<LoadBalancer*> load_balancers_;
+
+  std::set<NodeId> active_replicas_;
+  std::vector<NodeId> hot_spares_;
+  std::set<NodeId> attacked_;
+  bool round_pending_ = false;
+  bool round_in_flight_ = false;
+  bool seeded_estimate_ = false;
+
+  // Previous round's deployment, used as the MLE observation.
+  struct LastRound {
+    std::vector<NodeId> replicas;
+    std::vector<core::Count> sizes;
+  };
+  std::optional<LastRound> last_round_;
+
+  CoordinatorStats stats_;
+};
+
+}  // namespace shuffledef::cloudsim

@@ -1,0 +1,41 @@
+#include "cloudsim/dns_server.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace shuffledef::cloudsim {
+
+DnsServer::DnsServer(World& world, std::string name)
+    : Node(world, std::move(name)) {}
+
+void DnsServer::register_load_balancer(const std::string& service, NodeId lb) {
+  records_[service].load_balancers.push_back(lb);
+}
+
+void DnsServer::unregister_load_balancer(const std::string& service,
+                                         NodeId lb) {
+  auto it = records_.find(service);
+  if (it == records_.end()) return;
+  auto& lbs = it->second.load_balancers;
+  lbs.erase(std::remove(lbs.begin(), lbs.end(), lb), lbs.end());
+  it->second.next = 0;
+}
+
+void DnsServer::on_message(const Message& msg) {
+  if (msg.type != MessageType::kDnsQuery) return;
+  const auto& query = std::any_cast<const DnsQueryPayload&>(msg.payload);
+  auto it = records_.find(query.service);
+  if (it == records_.end() || it->second.load_balancers.empty()) {
+    SDEF_LOG(Warn) << name() << ": no record for service " << query.service;
+    return;  // NXDOMAIN: silently dropped, client will time out
+  }
+  auto& record = it->second;
+  const NodeId lb = record.load_balancers[record.next % record.load_balancers.size()];
+  record.next = (record.next + 1) % record.load_balancers.size();
+  ++queries_;
+  send(msg.src, MessageType::kDnsReply, kDnsMessageBytes,
+       DnsReplyPayload{query.service, lb});
+}
+
+}  // namespace shuffledef::cloudsim

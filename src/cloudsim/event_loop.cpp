@@ -1,0 +1,49 @@
+#include "cloudsim/event_loop.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace shuffledef::cloudsim {
+
+void EventLoop::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) {
+    throw std::invalid_argument("EventLoop: scheduling into the past");
+  }
+  queue_.push(Event{t, seq_++, std::move(fn)});
+}
+
+void EventLoop::schedule_after(SimTime delay, std::function<void()> fn) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("EventLoop: negative delay");
+  }
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventLoop::run_until(SimTime t_end) {
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    if (processed_ >= budget_) return false;
+    // Moving out of a priority_queue requires the const_cast idiom; the
+    // element is popped immediately after.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  if (now_ < t_end) now_ = t_end;
+  return true;
+}
+
+bool EventLoop::run() {
+  while (!queue_.empty()) {
+    if (processed_ >= budget_) return false;
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  return true;
+}
+
+}  // namespace shuffledef::cloudsim

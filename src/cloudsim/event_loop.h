@@ -1,0 +1,61 @@
+// Discrete-event simulation core.
+//
+// Single-threaded priority-queue scheduler over simulated seconds.  Events
+// scheduled for the same instant fire in schedule order (a monotonically
+// increasing sequence number breaks ties), which keeps every simulation
+// deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace shuffledef::cloudsim {
+
+using SimTime = double;  // seconds since simulation start
+
+class EventLoop {
+ public:
+  /// Schedule `fn` at absolute simulated time `t` (>= now).
+  void schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay` seconds (>= 0).
+  void schedule_after(SimTime delay, std::function<void()> fn);
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+  /// Run events with time <= t_end; afterwards now() == t_end (or the time
+  /// of the event that hit the event budget).  Returns false if the event
+  /// budget was exhausted.
+  bool run_until(SimTime t_end);
+
+  /// Drain the queue completely.  Returns false on event-budget exhaustion.
+  bool run();
+
+  /// Guard against runaway simulations (default: 200M events).
+  void set_event_budget(std::uint64_t budget) noexcept { budget_ = budget; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t budget_ = 200'000'000;
+};
+
+}  // namespace shuffledef::cloudsim

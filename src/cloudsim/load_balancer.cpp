@@ -1,0 +1,86 @@
+#include "cloudsim/load_balancer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace shuffledef::cloudsim {
+
+LoadBalancer::LoadBalancer(World& world, std::string name, double record_ttl_s)
+    : Node(world, std::move(name)), record_ttl_s_(record_ttl_s) {}
+
+void LoadBalancer::add_replica(NodeId replica) {
+  if (std::find(replicas_.begin(), replicas_.end(), replica) ==
+      replicas_.end()) {
+    replicas_.push_back(replica);
+  }
+}
+
+void LoadBalancer::remove_replica(NodeId replica) {
+  replicas_.erase(std::remove(replicas_.begin(), replicas_.end(), replica),
+                  replicas_.end());
+  if (next_ >= replicas_.size()) next_ = 0;
+}
+
+void LoadBalancer::update_binding(const std::string& client_ip,
+                                  NodeId replica) {
+  records_[client_ip] = {replica, loop().now() + record_ttl_s_};
+}
+
+NodeId LoadBalancer::pick_replica() {
+  // Skip replicas that have been recycled since they were registered.
+  for (std::size_t tried = 0; tried < replicas_.size(); ++tried) {
+    const NodeId candidate = replicas_[next_ % replicas_.size()];
+    next_ = (next_ + 1) % replicas_.size();
+    if (world().network().is_attached(candidate)) return candidate;
+  }
+  return kInvalidNode;
+}
+
+void LoadBalancer::on_message(const Message& msg) {
+  if (msg.type != MessageType::kClientHello) return;
+  const auto& hello = std::any_cast<const ClientHelloPayload&>(msg.payload);
+
+  // Two-way handshake: the redirect is routed to the *owner* of the claimed
+  // source IP, never back to the raw sender.  A spoofer learns nothing, and
+  // an unroutable IP is dropped on the spot (paper §VII: redirection stops
+  // junk with spoofed sources from ever reaching the replicas).
+  const NodeId claimant = world().ip_owner(hello.client_ip);
+  if (claimant == kInvalidNode) {
+    ++stats_.rejected_spoofed;
+    return;
+  }
+
+  NodeId target = kInvalidNode;
+  if (auto it = records_.find(hello.client_ip); it != records_.end()) {
+    if (it->second.expires >= loop().now() &&
+        world().network().is_attached(it->second.replica)) {
+      target = it->second.replica;
+      ++stats_.sticky_hits;
+    } else {
+      records_.erase(it);
+    }
+  }
+  if (target == kInvalidNode) {
+    if (replicas_.empty()) {
+      ++stats_.rejected_no_replica;
+      return;
+    }
+    target = pick_replica();
+    if (target == kInvalidNode) {
+      ++stats_.rejected_no_replica;
+      return;
+    }
+    ++stats_.assignments;
+    records_[hello.client_ip] = {target, loop().now() + record_ttl_s_};
+  }
+
+  // Inform the replica (whitelist) and redirect the client (HTTP 301-style)
+  // — both keyed to the IP's owner, not the packet's sender.
+  send(target, MessageType::kWhitelistAdd, kControlMessageBytes,
+       WhitelistAddPayload{hello.client_ip, claimant});
+  send(claimant, MessageType::kRedirect, kControlMessageBytes,
+       RedirectPayload{target});
+}
+
+}  // namespace shuffledef::cloudsim

@@ -1,0 +1,62 @@
+// Redirecting load balancer (architecture step 3-4, paper §III-B).
+//
+// Assigns each new client, identified by IP, to an active replica in its
+// domain and *redirects* (never forwards): the reply carries the replica's
+// unpublished address, and the replica is told to whitelist the client.
+// Redirection acts as a two-way handshake, so spoofed-source junk cannot
+// obtain a replica address, and the balancer never becomes a data-plane
+// bottleneck.
+//
+// Sticky sessions: a known IP is pinned to its recorded replica.  Records
+// outlive client departures for `record_ttl_s` (paper §VII: re-entering
+// bots with a known IP are sent straight back to their previous replica and
+// gain nothing by churning).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cloudsim/node.h"
+
+namespace shuffledef::cloudsim {
+
+struct LoadBalancerStats {
+  std::uint64_t assignments = 0;       // fresh client-to-replica matches
+  std::uint64_t sticky_hits = 0;       // clients pinned to recorded replicas
+  std::uint64_t rejected_no_replica = 0;
+  std::uint64_t rejected_spoofed = 0;  // hellos claiming unroutable IPs
+};
+
+class LoadBalancer final : public Node {
+ public:
+  LoadBalancer(World& world, std::string name, double record_ttl_s = 600.0);
+
+  /// Replica pool management (driven by the coordination server).
+  void add_replica(NodeId replica);
+  void remove_replica(NodeId replica);
+  [[nodiscard]] const std::vector<NodeId>& replicas() const { return replicas_; }
+
+  /// Re-point a client's sticky record after a shuffle moved it.
+  void update_binding(const std::string& client_ip, NodeId replica);
+
+  void on_message(const Message& msg) override;
+
+  [[nodiscard]] const LoadBalancerStats& stats() const { return stats_; }
+
+ private:
+  struct Record {
+    NodeId replica = kInvalidNode;
+    SimTime expires = 0.0;
+  };
+
+  NodeId pick_replica();
+
+  double record_ttl_s_;
+  std::vector<NodeId> replicas_;
+  std::size_t next_ = 0;  // round-robin cursor
+  std::unordered_map<std::string, Record> records_;
+  LoadBalancerStats stats_;
+};
+
+}  // namespace shuffledef::cloudsim

@@ -1,0 +1,50 @@
+#include "cloudsim/message.h"
+
+namespace shuffledef::cloudsim {
+
+const char* message_type_name(MessageType type) noexcept {
+  switch (type) {
+    case MessageType::kDnsQuery: return "dns.query";
+    case MessageType::kDnsReply: return "dns.reply";
+    case MessageType::kClientHello: return "lb.hello";
+    case MessageType::kRedirect: return "redirect";
+    case MessageType::kWhitelistAdd: return "lb.whitelist_add";
+    case MessageType::kHttpGet: return "http.get";
+    case MessageType::kHttpResponse: return "http.response";
+    case MessageType::kWsOpen: return "ws.open";
+    case MessageType::kWsOpenAck: return "ws.open_ack";
+    case MessageType::kWsPush: return "ws.push";
+    case MessageType::kWsPing: return "ws.ping";
+    case MessageType::kWsPong: return "ws.pong";
+    case MessageType::kJunkPacket: return "attack.junk";
+    case MessageType::kHeavyRequest: return "attack.heavy";
+    case MessageType::kAttackReport: return "coord.attack_report";
+    case MessageType::kShuffleCommand: return "coord.shuffle";
+    case MessageType::kDecommission: return "coord.decommission";
+    case MessageType::kProvisionDone: return "coord.provision_done";
+    case MessageType::kBotReport: return "bot.report";
+    case MessageType::kFloodCommand: return "bot.flood";
+  }
+  return "?";
+}
+
+bool is_priority_type(MessageType type) noexcept {
+  switch (type) {
+    case MessageType::kRedirect:
+    case MessageType::kWhitelistAdd:
+    case MessageType::kWsOpen:     // tiny WS control frames: in reality TCP
+    case MessageType::kWsOpenAck:  // fair-sharing never parks a 128-byte
+    case MessageType::kWsPing:     // handshake or keepalive behind minutes
+    case MessageType::kWsPong:     // of bulk data
+    case MessageType::kWsPush:
+    case MessageType::kAttackReport:
+    case MessageType::kShuffleCommand:
+    case MessageType::kDecommission:
+    case MessageType::kProvisionDone:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace shuffledef::cloudsim

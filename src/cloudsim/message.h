@@ -1,0 +1,145 @@
+// Wire protocol of the simulated defense (Figure 1 / Figure 11 of the paper).
+//
+// Every interaction in the architecture — DNS resolution, load-balancer
+// redirection, whitelist provisioning, page fetches, WebSocket pushes,
+// coordination commands, and attack traffic — is a typed message with a
+// size in bytes.  Sizes matter: they drive the bandwidth/queueing model
+// that produces the user-perceived latencies of Figure 12.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shuffledef::cloudsim {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+enum class MessageType : std::uint8_t {
+  // DNS (step 1-2)
+  kDnsQuery,
+  kDnsReply,
+  // Load balancer (step 3-4)
+  kClientHello,     // new client asks the LB for a replica
+  kRedirect,        // LB or replica sends the client somewhere else
+  kWhitelistAdd,    // LB informs a replica of an assignment
+  // Application traffic (step 5-6)
+  kHttpGet,
+  kHttpResponse,
+  kWsOpen,          // client opens a WebSocket to its replica
+  kWsOpenAck,
+  kWsPush,          // replica-initiated redirect notification (step 3 fig11)
+  kWsPing,          // client keepalive probe on the WebSocket
+  kWsPong,
+  // Attack traffic
+  kJunkPacket,      // network flood
+  kHeavyRequest,    // computational DDoS (expensive application request)
+  // Coordination plane (dedicated command & control channel)
+  kAttackReport,    // replica -> coordinator: I am being flooded
+  kShuffleCommand,  // coordinator -> replica: redirect these clients
+  kDecommission,    // replica -> coordinator: all clients notified, recycle me
+  kProvisionDone,   // cloud provider -> coordinator: replica instance booted
+  kBotReport,       // persistent bot -> botmaster: current target address
+  kFloodCommand,    // botmaster -> naive bots: flood this address list
+};
+
+const char* message_type_name(MessageType type) noexcept;
+
+/// Control-plane and redirect messages ride a prioritized lane (the paper:
+/// "client redirection traffic is treated preferentially in the cloud
+/// network"), so floods cannot starve the defense's own signalling.
+bool is_priority_type(MessageType type) noexcept;
+
+struct Message {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  MessageType type{};
+  std::int64_t size_bytes = 0;
+  std::any payload;  // one of the payload structs below (or empty)
+};
+
+// ---- payload structs -------------------------------------------------------
+
+struct DnsQueryPayload {
+  std::string service;
+};
+
+struct DnsReplyPayload {
+  std::string service;
+  NodeId load_balancer = kInvalidNode;
+};
+
+struct ClientHelloPayload {
+  std::string client_ip;
+};
+
+struct RedirectPayload {
+  NodeId target_replica = kInvalidNode;
+};
+
+struct WhitelistAddPayload {
+  std::string client_ip;
+  NodeId client_node = kInvalidNode;
+};
+
+struct HttpGetPayload {
+  std::string client_ip;
+  std::string path = "/";
+};
+
+struct HttpResponsePayload {
+  int status = 200;
+  std::string path;
+};
+
+struct WsOpenPayload {
+  std::string client_ip;
+};
+
+struct WsPushPayload {
+  NodeId new_replica = kInvalidNode;
+};
+
+struct HeavyRequestPayload {
+  std::string client_ip;
+  double cpu_seconds = 0.0;  // work the request forces on the server
+};
+
+struct AttackReportPayload {
+  NodeId replica = kInvalidNode;
+  double observed_rate = 0.0;  // packets+requests per second
+};
+
+struct ShuffleCommandPayload {
+  // For each client currently on the replica: where it must move.
+  std::vector<std::pair<NodeId, NodeId>> client_to_replica;
+};
+
+struct DecommissionPayload {
+  NodeId replica = kInvalidNode;
+  std::int64_t clients_notified = 0;
+};
+
+struct ProvisionDonePayload {
+  NodeId replica = kInvalidNode;
+  std::int32_t domain = 0;
+};
+
+struct BotReportPayload {
+  NodeId observed_replica = kInvalidNode;
+};
+
+struct FloodCommandPayload {
+  std::vector<NodeId> targets;
+};
+
+// Representative wire sizes (bytes).
+inline constexpr std::int64_t kDnsMessageBytes = 128;
+inline constexpr std::int64_t kControlMessageBytes = 256;
+inline constexpr std::int64_t kHttpRequestBytes = 512;
+inline constexpr std::int64_t kWsFrameBytes = 128;
+inline constexpr std::int64_t kJunkPacketBytes = 1400;
+
+}  // namespace shuffledef::cloudsim

@@ -1,0 +1,128 @@
+#include "cloudsim/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cloudsim/node.h"
+
+namespace shuffledef::cloudsim {
+
+Network::Network(EventLoop& loop, NetworkConfig config)
+    : loop_(loop), config_(config) {}
+
+NodeId Network::attach(Node* node, NicConfig nic) {
+  if (node == nullptr) throw std::invalid_argument("Network: null node");
+  if (nic.egress_bps <= 0 || nic.ingress_bps <= 0 || nic.base_latency_s < 0 ||
+      nic.max_queue_s <= 0 || nic.control_share <= 0 ||
+      nic.control_share >= 1) {
+    throw std::invalid_argument("Network: invalid NicConfig");
+  }
+  Port port;
+  port.node = node;
+  port.nic = nic;
+  port.attached = true;
+  ports_.push_back(port);
+  return static_cast<NodeId>(ports_.size() - 1);
+}
+
+void Network::detach(NodeId id) { port_at(id).attached = false; }
+
+bool Network::is_attached(NodeId id) const {
+  return id >= 0 && static_cast<std::size_t>(id) < ports_.size() &&
+         ports_[static_cast<std::size_t>(id)].attached;
+}
+
+Network::Port& Network::port_at(NodeId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= ports_.size()) {
+    throw std::out_of_range("Network: unknown node id");
+  }
+  return ports_[static_cast<std::size_t>(id)];
+}
+
+const Network::Port& Network::port_at(NodeId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= ports_.size()) {
+    throw std::out_of_range("Network: unknown node id");
+  }
+  return ports_[static_cast<std::size_t>(id)];
+}
+
+const NicConfig& Network::nic(NodeId id) const { return port_at(id).nic; }
+
+double Network::egress_backlog_s(NodeId id) const {
+  const Port& p = port_at(id);
+  return std::max(0.0, p.egress_data.busy_until - loop_.now());
+}
+
+double Network::propagation_s(const Port& src, const Port& dst) const {
+  const double domain_extra = src.nic.domain == dst.nic.domain
+                                  ? config_.intra_domain_extra_s
+                                  : config_.inter_domain_extra_s;
+  return src.nic.base_latency_s + dst.nic.base_latency_s + domain_extra;
+}
+
+void Network::send(Message msg) {
+  Port& src = port_at(msg.src);
+  if (!src.attached) {
+    ++stats_.dropped_detached;
+    return;
+  }
+  if (msg.dst < 0 || static_cast<std::size_t>(msg.dst) >= ports_.size()) {
+    ++stats_.dropped_detached;  // address never existed (stale reference)
+    return;
+  }
+  Port& dst = port_at(msg.dst);
+
+  const bool priority = is_priority_type(msg.type);
+  const double now = loop_.now();
+
+  // --- egress serialization -------------------------------------------------
+  Lane& out_lane = priority ? src.egress_ctrl : src.egress_data;
+  const double out_bps = priority ? src.nic.egress_bps * src.nic.control_share
+                                  : src.nic.egress_bps * (1.0 - src.nic.control_share);
+  const double out_backlog = std::max(0.0, out_lane.busy_until - now);
+  if (out_backlog > src.nic.max_queue_s) {
+    ++stats_.dropped_egress;
+    return;
+  }
+  const double out_ser = static_cast<double>(msg.size_bytes) * 8.0 / out_bps;
+  const double departs = std::max(now, out_lane.busy_until) + out_ser;
+  out_lane.busy_until = departs;
+
+  const double arrives_at_nic = departs + propagation_s(src, dst);
+
+  // --- ingress serialization (evaluated on arrival at the receiver NIC) -----
+  const NodeId dst_id = msg.dst;
+  loop_.schedule_at(arrives_at_nic, [this, dst_id, priority,
+                                     msg = std::move(msg)]() mutable {
+    Port& d = ports_[static_cast<std::size_t>(dst_id)];
+    if (!d.attached) {
+      ++stats_.dropped_detached;
+      return;
+    }
+    const double now2 = loop_.now();
+    Lane& in_lane = priority ? d.ingress_ctrl : d.ingress_data;
+    const double in_bps = priority
+                              ? d.nic.ingress_bps * d.nic.control_share
+                              : d.nic.ingress_bps * (1.0 - d.nic.control_share);
+    const double in_backlog = std::max(0.0, in_lane.busy_until - now2);
+    if (in_backlog > d.nic.max_queue_s) {
+      ++stats_.dropped_ingress;
+      return;
+    }
+    const double in_ser = static_cast<double>(msg.size_bytes) * 8.0 / in_bps;
+    const double done = std::max(now2, in_lane.busy_until) + in_ser;
+    in_lane.busy_until = done;
+    loop_.schedule_at(done, [this, dst_id, msg = std::move(msg)]() mutable {
+      Port& d2 = ports_[static_cast<std::size_t>(dst_id)];
+      if (!d2.attached) {
+        ++stats_.dropped_detached;
+        return;
+      }
+      ++stats_.delivered;
+      stats_.bytes_delivered += msg.size_bytes;
+      d2.node->on_message(msg);
+    });
+  });
+}
+
+}  // namespace shuffledef::cloudsim

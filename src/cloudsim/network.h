@@ -1,0 +1,99 @@
+// Network model: latency + bandwidth + queueing + tail drop.
+//
+// Each attached node gets a NIC with separate ingress and egress capacity.
+// A message experiences, in order:
+//
+//   egress serialization  (size / sender egress bandwidth, FIFO backlog)
+//   propagation           (sender base + receiver base + domain penalty)
+//   ingress serialization (size / receiver ingress bandwidth, FIFO backlog)
+//
+// Backlogs are modelled as busy-until horizons — O(1) per message.  When a
+// lane's backlog exceeds `max_queue_s` the message is tail-dropped, which is
+// how a junk-packet flood starves a victim's page responses while the
+// prioritized control lane (redirects, coordination traffic — see
+// is_priority_type) keeps working: the paper's "client redirection traffic
+// is treated preferentially" assumption, made explicit.
+//
+// Domains model the paper's separately-managed cloud regions: traffic
+// between different domains pays `inter_domain_extra_s` more propagation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cloudsim/event_loop.h"
+#include "cloudsim/message.h"
+
+namespace shuffledef::cloudsim {
+
+class Node;  // full definition in node.h
+
+struct NicConfig {
+  double egress_bps = 100e6;    // bits per second
+  double ingress_bps = 100e6;   // bits per second
+  double base_latency_s = 0.01; // one-way propagation to the network core
+  std::int32_t domain = 0;
+  double max_queue_s = 0.5;     // tail-drop beyond this backlog
+  /// Fraction of bandwidth reserved for the priority (control) lane.
+  double control_share = 0.1;
+};
+
+struct NetworkConfig {
+  double intra_domain_extra_s = 0.0005;
+  double inter_domain_extra_s = 0.03;
+};
+
+struct NetworkStats {
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_egress = 0;
+  std::uint64_t dropped_ingress = 0;
+  std::uint64_t dropped_detached = 0;
+  std::int64_t bytes_delivered = 0;
+};
+
+class Network {
+ public:
+  Network(EventLoop& loop, NetworkConfig config);
+
+  /// Attach a node; returns its address.  The node must outlive the network
+  /// or be detached first.
+  NodeId attach(Node* node, NicConfig nic);
+
+  /// Detach (recycle) a node: all in-flight and future messages to it are
+  /// dropped.  The address is never reused.
+  void detach(NodeId id);
+
+  [[nodiscard]] bool is_attached(NodeId id) const;
+
+  /// Queue a message for delivery; applies the full latency model.
+  void send(Message msg);
+
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const NicConfig& nic(NodeId id) const;
+
+  /// Current egress data-lane backlog of a node, in seconds (observable by
+  /// the node itself, e.g. for load metrics).
+  [[nodiscard]] double egress_backlog_s(NodeId id) const;
+
+ private:
+  struct Lane {
+    double busy_until = 0.0;
+  };
+  struct Port {
+    Node* node = nullptr;
+    NicConfig nic;
+    bool attached = false;
+    Lane egress_data, egress_ctrl, ingress_data, ingress_ctrl;
+  };
+
+  Port& port_at(NodeId id);
+  const Port& port_at(NodeId id) const;
+  [[nodiscard]] double propagation_s(const Port& src, const Port& dst) const;
+
+  EventLoop& loop_;
+  NetworkConfig config_;
+  std::vector<Port> ports_;
+  NetworkStats stats_;
+};
+
+}  // namespace shuffledef::cloudsim

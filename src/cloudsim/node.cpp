@@ -1,0 +1,35 @@
+#include "cloudsim/node.h"
+
+#include <stdexcept>
+
+namespace shuffledef::cloudsim {
+
+Node::Node(World& world, std::string name)
+    : world_(world), name_(std::move(name)) {}
+
+void Node::send(NodeId dst, MessageType type, std::int64_t size_bytes,
+                std::any payload) {
+  Message msg;
+  msg.src = id_;
+  msg.dst = dst;
+  msg.type = type;
+  msg.size_bytes = size_bytes;
+  msg.payload = std::move(payload);
+  world_.network().send(std::move(msg));
+}
+
+EventLoop& Node::loop() { return world_.loop(); }
+
+util::Rng& Node::rng() { return world_.rng(); }
+
+World::World(WorldConfig config)
+    : network_(loop_, config.network), rng_(config.seed) {}
+
+Node* World::node(NodeId id) {
+  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size()) {
+    throw std::out_of_range("World: unknown node id");
+  }
+  return nodes_[static_cast<std::size_t>(id)].get();
+}
+
+}  // namespace shuffledef::cloudsim

@@ -1,0 +1,112 @@
+// Node base class and the World that owns everything.
+//
+// A World wires an EventLoop, a Network, and a deterministic RNG together
+// and owns every simulated host.  Nodes are spawned with a NIC config,
+// receive messages via on_message, and reply through send().  Retiring a
+// node (server recycling) detaches its NIC: in-flight traffic to it is
+// dropped, exactly like packets racing a terminated cloud instance.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cloudsim/event_loop.h"
+#include "cloudsim/message.h"
+#include "cloudsim/network.h"
+#include "util/random.h"
+
+namespace shuffledef::cloudsim {
+
+class World;
+
+class Node {
+ public:
+  Node(World& world, std::string name);
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Deliver a message to this node (called by the Network).
+  virtual void on_message(const Message& msg) = 0;
+
+  /// Called once, right after the node is attached.
+  virtual void on_start() {}
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ protected:
+  /// Send a typed message.
+  void send(NodeId dst, MessageType type, std::int64_t size_bytes,
+            std::any payload = {});
+
+  [[nodiscard]] EventLoop& loop();
+  [[nodiscard]] util::Rng& rng();
+  [[nodiscard]] World& world() noexcept { return world_; }
+
+ private:
+  friend class World;
+  World& world_;
+  std::string name_;
+  NodeId id_ = kInvalidNode;
+};
+
+struct WorldConfig {
+  std::uint64_t seed = 1;
+  NetworkConfig network;
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config = {});
+
+  /// Construct a node of type T (forwarding `args` after the mandatory
+  /// World& first parameter), attach it, fire on_start, return it.  The
+  /// World owns the node for the simulation's lifetime.
+  template <typename T, typename... Args>
+  T* spawn(const NicConfig& nic, Args&&... args) {
+    auto owned = std::make_unique<T>(*this, std::forward<Args>(args)...);
+    T* node = owned.get();
+    node->id_ = network_.attach(node, nic);
+    nodes_.push_back(std::move(owned));
+    node->on_start();
+    return node;
+  }
+
+  /// Recycle a node: detach its NIC.  The object stays alive (ids and
+  /// pointers remain valid) but receives no further traffic.
+  void retire(NodeId id) { network_.detach(id); }
+
+  [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
+  [[nodiscard]] Network& network() noexcept { return network_; }
+  [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] SimTime now() const noexcept { return loop_.now(); }
+
+  [[nodiscard]] Node* node(NodeId id);
+
+  /// IP ownership registry: the routing substrate knows which host an IP
+  /// belongs to, so replies to a *claimed* source IP reach its real owner —
+  /// this is what makes redirection a two-way handshake that spoofed
+  /// senders cannot complete (paper §VII).
+  void register_ip(const std::string& ip, NodeId owner) {
+    ip_owners_[ip] = owner;
+  }
+  /// kInvalidNode when the IP is unknown (unroutable / never registered).
+  [[nodiscard]] NodeId ip_owner(const std::string& ip) const {
+    const auto it = ip_owners_.find(ip);
+    return it == ip_owners_.end() ? kInvalidNode : it->second;
+  }
+
+ private:
+  EventLoop loop_;
+  Network network_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::unordered_map<std::string, NodeId> ip_owners_;
+};
+
+}  // namespace shuffledef::cloudsim

@@ -1,0 +1,153 @@
+#include "cloudsim/replica_server.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace shuffledef::cloudsim {
+
+ReplicaServer::ReplicaServer(World& world, std::string name,
+                             ReplicaConfig config, NodeId coordinator)
+    : Node(world, std::move(name)), config_(config), coordinator_(coordinator) {}
+
+void ReplicaServer::on_start() {
+  loop().schedule_after(config_.detect_window_s, [this] { detection_tick(); });
+}
+
+double ReplicaServer::cpu_backlog_s() const {
+  return std::max(0.0, cpu_busy_until_ - world_now());
+}
+
+// Node has no const accessor for the loop; keep a tiny helper.
+// (Defined out-of-class to avoid exposing World in the header.)
+double ReplicaServer::world_now() const {
+  return const_cast<ReplicaServer*>(this)->loop().now();
+}
+
+void ReplicaServer::detection_tick() {
+  if (decommissioned_) return;
+  const double junk_rate =
+      static_cast<double>(junk_in_window_) / config_.detect_window_s;
+  junk_in_window_ = 0;
+  const bool under_attack = junk_rate > config_.junk_rate_threshold ||
+                            cpu_backlog_s() > config_.cpu_backlog_threshold_s;
+  if (under_attack && !attack_reported_ && coordinator_ != kInvalidNode) {
+    attack_reported_ = true;
+    send(coordinator_, MessageType::kAttackReport, kControlMessageBytes,
+         AttackReportPayload{id(), junk_rate});
+    SDEF_LOG(Info) << name() << ": attack detected (junk " << junk_rate
+                   << "/s, cpu backlog " << cpu_backlog_s() << "s)";
+  }
+  loop().schedule_after(config_.detect_window_s, [this] { detection_tick(); });
+}
+
+void ReplicaServer::serve(const Message& msg, double cpu_seconds,
+                          std::int64_t reply_bytes, MessageType reply_type,
+                          std::any reply_payload) {
+  const double now = loop().now();
+  const double start = std::max(now, cpu_busy_until_);
+  if (start + cpu_seconds - now > config_.cpu_queue_limit_s) {
+    ++stats_.shed_cpu_overload;
+    return;
+  }
+  cpu_busy_until_ = start + cpu_seconds;
+  const NodeId dst = msg.src;
+  loop().schedule_at(cpu_busy_until_, [this, dst, reply_bytes, reply_type,
+                                       payload = std::move(reply_payload)]() mutable {
+    if (decommissioned_) return;
+    send(dst, reply_type, reply_bytes, std::move(payload));
+  });
+}
+
+void ReplicaServer::on_message(const Message& msg) {
+  switch (msg.type) {
+    case MessageType::kWhitelistAdd: {
+      const auto& add = std::any_cast<const WhitelistAddPayload&>(msg.payload);
+      whitelist_[add.client_ip] = add.client_node;
+      break;
+    }
+    case MessageType::kHttpGet: {
+      const auto& get = std::any_cast<const HttpGetPayload&>(msg.payload);
+      if (!whitelist_.contains(get.client_ip)) {
+        ++stats_.rejected_not_whitelisted;  // silently dropped (filtering)
+        break;
+      }
+      ++stats_.pages_served;
+      serve(msg, config_.cpu_per_request_s, config_.page_bytes,
+            MessageType::kHttpResponse, HttpResponsePayload{200, get.path});
+      break;
+    }
+    case MessageType::kHeavyRequest: {
+      const auto& heavy =
+          std::any_cast<const HeavyRequestPayload&>(msg.payload);
+      if (!whitelist_.contains(heavy.client_ip)) {
+        ++stats_.rejected_not_whitelisted;
+        break;
+      }
+      ++stats_.heavy_served;
+      serve(msg, heavy.cpu_seconds, kControlMessageBytes,
+            MessageType::kHttpResponse, HttpResponsePayload{200, "/heavy"});
+      break;
+    }
+    case MessageType::kWsOpen: {
+      const auto& open = std::any_cast<const WsOpenPayload&>(msg.payload);
+      if (!whitelist_.contains(open.client_ip)) {
+        ++stats_.rejected_not_whitelisted;
+        break;
+      }
+      websockets_[open.client_ip] = msg.src;
+      send(msg.src, MessageType::kWsOpenAck, kWsFrameBytes);
+      break;
+    }
+    case MessageType::kWsPing: {
+      send(msg.src, MessageType::kWsPong, kWsFrameBytes);
+      break;
+    }
+    case MessageType::kJunkPacket: {
+      ++stats_.junk_received;
+      ++junk_in_window_;
+      break;
+    }
+    case MessageType::kShuffleCommand: {
+      const auto& cmd =
+          std::any_cast<const ShuffleCommandPayload&>(msg.payload);
+      // Client redirection is prioritized over all application logic (paper
+      // §III-C); the pushes ride the control lane, so they get out even when
+      // the data plane is saturated.
+      for (const auto& [client, new_replica] : cmd.client_to_replica) {
+        send(client, MessageType::kWsPush, kWsFrameBytes,
+             WsPushPayload{new_replica});
+        ++stats_.redirects_pushed;
+      }
+      decommissioned_ = true;
+      if (coordinator_ != kInvalidNode) {
+        send(coordinator_, MessageType::kDecommission, kControlMessageBytes,
+             DecommissionPayload{
+                 id(), static_cast<std::int64_t>(cmd.client_to_replica.size())});
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void ReplicaServer::simulate_attack_detected() {
+  if (decommissioned_ || attack_reported_ || coordinator_ == kInvalidNode) {
+    return;
+  }
+  attack_reported_ = true;
+  send(coordinator_, MessageType::kAttackReport, kControlMessageBytes,
+       AttackReportPayload{id(), 0.0});
+}
+
+std::vector<std::pair<std::string, NodeId>> ReplicaServer::connected_clients()
+    const {
+  std::vector<std::pair<std::string, NodeId>> out;
+  out.reserve(whitelist_.size());
+  for (const auto& [ip, node] : whitelist_) out.emplace_back(ip, node);
+  std::sort(out.begin(), out.end());  // deterministic iteration for the sim
+  return out;
+}
+
+}  // namespace shuffledef::cloudsim

@@ -1,0 +1,88 @@
+// Replica application server (paper §III-C).
+//
+// Serves the protected web page to whitelisted clients only (the referring
+// load balancer confirms each IP).  Holds a WebSocket to every client so
+// that, when the coordination server orders a shuffle, the replica can push
+// unsolicited redirect notifications (paper §VI-B: WebSocket multiplexing
+// the HTTP(S) port, no client software needed).
+//
+// Resource model:
+//   * network — the NIC's bandwidth/queueing (src/cloudsim/network.h) makes
+//     junk floods crowd out page responses (network DDoS);
+//   * CPU — a single-threaded service queue (the paper's prototype was an
+//     unoptimized single-threaded Node.js server): each request occupies the
+//     CPU for its service time; heavy requests occupy it much longer
+//     (computational DDoS).  Requests beyond the queue limit are shed.
+//
+// Detection: a periodic tick compares the junk-packet arrival rate and the
+// CPU backlog against thresholds and raises kAttackReport once per episode
+// (paper §II-B assumes detection from congestion / traffic surges).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cloudsim/node.h"
+
+namespace shuffledef::cloudsim {
+
+struct ReplicaConfig {
+  std::int64_t page_bytes = 246 * 1024;  // the prototype's 246 KB page
+  double cpu_per_request_s = 0.002;      // ~500 pages/s when healthy
+  double cpu_queue_limit_s = 2.0;        // shed load beyond this backlog
+  double detect_window_s = 0.5;
+  double junk_rate_threshold = 200.0;    // packets/s
+  double cpu_backlog_threshold_s = 1.0;  // computational-attack indicator
+};
+
+struct ReplicaStats {
+  std::uint64_t pages_served = 0;
+  std::uint64_t rejected_not_whitelisted = 0;
+  std::uint64_t shed_cpu_overload = 0;
+  std::uint64_t junk_received = 0;
+  std::uint64_t heavy_served = 0;
+  std::uint64_t redirects_pushed = 0;
+};
+
+class ReplicaServer final : public Node {
+ public:
+  ReplicaServer(World& world, std::string name, ReplicaConfig config,
+                NodeId coordinator = kInvalidNode);
+
+  void set_coordinator(NodeId coordinator) { coordinator_ = coordinator; }
+
+  void on_start() override;
+  void on_message(const Message& msg) override;
+
+  /// Clients currently whitelisted here, as (ip, client node) pairs — read
+  /// by the coordination server when it builds a shuffle plan.
+  [[nodiscard]] std::vector<std::pair<std::string, NodeId>> connected_clients() const;
+
+  /// Force the detection path to fire now (used by the prototype-latency
+  /// experiment, which triggers a *simulated* attack exactly like the
+  /// paper's Figure 12 measurement).
+  void simulate_attack_detected();
+
+  [[nodiscard]] const ReplicaStats& stats() const { return stats_; }
+  [[nodiscard]] bool decommissioned() const { return decommissioned_; }
+  [[nodiscard]] double cpu_backlog_s() const;
+
+ private:
+  void detection_tick();
+  void serve(const Message& msg, double cpu_seconds, std::int64_t reply_bytes,
+             MessageType reply_type, std::any reply_payload);
+  [[nodiscard]] double world_now() const;
+
+  ReplicaConfig config_;
+  NodeId coordinator_;
+  std::unordered_map<std::string, NodeId> whitelist_;  // ip -> client node
+  std::unordered_map<std::string, NodeId> websockets_;
+  double cpu_busy_until_ = 0.0;
+  std::uint64_t junk_in_window_ = 0;
+  bool attack_reported_ = false;
+  bool decommissioned_ = false;
+  ReplicaStats stats_;
+};
+
+}  // namespace shuffledef::cloudsim

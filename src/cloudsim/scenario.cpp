@@ -1,0 +1,160 @@
+#include "cloudsim/scenario.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace shuffledef::cloudsim {
+
+Scenario::Scenario(ScenarioConfig config) {
+  if (config.domains <= 0 || config.initial_replicas <= 0) {
+    throw std::invalid_argument("Scenario: needs >=1 domain and replica");
+  }
+  world_ = std::make_unique<World>(
+      WorldConfig{.seed = config.seed, .network = config.network});
+
+  // Cloud provider, spreading replicas across all domains.
+  CloudProviderConfig provider_config;
+  provider_config.boot_delay_s = config.boot_delay_s;
+  provider_config.replica_nic = config.replica_nic;
+  provider_config.replica = config.replica;
+  provider_config.domains.clear();
+  for (std::int32_t d = 0; d < config.domains; ++d) {
+    provider_config.domains.push_back(d);
+  }
+  provider_ = std::make_unique<CloudProvider>(*world_, provider_config);
+
+  // Control plane.
+  dns_ = world_->spawn<DnsServer>(config.infra_nic, "dns");
+  coordinator_ = world_->spawn<CoordinationServer>(config.infra_nic,
+                                                   "coordinator",
+                                                   config.coordinator);
+  const std::int32_t lbs_per_domain =
+      std::max<std::int32_t>(1, config.load_balancers_per_domain);
+  for (std::int32_t d = 0; d < config.domains; ++d) {
+    for (std::int32_t i = 0; i < lbs_per_domain; ++i) {
+      NicConfig nic = config.lb_nic;
+      nic.domain = d;
+      auto* lb = world_->spawn<LoadBalancer>(
+          nic, "lb-" + std::to_string(d) + "-" + std::to_string(i));
+      load_balancers_.push_back(lb);
+      dns_->register_load_balancer(config.service, lb->id());
+    }
+  }
+  coordinator_->set_infrastructure(provider_.get(), load_balancers_);
+
+  // Initial replicas (synchronously attached — the service pre-exists).
+  for (std::int32_t r = 0; r < config.initial_replicas; ++r) {
+    NicConfig nic = config.replica_nic;
+    nic.domain = r % config.domains;
+    auto* replica = world_->spawn<ReplicaServer>(
+        nic, "replica-initial-" + std::to_string(r), config.replica,
+        coordinator_->id());
+    initial_replicas_.push_back(replica->id());
+    coordinator_->register_replica(replica->id());
+  }
+  for (std::int32_t s = 0; s < config.hot_spares; ++s) {
+    NicConfig nic = config.replica_nic;
+    nic.domain = s % config.domains;
+    auto* spare = world_->spawn<ReplicaServer>(
+        nic, "replica-spare-" + std::to_string(s), config.replica,
+        coordinator_->id());
+    coordinator_->add_hot_spare(spare->id());
+  }
+
+  // Benign clients: geo spread via per-client base latency.
+  auto& rng = world_->rng();
+  for (std::int32_t c = 0; c < config.clients; ++c) {
+    NicConfig nic = config.client_nic;
+    nic.base_latency_s =
+        config.client_latency_min_s +
+        rng.uniform() * (config.client_latency_max_s - config.client_latency_min_s);
+    ClientConfig cc;
+    cc.service = config.service;
+    cc.ip = "10.0." + std::to_string(c / 250) + "." + std::to_string(c % 250);
+    cc.dns = dns_->id();
+    cc.start_time_s = rng.uniform() * config.client_start_spread_s;
+    cc.request_timeout_s = config.client_request_timeout_s;
+    cc.browse_think_s = config.client_browse_think_s;
+    cc.heartbeat_s = config.client_heartbeat_s;
+    clients_.push_back(world_->spawn<ClientAgent>(
+        nic, "client-" + std::to_string(c), cc));
+  }
+
+  // Botnet.
+  if (config.persistent_bots > 0 || config.naive_bots > 0) {
+    botmaster_ = world_->spawn<Botmaster>(config.infra_nic, "botmaster",
+                                          BotmasterConfig{});
+  }
+  for (std::int32_t b = 0; b < config.persistent_bots; ++b) {
+    NicConfig nic = config.client_nic;
+    nic.base_latency_s =
+        config.client_latency_min_s +
+        rng.uniform() * (config.client_latency_max_s - config.client_latency_min_s);
+    PersistentBotConfig pc;
+    pc.client.service = config.service;
+    pc.client.ip = "66.6." + std::to_string(b / 250) + "." + std::to_string(b % 250);
+    pc.client.dns = dns_->id();
+    pc.client.start_time_s = rng.uniform() * config.bot_start_spread_s;
+    pc.botmaster = botmaster_ != nullptr ? botmaster_->id() : kInvalidNode;
+    pc.junk_rate_pps = config.bot_junk_rate_pps;
+    pc.heavy_interval_s = config.bot_heavy_interval_s;
+    pc.heavy_cpu_seconds = config.bot_heavy_cpu_seconds;
+    persistent_bots_.push_back(world_->spawn<PersistentBot>(
+        nic, "pbot-" + std::to_string(b), pc));
+  }
+  for (std::int32_t b = 0; b < config.naive_bots; ++b) {
+    NicConfig nic = config.client_nic;
+    auto* bot = world_->spawn<NaiveBot>(
+        nic, "nbot-" + std::to_string(b),
+        NaiveBotConfig{.junk_rate_pps = config.naive_junk_rate_pps});
+    naive_bots_.push_back(bot);
+    if (botmaster_ != nullptr) botmaster_->add_naive_bot(bot->id());
+  }
+}
+
+bool Scenario::run_until(SimTime t) { return world_->loop().run_until(t); }
+
+ReplicaServer* Scenario::replica(NodeId id) {
+  auto* r = dynamic_cast<ReplicaServer*>(world_->node(id));
+  if (r == nullptr) throw std::invalid_argument("Scenario: not a replica id");
+  return r;
+}
+
+std::int64_t Scenario::clients_connected() const {
+  std::int64_t n = 0;
+  for (const auto* c : clients_) {
+    if (c->connected()) ++n;
+  }
+  return n;
+}
+
+std::int64_t Scenario::replicas_hosting_bots() const {
+  std::set<NodeId> bot_homes;
+  for (const auto* b : persistent_bots_) {
+    if (b->current_replica() != kInvalidNode &&
+        world_->network().is_attached(b->current_replica())) {
+      bot_homes.insert(b->current_replica());
+    }
+  }
+  return static_cast<std::int64_t>(bot_homes.size());
+}
+
+std::int64_t Scenario::benign_clients_isolated_from_bots() const {
+  std::set<NodeId> bot_homes;
+  for (const auto* b : persistent_bots_) {
+    bot_homes.insert(b->current_replica());
+  }
+  std::int64_t n = 0;
+  for (const auto* c : clients_) {
+    if (c->current_replica() != kInvalidNode &&
+        world_->network().is_attached(c->current_replica()) &&
+        !bot_homes.contains(c->current_replica())) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace shuffledef::cloudsim

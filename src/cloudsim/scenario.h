@@ -1,0 +1,126 @@
+// Scenario builder: assembles a complete protected deployment.
+//
+// One call wires up the whole Figure-1 architecture — DNS, per-domain load
+// balancers, initial replicas, the coordination server, the cloud provider
+// — plus a client population and (optionally) a botnet with persistent and
+// naive bots.  Tests, examples, and the Figure-12 bench all build on this.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloudsim/botnet.h"
+#include "cloudsim/client_agent.h"
+#include "cloudsim/cloud_provider.h"
+#include "cloudsim/coordination_server.h"
+#include "cloudsim/dns_server.h"
+#include "cloudsim/load_balancer.h"
+#include "cloudsim/node.h"
+#include "cloudsim/replica_server.h"
+
+namespace shuffledef::cloudsim {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+  std::string service = "www.example.com";
+
+  // Infrastructure.
+  std::int32_t domains = 2;
+  std::int32_t load_balancers_per_domain = 1;
+  std::int32_t initial_replicas = 2;
+  std::int32_t hot_spares = 0;
+  CoordinatorConfig coordinator;
+  ReplicaConfig replica;
+  double boot_delay_s = 0.5;
+
+  // NICs.  Replica defaults approximate the prototype's EC2 micro instance
+  // behind a shared link; client defaults approximate geo-distributed
+  // PlanetLab nodes (base one-way latency drawn uniformly per client).
+  NicConfig replica_nic{.egress_bps = 30e6, .ingress_bps = 30e6,
+                        .base_latency_s = 0.002, .domain = 0};
+  NicConfig lb_nic{.egress_bps = 1e9, .ingress_bps = 1e9,
+                   .base_latency_s = 0.002, .domain = 0};
+  NicConfig infra_nic{.egress_bps = 1e9, .ingress_bps = 1e9,
+                      .base_latency_s = 0.002, .domain = 0};
+  NicConfig client_nic{.egress_bps = 20e6, .ingress_bps = 20e6,
+                       .base_latency_s = 0.04, .domain = 100};
+  double client_latency_min_s = 0.01;
+  double client_latency_max_s = 0.08;
+
+  // Populations.
+  std::int32_t clients = 10;
+  double client_start_spread_s = 1.0;
+  double client_request_timeout_s = 4.0;
+  /// Mean think time between page reloads (0 = load once, prototype-style).
+  double client_browse_think_s = 0.0;
+  /// WebSocket keepalive interval (0 = disabled, prototype-style).
+  double client_heartbeat_s = 0.0;
+  std::int32_t persistent_bots = 0;
+  std::int32_t naive_bots = 0;
+  double bot_start_spread_s = 1.0;
+  double bot_junk_rate_pps = 0.0;
+  double bot_heavy_interval_s = 0.0;
+  double bot_heavy_cpu_seconds = 0.2;
+  double naive_junk_rate_pps = 500.0;
+
+  NetworkConfig network;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+
+  /// Advance simulated time.  Returns false if the event budget blew up.
+  bool run_until(SimTime t);
+
+  [[nodiscard]] World& world() { return *world_; }
+  [[nodiscard]] SimTime now() const { return world_->now(); }
+
+  [[nodiscard]] DnsServer* dns() { return dns_; }
+  [[nodiscard]] CoordinationServer* coordinator() { return coordinator_; }
+  [[nodiscard]] CloudProvider& provider() { return *provider_; }
+  [[nodiscard]] const std::vector<LoadBalancer*>& load_balancers() const {
+    return load_balancers_;
+  }
+  [[nodiscard]] const std::vector<NodeId>& initial_replicas() const {
+    return initial_replicas_;
+  }
+  [[nodiscard]] const std::vector<ClientAgent*>& clients() const {
+    return clients_;
+  }
+  [[nodiscard]] const std::vector<PersistentBot*>& persistent_bots() const {
+    return persistent_bots_;
+  }
+  [[nodiscard]] const std::vector<NaiveBot*>& naive_bots() const {
+    return naive_bots_;
+  }
+  [[nodiscard]] Botmaster* botmaster() { return botmaster_; }
+
+  [[nodiscard]] ReplicaServer* replica(NodeId id);
+
+  // ---- aggregate metrics ----------------------------------------------------
+
+  /// Clients whose join flow completed (page loaded, WebSocket open).
+  [[nodiscard]] std::int64_t clients_connected() const;
+
+  /// Replicas currently serving at least one persistent bot.
+  [[nodiscard]] std::int64_t replicas_hosting_bots() const;
+
+  /// Benign clients currently on replicas that host no persistent bot.
+  [[nodiscard]] std::int64_t benign_clients_isolated_from_bots() const;
+
+ private:
+  std::unique_ptr<World> world_;
+  std::unique_ptr<CloudProvider> provider_;
+  DnsServer* dns_ = nullptr;
+  CoordinationServer* coordinator_ = nullptr;
+  std::vector<LoadBalancer*> load_balancers_;
+  std::vector<NodeId> initial_replicas_;
+  std::vector<ClientAgent*> clients_;
+  std::vector<PersistentBot*> persistent_bots_;
+  std::vector<NaiveBot*> naive_bots_;
+  Botmaster* botmaster_ = nullptr;
+};
+
+}  // namespace shuffledef::cloudsim

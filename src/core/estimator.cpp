@@ -1,0 +1,30 @@
+#include "core/estimator.h"
+
+#include <stdexcept>
+
+namespace shuffledef::core {
+
+Count ShuffleObservation::attacked_count() const {
+  Count x = 0;
+  for (const bool a : attacked) {
+    if (a) ++x;
+  }
+  return x;
+}
+
+Count ShuffleObservation::clients_on_attacked() const {
+  Count total = 0;
+  for (std::size_t i = 0; i < attacked.size(); ++i) {
+    if (attacked[i]) total += plan[i];
+  }
+  return total;
+}
+
+void ShuffleObservation::validate() const {
+  if (attacked.size() != plan.replica_count()) {
+    throw std::invalid_argument(
+        "ShuffleObservation: attacked flags do not match plan width");
+  }
+}
+
+}  // namespace shuffledef::core

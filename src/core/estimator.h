@@ -1,0 +1,38 @@
+// Attack-scale estimation interface (paper §V).
+//
+// The planners need the number of persistent bots M, which is never directly
+// observable.  After each shuffle the defense observes, per replica, only a
+// binary signal: attacked or clean.  Estimators turn that observation into
+// an estimate of M.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/plan.h"
+#include "core/types.h"
+
+namespace shuffledef::core {
+
+/// What the coordination server can see after one shuffle.
+struct ShuffleObservation {
+  AssignmentPlan plan;          // the sizes that were deployed
+  std::vector<bool> attacked;   // per-replica attack indicator, same order
+
+  [[nodiscard]] Count attacked_count() const;
+  [[nodiscard]] Count clients_on_attacked() const;
+  void validate() const;
+};
+
+class AttackScaleEstimator {
+ public:
+  virtual ~AttackScaleEstimator() = default;
+
+  /// Estimate the number of persistent bots in the shuffled population.
+  [[nodiscard]] virtual Count estimate(const ShuffleObservation& obs) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace shuffledef::core

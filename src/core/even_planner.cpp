@@ -1,0 +1,15 @@
+#include "core/even_planner.h"
+
+namespace shuffledef::core {
+
+AssignmentPlan EvenPlanner::plan(const ShuffleProblem& problem) const {
+  problem.validate();
+  const Count p = problem.replicas;
+  const Count base = problem.clients / p;
+  const Count extra = problem.clients % p;
+  std::vector<Count> counts(static_cast<std::size_t>(p), base);
+  for (Count i = 0; i < extra; ++i) counts[static_cast<std::size_t>(i)] += 1;
+  return AssignmentPlan(std::move(counts));
+}
+
+}  // namespace shuffledef::core

@@ -1,0 +1,18 @@
+// The naive baseline: distribute clients as evenly as possible.
+//
+// Figure 4 of the paper shows this collapses once the number of bots
+// approaches or exceeds the number of replicas: with x ~ N/P clients per
+// replica, a bot lands on almost every replica and nobody is saved.
+#pragma once
+
+#include "core/planner.h"
+
+namespace shuffledef::core {
+
+class EvenPlanner final : public Planner {
+ public:
+  [[nodiscard]] AssignmentPlan plan(const ShuffleProblem& problem) const override;
+  [[nodiscard]] std::string name() const override { return "even"; }
+};
+
+}  // namespace shuffledef::core

@@ -1,0 +1,83 @@
+#include "core/greedy_planner.h"
+
+#include <algorithm>
+
+#include "core/single_replica.h"
+#include "util/math.h"
+
+namespace shuffledef::core {
+namespace {
+
+/// Marginal clean probability of a bucket of size x, always with respect to
+/// the round's full population (N, M): the hypergeometric marginal of any
+/// fixed bucket does not depend on how the other buckets are cut.
+double p_clean(const ShuffleProblem& problem, Count x) {
+  return util::prob_no_bots(problem.clients, problem.bots, x);
+}
+
+}  // namespace
+
+AssignmentPlan GreedyPlanner::plan(const ShuffleProblem& problem) const {
+  problem.validate();
+  const Count N = problem.clients;
+  const Count M = problem.bots;
+
+  if (M == 0) {
+    // Every plan saves everyone; prefer the balanced one (load).
+    const Count base = N / problem.replicas;
+    const Count extra = N % problem.replicas;
+    std::vector<Count> even(static_cast<std::size_t>(problem.replicas), base);
+    for (Count i = 0; i < extra; ++i) even[static_cast<std::size_t>(i)] += 1;
+    return AssignmentPlan(std::move(even));
+  }
+
+  std::vector<Count> counts;
+  counts.reserve(static_cast<std::size_t>(problem.replicas));
+
+  Count clients_left = N;
+  Count replicas_left = problem.replicas;
+
+  while (replicas_left > 0 && clients_left > 0) {
+    if (replicas_left == 1) {
+      counts.push_back(clients_left);  // the last replica absorbs everything
+      clients_left = 0;
+      --replicas_left;
+      break;
+    }
+    // Candidate bucket sizes need not exceed max(omega, ceil(n/(p-1))):
+    // beyond omega the per-bucket value x*p(x) falls while buckets stay
+    // scarce, and beyond ceil(n/(p-1)) fewer, larger buckets only lower the
+    // clean probability of every client.
+    const Count n = clients_left;
+    const Count p_avail = replicas_left;
+    const Count omega =
+        std::max<Count>(1, optimal_single_replica(N, M).size);
+    const Count ceil_even = (n + p_avail - 2) / (p_avail - 1);  // ceil(n/(p-1))
+    const Count x_hi = std::min(n, std::max(omega, ceil_even));
+
+    double best_total = -1.0;
+    Count best_x = 1;
+    Count best_k = 1;
+    for (Count x = 1; x <= x_hi; ++x) {
+      const Count k = std::min(p_avail - 1, n / x);
+      const Count r = n - k * x;
+      double total = static_cast<double>(k) * static_cast<double>(x) *
+                     p_clean(problem, x);
+      if (r > 0) total += static_cast<double>(r) * p_clean(problem, r);
+      if (total > best_total) {
+        best_total = total;
+        best_x = x;
+        best_k = k;
+      }
+    }
+    for (Count i = 0; i < best_k; ++i) counts.push_back(best_x);
+    clients_left -= best_k * best_x;
+    replicas_left -= best_k;
+    // Loop re-optimizes the remainder (the paper's recursive restart); if
+    // nothing is left the remaining replicas stay empty.
+  }
+  while (replicas_left-- > 0) counts.push_back(0);
+  return AssignmentPlan(std::move(counts));
+}
+
+}  // namespace shuffledef::core

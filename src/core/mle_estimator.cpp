@@ -1,0 +1,175 @@
+#include "core/mle_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "core/likelihood.h"
+
+namespace shuffledef::core {
+namespace {
+
+/// Likelihood evaluator with engine selection, built once per observation so
+/// the engines' plan-dependent structure is reused across all candidate M.
+class LikelihoodFn {
+ public:
+  LikelihoodFn(const AssignmentPlan& plan, Count observed,
+               const MleOptions& options)
+      : plan_(plan), observed_(observed) {
+    auto engine = options.engine;
+    if (engine == LikelihoodEngine::kAuto) {
+      engine = static_cast<Count>(plan.replica_count()) <=
+                       options.auto_exact_max_replicas
+                   ? LikelihoodEngine::kExact
+                   : LikelihoodEngine::kGaussian;
+    }
+    switch (engine) {
+      case LikelihoodEngine::kExact:
+        try {
+          exact_.emplace(plan, options.max_group_states);
+        } catch (const std::invalid_argument&) {
+          gaussian_.emplace(plan);  // plan too irregular: degrade gracefully
+        }
+        break;
+      case LikelihoodEngine::kGaussian:
+        gaussian_.emplace(plan);
+        break;
+      case LikelihoodEngine::kIndependence:
+      case LikelihoodEngine::kAuto:
+        break;  // handled per call below
+    }
+  }
+
+  [[nodiscard]] double operator()(Count m) const {
+    if (exact_.has_value()) {
+      try {
+        return exact_->log_likelihood(m, observed_);
+      } catch (const std::invalid_argument&) {
+        // The plan defeats the exact engine's floating-point budget for
+        // this candidate (deep inclusion-exclusion cancellation).  The
+        // argmax must compare like with like, so switch the whole search
+        // to the independence engine from here on.
+        exact_.reset();
+      }
+    }
+    if (gaussian_.has_value()) return gaussian_->log_likelihood(m, observed_);
+    const auto pmf = attacked_count_pmf_independent(plan_, m);
+    return std::log(std::max(pmf[static_cast<std::size_t>(observed_)], 1e-300));
+  }
+
+  /// True when the search should restart because the engine changed
+  /// mid-scan (results before the switch are not comparable).
+  [[nodiscard]] bool engine_switched() const {
+    return started_exact_ && !exact_.has_value();
+  }
+  void mark_started() { started_exact_ = exact_.has_value(); }
+
+ private:
+  const AssignmentPlan& plan_;
+  Count observed_;
+  mutable std::optional<AttackedCountLikelihood> exact_;
+  std::optional<GaussianAttackedCountLikelihood> gaussian_;
+  bool started_exact_ = false;
+};
+
+}  // namespace
+
+MleEstimator::MleEstimator(MleOptions options) : options_(options) {}
+
+Count MleEstimator::estimate(const ShuffleObservation& obs) const {
+  obs.validate();
+  const Count observed = obs.attacked_count();
+  if (observed == 0) return 0;  // nothing attacked: no persistent bots seen
+
+  // Paper bounds: at least one bot per attacked replica; at most every
+  // client on an attacked replica is a bot.
+  const Count lo_bound = observed;
+  const Count hi_bound = std::max(lo_bound, obs.clients_on_attacked());
+
+  // Paper §V: "for the special case where all shuffling replicas are
+  // attacked, the likelihood is always greater with the higher value of M
+  // [so] the largest possible M becomes the final estimate."  The increase
+  // saturates within floating point well before the bound, so return the
+  // degenerate estimate directly instead of relying on tie-breaking.
+  if (observed == static_cast<Count>(obs.plan.replica_count())) {
+    return hi_bound;
+  }
+
+  LikelihoodFn loglik(obs.plan, observed, options_);
+
+  const auto search = [&]() -> Count {
+    if (options_.exhaustive || hi_bound - lo_bound <= options_.grid_points * 2) {
+      Count best_m = lo_bound;
+      double best = -std::numeric_limits<double>::infinity();
+      for (Count m = lo_bound; m <= hi_bound; ++m) {
+        const double ll = loglik(m);
+        if (ll > best) {
+          best = ll;
+          best_m = m;
+        }
+      }
+      return best_m;
+    }
+
+    // Coarse-to-fine refinement: evaluate a grid, then zoom into the
+    // interval around the best point.  The likelihood is unimodal in M, so
+    // this finds the argmax with O(grid * log(range)) pmf evaluations;
+    // verified against the exhaustive scan in tests.
+    Count lo = lo_bound;
+    Count hi = hi_bound;
+    Count best_m = lo;
+    double best = -std::numeric_limits<double>::infinity();
+    while (true) {
+      const Count span = hi - lo;
+      const Count points = std::min<Count>(options_.grid_points, span + 1);
+      const double step = static_cast<double>(span) /
+                          static_cast<double>(std::max<Count>(points - 1, 1));
+      std::set<Count> grid;
+      for (Count i = 0; i < points; ++i) {
+        grid.insert(lo +
+                    static_cast<Count>(std::llround(step * static_cast<double>(i))));
+      }
+      grid.insert(best_m >= lo && best_m <= hi ? best_m : lo);
+      Count level_best_m = best_m;
+      double level_best = best;
+      for (const Count m : grid) {
+        const double ll = loglik(m);
+        if (ll > level_best) {
+          level_best = ll;
+          level_best_m = m;
+        }
+      }
+      best = level_best;
+      best_m = level_best_m;
+      if (span <= points) break;  // grid was dense: converged
+      // Zoom to one grid step around the winner.
+      const auto width = static_cast<Count>(std::ceil(step));
+      lo = std::max(lo_bound, best_m - width);
+      hi = std::min(hi_bound, best_m + width);
+    }
+    return best_m;
+  };
+
+  loglik.mark_started();
+  Count best_m = search();
+  if (loglik.engine_switched()) {
+    // The exact engine bailed out mid-scan; values before and after the
+    // switch are not comparable, so redo the search on the fallback engine.
+    best_m = search();
+  }
+  return best_m;
+}
+
+OracleEstimator::OracleEstimator(Count true_bots, double bias)
+    : true_bots_(true_bots), bias_(bias) {}
+
+Count OracleEstimator::estimate(const ShuffleObservation& obs) const {
+  const Count n = obs.plan.total_clients();
+  const double biased = static_cast<double>(true_bots_) * bias_;
+  return std::clamp<Count>(static_cast<Count>(std::llround(biased)), 0, n);
+}
+
+}  // namespace shuffledef::core

@@ -1,0 +1,61 @@
+#include "core/moments_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/math.h"
+
+namespace shuffledef::core {
+
+double expected_attacked_replicas(const AssignmentPlan& plan, Count bots) {
+  const Count n = plan.total_clients();
+  if (bots < 0 || bots > n) {
+    throw std::invalid_argument("expected_attacked_replicas: bots out of range");
+  }
+  // Group by distinct size: identical buckets share the clean probability.
+  std::map<Count, Count> groups;
+  for (const Count x : plan.counts()) ++groups[x];
+  double mu = 0.0;
+  for (const auto& [x, c] : groups) {
+    if (x == 0) continue;  // empty replicas are never attacked
+    mu += static_cast<double>(c) * (1.0 - util::prob_no_bots(n, bots, x));
+  }
+  return mu;
+}
+
+Count MomentsEstimator::estimate(const ShuffleObservation& obs) const {
+  obs.validate();
+  const Count observed = obs.attacked_count();
+  if (observed == 0) return 0;
+
+  const Count lo_bound = observed;
+  const Count hi_bound = std::max(lo_bound, obs.clients_on_attacked());
+  if (observed == static_cast<Count>(obs.plan.replica_count())) {
+    return hi_bound;  // same degeneracy as the MLE: mu saturates below X
+  }
+
+  const double target = static_cast<double>(observed);
+  // mu is non-decreasing in M: bisect for the smallest M with mu(M) >= X.
+  Count lo = lo_bound;
+  Count hi = hi_bound;
+  if (expected_attacked_replicas(obs.plan, hi) < target) return hi;
+  while (lo < hi) {
+    const Count mid = lo + (hi - lo) / 2;
+    if (expected_attacked_replicas(obs.plan, mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  // Between hi-1 and hi, pick the closer fit.
+  if (hi > lo_bound) {
+    const double below =
+        std::abs(expected_attacked_replicas(obs.plan, hi - 1) - target);
+    const double at = std::abs(expected_attacked_replicas(obs.plan, hi) - target);
+    if (below < at) return hi - 1;
+  }
+  return hi;
+}
+
+}  // namespace shuffledef::core

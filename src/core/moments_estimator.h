@@ -1,0 +1,29 @@
+// Method-of-moments attack-scale estimator (alternative to the MLE).
+//
+// The expected number of attacked replicas under a plan x and bot count M
+// is mu(M) = sum_i (1 - C(N-x_i, M)/C(N, M)), strictly increasing in M up
+// to its plateau.  Inverting the observed count X through mu is a one-line
+// estimator that needs no likelihood machinery at all:
+//
+//     M-hat = argmin_M | mu(M) - X |       (monotone bisection)
+//
+// It shares the MLE's degeneracies (X = P pins the estimate to the upper
+// bound) but is simpler to reason about and, being based on the same
+// statistic, nearly as accurate — the tests quantify the gap.  The live
+// controller accepts either (ControllerConfig::estimator = "mle"|"moments").
+#pragma once
+
+#include "core/estimator.h"
+
+namespace shuffledef::core {
+
+class MomentsEstimator final : public AttackScaleEstimator {
+ public:
+  [[nodiscard]] Count estimate(const ShuffleObservation& obs) const override;
+  [[nodiscard]] std::string name() const override { return "moments"; }
+};
+
+/// Expected attacked-replica count under `bots` for the plan (mu above).
+double expected_attacked_replicas(const AssignmentPlan& plan, Count bots);
+
+}  // namespace shuffledef::core

@@ -1,0 +1,67 @@
+#include "core/plan.h"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/math.h"
+
+namespace shuffledef::core {
+
+AssignmentPlan::AssignmentPlan(std::vector<Count> counts)
+    : counts_(std::move(counts)) {}
+
+Count AssignmentPlan::total_clients() const {
+  return std::accumulate(counts_.begin(), counts_.end(), Count{0});
+}
+
+void AssignmentPlan::validate_for(const ShuffleProblem& problem) const {
+  problem.validate();
+  if (static_cast<Count>(counts_.size()) != problem.replicas) {
+    throw std::invalid_argument("AssignmentPlan: replica count mismatch");
+  }
+  for (const Count c : counts_) {
+    if (c < 0) throw std::invalid_argument("AssignmentPlan: negative size");
+  }
+  if (total_clients() != problem.clients) {
+    throw std::invalid_argument("AssignmentPlan: sizes do not sum to N");
+  }
+}
+
+std::string AssignmentPlan::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i) os << ", ";
+    os << counts_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+double prob_replica_clean(const ShuffleProblem& problem, Count x) {
+  return util::prob_no_bots(problem.clients, problem.bots, x);
+}
+
+double expected_saved(const ShuffleProblem& problem,
+                      const AssignmentPlan& plan) {
+  plan.validate_for(problem);
+  util::KahanSum sum;
+  for (const Count x : plan.counts()) {
+    if (x == 0) continue;  // empty replicas save nobody
+    sum.add(static_cast<double>(x) * prob_replica_clean(problem, x));
+  }
+  return sum.value();
+}
+
+double expected_clean_replicas(const ShuffleProblem& problem,
+                               const AssignmentPlan& plan) {
+  plan.validate_for(problem);
+  util::KahanSum sum;
+  for (const Count x : plan.counts()) {
+    sum.add(prob_replica_clean(problem, x));
+  }
+  return sum.value();
+}
+
+}  // namespace shuffledef::core

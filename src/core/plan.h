@@ -1,0 +1,53 @@
+// Assignment plans and their exact expected-savings evaluation.
+//
+// A plan fixes only the *sizes* x_1..x_P — which concrete clients land where
+// is uniformly random (the coordination server "does not control the
+// specific assignments of individual clients", §III-D).  For any fixed plan
+// the paper's objective is exactly
+//
+//   E(S) = sum_i x_i * C(N - x_i, M) / C(N, M)
+//
+// because a replica is saved iff it received none of the M bots, in which
+// case all of its x_i clients are benign.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace shuffledef::core {
+
+class AssignmentPlan {
+ public:
+  AssignmentPlan() = default;
+  explicit AssignmentPlan(std::vector<Count> counts);
+
+  [[nodiscard]] const std::vector<Count>& counts() const { return counts_; }
+  [[nodiscard]] std::size_t replica_count() const { return counts_.size(); }
+  [[nodiscard]] Count total_clients() const;
+  [[nodiscard]] Count operator[](std::size_t i) const { return counts_[i]; }
+
+  /// Throws unless the plan covers exactly `problem.clients` clients over
+  /// exactly `problem.replicas` replicas with non-negative sizes.
+  void validate_for(const ShuffleProblem& problem) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Count> counts_;
+};
+
+/// Probability that a replica holding `x` of the problem's clients receives
+/// no bot (p_i in the paper).
+double prob_replica_clean(const ShuffleProblem& problem, Count x);
+
+/// Exact E(S): expected number of benign clients saved by one shuffle.
+double expected_saved(const ShuffleProblem& problem, const AssignmentPlan& plan);
+
+/// Expected number of replicas that end up attacker-free under the plan.
+double expected_clean_replicas(const ShuffleProblem& problem,
+                               const AssignmentPlan& plan);
+
+}  // namespace shuffledef::core

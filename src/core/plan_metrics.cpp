@@ -1,0 +1,60 @@
+#include "core/plan_metrics.h"
+
+#include <cmath>
+#include <map>
+
+#include "util/math.h"
+
+namespace shuffledef::core {
+
+double SavedMoments::stddev() const { return std::sqrt(std::max(variance, 0.0)); }
+
+double prob_pair_clean(const ShuffleProblem& problem, Count x, Count y) {
+  const Count joint = x + y;
+  if (joint > problem.clients) {
+    throw std::invalid_argument("prob_pair_clean: buckets exceed population");
+  }
+  return util::prob_no_bots(problem.clients, problem.bots, joint);
+}
+
+SavedMoments saved_count_moments(const ShuffleProblem& problem,
+                                 const AssignmentPlan& plan) {
+  plan.validate_for(problem);
+
+  // Group by distinct size: all replicas of equal size share p and pairwise
+  // p_ij values.
+  std::map<Count, Count> groups;
+  for (const Count x : plan.counts()) ++groups[x];
+
+  SavedMoments m;
+  util::KahanSum mean;
+  util::KahanSum var;
+  for (const auto& [x, cx] : groups) {
+    if (x == 0) continue;
+    const double p = prob_replica_clean(problem, x);
+    const double xd = static_cast<double>(x);
+    const double cxd = static_cast<double>(cx);
+    mean.add(cxd * xd * p);
+    // Diagonal terms.
+    var.add(cxd * xd * xd * p * (1.0 - p));
+    // Same-size pairs: cx * (cx - 1) ordered pairs.
+    if (cx > 1 && 2 * x <= problem.clients) {
+      const double pxx = prob_pair_clean(problem, x, x);
+      var.add(cxd * (cxd - 1.0) * xd * xd * (pxx - p * p));
+    }
+    // Cross-size pairs (each unordered pair counted twice as ordered).
+    for (const auto& [y, cy] : groups) {
+      if (y <= x || y == 0) continue;
+      if (x + y > problem.clients) continue;
+      const double q = prob_replica_clean(problem, y);
+      const double pxy = prob_pair_clean(problem, x, y);
+      var.add(2.0 * cxd * static_cast<double>(cy) * xd *
+              static_cast<double>(y) * (pxy - p * q));
+    }
+  }
+  m.mean = mean.value();
+  m.variance = var.value();
+  return m;
+}
+
+}  // namespace shuffledef::core

@@ -1,0 +1,40 @@
+// Exact distributional analytics for a shuffle plan.
+//
+// The paper's objective is the expectation E(S); an operator also wants the
+// spread.  With S = sum_i x_i * I_i (I_i = "replica i stayed clean"), the
+// joint clean probability of two replicas is
+//
+//   p_ij = C(N - x_i - x_j, M) / C(N, M)
+//
+// giving the exact variance
+//
+//   Var(S) = sum_i x_i^2 p_i (1 - p_i)
+//          + sum_{i != j} x_i x_j (p_ij - p_i p_j).
+//
+// Grouping replicas by distinct bucket size makes this O(D^2) where D is
+// the handful of distinct sizes real plans use.  The negative association
+// of the indicators makes the cross term negative: shuffling plans have
+// *less* variance than independent-replica intuition suggests.
+#pragma once
+
+#include "core/plan.h"
+#include "core/types.h"
+
+namespace shuffledef::core {
+
+struct SavedMoments {
+  double mean = 0.0;
+  double variance = 0.0;
+
+  [[nodiscard]] double stddev() const;
+};
+
+/// Exact mean and variance of the number of clients saved by one shuffle.
+SavedMoments saved_count_moments(const ShuffleProblem& problem,
+                                 const AssignmentPlan& plan);
+
+/// Probability that the joint pair of replicas (sizes x and y) both stay
+/// clean: C(N - x - y, M) / C(N, M).
+double prob_pair_clean(const ShuffleProblem& problem, Count x, Count y);
+
+}  // namespace shuffledef::core

@@ -1,0 +1,55 @@
+#include "core/provisioning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace shuffledef::core {
+
+double expected_clean_replicas_uniform(Count replicas, Count bots) {
+  if (replicas <= 0 || bots < 0) {
+    throw std::invalid_argument("expected_clean_replicas_uniform: bad args");
+  }
+  if (replicas == 1) return bots == 0 ? 1.0 : 0.0;
+  const double p = static_cast<double>(replicas);
+  // P * (1 - 1/P)^M, computed in log space to survive large M.
+  return p * std::exp(static_cast<double>(bots) * std::log1p(-1.0 / p));
+}
+
+double all_attacked_bot_threshold(Count replicas) {
+  if (replicas < 2) {
+    throw std::invalid_argument("all_attacked_bot_threshold: needs P >= 2");
+  }
+  const double p = static_cast<double>(replicas);
+  // log_{1-1/P}(1/P) = log(1/P) / log(1 - 1/P) = -log(P) / log1p(-1/P).
+  return -std::log(p) / std::log1p(-1.0 / p);
+}
+
+bool all_replicas_likely_attacked(Count replicas, Count bots) {
+  if (replicas < 2) return bots > 0;
+  return static_cast<double>(bots) > all_attacked_bot_threshold(replicas);
+}
+
+Count min_replicas_for_estimation(Count bots, Count min_replicas) {
+  if (bots < 0) throw std::invalid_argument("min_replicas_for_estimation");
+  min_replicas = std::max<Count>(min_replicas, 2);
+  if (!all_replicas_likely_attacked(min_replicas, bots)) return min_replicas;
+  // The threshold ~ P ln(P) grows unboundedly in P, so a solution exists.
+  Count lo = min_replicas;       // violates the condition
+  Count hi = min_replicas * 2;
+  while (all_replicas_likely_attacked(hi, bots)) {
+    lo = hi;
+    hi *= 2;
+  }
+  while (lo + 1 < hi) {
+    const Count mid = lo + (hi - lo) / 2;
+    if (all_replicas_likely_attacked(mid, bots)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace shuffledef::core

@@ -1,0 +1,31 @@
+// Replica provisioning from Theorem 1 (paper §V).
+//
+// With M bots spread over P replicas, the expected number of clean replicas
+// is E(X) = P * (1 - 1/P)^M.  Theorem 1: if M > log_{1-1/P}(1/P) then with
+// high probability *every* replica is attacked — exactly the regime where
+// the MLE degenerates — so the defense must provision P large enough that
+// M <= log_{1-1/P}(1/P).
+#pragma once
+
+#include "core/types.h"
+
+namespace shuffledef::core {
+
+/// E(X): expected number of clean (un-attacked) replicas under a uniform
+/// spread of M bots over P replicas.
+double expected_clean_replicas_uniform(Count replicas, Count bots);
+
+/// The Theorem-1 threshold log_{1-1/P}(1/P): the largest bot count for which
+/// the expected clean-replica count is still >= 1.  Requires P >= 2.
+double all_attacked_bot_threshold(Count replicas);
+
+/// True when M exceeds the Theorem-1 threshold, i.e. all replicas are
+/// expected to be attacked and the MLE would degenerate.
+bool all_replicas_likely_attacked(Count replicas, Count bots);
+
+/// The smallest P with M <= log_{1-1/P}(1/P) (clamped to at least
+/// `min_replicas`).  Monotone binary search; this is how the coordination
+/// server sizes the shuffling replica set before trusting the MLE.
+Count min_replicas_for_estimation(Count bots, Count min_replicas = 2);
+
+}  // namespace shuffledef::core

@@ -1,0 +1,98 @@
+#include "core/separable_dp.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "util/math.h"
+
+namespace shuffledef::core {
+namespace {
+
+struct Solution {
+  double value = 0.0;
+  std::vector<Count> counts;
+};
+
+Solution solve(const ShuffleProblem& problem, bool keep_argmax) {
+  problem.validate();
+  const Count N = problem.clients;
+  const Count M = problem.bots;
+  const Count P = problem.replicas;
+
+  // g(x): expected clients saved by one bucket of size x.  Beyond N - M a
+  // bucket is guaranteed to contain a bot, so g is zero there; exploiting
+  // that shrinks the inner loop when bots dominate.
+  const Count x_max = M == 0 ? N : N - M;
+  std::vector<double> g(static_cast<std::size_t>(N + 1), 0.0);
+  for (Count x = 0; x <= x_max; ++x) {
+    g[static_cast<std::size_t>(x)] =
+        static_cast<double>(x) * util::prob_no_bots(N, M, x);
+  }
+
+  std::vector<double> prev(static_cast<std::size_t>(N + 1), 0.0);
+  std::vector<double> cur(static_cast<std::size_t>(N + 1), 0.0);
+  // D(1, n) = g(n): a single replica must take everything.
+  for (Count n = 0; n <= N; ++n) prev[static_cast<std::size_t>(n)] = g[static_cast<std::size_t>(n)];
+
+  std::vector<std::uint32_t> argmax;
+  if (keep_argmax) {
+    argmax.assign(static_cast<std::size_t>(P) * static_cast<std::size_t>(N + 1), 0);
+  }
+  auto arg_at = [&](Count p, Count n) -> std::uint32_t& {
+    return argmax[static_cast<std::size_t>(p - 1) * static_cast<std::size_t>(N + 1) +
+                  static_cast<std::size_t>(n)];
+  };
+  if (keep_argmax) {
+    for (Count n = 0; n <= N; ++n) arg_at(1, n) = static_cast<std::uint32_t>(n);
+  }
+
+  for (Count p = 2; p <= P; ++p) {
+    for (Count n = 0; n <= N; ++n) {
+      double best = -1.0;
+      Count best_x = 0;
+      const Count hi = std::min(n, x_max == 0 ? n : x_max);
+      for (Count x = 0; x <= hi; ++x) {
+        const double v = g[static_cast<std::size_t>(x)] +
+                         prev[static_cast<std::size_t>(n - x)];
+        if (v > best) {
+          best = v;
+          best_x = x;
+        }
+      }
+      // Sizes above x_max are only useful on the final dump bucket, where
+      // they are equivalent to leaving best at the x = 0 candidate paired
+      // with D(p-1, n) — but D(p-1, n) already covers "one big bucket"
+      // through its own base case, so the cap is lossless.
+      cur[static_cast<std::size_t>(n)] = best;
+      if (keep_argmax) arg_at(p, n) = static_cast<std::uint32_t>(best_x);
+    }
+    std::swap(prev, cur);
+  }
+
+  Solution s;
+  s.value = prev[static_cast<std::size_t>(N)];
+  if (keep_argmax) {
+    s.counts.reserve(static_cast<std::size_t>(P));
+    Count n = N;
+    for (Count p = P; p >= 1; --p) {
+      const auto x = static_cast<Count>(arg_at(p, n));
+      s.counts.push_back(x);
+      n -= x;
+    }
+    if (n != 0) throw std::logic_error("SeparableDp: walk-back mismatch");
+  }
+  return s;
+}
+
+}  // namespace
+
+double SeparableDpPlanner::value(const ShuffleProblem& problem) const {
+  return solve(problem, /*keep_argmax=*/false).value;
+}
+
+AssignmentPlan SeparableDpPlanner::plan(const ShuffleProblem& problem) const {
+  return AssignmentPlan(solve(problem, /*keep_argmax=*/true).counts);
+}
+
+}  // namespace shuffledef::core

@@ -1,0 +1,78 @@
+#include "core/shuffle_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/moments_estimator.h"
+#include "core/provisioning.h"
+
+namespace shuffledef::core {
+
+ShuffleController::ShuffleController(ControllerConfig config)
+    : config_(std::move(config)), planner_(make_planner(config_.planner)) {
+  if (config_.replicas < 0 || config_.min_replicas < 2) {
+    throw std::invalid_argument(
+        "ControllerConfig: replicas must be >= 0 and min_replicas >= 2");
+  }
+  if (config_.provisioning_headroom < 1.0) {
+    throw std::invalid_argument(
+        "ControllerConfig: provisioning_headroom must be >= 1");
+  }
+  if (config_.estimate_smoothing <= 0.0 || config_.estimate_smoothing > 1.0) {
+    throw std::invalid_argument(
+        "ControllerConfig: estimate_smoothing must be in (0, 1]");
+  }
+  if (config_.estimator == "mle") {
+    estimator_ = std::make_unique<MleEstimator>(config_.mle);
+  } else if (config_.estimator == "moments") {
+    estimator_ = std::make_unique<MomentsEstimator>();
+  } else {
+    throw std::invalid_argument("ControllerConfig: unknown estimator '" +
+                                config_.estimator + "' (expected mle|moments)");
+  }
+}
+
+void ShuffleController::set_bot_estimate(Count bots) {
+  bot_estimate_ = std::max<Count>(bots, 0);
+  has_estimate_ = true;
+}
+
+RoundDecision ShuffleController::decide(
+    Count pool_clients, const std::optional<ShuffleObservation>& prev) {
+  if (pool_clients < 0) {
+    throw std::invalid_argument("decide: negative pool size");
+  }
+  if (config_.use_mle && prev.has_value()) {
+    const Count fresh = estimator_->estimate(*prev);
+    if (has_estimate_ && config_.estimate_smoothing < 1.0) {
+      const double blended =
+          config_.estimate_smoothing * static_cast<double>(fresh) +
+          (1.0 - config_.estimate_smoothing) * static_cast<double>(bot_estimate_);
+      bot_estimate_ = static_cast<Count>(std::llround(blended));
+    } else {
+      bot_estimate_ = fresh;
+    }
+    has_estimate_ = true;
+  }
+  // The pool bounds any sane estimate.
+  const Count m_hat = std::min(bot_estimate_, pool_clients);
+
+  Count p = config_.replicas;
+  if (p == 0) {
+    const Count needed = min_replicas_for_estimation(m_hat, config_.min_replicas);
+    p = std::max<Count>(
+        config_.min_replicas,
+        static_cast<Count>(std::llround(static_cast<double>(needed) *
+                                        config_.provisioning_headroom)));
+  }
+
+  RoundDecision decision;
+  decision.bot_estimate = m_hat;
+  decision.replicas = p;
+  decision.plan =
+      planner_->plan({.clients = pool_clients, .bots = m_hat, .replicas = p});
+  return decision;
+}
+
+}  // namespace shuffledef::core

@@ -1,0 +1,78 @@
+// The coordination server's decision logic (paper §III-D + §IV + §V).
+//
+// Each round the controller:
+//   1. updates its estimate of the persistent-bot count M from the previous
+//      shuffle's observation (MLE, §V), or keeps an injected estimate;
+//   2. sizes the shuffling replica set P — either fixed (the paper's
+//      simulations use fixed P) or adaptively per Theorem 1 so the MLE stays
+//      well-conditioned;
+//   3. runs a planner (§IV) to produce the client-to-replica size plan.
+//
+// The controller is deliberately free of any I/O so that the count-based
+// simulator (src/sim) and the discrete-event cloud (src/cloudsim) can share
+// the exact same brain.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/estimator.h"
+#include "core/mle_estimator.h"
+#include "core/plan.h"
+#include "core/planner.h"
+#include "core/types.h"
+
+namespace shuffledef::core {
+
+struct ControllerConfig {
+  std::string planner = "greedy";
+  /// Fixed shuffling-replica count; 0 = adapt P per Theorem 1.
+  Count replicas = 0;
+  /// Lower bound on adaptive P.
+  Count min_replicas = 2;
+  /// Head-room multiplier on the adaptive Theorem-1 minimum.
+  double provisioning_headroom = 1.0;
+  /// Estimate M from each round's observation (otherwise the injected
+  /// estimate is used — oracle mode).
+  bool use_mle = true;
+  /// Which observation-driven estimator: "mle" (paper §V) or "moments".
+  std::string estimator = "mle";
+  /// EWMA smoothing across rounds: new = alpha*estimate + (1-alpha)*old.
+  /// 1.0 (default) = trust each round's estimate outright, like the paper.
+  double estimate_smoothing = 1.0;
+  MleOptions mle;
+};
+
+struct RoundDecision {
+  AssignmentPlan plan;
+  Count bot_estimate = 0;
+  Count replicas = 0;
+};
+
+class ShuffleController {
+ public:
+  explicit ShuffleController(ControllerConfig config);
+
+  /// Decide the plan for the next shuffle.  `pool_clients` is the number of
+  /// clients currently in the shuffling pool; `prev` is the observation of
+  /// the previous shuffle (nullopt on the first round).
+  [[nodiscard]] RoundDecision decide(
+      Count pool_clients, const std::optional<ShuffleObservation>& prev);
+
+  /// Inject/override the bot estimate (first round seeding, oracle modes,
+  /// sensitivity ablations).
+  void set_bot_estimate(Count bots);
+
+  [[nodiscard]] Count bot_estimate() const { return bot_estimate_; }
+  [[nodiscard]] const ControllerConfig& config() const { return config_; }
+
+ private:
+  ControllerConfig config_;
+  std::unique_ptr<Planner> planner_;
+  std::unique_ptr<AttackScaleEstimator> estimator_;
+  Count bot_estimate_ = 0;
+  bool has_estimate_ = false;  // EWMA needs a first anchor
+};
+
+}  // namespace shuffledef::core

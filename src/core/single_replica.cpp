@@ -1,0 +1,50 @@
+#include "core/single_replica.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/math.h"
+
+namespace shuffledef::core {
+namespace {
+
+double g(Count n, Count m, Count x) {
+  return static_cast<double>(x) * util::prob_no_bots(n, m, x);
+}
+
+}  // namespace
+
+SingleReplicaOptimum optimal_single_replica(Count clients, Count bots) {
+  if (clients < 0 || bots < 0 || bots > clients) {
+    throw std::invalid_argument("optimal_single_replica: invalid arguments");
+  }
+  if (clients == 0) return {.size = 0, .expected_saved = 0.0};
+  if (bots == 0) {
+    return {.size = clients, .expected_saved = static_cast<double>(clients)};
+  }
+  // g rises while x <= (N - M) / (M + 1); the last rise lands on
+  // floor((N-M)/(M+1)) + 1.  Ties (exact divisibility) make g flat across
+  // the boundary, so checking the two candidates around it is exact.
+  const Count boundary = (clients - bots) / (bots + 1);
+  SingleReplicaOptimum best{.size = 0, .expected_saved = 0.0};
+  for (Count x = std::max<Count>(1, boundary);
+       x <= std::min(clients, boundary + 1); ++x) {
+    const double v = g(clients, bots, x);
+    if (v > best.expected_saved) best = {.size = x, .expected_saved = v};
+  }
+  return best;
+}
+
+SingleReplicaOptimum optimal_single_replica_scan(Count clients, Count bots) {
+  if (clients < 0 || bots < 0 || bots > clients) {
+    throw std::invalid_argument("optimal_single_replica_scan: invalid arguments");
+  }
+  SingleReplicaOptimum best{.size = 0, .expected_saved = 0.0};
+  for (Count x = 0; x <= clients; ++x) {
+    const double v = g(clients, bots, x);
+    if (v > best.expected_saved) best = {.size = x, .expected_saved = v};
+  }
+  return best;
+}
+
+}  // namespace shuffledef::core

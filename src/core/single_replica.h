@@ -1,0 +1,31 @@
+// The single-replica subproblem shared by the greedy planner.
+//
+// For one replica the objective is g(x) = x * C(N-x, M) / C(N, M): the
+// expected number of clients saved if x of the N clients are parked on it.
+// The greedy planner repeatedly assigns the maximizer omega of g.
+//
+// g has a closed-form maximizer.  The successive ratio is
+//   g(x+1)/g(x) = (x+1)/x * (N-x-M)/(N-x)
+// and g(x+1) >= g(x)  <=>  N - M - x(M+1) >= 0  <=>  x <= (N-M)/(M+1),
+// so g increases up to omega = floor((N-M)/(M+1)) + 1 and decreases after;
+// intuitively: size the bucket so it expects just under one bot.
+#pragma once
+
+#include "core/types.h"
+
+namespace shuffledef::core {
+
+struct SingleReplicaOptimum {
+  Count size = 0;           // omega: the optimal bucket size
+  double expected_saved = 0;  // g(omega)
+};
+
+/// Closed-form optimizer (O(1) plus one probability evaluation).
+/// For M == 0 the optimum is trivially all N clients.
+SingleReplicaOptimum optimal_single_replica(Count clients, Count bots);
+
+/// Reference implementation: scan all x in [0, N].  Used by tests to verify
+/// the closed form; O(N).
+SingleReplicaOptimum optimal_single_replica_scan(Count clients, Count bots);
+
+}  // namespace shuffledef::core

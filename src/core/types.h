@@ -1,0 +1,40 @@
+// Core problem types for shuffling-based moving-target defense.
+//
+// Notation follows Table I of the paper:
+//   N  total clients in the shuffling pool (benign clients + persistent bots)
+//   M  persistent bots among them
+//   P  shuffling replica servers
+//   x_i clients assigned to the i-th shuffling replica
+//   p_i probability the i-th replica receives no bot = C(N-x_i, M) / C(N, M)
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace shuffledef::core {
+
+using Count = std::int64_t;
+
+/// One shuffle-planning instance: how should N clients (M of them bots) be
+/// split across P replicas to maximize the expected number saved?
+struct ShuffleProblem {
+  Count clients = 0;   // N
+  Count bots = 0;      // M
+  Count replicas = 0;  // P
+
+  void validate() const {
+    if (clients < 0 || bots < 0 || replicas <= 0) {
+      throw std::invalid_argument(
+          "ShuffleProblem: requires clients >= 0, bots >= 0, replicas > 0");
+    }
+    if (bots > clients) {
+      throw std::invalid_argument("ShuffleProblem: more bots than clients");
+    }
+  }
+
+  [[nodiscard]] Count benign() const { return clients - bots; }
+
+  friend bool operator==(const ShuffleProblem&, const ShuffleProblem&) = default;
+};
+
+}  // namespace shuffledef::core

@@ -1,0 +1,36 @@
+#include "sim/arrival.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace shuffledef::sim {
+
+void ArrivalConfig::validate() const {
+  if (initial < 0 || rate < 0.0 || total_cap < 0) {
+    throw std::invalid_argument("ArrivalConfig: negative parameter");
+  }
+  if (initial > total_cap) {
+    throw std::invalid_argument("ArrivalConfig: initial exceeds total_cap");
+  }
+}
+
+ArrivalProcess::ArrivalProcess(ArrivalConfig config, util::Rng rng)
+    : config_(config), rng_(rng) {
+  config_.validate();
+}
+
+Count ArrivalProcess::next_round() {
+  Count arrivals = 0;
+  if (first_round_) {
+    arrivals += config_.initial;
+    first_round_ = false;
+  }
+  if (config_.rate > 0.0) {
+    arrivals += rng_.poisson(config_.rate);
+  }
+  arrivals = std::min(arrivals, config_.total_cap - arrived_);
+  arrived_ += arrivals;
+  return arrivals;
+}
+
+}  // namespace shuffledef::sim

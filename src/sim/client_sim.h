@@ -1,0 +1,70 @@
+// Client-level shuffle simulator with adversarial strategies.
+//
+// Unlike the count-based ShuffleSimulator (which assumes always-on bots and
+// tracks only population sizes), this simulator tracks every client so bots
+// can execute the evasive strategies of paper §VII:
+//
+//   * on-off bots may stay dormant through a shuffle, get "saved" onto a
+//     non-shuffling replica together with benign clients, and later wake up
+//     — re-polluting that replica, which then rejoins the shuffle pool;
+//   * quit-and-re-enter bots leave on a shuffle and come back later; with a
+//     known IP the sticky record pins them back to their previous location,
+//     with a fresh IP they enter the pool as a new client;
+//   * naive bots cannot follow redirects at all and fall out of the system
+//     on the first shuffle.
+//
+// The defense itself is stateless across rounds (paper: "our shuffling-based
+// moving target defense is stateless, only focusing on the current state of
+// the replica servers"): every round it shuffles exactly the attacked
+// replicas' clients and leaves clean replicas alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/shuffle_controller.h"
+#include "sim/strategy.h"
+
+namespace shuffledef::sim {
+
+struct ClientSimConfig {
+  Count benign = 1000;
+  Count bots = 50;
+  StrategyParams strategy;
+  core::ControllerConfig controller;
+  Count rounds = 100;
+  std::uint64_t seed = 1;
+};
+
+struct ClientRoundMetrics {
+  Count round = 0;
+  Count pool_clients = 0;        // clients being shuffled this round
+  Count pool_bots = 0;           // bots present in the pool (active or not)
+  Count active_attackers = 0;    // bots attacking some replica this round
+  Count benign_safe = 0;         // benign clients on clean, non-shuffling replicas
+  Count repolluted_benign = 0;   // benign dragged back into the pool this round
+  Count away_bots = 0;           // quit-reenter bots currently outside
+  Count attacked_replicas = 0;
+};
+
+struct ClientSimResult {
+  std::vector<ClientRoundMetrics> rounds;
+  Count benign_total = 0;
+
+  /// Fraction of benign clients safe at the end of the run.
+  [[nodiscard]] double final_safe_fraction() const;
+  /// Mean active attackers per round (the delivered attack intensity).
+  [[nodiscard]] double mean_attack_intensity() const;
+};
+
+class ClientLevelSimulator {
+ public:
+  explicit ClientLevelSimulator(ClientSimConfig config);
+
+  [[nodiscard]] ClientSimResult run();
+
+ private:
+  ClientSimConfig config_;
+};
+
+}  // namespace shuffledef::sim

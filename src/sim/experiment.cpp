@@ -1,0 +1,20 @@
+#include "sim/experiment.h"
+
+#include <stdexcept>
+
+#include "util/random.h"
+
+namespace shuffledef::sim {
+
+util::Summary repeat(int reps, std::uint64_t base_seed,
+                     const std::function<double(std::uint64_t)>& metric) {
+  if (reps <= 0) throw std::invalid_argument("repeat: reps must be > 0");
+  util::Accumulator acc;
+  std::uint64_t state = base_seed;
+  for (int r = 0; r < reps; ++r) {
+    acc.add(metric(util::splitmix64(state)));
+  }
+  return acc.summary();
+}
+
+}  // namespace shuffledef::sim

@@ -1,0 +1,19 @@
+// Repetition harness: the paper reports each data point as a mean over
+// repeated simulation runs with a confidence interval (30 reps / 99% CI for
+// the shuffle-count figures, 40 reps / 99% CI for the MLE figure, 15 reps /
+// 95% CI for the prototype latency figure).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/stats.h"
+
+namespace shuffledef::sim {
+
+/// Run `metric(rep_seed)` for `reps` deterministic per-repetition seeds
+/// derived from `base_seed` and summarize.
+util::Summary repeat(int reps, std::uint64_t base_seed,
+                     const std::function<double(std::uint64_t)>& metric);
+
+}  // namespace shuffledef::sim

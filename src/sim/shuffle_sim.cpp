@@ -1,0 +1,114 @@
+#include "sim/shuffle_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace shuffledef::sim {
+
+std::optional<Count> ShuffleSimResult::shuffles_to_fraction(
+    double fraction) const {
+  const auto target = static_cast<Count>(
+      std::ceil(fraction * static_cast<double>(benign_total)));
+  for (const auto& r : rounds) {
+    if (r.cumulative_saved >= target) return r.round;
+  }
+  return std::nullopt;
+}
+
+ShuffleSimulator::ShuffleSimulator(ShuffleSimConfig config)
+    : config_(std::move(config)) {
+  config_.benign.validate();
+  config_.bots.validate();
+  if (config_.target_fraction <= 0.0 || config_.target_fraction > 1.0) {
+    throw std::invalid_argument("ShuffleSimConfig: bad target_fraction");
+  }
+  if (config_.max_rounds <= 0) {
+    throw std::invalid_argument("ShuffleSimConfig: max_rounds must be > 0");
+  }
+}
+
+ShuffleSimResult ShuffleSimulator::run() {
+  util::Rng root(config_.seed);
+  ArrivalProcess benign_arrivals(config_.benign, root.fork(1));
+  ArrivalProcess bot_arrivals(config_.bots, root.fork(2));
+  util::Rng placement_rng = root.fork(3);
+
+  core::ShuffleController controller(config_.controller);
+
+  ShuffleSimResult result;
+  result.benign_total = config_.benign.total_cap;
+  const auto target = static_cast<Count>(std::ceil(
+      config_.target_fraction * static_cast<double>(result.benign_total)));
+
+  Count pool_benign = 0;
+  Count pool_bots = 0;
+  Count cumulative_saved = 0;
+  std::optional<core::ShuffleObservation> prev_obs;
+
+  for (Count round = 1; round <= config_.max_rounds; ++round) {
+    pool_benign += benign_arrivals.next_round();
+    pool_bots += bot_arrivals.next_round();
+    const Count pool = pool_benign + pool_bots;
+    if (pool == 0) {
+      if (benign_arrivals.exhausted() && bot_arrivals.exhausted()) break;
+      continue;  // nothing to shuffle yet; wait for arrivals
+    }
+
+    if (!config_.controller.use_mle) {
+      // Oracle mode: feed the (possibly biased) truth.
+      const double biased =
+          static_cast<double>(pool_bots) * config_.oracle_bias;
+      controller.set_bot_estimate(
+          std::clamp<Count>(static_cast<Count>(std::llround(biased)), 0, pool));
+    } else if (!prev_obs.has_value()) {
+      const Count seed_estimate = config_.initial_bot_estimate > 0
+                                      ? config_.initial_bot_estimate
+                                      : std::max<Count>(1, pool / 10);
+      controller.set_bot_estimate(std::min(seed_estimate, pool));
+    }
+
+    const auto decision = controller.decide(pool, prev_obs);
+
+    // Place the pool's bots uniformly across the plan's buckets.
+    const auto bots_per_bucket = placement_rng.multivariate_hypergeometric(
+        decision.plan.counts(), pool_bots);
+
+    RoundStats stats;
+    stats.round = round;
+    stats.pool_benign = pool_benign;
+    stats.pool_bots = pool_bots;
+    stats.replicas = decision.replicas;
+    stats.bot_estimate = decision.bot_estimate;
+
+    std::vector<bool> attacked(decision.plan.replica_count(), false);
+    Count saved = 0;
+    for (std::size_t i = 0; i < bots_per_bucket.size(); ++i) {
+      if (bots_per_bucket[i] > 0) {
+        attacked[i] = true;
+        ++stats.attacked_replicas;
+      } else {
+        saved += decision.plan[i];  // clean bucket: all occupants are benign
+      }
+    }
+    pool_benign -= saved;
+    cumulative_saved += saved;
+    stats.saved = saved;
+    stats.cumulative_saved = cumulative_saved;
+    result.rounds.push_back(stats);
+
+    prev_obs = core::ShuffleObservation{decision.plan, std::move(attacked)};
+
+    if (result.benign_total > 0 && cumulative_saved >= target) {
+      result.reached_target = true;
+      break;
+    }
+    if (pool_benign == 0 && benign_arrivals.exhausted()) {
+      break;  // no benign client left to save
+    }
+  }
+  result.saved_total = cumulative_saved;
+  return result;
+}
+
+}  // namespace shuffledef::sim

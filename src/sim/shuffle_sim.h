@@ -1,0 +1,78 @@
+// Count-based shuffle simulator: the engine behind Figures 8, 9 and 10.
+//
+// Individual client identities are irrelevant to the saved-count dynamics —
+// only how many benign clients and bots remain in the shuffling pool — so
+// each round is simulated in O(P * sqrt(bots-per-replica)):
+//
+//   1. new benign clients / bots arrive (Poisson, capped totals);
+//   2. the ShuffleController picks an assignment plan (MLE -> planner);
+//   3. bots land across the plan's buckets by an exact multivariate
+//      hypergeometric draw (equivalent to uniformly assigning every client);
+//   4. every bucket with >= 1 bot is attacked; clean buckets' clients are
+//      all benign and leave the pool as saved.
+//
+// Per the paper, replicas that are no longer attacked stop shuffling and
+// fresh replicas keep the shuffling-replica count constant, which is
+// exactly what re-planning over the remaining pool each round models.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/shuffle_controller.h"
+#include "core/types.h"
+#include "sim/arrival.h"
+
+namespace shuffledef::sim {
+
+struct ShuffleSimConfig {
+  ArrivalConfig benign;
+  ArrivalConfig bots;
+  core::ControllerConfig controller;
+  /// When use_mle is off, the controller is fed the true bot-pool size each
+  /// round (oracle mode) scaled by this factor (sensitivity ablations).
+  double oracle_bias = 1.0;
+  /// Seed for the controller's first-round estimate (no observation exists
+  /// yet); 0 = use one tenth of the pool.
+  Count initial_bot_estimate = 0;
+  /// Stop once this fraction of the total benign population is saved.
+  double target_fraction = 0.95;
+  Count max_rounds = 5000;
+  std::uint64_t seed = 1;
+};
+
+struct RoundStats {
+  Count round = 0;              // 1-based shuffle index
+  Count pool_benign = 0;        // pool composition entering the shuffle
+  Count pool_bots = 0;
+  Count replicas = 0;           // P used this round
+  Count attacked_replicas = 0;  // observed X
+  Count bot_estimate = 0;       // the controller's M-hat for this round
+  Count saved = 0;              // benign saved by this shuffle
+  Count cumulative_saved = 0;
+};
+
+struct ShuffleSimResult {
+  std::vector<RoundStats> rounds;
+  Count benign_total = 0;   // total benign that ever arrived
+  Count saved_total = 0;
+  bool reached_target = false;
+
+  /// First shuffle index with cumulative saved >= fraction * benign_total;
+  /// nullopt if never reached.
+  [[nodiscard]] std::optional<Count> shuffles_to_fraction(double fraction) const;
+};
+
+class ShuffleSimulator {
+ public:
+  explicit ShuffleSimulator(ShuffleSimConfig config);
+
+  [[nodiscard]] ShuffleSimResult run();
+
+ private:
+  ShuffleSimConfig config_;
+};
+
+}  // namespace shuffledef::sim

@@ -1,0 +1,56 @@
+#include "sim/strategy.h"
+
+#include <algorithm>
+
+namespace shuffledef::sim {
+
+const char* bot_strategy_name(BotStrategy strategy) noexcept {
+  switch (strategy) {
+    case BotStrategy::kAlwaysOn: return "always-on";
+    case BotStrategy::kOnOff: return "on-off";
+    case BotStrategy::kQuitReenter: return "quit-reenter";
+    case BotStrategy::kNaive: return "naive";
+    case BotStrategy::kSynchronizedWaves: return "synchronized-waves";
+  }
+  return "?";
+}
+
+BotBehavior::BotBehavior(StrategyParams params, util::Rng /*rng*/)
+    : params_(params) {}
+
+bool BotBehavior::step_attacks(util::Rng& rng) {
+  if (away_rounds_ > 0) {
+    --away_rounds_;
+    return false;
+  }
+  switch (params_.strategy) {
+    case BotStrategy::kAlwaysOn:
+      return true;
+    case BotStrategy::kOnOff:
+      return rng.bernoulli(params_.on_probability);
+    case BotStrategy::kQuitReenter:
+      return true;  // attacks while present; exit decisions on shuffles
+    case BotStrategy::kNaive:
+      return false;  // cannot follow moving replicas at all
+    case BotStrategy::kSynchronizedWaves: {
+      const Count period = std::max<Count>(1, params_.wave_period);
+      const auto on_rounds = static_cast<Count>(
+          params_.wave_duty * static_cast<double>(period));
+      const bool on = (round_counter_ % period) < std::max<Count>(1, on_rounds);
+      ++round_counter_;
+      return on;
+    }
+  }
+  return false;
+}
+
+void BotBehavior::on_shuffled(util::Rng& rng) {
+  if (params_.strategy != BotStrategy::kQuitReenter) return;
+  if (away_rounds_ > 0) return;
+  if (rng.bernoulli(params_.quit_probability)) {
+    away_rounds_ = std::max<Count>(1, params_.reenter_delay);
+    pending_new_ip_ = rng.bernoulli(params_.new_ip_probability);
+  }
+}
+
+}  // namespace shuffledef::sim

@@ -1,0 +1,81 @@
+// Attacker strategies (paper §II-B and §VII "Discussion").
+//
+//   kAlwaysOn    — persistent bots that attack every replica they land on,
+//                  every round (the paper's main threat model).
+//   kOnOff       — non-aggressive bots that attack only with probability
+//                  `on_probability` each round, hoping to blend with benign
+//                  clients; the paper argues they only reduce attack
+//                  intensity because the defense is stateless.
+//   kQuitReenter — bots that stop attacking when they notice a shuffle and
+//                  re-enter through the load balancers; the defense pins
+//                  re-entries with a known IP to their recorded replica for
+//                  `sticky_rounds` rounds, so only a fresh IP buys a new
+//                  placement.
+//   kNaive       — hit-list bots that can only flood static addresses; one
+//                  server replacement permanently evades them.
+//   kSynchronizedWaves — the whole botnet attacks in coordinated bursts
+//                  (`wave_duty` of every `wave_period` rounds), the
+//                  strongest form of the on-and-off strategy: maximal
+//                  damage while on, maximal blending while off.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+#include "util/random.h"
+
+namespace shuffledef::sim {
+
+using core::Count;
+
+enum class BotStrategy : std::uint8_t {
+  kAlwaysOn,
+  kOnOff,
+  kQuitReenter,
+  kNaive,
+  kSynchronizedWaves,
+};
+
+const char* bot_strategy_name(BotStrategy strategy) noexcept;
+
+struct StrategyParams {
+  BotStrategy strategy = BotStrategy::kAlwaysOn;
+  /// kOnOff: probability a bot attacks in a given round.
+  double on_probability = 0.5;
+  /// kQuitReenter: probability a bot exits after observing a shuffle.
+  double quit_probability = 0.2;
+  /// kQuitReenter: rounds a quitted bot waits before re-entering.
+  Count reenter_delay = 2;
+  /// kQuitReenter: probability a re-entry uses a fresh IP address
+  /// (otherwise the sticky record pins it back to its old placement).
+  double new_ip_probability = 0.5;
+  /// kSynchronizedWaves: burst cycle length in rounds, and the fraction of
+  /// each cycle spent attacking.
+  Count wave_period = 6;
+  double wave_duty = 0.5;
+};
+
+/// Per-bot state machine for the round-based strategy simulator.
+class BotBehavior {
+ public:
+  BotBehavior(StrategyParams params, util::Rng rng);
+
+  /// Advance one round.  Returns true when the bot actively attacks the
+  /// replica it is currently assigned to this round.
+  bool step_attacks(util::Rng& rng);
+
+  /// Called when the bot's replica was shuffled (it noticed the defense).
+  void on_shuffled(util::Rng& rng);
+
+  [[nodiscard]] bool away() const { return away_rounds_ > 0; }
+  [[nodiscard]] bool reenters_with_new_ip() const { return pending_new_ip_; }
+
+ private:
+  StrategyParams params_;
+  Count away_rounds_ = 0;     // kQuitReenter: rounds left outside the system
+  Count round_counter_ = 0;   // kSynchronizedWaves: shared phase (all bots
+                              // step once per round, so counters align)
+  bool pending_new_ip_ = false;
+};
+
+}  // namespace shuffledef::sim

@@ -1,0 +1,28 @@
+#include "sim/trace.h"
+
+#include <ostream>
+
+namespace shuffledef::sim {
+
+void write_round_trace(const ShuffleSimResult& result, std::ostream& os) {
+  os << "round,pool_benign,pool_bots,replicas,attacked,bot_estimate,saved,"
+        "cumulative_saved\n";
+  for (const auto& r : result.rounds) {
+    os << r.round << ',' << r.pool_benign << ',' << r.pool_bots << ','
+       << r.replicas << ',' << r.attacked_replicas << ',' << r.bot_estimate
+       << ',' << r.saved << ',' << r.cumulative_saved << '\n';
+  }
+}
+
+void write_client_trace(const ClientSimResult& result, std::ostream& os) {
+  os << "round,pool_clients,pool_bots,active_attackers,benign_safe,"
+        "repolluted,away_bots,attacked\n";
+  for (const auto& r : result.rounds) {
+    os << r.round << ',' << r.pool_clients << ',' << r.pool_bots << ','
+       << r.active_attackers << ',' << r.benign_safe << ','
+       << r.repolluted_benign << ',' << r.away_bots << ','
+       << r.attacked_replicas << '\n';
+  }
+}
+
+}  // namespace shuffledef::sim

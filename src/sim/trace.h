@@ -1,0 +1,23 @@
+// CSV trace export for simulation results.
+//
+// Both simulators produce per-round records; these writers serialize them
+// in a stable CSV schema so runs can be archived, diffed across versions,
+// or plotted externally.  The first line is a header; one row per round.
+#pragma once
+
+#include <iosfwd>
+
+#include "sim/client_sim.h"
+#include "sim/shuffle_sim.h"
+
+namespace shuffledef::sim {
+
+/// Count-based simulator trace:
+/// round,pool_benign,pool_bots,replicas,attacked,bot_estimate,saved,cumulative_saved
+void write_round_trace(const ShuffleSimResult& result, std::ostream& os);
+
+/// Client-level simulator trace:
+/// round,pool_clients,pool_bots,active_attackers,benign_safe,repolluted,away_bots,attacked
+void write_client_trace(const ClientSimResult& result, std::ostream& os);
+
+}  // namespace shuffledef::sim

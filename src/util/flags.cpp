@@ -1,0 +1,146 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace shuffledef::util {
+
+Flags::Flags(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+std::int64_t& Flags::add_int(const std::string& name,
+                             std::int64_t default_value,
+                             const std::string& help) {
+  auto flag = std::make_unique<Flag>();
+  flag->name = name;
+  flag->help = help;
+  flag->type = Type::kInt;
+  flag->int_value = std::make_unique<std::int64_t>(default_value);
+  flag->default_repr = std::to_string(default_value);
+  auto& ref = *flag->int_value;
+  flags_.push_back(std::move(flag));
+  return ref;
+}
+
+double& Flags::add_double(const std::string& name, double default_value,
+                          const std::string& help) {
+  auto flag = std::make_unique<Flag>();
+  flag->name = name;
+  flag->help = help;
+  flag->type = Type::kDouble;
+  flag->double_value = std::make_unique<double>(default_value);
+  std::ostringstream os;
+  os << default_value;
+  flag->default_repr = os.str();
+  auto& ref = *flag->double_value;
+  flags_.push_back(std::move(flag));
+  return ref;
+}
+
+bool& Flags::add_bool(const std::string& name, bool default_value,
+                      const std::string& help) {
+  auto flag = std::make_unique<Flag>();
+  flag->name = name;
+  flag->help = help;
+  flag->type = Type::kBool;
+  flag->bool_value = std::make_unique<bool>(default_value);
+  flag->default_repr = default_value ? "true" : "false";
+  auto& ref = *flag->bool_value;
+  flags_.push_back(std::move(flag));
+  return ref;
+}
+
+std::string& Flags::add_string(const std::string& name,
+                               std::string default_value,
+                               const std::string& help) {
+  auto flag = std::make_unique<Flag>();
+  flag->name = name;
+  flag->help = help;
+  flag->type = Type::kString;
+  flag->string_value = std::make_unique<std::string>(std::move(default_value));
+  flag->default_repr = *flag->string_value;
+  auto& ref = *flag->string_value;
+  flags_.push_back(std::move(flag));
+  return ref;
+}
+
+Flags::Flag* Flags::find(const std::string& name) {
+  for (auto& f : flags_) {
+    if (f->name == name) return f.get();
+  }
+  return nullptr;
+}
+
+void Flags::assign(Flag& flag, const std::string& value) {
+  try {
+    switch (flag.type) {
+      case Type::kInt:
+        *flag.int_value = std::stoll(value);
+        break;
+      case Type::kDouble:
+        *flag.double_value = std::stod(value);
+        break;
+      case Type::kBool:
+        if (value == "true" || value == "1") *flag.bool_value = true;
+        else if (value == "false" || value == "0") *flag.bool_value = false;
+        else throw std::invalid_argument("bad bool");
+        break;
+      case Type::kString:
+        *flag.string_value = value;
+        break;
+    }
+  } catch (const std::exception&) {
+    throw std::invalid_argument("invalid value for --" + flag.name + ": '" +
+                                value + "'");
+  }
+}
+
+void Flags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_value = true;
+    }
+    Flag* flag = find(arg);
+    if (flag == nullptr) {
+      throw std::invalid_argument("unknown flag --" + arg + "\n" + usage());
+    }
+    if (!has_value) {
+      if (flag->type == Type::kBool) {
+        *flag->bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("missing value for --" + arg);
+      }
+      value = argv[++i];
+    }
+    assign(*flag, value);
+  }
+}
+
+std::string Flags::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& f : flags_) {
+    os << "  --" << f->name << "  (default: " << f->default_repr << ")  "
+       << f->help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace shuffledef::util

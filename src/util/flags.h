@@ -1,0 +1,58 @@
+// Minimal command-line flag parser for the bench and example binaries.
+//
+//   util::Flags flags("fig08", "Reproduces Figure 8");
+//   auto& reps = flags.add_int("reps", 30, "repetitions per data point");
+//   auto& full = flags.add_bool("full", false, "paper-scale parameters");
+//   flags.parse(argc, argv);        // exits(0) on --help, throws on errors
+//
+// Accepted syntaxes: --name value, --name=value, and bare --name for bools.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace shuffledef::util {
+
+class Flags {
+ public:
+  Flags(std::string program, std::string description);
+
+  std::int64_t& add_int(const std::string& name, std::int64_t default_value,
+                        const std::string& help);
+  double& add_double(const std::string& name, double default_value,
+                     const std::string& help);
+  bool& add_bool(const std::string& name, bool default_value,
+                 const std::string& help);
+  std::string& add_string(const std::string& name, std::string default_value,
+                          const std::string& help);
+
+  /// Parse argv.  Prints usage and exits(0) if --help is present; throws
+  /// std::invalid_argument on unknown flags or malformed values.
+  void parse(int argc, char** argv);
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Type { kInt, kDouble, kBool, kString };
+  struct Flag {
+    std::string name;
+    std::string help;
+    Type type;
+    std::unique_ptr<std::int64_t> int_value;
+    std::unique_ptr<double> double_value;
+    std::unique_ptr<bool> bool_value;
+    std::unique_ptr<std::string> string_value;
+    std::string default_repr;
+  };
+
+  Flag* find(const std::string& name);
+  void assign(Flag& flag, const std::string& value);
+
+  std::string program_;
+  std::string description_;
+  std::vector<std::unique_ptr<Flag>> flags_;
+};
+
+}  // namespace shuffledef::util

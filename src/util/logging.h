@@ -1,0 +1,48 @@
+// Leveled logging with a global threshold.
+//
+//   SDEF_LOG(Info) << "shuffle " << round << " saved " << saved;
+//
+// The stream is only materialized when the level passes the threshold, so
+// disabled log statements cost one branch.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace shuffledef::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_threshold() noexcept;
+void set_log_threshold(LogLevel level) noexcept;
+
+const char* log_level_name(LogLevel level) noexcept;
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace shuffledef::util
+
+#define SDEF_LOG(severity)                                                  \
+  if (::shuffledef::util::LogLevel::k##severity <                           \
+      ::shuffledef::util::log_threshold()) {                                \
+  } else                                                                    \
+    ::shuffledef::util::LogMessage(::shuffledef::util::LogLevel::k##severity, \
+                                   __FILE__, __LINE__)

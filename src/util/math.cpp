@@ -1,0 +1,115 @@
+#include "util/math.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace shuffledef::util {
+namespace {
+
+constexpr std::int64_t kLogFactCacheSize = 1 << 20;  // exact up to ~1M
+
+const std::vector<double>& log_fact_table() {
+  static const std::vector<double> table = [] {
+    std::vector<double> t(kLogFactCacheSize);
+    t[0] = 0.0;
+    for (std::int64_t i = 1; i < kLogFactCacheSize; ++i) {
+      t[i] = t[i - 1] + std::log(static_cast<double>(i));
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+double log_factorial(std::int64_t n) {
+  if (n < 0) throw std::invalid_argument("log_factorial: negative argument");
+  if (n < kLogFactCacheSize) return log_fact_table()[static_cast<size_t>(n)];
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double log_binomial(std::int64_t n, std::int64_t k) {
+  if (k < 0 || k > n || n < 0) return kNegInf;
+  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+}
+
+double binomial(std::int64_t n, std::int64_t k) {
+  const double lb = log_binomial(n, k);
+  if (lb == kNegInf) return 0.0;
+  return std::exp(lb);
+}
+
+double prob_no_bots(std::int64_t n, std::int64_t m, std::int64_t x) {
+  if (n < 0 || m < 0 || x < 0 || m > n || x > n) {
+    throw std::invalid_argument("prob_no_bots: invalid arguments");
+  }
+  if (m == 0) return 1.0;
+  if (x == 0) return 1.0;
+  if (x > n - m) return 0.0;  // not enough non-bot clients to fill the replica
+  return std::exp(log_binomial(n - x, m) - log_binomial(n, m));
+}
+
+double log_hypergeometric_pmf(std::int64_t total, std::int64_t successes,
+                              std::int64_t draws, std::int64_t k) {
+  if (total < 0 || successes < 0 || draws < 0 || successes > total ||
+      draws > total) {
+    throw std::invalid_argument("hypergeometric: invalid parameters");
+  }
+  if (k < 0 || k > draws || k > successes || draws - k > total - successes) {
+    return kNegInf;
+  }
+  return log_binomial(successes, k) +
+         log_binomial(total - successes, draws - k) -
+         log_binomial(total, draws);
+}
+
+double hypergeometric_pmf(std::int64_t total, std::int64_t successes,
+                          std::int64_t draws, std::int64_t k) {
+  const double lp = log_hypergeometric_pmf(total, successes, draws, k);
+  if (lp == kNegInf) return 0.0;
+  return std::exp(lp);
+}
+
+double hypergeometric_mean(std::int64_t total, std::int64_t successes,
+                           std::int64_t draws) {
+  if (total == 0) return 0.0;
+  return static_cast<double>(draws) * static_cast<double>(successes) /
+         static_cast<double>(total);
+}
+
+double hypergeometric_var(std::int64_t total, std::int64_t successes,
+                          std::int64_t draws) {
+  if (total <= 1) return 0.0;
+  const double t = static_cast<double>(total);
+  const double s = static_cast<double>(successes);
+  const double d = static_cast<double>(draws);
+  return d * (s / t) * (1.0 - s / t) * ((t - d) / (t - 1.0));
+}
+
+HypergeomSupport hypergeometric_support(std::int64_t total,
+                                        std::int64_t successes,
+                                        std::int64_t draws) {
+  HypergeomSupport s;
+  s.lo = std::max<std::int64_t>(0, draws - (total - successes));
+  s.hi = std::min(draws, successes);
+  return s;
+}
+
+double log_sum_exp(std::span<const double> xs) {
+  double mx = kNegInf;
+  for (double x : xs) mx = std::max(mx, x);
+  if (mx == kNegInf) return kNegInf;
+  KahanSum sum;
+  for (double x : xs) sum.add(std::exp(x - mx));
+  return mx + std::log(sum.value());
+}
+
+double log_add_exp(double a, double b) {
+  if (a == kNegInf) return b;
+  if (b == kNegInf) return a;
+  const double mx = std::max(a, b);
+  return mx + std::log1p(std::exp(std::min(a, b) - mx));
+}
+
+}  // namespace shuffledef::util

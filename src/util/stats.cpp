@@ -1,0 +1,170 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace shuffledef::util {
+namespace {
+
+struct TRow {
+  std::int64_t df;
+  double t90, t95, t99;
+};
+
+// Two-sided critical values of the Student-t distribution.
+constexpr TRow kTTable[] = {
+    {1, 6.314, 12.706, 63.657}, {2, 2.920, 4.303, 9.925},
+    {3, 2.353, 3.182, 5.841},   {4, 2.132, 2.776, 4.604},
+    {5, 2.015, 2.571, 4.032},   {6, 1.943, 2.447, 3.707},
+    {7, 1.895, 2.365, 3.499},   {8, 1.860, 2.306, 3.355},
+    {9, 1.833, 2.262, 3.250},   {10, 1.812, 2.228, 3.169},
+    {12, 1.782, 2.179, 3.055},  {14, 1.761, 2.145, 2.977},
+    {16, 1.746, 2.120, 2.921},  {18, 1.734, 2.101, 2.878},
+    {20, 1.725, 2.086, 2.845},  {25, 1.708, 2.060, 2.787},
+    {29, 1.699, 2.045, 2.756},  {30, 1.697, 2.042, 2.750},
+    {39, 1.685, 2.023, 2.708},  {40, 1.684, 2.021, 2.704},
+    {50, 1.676, 2.009, 2.678},  {60, 1.671, 2.000, 2.660},
+    {80, 1.664, 1.990, 2.639},  {100, 1.660, 1.984, 2.626},
+    {150, 1.655, 1.976, 2.609}, {200, 1.653, 1.972, 2.601},
+};
+
+double t_at_level(const TRow& row, double level) {
+  if (level <= 0.90) return row.t90;
+  if (level <= 0.95) {
+    // Linear interpolation between 90% and 95%.
+    const double f = (level - 0.90) / 0.05;
+    return row.t90 + f * (row.t95 - row.t90);
+  }
+  if (level <= 0.99) {
+    const double f = (level - 0.95) / 0.04;
+    return row.t95 + f * (row.t99 - row.t95);
+  }
+  return row.t99;
+}
+
+double normal_quantile_two_sided(double level) {
+  // Acklam-style rational approximation of the standard normal quantile at
+  // p = (1 + level) / 2; plenty accurate for CI reporting.
+  const double p = 0.5 * (1.0 + level);
+  if (p <= 0.0 || p >= 1.0) throw std::invalid_argument("bad level");
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+double student_t_critical(std::int64_t df, double level) {
+  if (df < 1) throw std::invalid_argument("student_t_critical: df < 1");
+  if (level <= 0.0 || level >= 1.0) {
+    throw std::invalid_argument("student_t_critical: level out of (0,1)");
+  }
+  constexpr std::size_t n = sizeof(kTTable) / sizeof(kTTable[0]);
+  if (df > kTTable[n - 1].df) return normal_quantile_two_sided(level);
+  // Find bracketing rows and interpolate in 1/df (standard practice).
+  std::size_t hi = 0;
+  while (hi < n && kTTable[hi].df < df) ++hi;
+  if (hi < n && kTTable[hi].df == df) return t_at_level(kTTable[hi], level);
+  const TRow& lo_row = kTTable[hi - 1];
+  const TRow& hi_row = kTTable[hi];
+  const double x = 1.0 / static_cast<double>(df);
+  const double x0 = 1.0 / static_cast<double>(lo_row.df);
+  const double x1 = 1.0 / static_cast<double>(hi_row.df);
+  const double f = (x - x0) / (x1 - x0);
+  return t_at_level(lo_row, level) +
+         f * (t_at_level(hi_row, level) - t_at_level(lo_row, level));
+}
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+Summary Accumulator::summary() const {
+  Summary s;
+  s.count = n_;
+  s.mean = mean_;
+  s.stddev = stddev();
+  s.min = min_;
+  s.max = max_;
+  return s;
+}
+
+double Summary::ci_half_width(double level) const {
+  if (count < 2) return 0.0;
+  const double t = student_t_critical(count - 1, level);
+  return t * stddev / std::sqrt(static_cast<double>(count));
+}
+
+std::string Summary::to_string(double level) const {
+  std::ostringstream os;
+  os.precision(4);
+  os << mean << " ± " << ci_half_width(level);
+  return os.str();
+}
+
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile: bad q");
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto idx = static_cast<std::size_t>(pos);
+  if (idx + 1 >= v.size()) return v.back();
+  const double frac = pos - static_cast<double>(idx);
+  return v[idx] + frac * (v[idx + 1] - v[idx]);
+}
+
+Summary summarize(std::span<const double> xs) {
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  return acc.summary();
+}
+
+}  // namespace shuffledef::util

@@ -1,0 +1,61 @@
+// Streaming statistics and confidence intervals.
+//
+// The paper reports every simulated data point as a mean over repeated runs
+// surrounded by a 99% (Fig. 7, 8, 9, 10) or 95% (Fig. 12) confidence
+// interval.  `Accumulator` computes the running mean/variance (Welford) and
+// `Summary` produces Student-t confidence half-widths for exactly that.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace shuffledef::util {
+
+struct Summary {
+  std::int64_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;   // sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Half-width of the two-sided confidence interval at the given level
+  /// (e.g. 0.95 or 0.99) using the Student-t distribution.
+  [[nodiscard]] double ci_half_width(double level) const;
+
+  /// "12.3 ± 0.4" style rendering.
+  [[nodiscard]] std::string to_string(double level = 0.95) const;
+};
+
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+  [[nodiscard]] std::int64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double variance() const noexcept;   // sample variance (n-1)
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] Summary summary() const;
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided Student-t critical value for `df` degrees of freedom at the
+/// given confidence level (0 < level < 1).  Exact for the tabulated grid the
+/// benches use; log-interpolated in between; normal quantile for df > 200.
+double student_t_critical(std::int64_t df, double level);
+
+/// Quantile of a sample (q in [0,1], linear interpolation, copies the data).
+double percentile(std::span<const double> xs, double q);
+
+/// Summarize a whole sample at once.
+Summary summarize(std::span<const double> xs);
+
+}  // namespace shuffledef::util

@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used by the runtime figures (Fig. 5 / Fig. 6).
+#pragma once
+
+#include <chrono>
+
+namespace shuffledef::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+  [[nodiscard]] double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace shuffledef::util

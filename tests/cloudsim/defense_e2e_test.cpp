@@ -1,0 +1,122 @@
+// End-to-end defense behaviour on the full simulated cloud: detection ->
+// coordination -> replication -> shuffling -> isolation.
+#include <gtest/gtest.h>
+
+#include "cloudsim/scenario.h"
+
+namespace shuffledef::cloudsim {
+namespace {
+
+ScenarioConfig small_world(std::uint64_t seed = 1) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.domains = 2;
+  cfg.initial_replicas = 2;
+  cfg.clients = 12;
+  cfg.client_start_spread_s = 0.5;
+  cfg.coordinator.controller.planner = "greedy";
+  cfg.coordinator.controller.replicas = 4;
+  cfg.coordinator.controller.use_mle = true;
+  cfg.boot_delay_s = 0.2;
+  // Fast detection for test turn-around.
+  cfg.replica.detect_window_s = 0.25;
+  cfg.replica.junk_rate_threshold = 100.0;
+  return cfg;
+}
+
+TEST(DefenseE2E, QuietWorldJustServesClients) {
+  Scenario s(small_world());
+  ASSERT_TRUE(s.run_until(8.0));
+  EXPECT_EQ(s.clients_connected(), 12);
+  EXPECT_EQ(s.coordinator()->stats().rounds_executed, 0);
+  EXPECT_EQ(s.coordinator()->stats().attack_reports, 0);
+}
+
+TEST(DefenseE2E, PersistentBotsTriggerShuffleRounds) {
+  auto cfg = small_world(2);
+  cfg.persistent_bots = 2;
+  cfg.bot_junk_rate_pps = 400.0;  // well above the detection threshold
+  Scenario s(cfg);
+  ASSERT_TRUE(s.run_until(30.0));
+  EXPECT_GT(s.coordinator()->stats().attack_reports, 0);
+  EXPECT_GT(s.coordinator()->stats().rounds_executed, 0);
+  EXPECT_GT(s.coordinator()->stats().clients_migrated, 0);
+  EXPECT_GT(s.provider().recycled(), 0);
+}
+
+TEST(DefenseE2E, ShufflingIsolatesBotsFromMostBenignClients) {
+  auto cfg = small_world(3);
+  cfg.clients = 20;
+  cfg.persistent_bots = 2;
+  cfg.bot_junk_rate_pps = 400.0;
+  cfg.coordinator.controller.replicas = 6;
+  Scenario s(cfg);
+  ASSERT_TRUE(s.run_until(60.0));
+  // After enough rounds the bots sit on few replicas and most benign
+  // clients live on bot-free replicas.
+  EXPECT_LE(s.replicas_hosting_bots(), 2);
+  EXPECT_GE(s.benign_clients_isolated_from_bots(), 15);
+  // Clients stayed connected through the migrations.
+  EXPECT_GE(s.clients_connected(), 18);
+}
+
+TEST(DefenseE2E, NaiveFloodIsEvadedByOneReplacement) {
+  auto cfg = small_world(4);
+  cfg.clients = 8;
+  cfg.persistent_bots = 1;   // the scout that feeds the hit list
+  cfg.naive_bots = 5;
+  cfg.naive_junk_rate_pps = 300.0;
+  cfg.bot_junk_rate_pps = 50.0;  // scout itself mostly passive
+  cfg.replica.junk_rate_threshold = 150.0;
+  Scenario s(cfg);
+  ASSERT_TRUE(s.run_until(40.0));
+  EXPECT_GT(s.coordinator()->stats().rounds_executed, 0);
+  // Naive bots keep firing at recycled addresses: dropped-detached counts
+  // climb while the defense keeps serving.
+  EXPECT_GT(s.world().network().stats().dropped_detached, 100u);
+  EXPECT_GE(s.clients_connected(), 6);
+}
+
+TEST(DefenseE2E, ComputationalAttackAlsoDetected) {
+  auto cfg = small_world(5);
+  cfg.persistent_bots = 2;
+  cfg.bot_junk_rate_pps = 0.0;
+  cfg.bot_heavy_interval_s = 0.05;   // 20 heavy requests/s per bot
+  cfg.bot_heavy_cpu_seconds = 0.15;
+  cfg.replica.cpu_backlog_threshold_s = 0.5;
+  Scenario s(cfg);
+  ASSERT_TRUE(s.run_until(30.0));
+  EXPECT_GT(s.coordinator()->stats().attack_reports, 0);
+  EXPECT_GT(s.coordinator()->stats().rounds_executed, 0);
+}
+
+TEST(DefenseE2E, HotSparesSkipBootDelay) {
+  auto cfg = small_world(6);
+  cfg.persistent_bots = 1;
+  cfg.bot_junk_rate_pps = 400.0;
+  cfg.hot_spares = 8;
+  cfg.boot_delay_s = 60.0;  // cold boots would be hopeless
+  Scenario s(cfg);
+  ASSERT_TRUE(s.run_until(30.0));
+  // Rounds still executed (spares absorbed the demand).
+  EXPECT_GT(s.coordinator()->stats().rounds_executed, 0);
+}
+
+TEST(DefenseE2E, DeterministicAcrossRuns) {
+  auto cfg = small_world(7);
+  cfg.persistent_bots = 2;
+  cfg.bot_junk_rate_pps = 400.0;
+  Scenario a(cfg);
+  Scenario b(cfg);
+  a.run_until(20.0);
+  b.run_until(20.0);
+  EXPECT_EQ(a.coordinator()->stats().rounds_executed,
+            b.coordinator()->stats().rounds_executed);
+  EXPECT_EQ(a.coordinator()->stats().clients_migrated,
+            b.coordinator()->stats().clients_migrated);
+  EXPECT_EQ(a.world().network().stats().delivered,
+            b.world().network().stats().delivered);
+}
+
+}  // namespace
+}  // namespace shuffledef::cloudsim

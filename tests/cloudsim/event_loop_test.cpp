@@ -1,0 +1,82 @@
+#include "cloudsim/event_loop.h"
+
+#include <gtest/gtest.h>
+#include <vector>
+
+namespace shuffledef::cloudsim {
+namespace {
+
+TEST(EventLoop, ExecutesInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(3.0, [&] { order.push_back(3); });
+  loop.schedule_at(1.0, [&] { order.push_back(1); });
+  loop.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_TRUE(loop.run());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.processed(), 3u);
+}
+
+TEST(EventLoop, SameTimeFiresInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(1.0, [&, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventLoop, NowAdvancesWithEvents) {
+  EventLoop loop;
+  double seen = -1.0;
+  loop.schedule_at(5.5, [&] { seen = loop.now(); });
+  loop.run();
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+  EXPECT_DOUBLE_EQ(loop.now(), 5.5);
+}
+
+TEST(EventLoop, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(1.0, [&] { ++fired; });
+  loop.schedule_at(10.0, [&] { ++fired; });
+  EXPECT_TRUE(loop.run_until(5.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(loop.now(), 5.0);
+  EXPECT_FALSE(loop.empty());
+  loop.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, EventsCanScheduleEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) loop.schedule_after(1.0, recurse);
+  };
+  loop.schedule_after(0.0, recurse);
+  loop.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(loop.now(), 4.0);
+}
+
+TEST(EventLoop, RejectsPastAndNegative) {
+  EventLoop loop;
+  loop.schedule_at(2.0, [] {});
+  loop.run();
+  EXPECT_THROW(loop.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(loop.schedule_after(-0.1, [] {}), std::invalid_argument);
+}
+
+TEST(EventLoop, BudgetStopsRunaway) {
+  EventLoop loop;
+  loop.set_event_budget(100);
+  std::function<void()> forever = [&] { loop.schedule_after(0.1, forever); };
+  loop.schedule_after(0.0, forever);
+  EXPECT_FALSE(loop.run());
+  EXPECT_EQ(loop.processed(), 100u);
+}
+
+}  // namespace
+}  // namespace shuffledef::cloudsim

@@ -1,0 +1,75 @@
+// Randomized end-to-end scenarios: arbitrary (bounded) world shapes must
+// run without crashing, stay deterministic, and uphold global invariants.
+#include <gtest/gtest.h>
+
+#include "cloudsim/scenario.h"
+#include "util/random.h"
+
+namespace shuffledef::cloudsim {
+namespace {
+
+ScenarioConfig random_config(util::Rng& rng) {
+  ScenarioConfig cfg;
+  cfg.seed = rng.next_u64();
+  cfg.domains = static_cast<std::int32_t>(rng.uniform_int(1, 3));
+  cfg.load_balancers_per_domain = static_cast<std::int32_t>(rng.uniform_int(1, 2));
+  cfg.initial_replicas = static_cast<std::int32_t>(rng.uniform_int(1, 4));
+  cfg.hot_spares = static_cast<std::int32_t>(rng.uniform_int(0, 3));
+  cfg.clients = static_cast<std::int32_t>(rng.uniform_int(1, 25));
+  cfg.client_browse_think_s = rng.bernoulli(0.5) ? 2.0 : 0.0;
+  cfg.persistent_bots = static_cast<std::int32_t>(rng.uniform_int(0, 3));
+  cfg.naive_bots = static_cast<std::int32_t>(rng.uniform_int(0, 5));
+  cfg.bot_junk_rate_pps = rng.bernoulli(0.5) ? 400.0 : 0.0;
+  cfg.bot_heavy_interval_s = rng.bernoulli(0.3) ? 0.1 : 0.0;
+  cfg.coordinator.controller.planner = rng.bernoulli(0.5) ? "greedy" : "even";
+  cfg.coordinator.controller.replicas = rng.uniform_int(2, 8);
+  cfg.coordinator.controller.use_mle = rng.bernoulli(0.7);
+  cfg.replica.detect_window_s = 0.25;
+  cfg.replica.junk_rate_threshold = 150.0;
+  cfg.boot_delay_s = rng.uniform() * 0.5;
+  return cfg;
+}
+
+class FuzzScenario : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzScenario, RunsCleanAndDeterministic) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto cfg = random_config(rng);
+    Scenario a(cfg);
+    ASSERT_TRUE(a.run_until(25.0)) << "event budget blown";
+
+    // Global invariants.
+    EXPECT_LE(a.clients_connected(), cfg.clients);
+    EXPECT_GE(a.provider().active(), 0);
+    const auto& cs = a.coordinator()->stats();
+    EXPECT_GE(cs.rounds_executed, 0);
+    EXPECT_EQ(cs.replicas_recycled, a.provider().recycled());
+    if (cfg.persistent_bots == 0 && cfg.naive_bots == 0) {
+      // Quiet worlds never shuffle and (eventually) connect everyone.
+      EXPECT_EQ(cs.rounds_executed, 0);
+      EXPECT_EQ(a.clients_connected(), cfg.clients);
+    }
+    // Every benign client that is connected sits on an attached replica.
+    for (const auto* c : a.clients()) {
+      if (c->connected()) {
+        EXPECT_TRUE(a.world().network().is_attached(c->current_replica()));
+      }
+    }
+
+    // Determinism: an identical world replays identically.
+    Scenario b(cfg);
+    ASSERT_TRUE(b.run_until(25.0));
+    EXPECT_EQ(a.world().network().stats().delivered,
+              b.world().network().stats().delivered);
+    EXPECT_EQ(a.coordinator()->stats().clients_migrated,
+              b.coordinator()->stats().clients_migrated);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzScenario,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u,
+                                           606u));
+
+}  // namespace
+}  // namespace shuffledef::cloudsim

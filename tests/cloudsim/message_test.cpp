@@ -1,0 +1,66 @@
+#include "cloudsim/message.h"
+
+#include <gtest/gtest.h>
+#include <set>
+#include <string>
+
+namespace shuffledef::cloudsim {
+namespace {
+
+constexpr MessageType kAllTypes[] = {
+    MessageType::kDnsQuery,      MessageType::kDnsReply,
+    MessageType::kClientHello,   MessageType::kRedirect,
+    MessageType::kWhitelistAdd,  MessageType::kHttpGet,
+    MessageType::kHttpResponse,  MessageType::kWsOpen,
+    MessageType::kWsOpenAck,     MessageType::kWsPush,
+    MessageType::kWsPing,        MessageType::kWsPong,
+    MessageType::kJunkPacket,    MessageType::kHeavyRequest,
+    MessageType::kAttackReport,  MessageType::kShuffleCommand,
+    MessageType::kDecommission,  MessageType::kProvisionDone,
+    MessageType::kBotReport,     MessageType::kFloodCommand,
+};
+
+TEST(MessageType, EveryTypeHasAUniqueName) {
+  std::set<std::string> names;
+  for (const auto type : kAllTypes) {
+    const std::string name = message_type_name(type);
+    EXPECT_NE(name, "?");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate: " << name;
+  }
+}
+
+TEST(MessageType, ControlPlaneAndRedirectionArePrioritized) {
+  // The defense's own signalling must never starve behind a flood.
+  for (const auto type :
+       {MessageType::kRedirect, MessageType::kWhitelistAdd,
+        MessageType::kWsPush, MessageType::kWsOpen, MessageType::kWsOpenAck,
+        MessageType::kWsPing, MessageType::kWsPong,
+        MessageType::kAttackReport, MessageType::kShuffleCommand,
+        MessageType::kDecommission}) {
+    EXPECT_TRUE(is_priority_type(type)) << message_type_name(type);
+  }
+}
+
+TEST(MessageType, BulkAndAttackTrafficIsNot) {
+  // Data-plane and attacker-originated traffic fights for the data lane.
+  for (const auto type :
+       {MessageType::kHttpGet, MessageType::kHttpResponse,
+        MessageType::kJunkPacket, MessageType::kHeavyRequest,
+        MessageType::kDnsQuery, MessageType::kClientHello,
+        MessageType::kBotReport, MessageType::kFloodCommand}) {
+    EXPECT_FALSE(is_priority_type(type)) << message_type_name(type);
+  }
+}
+
+TEST(Message, WireSizesArePositive) {
+  EXPECT_GT(kDnsMessageBytes, 0);
+  EXPECT_GT(kControlMessageBytes, 0);
+  EXPECT_GT(kHttpRequestBytes, 0);
+  EXPECT_GT(kWsFrameBytes, 0);
+  EXPECT_GT(kJunkPacketBytes, 0);
+  // Junk packets are MTU-sized (bandwidth exhaustion), control is small.
+  EXPECT_GT(kJunkPacketBytes, kControlMessageBytes);
+}
+
+}  // namespace
+}  // namespace shuffledef::cloudsim

@@ -1,0 +1,180 @@
+#include "cloudsim/network.h"
+
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "cloudsim/node.h"
+
+namespace shuffledef::cloudsim {
+namespace {
+
+/// Records every delivery with its arrival time.
+class SinkNode final : public Node {
+ public:
+  using Node::Node;
+  void on_message(const Message& msg) override {
+    arrivals.push_back({loop().now(), msg.type, msg.size_bytes});
+  }
+  struct Arrival {
+    SimTime time;
+    MessageType type;
+    std::int64_t bytes;
+  };
+  std::vector<Arrival> arrivals;
+};
+
+NicConfig fast_nic(double latency = 0.01, std::int32_t domain = 0) {
+  return NicConfig{.egress_bps = 1e9,
+                   .ingress_bps = 1e9,
+                   .base_latency_s = latency,
+                   .domain = domain};
+}
+
+TEST(Network, DeliversWithPropagationDelay) {
+  World world;
+  auto* a = world.spawn<SinkNode>(fast_nic(0.010), "a");
+  auto* b = world.spawn<SinkNode>(fast_nic(0.020), "b");
+  world.network().send(
+      {a->id(), b->id(), MessageType::kHttpGet, 100, HttpGetPayload{}});
+  world.loop().run();
+  ASSERT_EQ(b->arrivals.size(), 1u);
+  // one-way = 0.010 + 0.020 + intra-domain extra (0.0005) + serialization.
+  EXPECT_NEAR(b->arrivals[0].time, 0.0305, 0.001);
+}
+
+TEST(Network, InterDomainCostsMore) {
+  World world;
+  auto* a = world.spawn<SinkNode>(fast_nic(0.01, 0), "a");
+  auto* b = world.spawn<SinkNode>(fast_nic(0.01, 0), "b-same");
+  auto* c = world.spawn<SinkNode>(fast_nic(0.01, 1), "c-other");
+  world.network().send({a->id(), b->id(), MessageType::kHttpGet, 100, {}});
+  world.network().send({a->id(), c->id(), MessageType::kHttpGet, 100, {}});
+  world.loop().run();
+  ASSERT_EQ(b->arrivals.size(), 1u);
+  ASSERT_EQ(c->arrivals.size(), 1u);
+  EXPECT_GT(c->arrivals[0].time, b->arrivals[0].time + 0.02);
+}
+
+TEST(Network, BandwidthSerializesLargeTransfers) {
+  World world;
+  NicConfig slow = fast_nic(0.0);
+  slow.egress_bps = 8e6;  // 1 MB/s
+  auto* a = world.spawn<SinkNode>(slow, "a");
+  auto* b = world.spawn<SinkNode>(fast_nic(0.0), "b");
+  // 500 KB at 1 MB/s (on the 90% data lane) ~ 0.55s.
+  world.network().send(
+      {a->id(), b->id(), MessageType::kHttpResponse, 500'000, {}});
+  world.loop().run();
+  ASSERT_EQ(b->arrivals.size(), 1u);
+  EXPECT_NEAR(b->arrivals[0].time, 0.5 / 0.9, 0.05);
+}
+
+TEST(Network, BackToBackTransfersQueueFifo) {
+  World world;
+  NicConfig slow = fast_nic(0.0);
+  slow.egress_bps = 8e6;
+  slow.max_queue_s = 100.0;
+  auto* a = world.spawn<SinkNode>(slow, "a");
+  auto* b = world.spawn<SinkNode>(fast_nic(0.0), "b");
+  for (int i = 0; i < 3; ++i) {
+    world.network().send(
+        {a->id(), b->id(), MessageType::kHttpResponse, 100'000, {}});
+  }
+  world.loop().run();
+  ASSERT_EQ(b->arrivals.size(), 3u);
+  const double unit = b->arrivals[0].time;
+  EXPECT_NEAR(b->arrivals[1].time, 2 * unit, 0.01);
+  EXPECT_NEAR(b->arrivals[2].time, 3 * unit, 0.01);
+}
+
+TEST(Network, TailDropsWhenQueueExceedsLimit) {
+  World world;
+  NicConfig tiny = fast_nic(0.0);
+  tiny.egress_bps = 8e6;
+  tiny.max_queue_s = 0.2;  // at most ~0.2s of backlog
+  auto* a = world.spawn<SinkNode>(tiny, "a");
+  auto* b = world.spawn<SinkNode>(fast_nic(0.0), "b");
+  for (int i = 0; i < 50; ++i) {
+    world.network().send(
+        {a->id(), b->id(), MessageType::kHttpResponse, 100'000, {}});
+  }
+  world.loop().run();
+  EXPECT_LT(b->arrivals.size(), 10u);
+  EXPECT_GT(world.network().stats().dropped_egress, 40u);
+}
+
+TEST(Network, PriorityLaneBypassesDataBacklog) {
+  World world;
+  NicConfig nic = fast_nic(0.0);
+  nic.egress_bps = 8e6;
+  nic.max_queue_s = 10.0;
+  auto* a = world.spawn<SinkNode>(nic, "a");
+  auto* b = world.spawn<SinkNode>(fast_nic(0.0), "b");
+  // Saturate the data lane, then send one control message.
+  for (int i = 0; i < 20; ++i) {
+    world.network().send(
+        {a->id(), b->id(), MessageType::kHttpResponse, 100'000, {}});
+  }
+  world.network().send({a->id(), b->id(), MessageType::kWsPush, 128,
+                        WsPushPayload{}});
+  world.loop().run();
+  // The WsPush must arrive before most of the bulk data.
+  SimTime push_time = -1.0;
+  std::size_t arrived_before_push = 0;
+  for (const auto& ar : b->arrivals) {
+    if (ar.type == MessageType::kWsPush) push_time = ar.time;
+  }
+  ASSERT_GE(push_time, 0.0);
+  for (const auto& ar : b->arrivals) {
+    if (ar.type != MessageType::kWsPush && ar.time < push_time) {
+      ++arrived_before_push;
+    }
+  }
+  EXPECT_LT(arrived_before_push, 3u);
+}
+
+TEST(Network, DetachedReceiverDropsTraffic) {
+  World world;
+  auto* a = world.spawn<SinkNode>(fast_nic(), "a");
+  auto* b = world.spawn<SinkNode>(fast_nic(), "b");
+  world.retire(b->id());
+  world.network().send({a->id(), b->id(), MessageType::kHttpGet, 100, {}});
+  world.loop().run();
+  EXPECT_TRUE(b->arrivals.empty());
+  EXPECT_EQ(world.network().stats().dropped_detached, 1u);
+}
+
+TEST(Network, InFlightTrafficToRetiredNodeIsDropped) {
+  World world;
+  auto* a = world.spawn<SinkNode>(fast_nic(0.05), "a");
+  auto* b = world.spawn<SinkNode>(fast_nic(0.05), "b");
+  world.network().send({a->id(), b->id(), MessageType::kHttpGet, 100, {}});
+  world.loop().schedule_at(0.01, [&] { world.retire(b->id()); });
+  world.loop().run();
+  EXPECT_TRUE(b->arrivals.empty());
+}
+
+TEST(Network, StatsCountDeliveries) {
+  World world;
+  auto* a = world.spawn<SinkNode>(fast_nic(), "a");
+  auto* b = world.spawn<SinkNode>(fast_nic(), "b");
+  world.network().send({a->id(), b->id(), MessageType::kHttpGet, 100, {}});
+  world.network().send({b->id(), a->id(), MessageType::kHttpGet, 200, {}});
+  world.loop().run();
+  EXPECT_EQ(world.network().stats().delivered, 2u);
+  EXPECT_EQ(world.network().stats().bytes_delivered, 300);
+}
+
+TEST(Network, RejectsInvalidNicConfig) {
+  World world;
+  SinkNode probe(world, "probe");
+  NicConfig bad;
+  bad.egress_bps = 0;
+  EXPECT_THROW(world.network().attach(&probe, bad), std::invalid_argument);
+  bad = NicConfig{};
+  bad.control_share = 0.0;
+  EXPECT_THROW(world.network().attach(&probe, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shuffledef::cloudsim

@@ -1,0 +1,181 @@
+// DNS + load balancer + replica behaviour through real message flows.
+#include <gtest/gtest.h>
+
+#include "cloudsim/client_agent.h"
+#include "cloudsim/dns_server.h"
+#include "cloudsim/load_balancer.h"
+#include "cloudsim/node.h"
+#include "cloudsim/replica_server.h"
+
+namespace shuffledef::cloudsim {
+namespace {
+
+NicConfig nic(double latency = 0.005) {
+  return NicConfig{.egress_bps = 1e9, .ingress_bps = 1e9,
+                   .base_latency_s = latency, .domain = 0};
+}
+
+struct Stack {
+  explicit Stack(std::uint64_t seed = 1) : world(WorldConfig{.seed = seed, .network = {}}) {
+    dns = world.spawn<DnsServer>(nic(), "dns");
+    lb = world.spawn<LoadBalancer>(nic(), "lb");
+    r1 = world.spawn<ReplicaServer>(nic(), "r1", ReplicaConfig{});
+    r2 = world.spawn<ReplicaServer>(nic(), "r2", ReplicaConfig{});
+    dns->register_load_balancer("svc", lb->id());
+    lb->add_replica(r1->id());
+    lb->add_replica(r2->id());
+  }
+  ClientAgent* add_client(const std::string& ip, double start = 0.0) {
+    ClientConfig cc;
+    cc.service = "svc";
+    cc.ip = ip;
+    cc.dns = dns->id();
+    cc.start_time_s = start;
+    return world.spawn<ClientAgent>(nic(0.02), "client-" + ip, cc);
+  }
+  World world;
+  DnsServer* dns;
+  LoadBalancer* lb;
+  ReplicaServer* r1;
+  ReplicaServer* r2;
+};
+
+TEST(ServiceStack, FullJoinFlowConnectsClient) {
+  Stack s;
+  auto* c = s.add_client("1.1.1.1");
+  s.world.loop().run_until(5.0);
+  EXPECT_TRUE(c->connected());
+  EXPECT_NE(c->current_replica(), kInvalidNode);
+  EXPECT_EQ(c->stats().page_loads.size(), 1u);
+  EXPECT_GT(c->stats().first_page_at, 0.0);
+  EXPECT_EQ(s.dns->queries_served(), 1u);
+}
+
+TEST(ServiceStack, RoundRobinSpreadsClients) {
+  Stack s;
+  auto* c1 = s.add_client("1.1.1.1", 0.0);
+  auto* c2 = s.add_client("2.2.2.2", 0.1);
+  s.world.loop().run_until(5.0);
+  ASSERT_TRUE(c1->connected());
+  ASSERT_TRUE(c2->connected());
+  EXPECT_NE(c1->current_replica(), c2->current_replica());
+  EXPECT_EQ(s.lb->stats().assignments, 2u);
+}
+
+TEST(ServiceStack, StickySessionsPinReturningIps) {
+  Stack s;
+  auto* c1 = s.add_client("1.1.1.1", 0.0);
+  s.world.loop().run_until(5.0);
+  const NodeId home = c1->current_replica();
+  // The same IP joining again (e.g. after a browser restart) goes home.
+  auto* again = s.add_client("1.1.1.1", 0.0);
+  s.world.loop().run_until(10.0);
+  EXPECT_EQ(again->current_replica(), home);
+  EXPECT_GE(s.lb->stats().sticky_hits, 1u);
+}
+
+TEST(ServiceStack, NonWhitelistedRequestsAreDropped) {
+  Stack s;
+  // A client that skips the load balancer and guesses the replica address.
+  struct Prober final : Node {
+    using Node::Node;
+    NodeId target = kInvalidNode;
+    int responses = 0;
+    void on_start() override {
+      send(target, MessageType::kHttpGet, kHttpRequestBytes,
+           HttpGetPayload{"6.6.6.6", "/"});
+    }
+    void on_message(const Message& msg) override {
+      if (msg.type == MessageType::kHttpResponse) ++responses;
+    }
+  };
+  auto* prober = s.world.spawn<Prober>(nic(), "prober");
+  prober->target = s.r1->id();
+  prober->on_start();
+  s.world.loop().run_until(5.0);
+  EXPECT_EQ(prober->responses, 0);
+  EXPECT_GE(s.r1->stats().rejected_not_whitelisted, 1u);
+}
+
+TEST(ServiceStack, LoadBalancerSkipsRecycledReplicas) {
+  Stack s;
+  s.world.retire(s.r1->id());
+  auto* c = s.add_client("3.3.3.3");
+  s.world.loop().run_until(5.0);
+  ASSERT_TRUE(c->connected());
+  EXPECT_EQ(c->current_replica(), s.r2->id());
+}
+
+TEST(ServiceStack, NoReplicasMeansRejection) {
+  Stack s;
+  s.lb->remove_replica(s.r1->id());
+  s.lb->remove_replica(s.r2->id());
+  auto* c = s.add_client("4.4.4.4");
+  s.world.loop().run_until(3.0);
+  EXPECT_FALSE(c->connected());
+  EXPECT_GE(s.lb->stats().rejected_no_replica, 1u);
+}
+
+TEST(ServiceStack, ShuffleCommandMigratesClientViaWsPush) {
+  Stack s;
+  s.lb->remove_replica(s.r2->id());  // force everyone onto r1
+  auto* c = s.add_client("5.5.5.5");
+  s.world.loop().run_until(5.0);
+  ASSERT_TRUE(c->connected());
+  ASSERT_EQ(c->current_replica(), s.r1->id());
+
+  // Coordinator-style command: move the client to r2.
+  s.world.loop().schedule_at(6.0, [&] {
+    // Whitelist on the target first, as the coordinator does.
+    Message wl{s.lb->id(), s.r2->id(), MessageType::kWhitelistAdd,
+               kControlMessageBytes,
+               WhitelistAddPayload{"5.5.5.5", c->id()}};
+    s.world.network().send(std::move(wl));
+    ShuffleCommandPayload cmd;
+    cmd.client_to_replica.emplace_back(c->id(), s.r2->id());
+    Message m{s.lb->id(), s.r1->id(), MessageType::kShuffleCommand,
+              kControlMessageBytes, cmd};
+    s.world.network().send(std::move(m));
+  });
+  s.world.loop().run_until(15.0);
+  EXPECT_EQ(c->current_replica(), s.r2->id());
+  EXPECT_TRUE(c->connected());
+  ASSERT_EQ(c->stats().migrations.size(), 1u);
+  EXPECT_GT(c->stats().migrations[0].duration(), 0.0);
+  EXPECT_LT(c->stats().migrations[0].duration(), 5.0);
+  EXPECT_TRUE(s.r1->decommissioned());
+  EXPECT_EQ(s.r1->stats().redirects_pushed, 1u);
+}
+
+TEST(ServiceStack, ComputationalAttackRaisesCpuBacklog) {
+  Stack s;
+  s.lb->remove_replica(s.r2->id());
+  auto* c = s.add_client("7.7.7.7");
+  s.world.loop().run_until(5.0);
+  ASSERT_TRUE(c->connected());
+  // Whitelisted heavy requests burn server CPU.
+  for (int i = 0; i < 10; ++i) {
+    Message m{c->id(), s.r1->id(), MessageType::kHeavyRequest,
+              kHttpRequestBytes, HeavyRequestPayload{"7.7.7.7", 0.3}};
+    s.world.network().send(std::move(m));
+  }
+  s.world.loop().run_until(5.5);
+  EXPECT_GT(s.r1->cpu_backlog_s(), 0.5);
+  EXPECT_GT(s.r1->stats().shed_cpu_overload, 0u);  // queue limit kicked in
+}
+
+TEST(ServiceStack, DnsUnknownServiceTimesOutClient) {
+  Stack s;
+  ClientConfig cc;
+  cc.service = "unknown-svc";
+  cc.ip = "8.8.8.8";
+  cc.dns = s.dns->id();
+  cc.request_timeout_s = 0.5;
+  auto* c = s.world.spawn<ClientAgent>(nic(), "lost-client", cc);
+  s.world.loop().run_until(4.0);
+  EXPECT_FALSE(c->connected());
+  EXPECT_GT(c->stats().timeouts, 0);
+}
+
+}  // namespace
+}  // namespace shuffledef::cloudsim

@@ -1,0 +1,109 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace shuffledef::core {
+namespace {
+
+TEST(ExpansionCleanFraction, Boundaries) {
+  EXPECT_DOUBLE_EQ(expansion_clean_fraction(100, 0, 10), 1.0);
+  EXPECT_DOUBLE_EQ(expansion_clean_fraction(100, 100, 10), 0.0);
+  // Singleton replicas: every benign client is safe.
+  EXPECT_NEAR(expansion_clean_fraction(50, 10, 50), 1.0, 1e-12);
+}
+
+TEST(ExpansionCleanFraction, HandComputedEvenCase) {
+  // N=4, M=1, P=2 (sizes 2,2): a benign client is safe iff its bucket-mate
+  // is not the bot: C(2,1)/C(3,1) = 2/3.
+  EXPECT_NEAR(expansion_clean_fraction(4, 1, 2), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ExpansionCleanFraction, MonotoneInReplicas) {
+  double prev = 0.0;
+  for (Count p = 1; p <= 100; p += 3) {
+    const double f = expansion_clean_fraction(1000, 50, p);
+    EXPECT_GE(f + 1e-9, prev) << "P=" << p;
+    prev = f;
+  }
+}
+
+TEST(ExpansionCleanFraction, MatchesMonteCarlo) {
+  const Count n = 120, m = 12, p = 10;
+  util::Rng rng(5);
+  util::Accumulator acc;
+  const std::vector<Count> sizes(static_cast<std::size_t>(p), n / p);
+  for (int r = 0; r < 40000; ++r) {
+    const auto bots = rng.multivariate_hypergeometric(sizes, m);
+    Count safe = 0;
+    for (std::size_t i = 0; i < bots.size(); ++i) {
+      if (bots[i] == 0) safe += sizes[i];
+    }
+    acc.add(static_cast<double>(safe) / static_cast<double>(n - m));
+  }
+  EXPECT_NEAR(acc.mean(), expansion_clean_fraction(n, m, p), 0.01);
+}
+
+TEST(ExpansionReplicas, SatisfiesTargetAndIsTight) {
+  const Count n = 2000, m = 100;
+  for (const double f : {0.5, 0.8, 0.95}) {
+    const Count p = expansion_replicas_for_fraction(n, m, f);
+    EXPECT_GE(expansion_clean_fraction(n, m, p), f);
+    if (p > 1) {
+      EXPECT_LT(expansion_clean_fraction(n, m, p - 1), f + 0.02);
+    }
+  }
+  EXPECT_THROW(expansion_replicas_for_fraction(10, 2, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(expansion_replicas_for_fraction(10, 2, 1.0),
+               std::invalid_argument);
+}
+
+TEST(ExpansionReplicas, GrowsLinearlyWithBots) {
+  // P needed scales ~ M / ln(1/f): doubling the bots roughly doubles it.
+  const Count p1 = expansion_replicas_for_fraction(20000, 500, 0.8);
+  const Count p2 = expansion_replicas_for_fraction(20000, 1000, 0.8);
+  EXPECT_NEAR(static_cast<double>(p2), 2.0 * static_cast<double>(p1),
+              0.35 * static_cast<double>(p2));
+}
+
+TEST(DefenseCostModel, AccumulatesAndPrices) {
+  CostRates rates;
+  rates.replica_hour_usd = 1.0;
+  rates.launch_usd = 0.5;
+  rates.egress_gb_usd = 2.0;
+  rates.shuffle_round_seconds = 3600.0;  // 1h rounds for easy numbers
+  DefenseCostModel model(rates);
+  model.add_round(/*replicas=*/10, /*launched=*/10, /*migrated=*/1000,
+                  /*page_bytes=*/1'000'000);
+  EXPECT_DOUBLE_EQ(model.replica_hours(), 10.0);
+  EXPECT_EQ(model.launches(), 10);
+  EXPECT_NEAR(model.migration_gb(), 1.0, 1e-9);
+  EXPECT_NEAR(model.total_usd(), 10.0 * 1.0 + 10 * 0.5 + 1.0 * 2.0, 1e-9);
+  model.add_steady_state(2, 7200.0);
+  EXPECT_DOUBLE_EQ(model.replica_hours(), 14.0);
+  EXPECT_NEAR(model.wall_seconds(), 3600.0 + 7200.0, 1e-9);
+}
+
+TEST(DefenseCostModel, RejectsNegatives) {
+  DefenseCostModel model;
+  EXPECT_THROW(model.add_round(-1, 0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(model.add_steady_state(1, -1.0), std::invalid_argument);
+}
+
+TEST(CostComparison, ShufflingBeatsExpansionOnReplicaHours) {
+  // The paper's resource claim, in miniature: to shield 80% of the benign
+  // clients from 500 bots among 10500 clients, pure expansion needs P_exp
+  // replicas FOREVER, while shuffling needs P_shuffle for a bounded number
+  // of rounds and then converges to quarantine.
+  const Count n = 10500, m = 500;
+  const Count p_expansion = expansion_replicas_for_fraction(n, m, 0.8);
+  // Shuffling at a tenth of the expansion budget is plenty (Fig 8/9 show
+  // tens of rounds), so the sustained-resource comparison is lopsided.
+  EXPECT_GT(p_expansion, 1000);
+}
+
+}  // namespace
+}  // namespace shuffledef::core

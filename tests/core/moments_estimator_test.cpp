@@ -1,0 +1,129 @@
+#include "core/moments_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/mle_estimator.h"
+#include "core/shuffle_controller.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace shuffledef::core {
+namespace {
+
+ShuffleObservation observe(const AssignmentPlan& plan, Count bots,
+                           std::uint64_t seed) {
+  util::Rng rng(seed);
+  const auto placement = rng.multivariate_hypergeometric(plan.counts(), bots);
+  std::vector<bool> attacked;
+  for (const auto b : placement) attacked.push_back(b > 0);
+  return ShuffleObservation{plan, std::move(attacked)};
+}
+
+TEST(ExpectedAttacked, MatchesHandComputation) {
+  // Two buckets of 2 over N=4, M=1: each attacked w.p. 1/2 -> mu = 1.
+  const AssignmentPlan plan({2, 2});
+  EXPECT_NEAR(expected_attacked_replicas(plan, 1), 1.0, 1e-12);
+  EXPECT_NEAR(expected_attacked_replicas(plan, 0), 0.0, 1e-12);
+  EXPECT_NEAR(expected_attacked_replicas(plan, 4), 2.0, 1e-12);
+}
+
+TEST(ExpectedAttacked, EmptyBucketsNeverCount) {
+  const AssignmentPlan plan({0, 5, 0, 5});
+  EXPECT_LE(expected_attacked_replicas(plan, 10), 2.0 + 1e-12);
+}
+
+TEST(ExpectedAttacked, MonotoneInBots) {
+  const AssignmentPlan plan(std::vector<Count>(10, 20));
+  double prev = -1.0;
+  for (Count m = 0; m <= 200; m += 10) {
+    const double mu = expected_attacked_replicas(plan, m);
+    EXPECT_GE(mu + 1e-9, prev);
+    prev = mu;
+  }
+}
+
+TEST(MomentsEstimator, ZeroAttackedMeansZeroBots) {
+  const AssignmentPlan plan({10, 10});
+  EXPECT_EQ(MomentsEstimator().estimate(
+                ShuffleObservation{plan, {false, false}}),
+            0);
+}
+
+TEST(MomentsEstimator, AllAttackedDegeneratesToUpperBound) {
+  const AssignmentPlan plan(std::vector<Count>(10, 10));
+  ShuffleObservation obs{plan, std::vector<bool>(10, true)};
+  EXPECT_EQ(MomentsEstimator().estimate(obs), obs.clients_on_attacked());
+}
+
+TEST(MomentsEstimator, AccurateOnAverage) {
+  const AssignmentPlan plan(std::vector<Count>(20, 10));  // N=200
+  const MomentsEstimator moments;
+  util::Accumulator acc;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    acc.add(static_cast<double>(moments.estimate(observe(plan, 12, seed))));
+  }
+  EXPECT_NEAR(acc.mean(), 12.0, 3.5);
+}
+
+TEST(MomentsEstimator, ComparableToMleAcrossScales) {
+  const MomentsEstimator moments;
+  const MleEstimator mle;
+  for (const Count m : {5, 20, 50}) {
+    const AssignmentPlan plan(std::vector<Count>(25, 20));  // N=500
+    util::Accumulator moments_err;
+    util::Accumulator mle_err;
+    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+      const auto obs = observe(plan, m, seed * 31);
+      moments_err.add(std::abs(
+          static_cast<double>(moments.estimate(obs)) - static_cast<double>(m)));
+      mle_err.add(std::abs(static_cast<double>(mle.estimate(obs)) -
+                           static_cast<double>(m)));
+    }
+    // The moments estimator must be in the MLE's ballpark (within 2x mean
+    // absolute error plus slack).
+    EXPECT_LE(moments_err.mean(), 2.0 * mle_err.mean() + 2.0) << "M=" << m;
+  }
+}
+
+TEST(MomentsEstimator, RespectsPaperBounds) {
+  const AssignmentPlan plan(std::vector<Count>(15, 10));
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto obs = observe(plan, 40, seed);
+    const Count m_hat = MomentsEstimator().estimate(obs);
+    if (obs.attacked_count() > 0) {
+      EXPECT_GE(m_hat, obs.attacked_count());
+      EXPECT_LE(m_hat, obs.clients_on_attacked());
+    }
+  }
+}
+
+TEST(Controller, MomentsEstimatorAndSmoothingAreAccepted) {
+  ControllerConfig cfg;
+  cfg.replicas = 10;
+  cfg.estimator = "moments";
+  cfg.estimate_smoothing = 0.5;
+  ShuffleController controller(cfg);
+  controller.set_bot_estimate(10);
+
+  const AssignmentPlan plan(std::vector<Count>(10, 10));
+  util::Rng rng(7);
+  const auto placed = rng.multivariate_hypergeometric(plan.counts(), 30);
+  std::vector<bool> attacked;
+  for (const auto b : placed) attacked.push_back(b > 0);
+  const auto d =
+      controller.decide(100, ShuffleObservation{plan, attacked});
+  // Smoothed estimate: halfway between the seed (10) and the fresh
+  // estimate, so it must differ from both unless they coincide.
+  EXPECT_GT(d.bot_estimate, 0);
+  EXPECT_EQ(d.plan.total_clients(), 100);
+
+  ControllerConfig bad;
+  bad.estimator = "nope";
+  EXPECT_THROW(ShuffleController{bad}, std::invalid_argument);
+  ControllerConfig bad2;
+  bad2.estimate_smoothing = 0.0;
+  EXPECT_THROW(ShuffleController{bad2}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shuffledef::core

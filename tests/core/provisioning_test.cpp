@@ -1,0 +1,95 @@
+#include "core/provisioning.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace shuffledef::core {
+namespace {
+
+TEST(ExpectedCleanReplicas, MatchesClosedForm) {
+  // E(X) = P (1 - 1/P)^M.
+  EXPECT_NEAR(expected_clean_replicas_uniform(10, 0), 10.0, 1e-12);
+  EXPECT_NEAR(expected_clean_replicas_uniform(10, 10),
+              10.0 * std::pow(0.9, 10), 1e-9);
+  EXPECT_NEAR(expected_clean_replicas_uniform(100, 230),
+              100.0 * std::pow(0.99, 230), 1e-9);
+}
+
+TEST(ExpectedCleanReplicas, SurvivesHugeBotCounts) {
+  const double e = expected_clean_replicas_uniform(1000, 10'000'000);
+  EXPECT_GE(e, 0.0);
+  EXPECT_LT(e, 1e-300);  // essentially zero, but not NaN/inf
+}
+
+TEST(ExpectedCleanReplicas, SingleReplicaEdge) {
+  EXPECT_DOUBLE_EQ(expected_clean_replicas_uniform(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(expected_clean_replicas_uniform(1, 5), 0.0);
+  EXPECT_THROW(expected_clean_replicas_uniform(0, 1), std::invalid_argument);
+  EXPECT_THROW(expected_clean_replicas_uniform(5, -1), std::invalid_argument);
+}
+
+TEST(Theorem1, ThresholdIsTheUnitCleanContour) {
+  // M* solves E(X) = 1 exactly; E(X) is decreasing in M, so E(floor(M*))
+  // is the last value >= 1 and E(floor(M*) + 1) is already below 1.
+  for (Count p : {2, 5, 10, 100, 1000}) {
+    const double m_star = all_attacked_bot_threshold(p);
+    const auto m_floor = static_cast<Count>(std::floor(m_star));
+    EXPECT_GE(expected_clean_replicas_uniform(p, m_floor), 1.0 - 1e-9)
+        << "P=" << p;
+    EXPECT_LT(expected_clean_replicas_uniform(p, m_floor + 1), 1.0 + 1e-9)
+        << "P=" << p;
+  }
+  EXPECT_THROW(all_attacked_bot_threshold(1), std::invalid_argument);
+}
+
+TEST(Theorem1, ThresholdGrowsLikePlnP) {
+  // log_{1-1/P}(1/P) ~ P ln P for large P.
+  const double t100 = all_attacked_bot_threshold(100);
+  EXPECT_NEAR(t100, 100.0 * std::log(100.0), 0.05 * t100);
+  const double t1000 = all_attacked_bot_threshold(1000);
+  EXPECT_NEAR(t1000, 1000.0 * std::log(1000.0), 0.02 * t1000);
+}
+
+TEST(AllReplicasLikelyAttacked, RespectsThreshold) {
+  const Count p = 50;
+  const auto threshold =
+      static_cast<Count>(all_attacked_bot_threshold(p));
+  EXPECT_FALSE(all_replicas_likely_attacked(p, threshold - 1));
+  EXPECT_TRUE(all_replicas_likely_attacked(p, threshold + 2));
+}
+
+TEST(MinReplicas, SatisfiesTheoremAndIsMinimal) {
+  for (Count m : {0, 1, 10, 100, 1000, 50000, 100000}) {
+    const Count p = min_replicas_for_estimation(m);
+    EXPECT_FALSE(all_replicas_likely_attacked(p, m)) << "M=" << m;
+    if (p > 2) {
+      EXPECT_TRUE(all_replicas_likely_attacked(p - 1, m)) << "M=" << m;
+    }
+  }
+}
+
+TEST(MinReplicas, MonotoneInBots) {
+  Count prev = 0;
+  for (Count m = 0; m <= 20000; m += 1000) {
+    const Count p = min_replicas_for_estimation(m);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(MinReplicas, RespectsFloor) {
+  EXPECT_EQ(min_replicas_for_estimation(0, 10), 10);
+  EXPECT_GE(min_replicas_for_estimation(0), 2);
+  EXPECT_THROW(min_replicas_for_estimation(-1), std::invalid_argument);
+}
+
+TEST(MinReplicas, PaperScaleSanity) {
+  // 100K bots need on the order of 1.5-2.5 x 10^4 replicas for E(X) >= 1:
+  // P ln P = 1e5 -> P ~ 1.2e4.
+  const Count p = min_replicas_for_estimation(100000);
+  EXPECT_GT(p, 5000);
+  EXPECT_LT(p, 40000);
+}
+
+}  // namespace
+}  // namespace shuffledef::core

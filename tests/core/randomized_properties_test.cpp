@@ -1,0 +1,74 @@
+// Randomized cross-cutting invariants: hundreds of random problem
+// instances, every planner and estimator, no crashes and no violated laws.
+#include <gtest/gtest.h>
+
+#include "core/even_planner.h"
+#include "core/greedy_planner.h"
+#include "core/mle_estimator.h"
+#include "core/plan_metrics.h"
+#include "core/separable_dp.h"
+#include "util/random.h"
+
+namespace shuffledef::core {
+namespace {
+
+class RandomizedInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomizedInvariants, PlannersAndMomentsObeyTheLaws) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const Count n = rng.uniform_int(1, 400);
+    const Count m = rng.uniform_int(0, n);
+    const Count p = rng.uniform_int(1, 60);
+    const ShuffleProblem problem{n, m, p};
+
+    const auto even = EvenPlanner().plan(problem);
+    const auto greedy = GreedyPlanner().plan(problem);
+    const auto dp = SeparableDpPlanner().plan(problem);
+    for (const auto* plan : {&even, &greedy, &dp}) {
+      ASSERT_NO_THROW(plan->validate_for(problem))
+          << "n=" << n << " m=" << m << " p=" << p;
+    }
+
+    const double e_even = expected_saved(problem, even);
+    const double e_greedy = expected_saved(problem, greedy);
+    const double e_dp = expected_saved(problem, dp);
+    const double v_dp = SeparableDpPlanner().value(problem);
+
+    // Optimality ordering and consistency.
+    ASSERT_NEAR(e_dp, v_dp, 1e-6 * std::max(1.0, v_dp));
+    ASSERT_GE(v_dp + 1e-9, e_greedy);
+    ASSERT_GE(v_dp + 1e-9, e_even);
+    // Nothing saves more clients than there are benign clients.
+    ASSERT_LE(e_dp, static_cast<double>(problem.benign()) + 1e-9);
+    // Moments agree with the expectation and are non-negative.
+    const auto mom = saved_count_moments(problem, greedy);
+    ASSERT_NEAR(mom.mean, e_greedy, 1e-6 * std::max(1.0, e_greedy));
+    ASSERT_GE(mom.variance, -1e-6);
+  }
+}
+
+TEST_P(RandomizedInvariants, MleRespectsBoundsOnRandomObservations) {
+  util::Rng rng(GetParam() ^ 0xBEEF);
+  const MleEstimator mle;
+  for (int trial = 0; trial < 25; ++trial) {
+    const Count n = rng.uniform_int(10, 500);
+    const Count m = rng.uniform_int(0, n / 2);
+    const Count p = rng.uniform_int(2, 40);
+    const auto plan = GreedyPlanner().plan({n, m, p});
+    const auto placed = rng.multivariate_hypergeometric(plan.counts(), m);
+    std::vector<bool> attacked;
+    for (const auto b : placed) attacked.push_back(b > 0);
+    const ShuffleObservation obs{plan, std::move(attacked)};
+    const Count m_hat = mle.estimate(obs);
+    ASSERT_GE(m_hat, obs.attacked_count() == 0 ? 0 : obs.attacked_count());
+    ASSERT_LE(m_hat, std::max<Count>(obs.clients_on_attacked(),
+                                     obs.attacked_count()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedInvariants,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace shuffledef::core

@@ -1,0 +1,84 @@
+#include "core/single_replica.h"
+
+#include <gtest/gtest.h>
+
+#include "util/math.h"
+
+namespace shuffledef::core {
+namespace {
+
+TEST(SingleReplica, NoBotsTakesEveryone) {
+  const auto opt = optimal_single_replica(100, 0);
+  EXPECT_EQ(opt.size, 100);
+  EXPECT_DOUBLE_EQ(opt.expected_saved, 100.0);
+}
+
+TEST(SingleReplica, AllBotsSavesNothing) {
+  const auto opt = optimal_single_replica(10, 10);
+  EXPECT_DOUBLE_EQ(opt.expected_saved, 0.0);
+}
+
+TEST(SingleReplica, EmptyPool) {
+  const auto opt = optimal_single_replica(0, 0);
+  EXPECT_EQ(opt.size, 0);
+  EXPECT_DOUBLE_EQ(opt.expected_saved, 0.0);
+}
+
+TEST(SingleReplica, RejectsInvalidArguments) {
+  EXPECT_THROW(optimal_single_replica(5, 6), std::invalid_argument);
+  EXPECT_THROW(optimal_single_replica(-1, 0), std::invalid_argument);
+  EXPECT_THROW(optimal_single_replica_scan(5, 6), std::invalid_argument);
+}
+
+struct OmegaCase {
+  Count n, m;
+};
+
+class ClosedFormOmega : public ::testing::TestWithParam<OmegaCase> {};
+
+// The closed form floor((N-M)/(M+1)) (+1) must match the exhaustive scan:
+// same objective value, and a size achieving it.
+TEST_P(ClosedFormOmega, MatchesExhaustiveScan) {
+  const auto [n, m] = GetParam();
+  const auto fast = optimal_single_replica(n, m);
+  const auto slow = optimal_single_replica_scan(n, m);
+  EXPECT_NEAR(fast.expected_saved, slow.expected_saved,
+              1e-12 * std::max(1.0, slow.expected_saved))
+      << "n=" << n << " m=" << m;
+  // The achieved value at the closed-form size must equal the optimum (the
+  // argmax itself may differ on exact ties).
+  const double at_fast = static_cast<double>(fast.size) *
+                         util::prob_no_bots(n, m, fast.size);
+  EXPECT_NEAR(at_fast, slow.expected_saved,
+              1e-12 * std::max(1.0, slow.expected_saved));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClosedFormOmega,
+    ::testing::Values(OmegaCase{1, 0}, OmegaCase{1, 1}, OmegaCase{2, 1},
+                      OmegaCase{10, 1}, OmegaCase{10, 3}, OmegaCase{10, 9},
+                      OmegaCase{100, 1}, OmegaCase{100, 7}, OmegaCase{100, 50},
+                      OmegaCase{100, 99}, OmegaCase{1000, 13},
+                      OmegaCase{1000, 500}, OmegaCase{997, 101},
+                      OmegaCase{1234, 56}, OmegaCase{5000, 4999},
+                      OmegaCase{5000, 1}));
+
+TEST(ClosedFormOmega, DenseSweepAgainstScan) {
+  for (Count n = 1; n <= 60; ++n) {
+    for (Count m = 0; m <= n; ++m) {
+      const auto fast = optimal_single_replica(n, m);
+      const auto slow = optimal_single_replica_scan(n, m);
+      ASSERT_NEAR(fast.expected_saved, slow.expected_saved, 1e-10)
+          << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(SingleReplica, OmegaIsAboutBenignPerBotPlusOne) {
+  // The structural insight: bucket sized so it expects just under one bot.
+  const auto opt = optimal_single_replica(1000, 99);
+  EXPECT_EQ(opt.size, (1000 - 99) / (99 + 1) + 1);
+}
+
+}  // namespace
+}  // namespace shuffledef::core

@@ -1,0 +1,58 @@
+#include "sim/arrival.h"
+
+#include <gtest/gtest.h>
+
+namespace shuffledef::sim {
+namespace {
+
+TEST(ArrivalConfig, Validation) {
+  EXPECT_NO_THROW((ArrivalConfig{10, 1.0, 100}.validate()));
+  EXPECT_THROW((ArrivalConfig{-1, 1.0, 100}.validate()), std::invalid_argument);
+  EXPECT_THROW((ArrivalConfig{10, -1.0, 100}.validate()), std::invalid_argument);
+  EXPECT_THROW((ArrivalConfig{10, 1.0, 5}.validate()), std::invalid_argument);
+}
+
+TEST(ArrivalProcess, InitialBatchArrivesFirstRound) {
+  ArrivalProcess p({.initial = 50, .rate = 0.0, .total_cap = 50},
+                   util::Rng(1));
+  EXPECT_EQ(p.next_round(), 50);
+  EXPECT_EQ(p.next_round(), 0);
+  EXPECT_TRUE(p.exhausted());
+}
+
+TEST(ArrivalProcess, CapIsNeverExceeded) {
+  ArrivalProcess p({.initial = 10, .rate = 100.0, .total_cap = 200},
+                   util::Rng(2));
+  Count total = 0;
+  for (int r = 0; r < 50; ++r) total += p.next_round();
+  EXPECT_EQ(total, 200);
+  EXPECT_TRUE(p.exhausted());
+  EXPECT_EQ(p.arrived_so_far(), 200);
+}
+
+TEST(ArrivalProcess, PoissonRateRoughlyHonored) {
+  // Mean over many rounds should approximate the configured rate.
+  ArrivalProcess p({.initial = 0, .rate = 20.0, .total_cap = 1000000},
+                   util::Rng(3));
+  Count total = 0;
+  const int rounds = 2000;
+  for (int r = 0; r < rounds; ++r) total += p.next_round();
+  EXPECT_NEAR(static_cast<double>(total) / rounds, 20.0, 1.0);
+}
+
+TEST(ArrivalProcess, ZeroEverything) {
+  ArrivalProcess p({.initial = 0, .rate = 0.0, .total_cap = 0}, util::Rng(4));
+  EXPECT_EQ(p.next_round(), 0);
+  EXPECT_TRUE(p.exhausted());
+}
+
+TEST(ArrivalProcess, DeterministicInRng) {
+  ArrivalProcess a({.initial = 5, .rate = 7.0, .total_cap = 10000},
+                   util::Rng(9));
+  ArrivalProcess b({.initial = 5, .rate = 7.0, .total_cap = 10000},
+                   util::Rng(9));
+  for (int r = 0; r < 100; ++r) EXPECT_EQ(a.next_round(), b.next_round());
+}
+
+}  // namespace
+}  // namespace shuffledef::sim

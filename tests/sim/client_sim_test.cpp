@@ -1,0 +1,124 @@
+#include "sim/client_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace shuffledef::sim {
+namespace {
+
+ClientSimConfig base_config() {
+  ClientSimConfig cfg;
+  cfg.benign = 400;
+  cfg.bots = 20;
+  cfg.strategy.strategy = BotStrategy::kAlwaysOn;
+  cfg.controller.planner = "greedy";
+  cfg.controller.replicas = 40;
+  cfg.controller.use_mle = false;  // oracle pool-bot count
+  cfg.rounds = 60;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(ClientSim, ConfigValidation) {
+  auto cfg = base_config();
+  cfg.rounds = 0;
+  EXPECT_THROW(ClientLevelSimulator{cfg}, std::invalid_argument);
+  cfg = base_config();
+  cfg.benign = -1;
+  EXPECT_THROW(ClientLevelSimulator{cfg}, std::invalid_argument);
+}
+
+TEST(ClientSim, AlwaysOnBotsGetIsolated) {
+  const auto result = ClientLevelSimulator(base_config()).run();
+  EXPECT_GT(result.final_safe_fraction(), 0.9);
+  // Once saved, benign clients stay safe against always-on bots: the safe
+  // count is non-decreasing.
+  Count prev = 0;
+  for (const auto& r : result.rounds) {
+    EXPECT_GE(r.benign_safe, prev);
+    prev = r.benign_safe;
+    EXPECT_EQ(r.repolluted_benign, 0);
+  }
+}
+
+TEST(ClientSim, MetricsAreInternallyConsistent) {
+  const auto result = ClientLevelSimulator(base_config()).run();
+  for (const auto& r : result.rounds) {
+    EXPECT_LE(r.benign_safe, 400);
+    EXPECT_LE(r.pool_bots, 20);
+    EXPECT_LE(r.active_attackers, 20);
+    EXPECT_GE(r.pool_clients, r.pool_bots);
+  }
+  EXPECT_EQ(result.benign_total, 400);
+}
+
+TEST(ClientSim, NaiveBotsAreEvadedImmediately) {
+  auto cfg = base_config();
+  cfg.strategy.strategy = BotStrategy::kNaive;
+  cfg.rounds = 3;
+  const auto result = ClientLevelSimulator(cfg).run();
+  // Naive bots cannot follow the first shuffle: every benign client is safe
+  // almost immediately and no replica is ever attacked.
+  EXPECT_EQ(result.rounds.back().attacked_replicas, 0);
+  EXPECT_GT(result.final_safe_fraction(), 0.99);
+}
+
+TEST(ClientSim, OnOffBotsRepolluteButOnlyReduceIntensity) {
+  auto cfg = base_config();
+  cfg.strategy.strategy = BotStrategy::kOnOff;
+  cfg.strategy.on_probability = 0.4;
+  cfg.rounds = 80;
+  const auto result = ClientLevelSimulator(cfg).run();
+
+  // Dormant bots do sneak onto clean replicas and later re-pollute them.
+  Count repolluted = 0;
+  for (const auto& r : result.rounds) repolluted += r.repolluted_benign;
+  EXPECT_GT(repolluted, 0);
+
+  // The paper's claim: on-off attacking only lowers the delivered attack
+  // intensity versus always-on.
+  auto always_cfg = base_config();
+  always_cfg.rounds = 80;
+  const auto always = ClientLevelSimulator(always_cfg).run();
+  EXPECT_LT(result.mean_attack_intensity(), always.mean_attack_intensity());
+}
+
+TEST(ClientSim, QuitReenterBotsDoNotDefeatTheDefense) {
+  auto cfg = base_config();
+  cfg.strategy.strategy = BotStrategy::kQuitReenter;
+  cfg.strategy.quit_probability = 0.3;
+  cfg.strategy.reenter_delay = 2;
+  cfg.strategy.new_ip_probability = 0.5;
+  cfg.rounds = 80;
+  const auto result = ClientLevelSimulator(cfg).run();
+  // Churning through the load balancer buys the bots nothing durable: most
+  // benign clients still end up safe.
+  EXPECT_GT(result.final_safe_fraction(), 0.8);
+}
+
+TEST(ClientSim, DeterministicInSeed) {
+  const auto a = ClientLevelSimulator(base_config()).run();
+  const auto b = ClientLevelSimulator(base_config()).run();
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].benign_safe, b.rounds[i].benign_safe);
+    EXPECT_EQ(a.rounds[i].active_attackers, b.rounds[i].active_attackers);
+  }
+}
+
+TEST(ClientSim, MleControllerAlsoWorks) {
+  auto cfg = base_config();
+  cfg.controller.use_mle = true;
+  const auto result = ClientLevelSimulator(cfg).run();
+  EXPECT_GT(result.final_safe_fraction(), 0.8);
+}
+
+TEST(ClientSim, ZeroBotsEverythingSafeInOneRound) {
+  auto cfg = base_config();
+  cfg.bots = 0;
+  cfg.rounds = 2;
+  const auto result = ClientLevelSimulator(cfg).run();
+  EXPECT_DOUBLE_EQ(result.final_safe_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace shuffledef::sim

@@ -1,0 +1,77 @@
+// Cross-validation: the count-based simulator and the client-level
+// simulator are independent implementations of the same round dynamics —
+// on always-on bots (the only strategy both support) they must agree.
+#include <gtest/gtest.h>
+
+#include "sim/client_sim.h"
+#include "sim/shuffle_sim.h"
+#include "util/stats.h"
+
+namespace shuffledef::sim {
+namespace {
+
+/// Shuffles until 80% of the benign clients are safe, per simulator, both
+/// in oracle mode (the estimator is identical anyway; this isolates the
+/// round dynamics).
+double count_based_rounds(Count benign, Count bots, Count replicas,
+                          std::uint64_t seed) {
+  ShuffleSimConfig cfg;
+  cfg.benign = {.initial = benign, .rate = 0.0, .total_cap = benign};
+  cfg.bots = {.initial = bots, .rate = 0.0, .total_cap = bots};
+  cfg.controller.planner = "greedy";
+  cfg.controller.replicas = replicas;
+  cfg.controller.use_mle = false;
+  cfg.target_fraction = 0.80;
+  cfg.max_rounds = 2000;
+  cfg.seed = seed;
+  const auto r = ShuffleSimulator(cfg).run();
+  return static_cast<double>(
+      r.shuffles_to_fraction(0.80).value_or(cfg.max_rounds));
+}
+
+double client_level_rounds(Count benign, Count bots, Count replicas,
+                           std::uint64_t seed) {
+  ClientSimConfig cfg;
+  cfg.benign = benign;
+  cfg.bots = bots;
+  cfg.strategy.strategy = BotStrategy::kAlwaysOn;
+  cfg.controller.planner = "greedy";
+  cfg.controller.replicas = replicas;
+  cfg.controller.use_mle = false;
+  cfg.rounds = 2000;
+  cfg.seed = seed;
+  const auto r = ClientLevelSimulator(cfg).run();
+  const auto target = static_cast<Count>(0.8 * static_cast<double>(benign));
+  for (const auto& round : r.rounds) {
+    if (round.benign_safe >= target) return static_cast<double>(round.round);
+  }
+  return static_cast<double>(cfg.rounds);
+}
+
+struct XvalCase {
+  Count benign, bots, replicas;
+};
+
+class SimulatorCrossValidation : public ::testing::TestWithParam<XvalCase> {};
+
+TEST_P(SimulatorCrossValidation, RoundCountsAgreeWithinNoise) {
+  const auto [benign, bots, replicas] = GetParam();
+  util::Accumulator count_based;
+  util::Accumulator client_level;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    count_based.add(count_based_rounds(benign, bots, replicas, seed));
+    client_level.add(client_level_rounds(benign, bots, replicas, seed + 100));
+  }
+  // Two independent implementations: means within 25% + 2 rounds.
+  EXPECT_NEAR(count_based.mean(), client_level.mean(),
+              0.25 * std::max(count_based.mean(), client_level.mean()) + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SimulatorCrossValidation,
+                         ::testing::Values(XvalCase{500, 25, 50},
+                                           XvalCase{1000, 100, 100},
+                                           XvalCase{800, 10, 30},
+                                           XvalCase{400, 200, 80}));
+
+}  // namespace
+}  // namespace shuffledef::sim

@@ -1,0 +1,179 @@
+#include "sim/shuffle_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace shuffledef::sim {
+namespace {
+
+ShuffleSimConfig base_config() {
+  ShuffleSimConfig cfg;
+  cfg.benign = {.initial = 500, .rate = 0.0, .total_cap = 500};
+  cfg.bots = {.initial = 50, .rate = 0.0, .total_cap = 50};
+  cfg.controller.planner = "greedy";
+  cfg.controller.replicas = 50;
+  cfg.controller.use_mle = false;  // oracle by default: fastest, exactest
+  cfg.target_fraction = 0.95;
+  cfg.max_rounds = 500;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(ShuffleSim, ConfigValidation) {
+  auto cfg = base_config();
+  cfg.target_fraction = 0.0;
+  EXPECT_THROW(ShuffleSimulator{cfg}, std::invalid_argument);
+  cfg = base_config();
+  cfg.max_rounds = 0;
+  EXPECT_THROW(ShuffleSimulator{cfg}, std::invalid_argument);
+}
+
+TEST(ShuffleSim, SavesTargetFractionAgainstModestAttack) {
+  auto cfg = base_config();
+  const auto result = ShuffleSimulator(cfg).run();
+  EXPECT_TRUE(result.reached_target);
+  EXPECT_GE(result.saved_total, 475);  // 95% of 500
+  EXPECT_TRUE(result.shuffles_to_fraction(0.8).has_value());
+  EXPECT_TRUE(result.shuffles_to_fraction(0.95).has_value());
+}
+
+TEST(ShuffleSim, ConservationInvariants) {
+  auto cfg = base_config();
+  const auto result = ShuffleSimulator(cfg).run();
+  Count cumulative = 0;
+  for (const auto& r : result.rounds) {
+    // Saved this round never exceeds the benign pool entering the round.
+    EXPECT_LE(r.saved, r.pool_benign);
+    cumulative += r.saved;
+    EXPECT_EQ(r.cumulative_saved, cumulative);
+    // Bots never get saved: pool bots only grow (arrivals) in this config.
+    EXPECT_EQ(r.pool_bots, 50);
+    // Attacked replicas never exceed deployed replicas.
+    EXPECT_LE(r.attacked_replicas, r.replicas);
+  }
+  EXPECT_EQ(result.saved_total, cumulative);
+  EXPECT_LE(result.saved_total, result.benign_total);
+}
+
+TEST(ShuffleSim, NoBotsMeansOneShuffleSavesEveryone) {
+  auto cfg = base_config();
+  cfg.bots = {.initial = 0, .rate = 0.0, .total_cap = 0};
+  const auto result = ShuffleSimulator(cfg).run();
+  ASSERT_FALSE(result.rounds.empty());
+  EXPECT_EQ(result.rounds.size(), 1u);
+  EXPECT_EQ(result.saved_total, 500);
+}
+
+TEST(ShuffleSim, AllBotsSavesNobody) {
+  auto cfg = base_config();
+  cfg.benign = {.initial = 0, .rate = 0.0, .total_cap = 0};
+  cfg.max_rounds = 20;
+  const auto result = ShuffleSimulator(cfg).run();
+  EXPECT_EQ(result.saved_total, 0);
+  EXPECT_FALSE(result.reached_target);
+}
+
+TEST(ShuffleSim, MoreReplicasSaveFasterOnAverage) {
+  // Figure 9's shape.  Average a few seeds to kill noise.
+  auto slow_total = 0.0;
+  auto fast_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto cfg = base_config();
+    cfg.seed = seed;
+    cfg.controller.replicas = 20;
+    const auto slow = ShuffleSimulator(cfg).run();
+    cfg.controller.replicas = 100;
+    const auto fast = ShuffleSimulator(cfg).run();
+    ASSERT_TRUE(slow.reached_target);
+    ASSERT_TRUE(fast.reached_target);
+    slow_total += static_cast<double>(*slow.shuffles_to_fraction(0.95));
+    fast_total += static_cast<double>(*fast.shuffles_to_fraction(0.95));
+  }
+  EXPECT_LT(fast_total, slow_total);
+}
+
+TEST(ShuffleSim, MoreBotsNeedMoreShuffles) {
+  // Figure 8's shape.
+  double weak_total = 0.0;
+  double strong_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto cfg = base_config();
+    cfg.seed = seed;
+    cfg.bots = {.initial = 20, .rate = 0.0, .total_cap = 20};
+    const auto weak = ShuffleSimulator(cfg).run();
+    cfg.bots = {.initial = 200, .rate = 0.0, .total_cap = 200};
+    const auto strong = ShuffleSimulator(cfg).run();
+    ASSERT_TRUE(weak.reached_target);
+    ASSERT_TRUE(strong.reached_target);
+    weak_total += static_cast<double>(*weak.shuffles_to_fraction(0.95));
+    strong_total += static_cast<double>(*strong.shuffles_to_fraction(0.95));
+  }
+  EXPECT_LT(weak_total, strong_total);
+}
+
+TEST(ShuffleSim, EarlyShufflesSaveMoreThanLateOnes) {
+  // Figure 10's diminishing-returns shape: the first half of the shuffles
+  // saves more than the second half.
+  auto cfg = base_config();
+  cfg.bots = {.initial = 100, .rate = 0.0, .total_cap = 100};
+  const auto result = ShuffleSimulator(cfg).run();
+  ASSERT_TRUE(result.reached_target);
+  const auto& rounds = result.rounds;
+  ASSERT_GE(rounds.size(), 4u);
+  const std::size_t half = rounds.size() / 2;
+  Count first_half = 0;
+  Count second_half = 0;
+  for (std::size_t i = 0; i < rounds.size(); ++i) {
+    (i < half ? first_half : second_half) += rounds[i].saved;
+  }
+  EXPECT_GT(first_half, second_half);
+}
+
+TEST(ShuffleSim, MleModeConvergesLikeOracle) {
+  auto oracle_cfg = base_config();
+  auto mle_cfg = base_config();
+  mle_cfg.controller.use_mle = true;
+  const auto oracle = ShuffleSimulator(oracle_cfg).run();
+  const auto mle = ShuffleSimulator(mle_cfg).run();
+  ASSERT_TRUE(oracle.reached_target);
+  ASSERT_TRUE(mle.reached_target);
+  // The MLE-driven defense should not need wildly more shuffles.
+  EXPECT_LE(*mle.shuffles_to_fraction(0.95),
+            3 * *oracle.shuffles_to_fraction(0.95) + 10);
+}
+
+TEST(ShuffleSim, BotArrivalRampDelaysMitigation) {
+  auto all_at_once = base_config();
+  all_at_once.bots = {.initial = 200, .rate = 0.0, .total_cap = 200};
+  auto ramp = base_config();
+  ramp.bots = {.initial = 0, .rate = 10.0, .total_cap = 200};
+  const auto a = ShuffleSimulator(all_at_once).run();
+  const auto b = ShuffleSimulator(ramp).run();
+  ASSERT_TRUE(a.reached_target);
+  ASSERT_TRUE(b.reached_target);
+  // With a ramp, early rounds face fewer bots, so early saves come easier.
+  ASSERT_FALSE(a.rounds.empty());
+  ASSERT_FALSE(b.rounds.empty());
+  EXPECT_GE(b.rounds[0].saved, a.rounds[0].saved);
+}
+
+TEST(ShuffleSim, DeterministicInSeed) {
+  auto cfg = base_config();
+  const auto a = ShuffleSimulator(cfg).run();
+  const auto b = ShuffleSimulator(cfg).run();
+  ASSERT_EQ(a.rounds.size(), b.rounds.size());
+  for (std::size_t i = 0; i < a.rounds.size(); ++i) {
+    EXPECT_EQ(a.rounds[i].saved, b.rounds[i].saved);
+    EXPECT_EQ(a.rounds[i].attacked_replicas, b.rounds[i].attacked_replicas);
+  }
+}
+
+TEST(ShuffleSim, AdaptiveProvisioningAlsoConverges) {
+  auto cfg = base_config();
+  cfg.controller.replicas = 0;  // Theorem-1 adaptive sizing
+  cfg.controller.use_mle = false;
+  const auto result = ShuffleSimulator(cfg).run();
+  EXPECT_TRUE(result.reached_target);
+}
+
+}  // namespace
+}  // namespace shuffledef::sim

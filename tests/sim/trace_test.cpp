@@ -1,0 +1,94 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+namespace shuffledef::sim {
+namespace {
+
+TEST(Trace, RoundTraceHasHeaderAndOneRowPerRound) {
+  ShuffleSimConfig cfg;
+  cfg.benign = {.initial = 200, .rate = 0.0, .total_cap = 200};
+  cfg.bots = {.initial = 20, .rate = 0.0, .total_cap = 20};
+  cfg.controller.planner = "greedy";
+  cfg.controller.replicas = 20;
+  cfg.controller.use_mle = false;
+  cfg.seed = 3;
+  const auto result = ShuffleSimulator(cfg).run();
+
+  std::ostringstream os;
+  write_round_trace(result, os);
+  const auto text = os.str();
+  std::size_t lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, result.rounds.size() + 1);
+  EXPECT_EQ(text.rfind("round,pool_benign", 0), 0u);  // header first
+  // Row 1 reflects the initial pool.
+  EXPECT_NE(text.find("\n1,200,20,"), std::string::npos);
+}
+
+TEST(Trace, ClientTraceHasHeaderAndOneRowPerRound) {
+  ClientSimConfig cfg;
+  cfg.benign = 100;
+  cfg.bots = 10;
+  cfg.controller.planner = "greedy";
+  cfg.controller.replicas = 20;
+  cfg.controller.use_mle = false;
+  cfg.rounds = 15;
+  cfg.seed = 4;
+  const auto result = ClientLevelSimulator(cfg).run();
+
+  std::ostringstream os;
+  write_client_trace(result, os);
+  const auto text = os.str();
+  std::size_t lines = 0;
+  for (const char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, result.rounds.size() + 1);
+  EXPECT_EQ(text.rfind("round,pool_clients", 0), 0u);
+}
+
+TEST(Strategy, SynchronizedWavesAlternateDeterministically) {
+  StrategyParams params;
+  params.strategy = BotStrategy::kSynchronizedWaves;
+  params.wave_period = 4;
+  params.wave_duty = 0.5;
+  util::Rng rng(1);
+  BotBehavior a(params, rng.fork(1));
+  BotBehavior b(params, rng.fork(2));
+  // Both bots share the phase (round counters align): attack on rounds
+  // 0,1 of every 4, idle on 2,3 — identically.
+  std::vector<bool> pattern_a, pattern_b;
+  for (int r = 0; r < 12; ++r) {
+    pattern_a.push_back(a.step_attacks(rng));
+    pattern_b.push_back(b.step_attacks(rng));
+  }
+  EXPECT_EQ(pattern_a, pattern_b);
+  EXPECT_EQ(pattern_a, (std::vector<bool>{true, true, false, false, true, true,
+                                          false, false, true, true, false,
+                                          false}));
+}
+
+TEST(Strategy, SynchronizedWavesStillLoseToTheDefense) {
+  ClientSimConfig cfg;
+  cfg.benign = 400;
+  cfg.bots = 20;
+  cfg.strategy.strategy = BotStrategy::kSynchronizedWaves;
+  cfg.strategy.wave_period = 6;
+  cfg.strategy.wave_duty = 0.5;
+  cfg.controller.planner = "greedy";
+  cfg.controller.replicas = 40;
+  cfg.controller.use_mle = false;
+  cfg.rounds = 100;
+  cfg.seed = 9;
+  const auto result = ClientLevelSimulator(cfg).run();
+  EXPECT_GT(result.final_safe_fraction(), 0.85);
+  // The waves deliver only ~the duty cycle of an always-on attack.
+  EXPECT_LT(result.mean_attack_intensity(), 0.7 * 20.0);
+}
+
+}  // namespace
+}  // namespace shuffledef::sim

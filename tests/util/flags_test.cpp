@@ -1,0 +1,95 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+#include <vector>
+
+namespace shuffledef::util {
+namespace {
+
+std::vector<char*> argv_of(std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  return argv;
+}
+
+TEST(Flags, ParsesAllTypes) {
+  Flags flags("test", "test program");
+  auto& i = flags.add_int("count", 1, "a count");
+  auto& d = flags.add_double("rate", 0.5, "a rate");
+  auto& b = flags.add_bool("full", false, "full mode");
+  auto& s = flags.add_string("name", "x", "a name");
+
+  std::vector<std::string> args = {"prog", "--count", "7", "--rate=2.25",
+                                   "--full", "--name", "hello"};
+  auto argv = argv_of(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(i, 7);
+  EXPECT_DOUBLE_EQ(d, 2.25);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Flags, DefaultsSurviveEmptyParse) {
+  Flags flags("test", "t");
+  auto& i = flags.add_int("n", 42, "n");
+  std::vector<std::string> args = {"prog"};
+  auto argv = argv_of(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(i, 42);
+}
+
+TEST(Flags, BoolExplicitValues) {
+  Flags flags("test", "t");
+  auto& b = flags.add_bool("flag", true, "b");
+  std::vector<std::string> args = {"prog", "--flag=false"};
+  auto argv = argv_of(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_FALSE(b);
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  Flags flags("test", "t");
+  std::vector<std::string> args = {"prog", "--nope", "1"};
+  auto argv = argv_of(args);
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Flags, MalformedValueThrows) {
+  Flags flags("test", "t");
+  flags.add_int("n", 0, "n");
+  std::vector<std::string> args = {"prog", "--n", "abc"};
+  auto argv = argv_of(args);
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Flags, MissingValueThrows) {
+  Flags flags("test", "t");
+  flags.add_int("n", 0, "n");
+  std::vector<std::string> args = {"prog", "--n"};
+  auto argv = argv_of(args);
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Flags, PositionalArgumentThrows) {
+  Flags flags("test", "t");
+  std::vector<std::string> args = {"prog", "stray"};
+  auto argv = argv_of(args);
+  EXPECT_THROW(flags.parse(static_cast<int>(argv.size()), argv.data()),
+               std::invalid_argument);
+}
+
+TEST(Flags, UsageMentionsFlagsAndDefaults) {
+  Flags flags("prog", "does things");
+  flags.add_int("alpha", 3, "the alpha");
+  const auto usage = flags.usage();
+  EXPECT_NE(usage.find("--alpha"), std::string::npos);
+  EXPECT_NE(usage.find("3"), std::string::npos);
+  EXPECT_NE(usage.find("does things"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shuffledef::util

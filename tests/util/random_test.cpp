@@ -1,0 +1,205 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+#include <numeric>
+
+#include "util/math.h"
+
+namespace shuffledef::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng parent(7);
+  Rng f1 = parent.fork(1);
+  Rng f2 = parent.fork(2);
+  Rng f1_again = Rng(7).fork(1);
+  EXPECT_EQ(f1.next_u64(), f1_again.next_u64());
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng(4);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo = saw_lo || v == 3;
+    saw_hi = saw_hi || v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, PoissonMeanRoughlyCorrect) {
+  Rng rng(5);
+  const double mean = 17.5;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+  // SE = sqrt(mean/n) ~ 0.03; allow 6 sigma.
+  EXPECT_NEAR(sum / n, mean, 0.2);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+struct HgSampleCase {
+  std::int64_t total, successes, draws;
+};
+
+class HypergeometricSampler : public ::testing::TestWithParam<HgSampleCase> {};
+
+TEST_P(HypergeometricSampler, WithinSupport) {
+  const auto [total, successes, draws] = GetParam();
+  Rng rng(11);
+  const auto support = hypergeometric_support(total, successes, draws);
+  for (int i = 0; i < 2000; ++i) {
+    const auto k = rng.hypergeometric(total, successes, draws);
+    EXPECT_GE(k, support.lo);
+    EXPECT_LE(k, support.hi);
+  }
+}
+
+TEST_P(HypergeometricSampler, EmpiricalMeanMatches) {
+  const auto [total, successes, draws] = GetParam();
+  Rng rng(12);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.hypergeometric(total, successes, draws));
+  }
+  const double mu = hypergeometric_mean(total, successes, draws);
+  const double sd = std::sqrt(std::max(hypergeometric_var(total, successes, draws), 1e-12));
+  EXPECT_NEAR(sum / n, mu, 6.0 * sd / std::sqrt(static_cast<double>(n)) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HypergeometricSampler,
+    ::testing::Values(HgSampleCase{10, 3, 4}, HgSampleCase{100, 50, 10},
+                      HgSampleCase{1000, 5, 600}, HgSampleCase{1000, 995, 600},
+                      HgSampleCase{50000, 1000, 150},
+                      HgSampleCase{150000, 100000, 150},
+                      HgSampleCase{8, 8, 3}, HgSampleCase{8, 0, 3}));
+
+TEST(HypergeometricSampler, ChiSquareAgainstPmf) {
+  // Goodness of fit on a moderate case; generous threshold to stay stable.
+  const std::int64_t total = 60, successes = 25, draws = 12;
+  Rng rng(13);
+  const auto support = hypergeometric_support(total, successes, draws);
+  std::vector<std::int64_t> counts(
+      static_cast<std::size_t>(support.hi - support.lo + 1), 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(
+        rng.hypergeometric(total, successes, draws) - support.lo)];
+  }
+  double chi2 = 0.0;
+  int dof = 0;
+  for (std::int64_t k = support.lo; k <= support.hi; ++k) {
+    const double expected =
+        n * hypergeometric_pmf(total, successes, draws, k);
+    if (expected < 5.0) continue;  // merge-tail convention: skip tiny bins
+    const double observed =
+        static_cast<double>(counts[static_cast<std::size_t>(k - support.lo)]);
+    chi2 += (observed - expected) * (observed - expected) / expected;
+    ++dof;
+  }
+  // 99.9th percentile of chi2 with ~12 dof is ~33; anything wildly above
+  // signals a broken sampler.
+  EXPECT_LT(chi2, 60.0) << "chi2=" << chi2 << " dof=" << dof;
+}
+
+TEST(MultivariateHypergeometric, ConservesTotals) {
+  Rng rng(14);
+  const std::vector<std::int64_t> sizes = {10, 0, 25, 5, 60};
+  for (std::int64_t m : {0L, 1L, 37L, 99L, 100L}) {
+    const auto out = rng.multivariate_hypergeometric(sizes, m);
+    ASSERT_EQ(out.size(), sizes.size());
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_GE(out[i], 0);
+      EXPECT_LE(out[i], sizes[i]);
+      sum += out[i];
+    }
+    EXPECT_EQ(sum, m);
+  }
+}
+
+TEST(MultivariateHypergeometric, MarginalMeansProportionalToSizes) {
+  Rng rng(15);
+  const std::vector<std::int64_t> sizes = {100, 300, 600};
+  const std::int64_t m = 250;
+  std::vector<double> mean(sizes.size(), 0.0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto out = rng.multivariate_hypergeometric(sizes, m);
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      mean[j] += static_cast<double>(out[j]);
+    }
+  }
+  for (std::size_t j = 0; j < sizes.size(); ++j) {
+    const double expected = 250.0 * static_cast<double>(sizes[j]) / 1000.0;
+    EXPECT_NEAR(mean[j] / n, expected, expected * 0.05 + 0.5);
+  }
+}
+
+TEST(MultivariateHypergeometric, RejectsBadInput) {
+  Rng rng(16);
+  const std::vector<std::int64_t> sizes = {5, 5};
+  EXPECT_THROW(rng.multivariate_hypergeometric(sizes, 11),
+               std::invalid_argument);
+  EXPECT_THROW(rng.multivariate_hypergeometric(sizes, -1),
+               std::invalid_argument);
+  const std::vector<std::int64_t> bad = {5, -1};
+  EXPECT_THROW(rng.multivariate_hypergeometric(bad, 2), std::invalid_argument);
+}
+
+TEST(Shuffle, IsAPermutation) {
+  Rng rng(17);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), w.begin()));  // astronomically unlikely
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Binomial, EdgeCases) {
+  Rng rng(18);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0);
+  EXPECT_EQ(rng.binomial(10, 0.0), 0);
+  EXPECT_EQ(rng.binomial(10, 1.0), 10);
+  EXPECT_THROW(rng.binomial(-1, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shuffledef::util

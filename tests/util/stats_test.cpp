@@ -1,0 +1,101 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <vector>
+
+namespace shuffledef::util {
+namespace {
+
+TEST(Accumulator, MeanAndVarianceKnownSample) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, SingleValueHasZeroVariance) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, NumericallyStableAroundLargeOffset) {
+  Accumulator acc;
+  for (int i = 0; i < 1000; ++i) acc.add(1e9 + (i % 2 == 0 ? 1.0 : -1.0));
+  EXPECT_NEAR(acc.mean(), 1e9, 1e-3);
+  EXPECT_NEAR(acc.variance(), 1.001, 0.01);
+}
+
+TEST(StudentT, KnownCriticalValues) {
+  EXPECT_NEAR(student_t_critical(1, 0.95), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_critical(10, 0.95), 2.228, 1e-3);
+  EXPECT_NEAR(student_t_critical(29, 0.99), 2.756, 1e-3);
+  EXPECT_NEAR(student_t_critical(29, 0.95), 2.045, 1e-3);
+  // Beyond the table: normal quantiles.
+  EXPECT_NEAR(student_t_critical(100000, 0.95), 1.960, 1e-2);
+  EXPECT_NEAR(student_t_critical(100000, 0.99), 2.576, 1e-2);
+}
+
+TEST(StudentT, InterpolatedValuesAreBracketed) {
+  // df = 22 sits between the df = 20 and df = 25 rows.
+  const double t = student_t_critical(22, 0.95);
+  EXPECT_LT(t, student_t_critical(20, 0.95));
+  EXPECT_GT(t, student_t_critical(25, 0.95));
+}
+
+TEST(StudentT, RejectsBadArguments) {
+  EXPECT_THROW(student_t_critical(0, 0.95), std::invalid_argument);
+  EXPECT_THROW(student_t_critical(5, 0.0), std::invalid_argument);
+  EXPECT_THROW(student_t_critical(5, 1.0), std::invalid_argument);
+}
+
+TEST(Summary, CiHalfWidthMatchesHandComputation) {
+  Accumulator acc;
+  for (double x : {10.0, 12.0, 14.0, 16.0, 18.0}) acc.add(x);
+  const auto s = acc.summary();
+  // stddev = sqrt(10), n = 5, df = 4, t(0.95, 4) = 2.776.
+  const double expected = 2.776 * std::sqrt(10.0) / std::sqrt(5.0);
+  EXPECT_NEAR(s.ci_half_width(0.95), expected, 1e-2);
+  EXPECT_EQ(Summary{}.ci_half_width(0.95), 0.0);  // n < 2 has no CI
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+  EXPECT_NEAR(percentile(xs, 0.25), 1.75, 1e-12);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  const std::vector<double> xs = {1.0};
+  const std::vector<double> empty;
+  EXPECT_THROW(percentile(empty, 0.5), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(Summarize, MatchesAccumulator) {
+  const std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.count, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 2.8);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Summary, ToStringContainsPlusMinus) {
+  Accumulator acc;
+  acc.add(1.0);
+  acc.add(2.0);
+  const auto str = acc.summary().to_string(0.95);
+  EXPECT_NE(str.find("±"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shuffledef::util

@@ -1,0 +1,66 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+#include <sstream>
+
+namespace shuffledef::util {
+namespace {
+
+TEST(Table, AlignedOutputContainsHeadersAndRows) {
+  Table t("demo");
+  t.set_headers({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(Table, MismatchedRowWidthThrowsAtPrint) {
+  Table t;
+  t.set_headers({"a", "b"});
+  t.add_row({"only-one"});
+  std::ostringstream os;
+  EXPECT_THROW(t.print(os), std::logic_error);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t;
+  t.set_headers({"k", "v"});
+  t.add_row({"with,comma", "with\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripStructure) {
+  Table t;
+  t.set_headers({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Fmt, FormatsNumbers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(static_cast<std::int64_t>(42)), "42");
+  EXPECT_EQ(fmt_ci(1.5, 0.25, 2), "1.50 ± 0.25");
+}
+
+TEST(Table, RowCount) {
+  Table t;
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"a"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace shuffledef::util

@@ -1,0 +1,35 @@
+#include "util/timer.h"
+
+#include <gtest/gtest.h>
+#include <thread>
+
+namespace shuffledef::util {
+namespace {
+
+TEST(Timer, MeasuresElapsedWallTime) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = timer.elapsed_ms();
+  EXPECT_GE(ms, 18.0);
+  EXPECT_LT(ms, 500.0);  // generous for loaded CI machines
+}
+
+TEST(Timer, UnitsAreConsistent) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double s = timer.elapsed_seconds();
+  const double ms = timer.elapsed_ms();
+  const double us = timer.elapsed_us();
+  EXPECT_NEAR(ms, s * 1e3, s * 1e3 * 0.5 + 1.0);
+  EXPECT_NEAR(us, s * 1e6, s * 1e6 * 0.5 + 1000.0);
+}
+
+TEST(Timer, ResetRestartsTheClock) {
+  Timer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  timer.reset();
+  EXPECT_LT(timer.elapsed_ms(), 15.0);
+}
+
+}  // namespace
+}  // namespace shuffledef::util
