@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_attacker_strategies"
+  "../bench/abl_attacker_strategies.pdb"
+  "CMakeFiles/abl_attacker_strategies.dir/abl_attacker_strategies.cpp.o"
+  "CMakeFiles/abl_attacker_strategies.dir/abl_attacker_strategies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_attacker_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_cost_vs_expansion.cpp" "bench-build/CMakeFiles/abl_cost_vs_expansion.dir/abl_cost_vs_expansion.cpp.o" "gcc" "bench-build/CMakeFiles/abl_cost_vs_expansion.dir/abl_cost_vs_expansion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shuffledef_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/shuffledef_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/shuffledef_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_cost_vs_expansion"
+  "../bench/abl_cost_vs_expansion.pdb"
+  "CMakeFiles/abl_cost_vs_expansion.dir/abl_cost_vs_expansion.cpp.o"
+  "CMakeFiles/abl_cost_vs_expansion.dir/abl_cost_vs_expansion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cost_vs_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

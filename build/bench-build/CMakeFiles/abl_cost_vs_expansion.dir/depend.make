@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_cost_vs_expansion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_mle_sensitivity"
+  "../bench/abl_mle_sensitivity.pdb"
+  "CMakeFiles/abl_mle_sensitivity.dir/abl_mle_sensitivity.cpp.o"
+  "CMakeFiles/abl_mle_sensitivity.dir/abl_mle_sensitivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mle_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_qos_restoration"
+  "../bench/abl_qos_restoration.pdb"
+  "CMakeFiles/abl_qos_restoration.dir/abl_qos_restoration.cpp.o"
+  "CMakeFiles/abl_qos_restoration.dir/abl_qos_restoration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_qos_restoration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_theorem1_provisioning"
+  "../bench/abl_theorem1_provisioning.pdb"
+  "CMakeFiles/abl_theorem1_provisioning.dir/abl_theorem1_provisioning.cpp.o"
+  "CMakeFiles/abl_theorem1_provisioning.dir/abl_theorem1_provisioning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_theorem1_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

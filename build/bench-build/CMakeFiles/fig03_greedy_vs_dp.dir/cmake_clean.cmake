@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_greedy_vs_dp"
+  "../bench/fig03_greedy_vs_dp.pdb"
+  "CMakeFiles/fig03_greedy_vs_dp.dir/fig03_greedy_vs_dp.cpp.o"
+  "CMakeFiles/fig03_greedy_vs_dp.dir/fig03_greedy_vs_dp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_greedy_vs_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_greedy_vs_even"
+  "../bench/fig04_greedy_vs_even.pdb"
+  "CMakeFiles/fig04_greedy_vs_even.dir/fig04_greedy_vs_even.cpp.o"
+  "CMakeFiles/fig04_greedy_vs_even.dir/fig04_greedy_vs_even.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_greedy_vs_even.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

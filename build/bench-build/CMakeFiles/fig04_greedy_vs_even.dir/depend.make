@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_greedy_vs_even.
+# This may be replaced when dependencies are built.

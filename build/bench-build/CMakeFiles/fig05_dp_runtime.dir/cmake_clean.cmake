@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_dp_runtime"
+  "../bench/fig05_dp_runtime.pdb"
+  "CMakeFiles/fig05_dp_runtime.dir/fig05_dp_runtime.cpp.o"
+  "CMakeFiles/fig05_dp_runtime.dir/fig05_dp_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_dp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

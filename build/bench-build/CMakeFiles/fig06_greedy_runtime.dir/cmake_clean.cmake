@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_greedy_runtime"
+  "../bench/fig06_greedy_runtime.pdb"
+  "CMakeFiles/fig06_greedy_runtime.dir/fig06_greedy_runtime.cpp.o"
+  "CMakeFiles/fig06_greedy_runtime.dir/fig06_greedy_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_greedy_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

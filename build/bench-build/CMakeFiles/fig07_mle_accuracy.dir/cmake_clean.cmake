@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_mle_accuracy"
+  "../bench/fig07_mle_accuracy.pdb"
+  "CMakeFiles/fig07_mle_accuracy.dir/fig07_mle_accuracy.cpp.o"
+  "CMakeFiles/fig07_mle_accuracy.dir/fig07_mle_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_mle_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_shuffles_vs_bots"
+  "../bench/fig08_shuffles_vs_bots.pdb"
+  "CMakeFiles/fig08_shuffles_vs_bots.dir/fig08_shuffles_vs_bots.cpp.o"
+  "CMakeFiles/fig08_shuffles_vs_bots.dir/fig08_shuffles_vs_bots.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_shuffles_vs_bots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

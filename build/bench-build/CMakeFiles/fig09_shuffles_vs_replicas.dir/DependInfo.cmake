@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig09_shuffles_vs_replicas.cpp" "bench-build/CMakeFiles/fig09_shuffles_vs_replicas.dir/fig09_shuffles_vs_replicas.cpp.o" "gcc" "bench-build/CMakeFiles/fig09_shuffles_vs_replicas.dir/fig09_shuffles_vs_replicas.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shuffledef_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/shuffledef_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/shuffledef_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_shuffles_vs_replicas"
+  "../bench/fig09_shuffles_vs_replicas.pdb"
+  "CMakeFiles/fig09_shuffles_vs_replicas.dir/fig09_shuffles_vs_replicas.cpp.o"
+  "CMakeFiles/fig09_shuffles_vs_replicas.dir/fig09_shuffles_vs_replicas.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_shuffles_vs_replicas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_shuffles_vs_replicas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_cumulative_saves"
+  "../bench/fig10_cumulative_saves.pdb"
+  "CMakeFiles/fig10_cumulative_saves.dir/fig10_cumulative_saves.cpp.o"
+  "CMakeFiles/fig10_cumulative_saves.dir/fig10_cumulative_saves.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cumulative_saves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_migration_latency"
+  "../bench/fig12_migration_latency.pdb"
+  "CMakeFiles/fig12_migration_latency.dir/fig12_migration_latency.cpp.o"
+  "CMakeFiles/fig12_migration_latency.dir/fig12_migration_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_migration_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webservice_defense.dir/webservice_defense.cpp.o"
+  "CMakeFiles/webservice_defense.dir/webservice_defense.cpp.o.d"
+  "webservice_defense"
+  "webservice_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webservice_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

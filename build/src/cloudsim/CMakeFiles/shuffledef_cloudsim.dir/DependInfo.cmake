@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloudsim/botnet.cpp" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/botnet.cpp.o" "gcc" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/botnet.cpp.o.d"
+  "/root/repo/src/cloudsim/client_agent.cpp" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/client_agent.cpp.o" "gcc" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/client_agent.cpp.o.d"
+  "/root/repo/src/cloudsim/cloud_provider.cpp" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/cloud_provider.cpp.o" "gcc" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/cloud_provider.cpp.o.d"
+  "/root/repo/src/cloudsim/coordination_server.cpp" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/coordination_server.cpp.o" "gcc" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/coordination_server.cpp.o.d"
+  "/root/repo/src/cloudsim/dns_server.cpp" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/dns_server.cpp.o" "gcc" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/dns_server.cpp.o.d"
+  "/root/repo/src/cloudsim/event_loop.cpp" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/event_loop.cpp.o" "gcc" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/event_loop.cpp.o.d"
+  "/root/repo/src/cloudsim/load_balancer.cpp" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/load_balancer.cpp.o" "gcc" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/load_balancer.cpp.o.d"
+  "/root/repo/src/cloudsim/message.cpp" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/message.cpp.o" "gcc" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/message.cpp.o.d"
+  "/root/repo/src/cloudsim/network.cpp" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/network.cpp.o" "gcc" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/network.cpp.o.d"
+  "/root/repo/src/cloudsim/node.cpp" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/node.cpp.o" "gcc" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/node.cpp.o.d"
+  "/root/repo/src/cloudsim/replica_server.cpp" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/replica_server.cpp.o" "gcc" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/replica_server.cpp.o.d"
+  "/root/repo/src/cloudsim/scenario.cpp" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/scenario.cpp.o" "gcc" "src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/shuffledef_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/shuffledef_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

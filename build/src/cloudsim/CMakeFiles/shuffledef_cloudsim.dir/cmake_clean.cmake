@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shuffledef_cloudsim.dir/botnet.cpp.o"
+  "CMakeFiles/shuffledef_cloudsim.dir/botnet.cpp.o.d"
+  "CMakeFiles/shuffledef_cloudsim.dir/client_agent.cpp.o"
+  "CMakeFiles/shuffledef_cloudsim.dir/client_agent.cpp.o.d"
+  "CMakeFiles/shuffledef_cloudsim.dir/cloud_provider.cpp.o"
+  "CMakeFiles/shuffledef_cloudsim.dir/cloud_provider.cpp.o.d"
+  "CMakeFiles/shuffledef_cloudsim.dir/coordination_server.cpp.o"
+  "CMakeFiles/shuffledef_cloudsim.dir/coordination_server.cpp.o.d"
+  "CMakeFiles/shuffledef_cloudsim.dir/dns_server.cpp.o"
+  "CMakeFiles/shuffledef_cloudsim.dir/dns_server.cpp.o.d"
+  "CMakeFiles/shuffledef_cloudsim.dir/event_loop.cpp.o"
+  "CMakeFiles/shuffledef_cloudsim.dir/event_loop.cpp.o.d"
+  "CMakeFiles/shuffledef_cloudsim.dir/load_balancer.cpp.o"
+  "CMakeFiles/shuffledef_cloudsim.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/shuffledef_cloudsim.dir/message.cpp.o"
+  "CMakeFiles/shuffledef_cloudsim.dir/message.cpp.o.d"
+  "CMakeFiles/shuffledef_cloudsim.dir/network.cpp.o"
+  "CMakeFiles/shuffledef_cloudsim.dir/network.cpp.o.d"
+  "CMakeFiles/shuffledef_cloudsim.dir/node.cpp.o"
+  "CMakeFiles/shuffledef_cloudsim.dir/node.cpp.o.d"
+  "CMakeFiles/shuffledef_cloudsim.dir/replica_server.cpp.o"
+  "CMakeFiles/shuffledef_cloudsim.dir/replica_server.cpp.o.d"
+  "CMakeFiles/shuffledef_cloudsim.dir/scenario.cpp.o"
+  "CMakeFiles/shuffledef_cloudsim.dir/scenario.cpp.o.d"
+  "libshuffledef_cloudsim.a"
+  "libshuffledef_cloudsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shuffledef_cloudsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithm_one.cpp" "src/core/CMakeFiles/shuffledef_core.dir/algorithm_one.cpp.o" "gcc" "src/core/CMakeFiles/shuffledef_core.dir/algorithm_one.cpp.o.d"
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/shuffledef_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/shuffledef_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/shuffledef_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/shuffledef_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/even_planner.cpp" "src/core/CMakeFiles/shuffledef_core.dir/even_planner.cpp.o" "gcc" "src/core/CMakeFiles/shuffledef_core.dir/even_planner.cpp.o.d"
+  "/root/repo/src/core/greedy_planner.cpp" "src/core/CMakeFiles/shuffledef_core.dir/greedy_planner.cpp.o" "gcc" "src/core/CMakeFiles/shuffledef_core.dir/greedy_planner.cpp.o.d"
+  "/root/repo/src/core/likelihood.cpp" "src/core/CMakeFiles/shuffledef_core.dir/likelihood.cpp.o" "gcc" "src/core/CMakeFiles/shuffledef_core.dir/likelihood.cpp.o.d"
+  "/root/repo/src/core/mle_estimator.cpp" "src/core/CMakeFiles/shuffledef_core.dir/mle_estimator.cpp.o" "gcc" "src/core/CMakeFiles/shuffledef_core.dir/mle_estimator.cpp.o.d"
+  "/root/repo/src/core/moments_estimator.cpp" "src/core/CMakeFiles/shuffledef_core.dir/moments_estimator.cpp.o" "gcc" "src/core/CMakeFiles/shuffledef_core.dir/moments_estimator.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/core/CMakeFiles/shuffledef_core.dir/plan.cpp.o" "gcc" "src/core/CMakeFiles/shuffledef_core.dir/plan.cpp.o.d"
+  "/root/repo/src/core/plan_metrics.cpp" "src/core/CMakeFiles/shuffledef_core.dir/plan_metrics.cpp.o" "gcc" "src/core/CMakeFiles/shuffledef_core.dir/plan_metrics.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/core/CMakeFiles/shuffledef_core.dir/planner.cpp.o" "gcc" "src/core/CMakeFiles/shuffledef_core.dir/planner.cpp.o.d"
+  "/root/repo/src/core/provisioning.cpp" "src/core/CMakeFiles/shuffledef_core.dir/provisioning.cpp.o" "gcc" "src/core/CMakeFiles/shuffledef_core.dir/provisioning.cpp.o.d"
+  "/root/repo/src/core/separable_dp.cpp" "src/core/CMakeFiles/shuffledef_core.dir/separable_dp.cpp.o" "gcc" "src/core/CMakeFiles/shuffledef_core.dir/separable_dp.cpp.o.d"
+  "/root/repo/src/core/shuffle_controller.cpp" "src/core/CMakeFiles/shuffledef_core.dir/shuffle_controller.cpp.o" "gcc" "src/core/CMakeFiles/shuffledef_core.dir/shuffle_controller.cpp.o.d"
+  "/root/repo/src/core/single_replica.cpp" "src/core/CMakeFiles/shuffledef_core.dir/single_replica.cpp.o" "gcc" "src/core/CMakeFiles/shuffledef_core.dir/single_replica.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/shuffledef_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shuffledef_core.dir/algorithm_one.cpp.o"
+  "CMakeFiles/shuffledef_core.dir/algorithm_one.cpp.o.d"
+  "CMakeFiles/shuffledef_core.dir/cost_model.cpp.o"
+  "CMakeFiles/shuffledef_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/shuffledef_core.dir/estimator.cpp.o"
+  "CMakeFiles/shuffledef_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/shuffledef_core.dir/even_planner.cpp.o"
+  "CMakeFiles/shuffledef_core.dir/even_planner.cpp.o.d"
+  "CMakeFiles/shuffledef_core.dir/greedy_planner.cpp.o"
+  "CMakeFiles/shuffledef_core.dir/greedy_planner.cpp.o.d"
+  "CMakeFiles/shuffledef_core.dir/likelihood.cpp.o"
+  "CMakeFiles/shuffledef_core.dir/likelihood.cpp.o.d"
+  "CMakeFiles/shuffledef_core.dir/mle_estimator.cpp.o"
+  "CMakeFiles/shuffledef_core.dir/mle_estimator.cpp.o.d"
+  "CMakeFiles/shuffledef_core.dir/moments_estimator.cpp.o"
+  "CMakeFiles/shuffledef_core.dir/moments_estimator.cpp.o.d"
+  "CMakeFiles/shuffledef_core.dir/plan.cpp.o"
+  "CMakeFiles/shuffledef_core.dir/plan.cpp.o.d"
+  "CMakeFiles/shuffledef_core.dir/plan_metrics.cpp.o"
+  "CMakeFiles/shuffledef_core.dir/plan_metrics.cpp.o.d"
+  "CMakeFiles/shuffledef_core.dir/planner.cpp.o"
+  "CMakeFiles/shuffledef_core.dir/planner.cpp.o.d"
+  "CMakeFiles/shuffledef_core.dir/provisioning.cpp.o"
+  "CMakeFiles/shuffledef_core.dir/provisioning.cpp.o.d"
+  "CMakeFiles/shuffledef_core.dir/separable_dp.cpp.o"
+  "CMakeFiles/shuffledef_core.dir/separable_dp.cpp.o.d"
+  "CMakeFiles/shuffledef_core.dir/shuffle_controller.cpp.o"
+  "CMakeFiles/shuffledef_core.dir/shuffle_controller.cpp.o.d"
+  "CMakeFiles/shuffledef_core.dir/single_replica.cpp.o"
+  "CMakeFiles/shuffledef_core.dir/single_replica.cpp.o.d"
+  "libshuffledef_core.a"
+  "libshuffledef_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shuffledef_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/arrival.cpp" "src/sim/CMakeFiles/shuffledef_sim.dir/arrival.cpp.o" "gcc" "src/sim/CMakeFiles/shuffledef_sim.dir/arrival.cpp.o.d"
+  "/root/repo/src/sim/client_sim.cpp" "src/sim/CMakeFiles/shuffledef_sim.dir/client_sim.cpp.o" "gcc" "src/sim/CMakeFiles/shuffledef_sim.dir/client_sim.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/shuffledef_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/shuffledef_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/shuffle_sim.cpp" "src/sim/CMakeFiles/shuffledef_sim.dir/shuffle_sim.cpp.o" "gcc" "src/sim/CMakeFiles/shuffledef_sim.dir/shuffle_sim.cpp.o.d"
+  "/root/repo/src/sim/strategy.cpp" "src/sim/CMakeFiles/shuffledef_sim.dir/strategy.cpp.o" "gcc" "src/sim/CMakeFiles/shuffledef_sim.dir/strategy.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/shuffledef_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/shuffledef_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/shuffledef_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/shuffledef_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

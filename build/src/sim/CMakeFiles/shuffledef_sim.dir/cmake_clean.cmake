@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shuffledef_sim.dir/arrival.cpp.o"
+  "CMakeFiles/shuffledef_sim.dir/arrival.cpp.o.d"
+  "CMakeFiles/shuffledef_sim.dir/client_sim.cpp.o"
+  "CMakeFiles/shuffledef_sim.dir/client_sim.cpp.o.d"
+  "CMakeFiles/shuffledef_sim.dir/experiment.cpp.o"
+  "CMakeFiles/shuffledef_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/shuffledef_sim.dir/shuffle_sim.cpp.o"
+  "CMakeFiles/shuffledef_sim.dir/shuffle_sim.cpp.o.d"
+  "CMakeFiles/shuffledef_sim.dir/strategy.cpp.o"
+  "CMakeFiles/shuffledef_sim.dir/strategy.cpp.o.d"
+  "CMakeFiles/shuffledef_sim.dir/trace.cpp.o"
+  "CMakeFiles/shuffledef_sim.dir/trace.cpp.o.d"
+  "libshuffledef_sim.a"
+  "libshuffledef_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shuffledef_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shuffledef_util.dir/flags.cpp.o"
+  "CMakeFiles/shuffledef_util.dir/flags.cpp.o.d"
+  "CMakeFiles/shuffledef_util.dir/logging.cpp.o"
+  "CMakeFiles/shuffledef_util.dir/logging.cpp.o.d"
+  "CMakeFiles/shuffledef_util.dir/math.cpp.o"
+  "CMakeFiles/shuffledef_util.dir/math.cpp.o.d"
+  "CMakeFiles/shuffledef_util.dir/random.cpp.o"
+  "CMakeFiles/shuffledef_util.dir/random.cpp.o.d"
+  "CMakeFiles/shuffledef_util.dir/stats.cpp.o"
+  "CMakeFiles/shuffledef_util.dir/stats.cpp.o.d"
+  "CMakeFiles/shuffledef_util.dir/table.cpp.o"
+  "CMakeFiles/shuffledef_util.dir/table.cpp.o.d"
+  "libshuffledef_util.a"
+  "libshuffledef_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shuffledef_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

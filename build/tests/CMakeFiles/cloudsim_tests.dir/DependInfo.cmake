@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cloudsim/botnet_test.cpp" "tests/CMakeFiles/cloudsim_tests.dir/cloudsim/botnet_test.cpp.o" "gcc" "tests/CMakeFiles/cloudsim_tests.dir/cloudsim/botnet_test.cpp.o.d"
+  "/root/repo/tests/cloudsim/client_workload_test.cpp" "tests/CMakeFiles/cloudsim_tests.dir/cloudsim/client_workload_test.cpp.o" "gcc" "tests/CMakeFiles/cloudsim_tests.dir/cloudsim/client_workload_test.cpp.o.d"
+  "/root/repo/tests/cloudsim/defense_e2e_test.cpp" "tests/CMakeFiles/cloudsim_tests.dir/cloudsim/defense_e2e_test.cpp.o" "gcc" "tests/CMakeFiles/cloudsim_tests.dir/cloudsim/defense_e2e_test.cpp.o.d"
+  "/root/repo/tests/cloudsim/event_loop_test.cpp" "tests/CMakeFiles/cloudsim_tests.dir/cloudsim/event_loop_test.cpp.o" "gcc" "tests/CMakeFiles/cloudsim_tests.dir/cloudsim/event_loop_test.cpp.o.d"
+  "/root/repo/tests/cloudsim/fuzz_scenario_test.cpp" "tests/CMakeFiles/cloudsim_tests.dir/cloudsim/fuzz_scenario_test.cpp.o" "gcc" "tests/CMakeFiles/cloudsim_tests.dir/cloudsim/fuzz_scenario_test.cpp.o.d"
+  "/root/repo/tests/cloudsim/infrastructure_test.cpp" "tests/CMakeFiles/cloudsim_tests.dir/cloudsim/infrastructure_test.cpp.o" "gcc" "tests/CMakeFiles/cloudsim_tests.dir/cloudsim/infrastructure_test.cpp.o.d"
+  "/root/repo/tests/cloudsim/message_test.cpp" "tests/CMakeFiles/cloudsim_tests.dir/cloudsim/message_test.cpp.o" "gcc" "tests/CMakeFiles/cloudsim_tests.dir/cloudsim/message_test.cpp.o.d"
+  "/root/repo/tests/cloudsim/network_test.cpp" "tests/CMakeFiles/cloudsim_tests.dir/cloudsim/network_test.cpp.o" "gcc" "tests/CMakeFiles/cloudsim_tests.dir/cloudsim/network_test.cpp.o.d"
+  "/root/repo/tests/cloudsim/service_stack_test.cpp" "tests/CMakeFiles/cloudsim_tests.dir/cloudsim/service_stack_test.cpp.o" "gcc" "tests/CMakeFiles/cloudsim_tests.dir/cloudsim/service_stack_test.cpp.o.d"
+  "/root/repo/tests/cloudsim/spoofing_test.cpp" "tests/CMakeFiles/cloudsim_tests.dir/cloudsim/spoofing_test.cpp.o" "gcc" "tests/CMakeFiles/cloudsim_tests.dir/cloudsim/spoofing_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shuffledef_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/shuffledef_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/shuffledef_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

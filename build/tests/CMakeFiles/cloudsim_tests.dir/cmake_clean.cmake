@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudsim_tests.dir/cloudsim/botnet_test.cpp.o"
+  "CMakeFiles/cloudsim_tests.dir/cloudsim/botnet_test.cpp.o.d"
+  "CMakeFiles/cloudsim_tests.dir/cloudsim/client_workload_test.cpp.o"
+  "CMakeFiles/cloudsim_tests.dir/cloudsim/client_workload_test.cpp.o.d"
+  "CMakeFiles/cloudsim_tests.dir/cloudsim/defense_e2e_test.cpp.o"
+  "CMakeFiles/cloudsim_tests.dir/cloudsim/defense_e2e_test.cpp.o.d"
+  "CMakeFiles/cloudsim_tests.dir/cloudsim/event_loop_test.cpp.o"
+  "CMakeFiles/cloudsim_tests.dir/cloudsim/event_loop_test.cpp.o.d"
+  "CMakeFiles/cloudsim_tests.dir/cloudsim/fuzz_scenario_test.cpp.o"
+  "CMakeFiles/cloudsim_tests.dir/cloudsim/fuzz_scenario_test.cpp.o.d"
+  "CMakeFiles/cloudsim_tests.dir/cloudsim/infrastructure_test.cpp.o"
+  "CMakeFiles/cloudsim_tests.dir/cloudsim/infrastructure_test.cpp.o.d"
+  "CMakeFiles/cloudsim_tests.dir/cloudsim/message_test.cpp.o"
+  "CMakeFiles/cloudsim_tests.dir/cloudsim/message_test.cpp.o.d"
+  "CMakeFiles/cloudsim_tests.dir/cloudsim/network_test.cpp.o"
+  "CMakeFiles/cloudsim_tests.dir/cloudsim/network_test.cpp.o.d"
+  "CMakeFiles/cloudsim_tests.dir/cloudsim/service_stack_test.cpp.o"
+  "CMakeFiles/cloudsim_tests.dir/cloudsim/service_stack_test.cpp.o.d"
+  "CMakeFiles/cloudsim_tests.dir/cloudsim/spoofing_test.cpp.o"
+  "CMakeFiles/cloudsim_tests.dir/cloudsim/spoofing_test.cpp.o.d"
+  "cloudsim_tests"
+  "cloudsim_tests.pdb"
+  "cloudsim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

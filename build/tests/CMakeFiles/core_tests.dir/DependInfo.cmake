@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/algorithm_one_test.cpp" "tests/CMakeFiles/core_tests.dir/core/algorithm_one_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/algorithm_one_test.cpp.o.d"
+  "/root/repo/tests/core/cost_model_test.cpp" "tests/CMakeFiles/core_tests.dir/core/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/cost_model_test.cpp.o.d"
+  "/root/repo/tests/core/figure3_regression_test.cpp" "tests/CMakeFiles/core_tests.dir/core/figure3_regression_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/figure3_regression_test.cpp.o.d"
+  "/root/repo/tests/core/likelihood_test.cpp" "tests/CMakeFiles/core_tests.dir/core/likelihood_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/likelihood_test.cpp.o.d"
+  "/root/repo/tests/core/mle_estimator_test.cpp" "tests/CMakeFiles/core_tests.dir/core/mle_estimator_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/mle_estimator_test.cpp.o.d"
+  "/root/repo/tests/core/moments_estimator_test.cpp" "tests/CMakeFiles/core_tests.dir/core/moments_estimator_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/moments_estimator_test.cpp.o.d"
+  "/root/repo/tests/core/plan_metrics_test.cpp" "tests/CMakeFiles/core_tests.dir/core/plan_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/plan_metrics_test.cpp.o.d"
+  "/root/repo/tests/core/plan_test.cpp" "tests/CMakeFiles/core_tests.dir/core/plan_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/plan_test.cpp.o.d"
+  "/root/repo/tests/core/planner_test.cpp" "tests/CMakeFiles/core_tests.dir/core/planner_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/planner_test.cpp.o.d"
+  "/root/repo/tests/core/provisioning_test.cpp" "tests/CMakeFiles/core_tests.dir/core/provisioning_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/provisioning_test.cpp.o.d"
+  "/root/repo/tests/core/randomized_properties_test.cpp" "tests/CMakeFiles/core_tests.dir/core/randomized_properties_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/randomized_properties_test.cpp.o.d"
+  "/root/repo/tests/core/shuffle_controller_test.cpp" "tests/CMakeFiles/core_tests.dir/core/shuffle_controller_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/shuffle_controller_test.cpp.o.d"
+  "/root/repo/tests/core/single_replica_test.cpp" "tests/CMakeFiles/core_tests.dir/core/single_replica_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/single_replica_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shuffledef_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/shuffledef_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/shuffledef_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/algorithm_one_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/algorithm_one_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/cost_model_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/cost_model_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/figure3_regression_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/figure3_regression_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/likelihood_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/likelihood_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/mle_estimator_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/mle_estimator_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/moments_estimator_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/moments_estimator_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/plan_metrics_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/plan_metrics_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/plan_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/plan_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/planner_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/planner_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/provisioning_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/provisioning_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/randomized_properties_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/randomized_properties_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/shuffle_controller_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/shuffle_controller_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/single_replica_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/single_replica_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/arrival_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/arrival_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/arrival_test.cpp.o.d"
+  "/root/repo/tests/sim/client_sim_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/client_sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/client_sim_test.cpp.o.d"
+  "/root/repo/tests/sim/cross_validation_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/cross_validation_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/cross_validation_test.cpp.o.d"
+  "/root/repo/tests/sim/experiment_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/experiment_test.cpp.o.d"
+  "/root/repo/tests/sim/shuffle_sim_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/shuffle_sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/shuffle_sim_test.cpp.o.d"
+  "/root/repo/tests/sim/trace_test.cpp" "tests/CMakeFiles/sim_tests.dir/sim/trace_test.cpp.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloudsim/CMakeFiles/shuffledef_cloudsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/shuffledef_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/shuffledef_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/shuffledef_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
