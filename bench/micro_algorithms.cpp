@@ -4,10 +4,13 @@
 // Figures 5/6.
 #include <benchmark/benchmark.h>
 
+#include <optional>
+
 #include "core/algorithm_one.h"
 #include "core/greedy_planner.h"
 #include "core/mle_estimator.h"
 #include "core/separable_dp.h"
+#include "core/shuffle_controller.h"
 #include "cloudsim/event_loop.h"
 #include "sim/shuffle_sim.h"
 #include "util/random.h"
@@ -38,14 +41,44 @@ void BM_SeparableDpValue(benchmark::State& state) {
 BENCHMARK(BM_SeparableDpValue)->Arg(200)->Arg(500)->Arg(1000);
 
 void BM_AlgorithmOneValue(benchmark::State& state) {
+  // Second arg: thread count (1 = serial sweep, 0 = shared pool/hardware).
+  core::AlgorithmOneOptions opts;
+  opts.threads = state.range(1);
   const core::ShuffleProblem problem{state.range(0), state.range(0) / 2,
                                      state.range(0) / 5};
-  core::AlgorithmOnePlanner planner;
+  core::AlgorithmOnePlanner planner(opts);
   for (auto _ : state) {
     benchmark::DoNotOptimize(planner.value(problem));
   }
 }
-BENCHMARK(BM_AlgorithmOneValue)->Arg(30)->Arg(60)->Arg(90);
+BENCHMARK(BM_AlgorithmOneValue)
+    ->Args({30, 1})
+    ->Args({60, 1})
+    ->Args({90, 1})
+    ->Args({60, 0})   // parallel, hardware threads
+    ->Args({90, 0});
+
+void BM_ControllerDecide(benchmark::State& state) {
+  // One controller decision per iteration over a recurring set of pool
+  // sizes, as in a steady-state shuffle loop.  Arg: planner-cache capacity
+  // (0 = caching disabled).  The hit_rate counter reports cache efficacy.
+  core::ControllerConfig cfg;
+  cfg.planner = "greedy";
+  cfg.replicas = 200;
+  cfg.use_mle = false;
+  cfg.planner_cache_capacity = static_cast<std::size_t>(state.range(0));
+  core::ShuffleController controller(cfg);
+  controller.set_bot_estimate(2000);
+  const Count pools[4] = {100000, 95000, 90000, 85000};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(controller.decide(pools[i++ % 4], std::nullopt));
+  }
+  if (const auto* cache = controller.planner_cache()) {
+    state.counters["hit_rate"] = cache->hit_rate();
+  }
+}
+BENCHMARK(BM_ControllerDecide)->Arg(0)->Arg(16);
 
 void BM_MleEstimate(benchmark::State& state) {
   const auto p = static_cast<std::size_t>(state.range(0));

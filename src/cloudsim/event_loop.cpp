@@ -1,11 +1,17 @@
 #include "cloudsim/event_loop.h"
 
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
 namespace shuffledef::cloudsim {
 
 void EventLoop::schedule_at(SimTime t, std::function<void()> fn) {
+  // NaN compares false against everything, so `t < now_` alone would let a
+  // NaN (or +inf) time into the queue and corrupt the heap ordering.
+  if (!std::isfinite(t)) {
+    throw std::invalid_argument("EventLoop: non-finite event time");
+  }
   if (t < now_) {
     throw std::invalid_argument("EventLoop: scheduling into the past");
   }
@@ -13,6 +19,9 @@ void EventLoop::schedule_at(SimTime t, std::function<void()> fn) {
 }
 
 void EventLoop::schedule_after(SimTime delay, std::function<void()> fn) {
+  if (!std::isfinite(delay)) {
+    throw std::invalid_argument("EventLoop: non-finite delay");
+  }
   if (delay < 0.0) {
     throw std::invalid_argument("EventLoop: negative delay");
   }

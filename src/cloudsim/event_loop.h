@@ -17,10 +17,10 @@ using SimTime = double;  // seconds since simulation start
 
 class EventLoop {
  public:
-  /// Schedule `fn` at absolute simulated time `t` (>= now).
+  /// Schedule `fn` at absolute simulated time `t` (finite, >= now).
   void schedule_at(SimTime t, std::function<void()> fn);
 
-  /// Schedule `fn` after `delay` seconds (>= 0).
+  /// Schedule `fn` after `delay` seconds (finite, >= 0).
   void schedule_after(SimTime delay, std::function<void()> fn);
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }

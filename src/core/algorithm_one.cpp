@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/math.h"
+#include "util/thread_pool.h"
 
 namespace shuffledef::core {
 namespace {
@@ -13,6 +14,11 @@ namespace {
 // Sentinel in the assign_no table: "do not split — put everything on one
 // replica" (used for n <= 1, m == 0, and padding).
 constexpr std::uint16_t kNoSplit = 0;
+
+// Rows per parallel_for chunk.  Boundaries are fixed (independent of the
+// thread count), and small-n rows are nearly free, so a modest grain keeps
+// the chunk-dispatch overhead negligible without hurting load balance.
+constexpr std::int64_t kRowGrain = 16;
 
 double base_case(Count n, Count m) {
   return m == 0 ? static_cast<double>(n) : 0.0;
@@ -38,7 +44,23 @@ struct AlgorithmOnePlanner::Tables {
 };
 
 AlgorithmOnePlanner::AlgorithmOnePlanner(AlgorithmOneOptions options)
-    : options_(options) {}
+    : options_(options) {
+  if (options_.threads < 0) {
+    throw std::invalid_argument("AlgorithmOneOptions: threads must be >= 0");
+  }
+}
+
+AlgorithmOnePlanner::~AlgorithmOnePlanner() = default;
+
+util::ThreadPool* AlgorithmOnePlanner::pool() const {
+  if (options_.threads == 1) return nullptr;  // serial: never touch a pool
+  if (options_.threads == 0) return &util::ThreadPool::shared();
+  if (!private_pool_) {
+    private_pool_ = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(options_.threads));
+  }
+  return private_pool_.get();
+}
 
 AlgorithmOnePlanner::Tables AlgorithmOnePlanner::solve(
     const ShuffleProblem& problem, bool keep_argmax) const {
@@ -91,52 +113,67 @@ AlgorithmOnePlanner::Tables AlgorithmOnePlanner::solve(
     return t;
   }
 
+  util::ThreadPool* workers = pool();
   for (Count p = 2; p <= P; ++p) {
-    for (Count n = 0; n <= N; ++n) {
-      for (Count m = 0; m <= std::min(n, M); ++m) {
-        // Degenerate cases where splitting is impossible or pointless.
-        if (n <= 1 || m == 0) {
-          cell(cur, n, m) = base_case(n, m);
-          if (keep_argmax) t.assign_no[t.idx(p, n, m)] = kNoSplit;
-          continue;
-        }
-        const Count a_hi =
-            options_.a_cap > 0 ? std::min(n - 1, options_.a_cap) : n - 1;
-        double best = -1.0;
-        Count best_a = 1;
-        for (Count a = 1; a <= a_hi; ++a) {
-          // Hypergeometric expectation over b = bots landing on the bucket
-          // of size a, with incremental pmf updates.
-          const Count lo = std::max<Count>(0, a - (n - m));
-          const Count hi = std::min(a, m);
-          double pmf = util::hypergeometric_pmf(n, m, a, lo);
-          const auto mode = static_cast<Count>(
-              (static_cast<double>(a) + 1.0) * (static_cast<double>(m) + 1.0) /
-              (static_cast<double>(n) + 2.0));
-          util::KahanSum acc;
-          for (Count b = lo; b <= hi; ++b) {
-            if (b == 0) acc.add(static_cast<double>(a) * pmf);  // S(a, 0, 1) = a
-            acc.add(pmf * cell(prev, n - a, m - b));
-            if (options_.tail_epsilon > 0.0 && b > mode &&
-                pmf < options_.tail_epsilon) {
-              break;
+    // Every cell of this layer reads only `prev` and writes only its own
+    // slot of `cur` (and its own assign_no entry), so rows are embarrassingly
+    // parallel; each cell's KahanSum is private, keeping the result
+    // bit-identical to the serial sweep at any thread count.
+    const auto sweep_rows = [&](std::int64_t row_lo, std::int64_t row_hi) {
+      for (Count n = row_lo; n < row_hi; ++n) {
+        for (Count m = 0; m <= std::min(n, M); ++m) {
+          // Degenerate cases where splitting is impossible or pointless.
+          if (n <= 1 || m == 0) {
+            cell(cur, n, m) = base_case(n, m);
+            if (keep_argmax) t.assign_no[t.idx(p, n, m)] = kNoSplit;
+            continue;
+          }
+          const Count a_hi =
+              options_.a_cap > 0 ? std::min(n - 1, options_.a_cap) : n - 1;
+          double best = -1.0;
+          Count best_a = 1;
+          for (Count a = 1; a <= a_hi; ++a) {
+            // Hypergeometric expectation over b = bots landing on the bucket
+            // of size a, with incremental pmf updates.
+            const Count lo = std::max<Count>(0, a - (n - m));
+            const Count hi = std::min(a, m);
+            double pmf = util::hypergeometric_pmf(n, m, a, lo);
+            const auto mode = static_cast<Count>(
+                (static_cast<double>(a) + 1.0) *
+                (static_cast<double>(m) + 1.0) /
+                (static_cast<double>(n) + 2.0));
+            util::KahanSum acc;
+            for (Count b = lo; b <= hi; ++b) {
+              if (b == 0) acc.add(static_cast<double>(a) * pmf);  // S(a,0,1)=a
+              acc.add(pmf * cell(prev, n - a, m - b));
+              if (options_.tail_epsilon > 0.0 && b > mode &&
+                  pmf < options_.tail_epsilon) {
+                break;
+              }
+              // pmf(b+1)/pmf(b) for Hypergeom(total=n, successes=m, draws=a).
+              const double bd = static_cast<double>(b);
+              pmf *= (static_cast<double>(m) - bd) *
+                     (static_cast<double>(a) - bd) /
+                     ((bd + 1.0) *
+                      (static_cast<double>(n - m - a) + bd + 1.0));
             }
-            // pmf(b+1)/pmf(b) for Hypergeom(total=n, successes=m, draws=a).
-            const double bd = static_cast<double>(b);
-            pmf *= (static_cast<double>(m) - bd) * (static_cast<double>(a) - bd) /
-                   ((bd + 1.0) *
-                    (static_cast<double>(n - m - a) + bd + 1.0));
+            if (acc.value() > best) {
+              best = acc.value();
+              best_a = a;
+            }
           }
-          if (acc.value() > best) {
-            best = acc.value();
-            best_a = a;
+          cell(cur, n, m) = best;
+          if (keep_argmax) {
+            t.assign_no[t.idx(p, n, m)] = static_cast<std::uint16_t>(best_a);
           }
-        }
-        cell(cur, n, m) = best;
-        if (keep_argmax) {
-          t.assign_no[t.idx(p, n, m)] = static_cast<std::uint16_t>(best_a);
         }
       }
+    };
+    if (workers != nullptr) {
+      workers->parallel_for(0, static_cast<std::int64_t>(N) + 1, sweep_rows,
+                            kRowGrain);
+    } else {
+      sweep_rows(0, static_cast<std::int64_t>(N) + 1);
     }
     std::swap(prev, cur);
   }

@@ -16,7 +16,11 @@
 //   * the search over a can be capped (a_cap).  Unlike the tail truncation
 //     this one is a genuine heuristic: interior levels lose the option of
 //     cutting a large sacrificial bucket, so the value can drop slightly
-//     (tests bound the loss); a_cap = 0 (default) disables it.
+//     (tests bound the loss); a_cap = 0 (default) disables it;
+//   * the per-layer (n, m) cell sweep runs on a chunked thread pool
+//     (AlgorithmOneOptions::threads) — cells of one layer only read the
+//     previous layer, so the parallel sweep is bit-identical to the serial
+//     one (verified by tests/core/parallel_planner_test).
 //
 // Note on semantics: because the recurrence re-optimizes the remaining
 // replicas *conditioned on b* (the bots that landed in the bucket just
@@ -29,9 +33,14 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 
 #include "core/planner.h"
+
+namespace shuffledef::util {
+class ThreadPool;
+}
 
 namespace shuffledef::core {
 
@@ -43,11 +52,18 @@ struct AlgorithmOneOptions {
   Count a_cap = 0;
   /// Guard against accidental monster allocations (value + argmax tables).
   std::size_t memory_limit_bytes = std::size_t{2} << 30;
+  /// Threads for the per-layer cell sweep: 1 = serial (no pool touched),
+  /// 0 = the process-wide util::ThreadPool::shared(), k > 1 = a private
+  /// pool of k threads.  Every cell of a layer depends only on the previous
+  /// layer and carries its own KahanSum, and rows are handed out as
+  /// fixed-boundary chunks, so the result is bit-identical at any setting.
+  Count threads = 0;
 };
 
 class AlgorithmOnePlanner final : public Planner {
  public:
   explicit AlgorithmOnePlanner(AlgorithmOneOptions options = {});
+  ~AlgorithmOnePlanner() override;
 
   /// The optimal expected number of benign clients saved, S(N, M, P).
   [[nodiscard]] double value(const ShuffleProblem& problem) const;
@@ -63,8 +79,12 @@ class AlgorithmOnePlanner final : public Planner {
  private:
   struct Tables;
   [[nodiscard]] Tables solve(const ShuffleProblem& problem, bool keep_argmax) const;
+  [[nodiscard]] util::ThreadPool* pool() const;
 
   AlgorithmOneOptions options_;
+  // Lazily built private pool when options_.threads > 1 (solve() is const;
+  // the pool is an execution resource, not logical state).
+  mutable std::unique_ptr<util::ThreadPool> private_pool_;
 };
 
 }  // namespace shuffledef::core

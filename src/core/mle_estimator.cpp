@@ -153,12 +153,20 @@ Count MleEstimator::estimate(const ShuffleObservation& obs) const {
     return best_m;
   };
 
-  loglik.mark_started();
-  Count best_m = search();
-  if (loglik.engine_switched()) {
-    // The exact engine bailed out mid-scan; values before and after the
-    // switch are not comparable, so redo the search on the fallback engine.
+  // The exact engine can bail out mid-scan; values before and after a
+  // switch are not comparable, so the whole search restarts until one scan
+  // completes on a single engine.  A single restart is NOT enough in
+  // general: if the engine degrades again during the rescan the returned
+  // argmax would mix incomparable likelihoods.  The retry count is bounded
+  // defensively; in the final attempt the degraded engine has already
+  // evaluated (and discarded) every candidate at least once, so a mixed
+  // scan cannot occur in practice.
+  constexpr int kMaxEngineRestarts = 3;
+  Count best_m = 0;
+  for (int attempt = 0;; ++attempt) {
+    loglik.mark_started();
     best_m = search();
+    if (!loglik.engine_switched() || attempt >= kMaxEngineRestarts) break;
   }
   return best_m;
 }

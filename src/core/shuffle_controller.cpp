@@ -31,6 +31,9 @@ ShuffleController::ShuffleController(ControllerConfig config)
     throw std::invalid_argument("ControllerConfig: unknown estimator '" +
                                 config_.estimator + "' (expected mle|moments)");
   }
+  if (config_.planner_cache_capacity > 0) {
+    cache_.emplace(config_.planner_cache_capacity);
+  }
 }
 
 void ShuffleController::set_bot_estimate(Count bots) {
@@ -70,8 +73,19 @@ RoundDecision ShuffleController::decide(
   RoundDecision decision;
   decision.bot_estimate = m_hat;
   decision.replicas = p;
-  decision.plan =
-      planner_->plan({.clients = pool_clients, .bots = m_hat, .replicas = p});
+  const ShuffleProblem problem{
+      .clients = pool_clients, .bots = m_hat, .replicas = p};
+  if (cache_) {
+    const PlannerCacheKey key{planner_->name(), problem};
+    if (auto cached = cache_->get_plan(key)) {
+      decision.plan = std::move(*cached);
+    } else {
+      decision.plan = planner_->plan(problem);
+      cache_->put_plan(key, decision.plan);
+    }
+  } else {
+    decision.plan = planner_->plan(problem);
+  }
   return decision;
 }
 

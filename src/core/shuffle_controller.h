@@ -21,6 +21,7 @@
 #include "core/mle_estimator.h"
 #include "core/plan.h"
 #include "core/planner.h"
+#include "core/planner_cache.h"
 #include "core/types.h"
 
 namespace shuffledef::core {
@@ -42,6 +43,11 @@ struct ControllerConfig {
   /// 1.0 (default) = trust each round's estimate outright, like the paper.
   double estimate_smoothing = 1.0;
   MleOptions mle;
+  /// LRU capacity of the planner-result cache (successive rounds often
+  /// re-solve the exact same (N, M, P) problem).  0 disables caching.
+  /// Planners are deterministic, so cached decisions are bit-identical to
+  /// uncached ones.
+  std::size_t planner_cache_capacity = 128;
 };
 
 struct RoundDecision {
@@ -67,10 +73,16 @@ class ShuffleController {
   [[nodiscard]] Count bot_estimate() const { return bot_estimate_; }
   [[nodiscard]] const ControllerConfig& config() const { return config_; }
 
+  /// The planner-result cache, or nullptr when planner_cache_capacity == 0.
+  [[nodiscard]] const PlannerCache* planner_cache() const {
+    return cache_ ? &*cache_ : nullptr;
+  }
+
  private:
   ControllerConfig config_;
   std::unique_ptr<Planner> planner_;
   std::unique_ptr<AttackScaleEstimator> estimator_;
+  std::optional<PlannerCache> cache_;
   Count bot_estimate_ = 0;
   bool has_estimate_ = false;  // EWMA needs a first anchor
 };

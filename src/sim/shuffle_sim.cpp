@@ -10,6 +10,11 @@ std::optional<Count> ShuffleSimResult::shuffles_to_fraction(
     double fraction) const {
   const auto target = static_cast<Count>(
       std::ceil(fraction * static_cast<double>(benign_total)));
+  // A zero target (no benign clients, or fraction == 0) needs no shuffling
+  // at all: report 0 rounds instead of whatever round happened to be
+  // recorded first (every cumulative_saved is >= 0, so the scan below would
+  // otherwise return the first recorded round).
+  if (target <= 0) return 0;
   for (const auto& r : rounds) {
     if (r.cumulative_saved >= target) return r.round;
   }
@@ -108,6 +113,10 @@ ShuffleSimResult ShuffleSimulator::run() {
     }
   }
   result.saved_total = cumulative_saved;
+  if (const auto* cache = controller.planner_cache()) {
+    result.planner_cache_hits = cache->hits();
+    result.planner_cache_misses = cache->misses();
+  }
   return result;
 }
 

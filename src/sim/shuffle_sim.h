@@ -59,9 +59,14 @@ struct ShuffleSimResult {
   Count benign_total = 0;   // total benign that ever arrived
   Count saved_total = 0;
   bool reached_target = false;
+  // Controller planner-cache counters for the run (both 0 when the cache is
+  // disabled via planner_cache_capacity = 0).
+  std::uint64_t planner_cache_hits = 0;
+  std::uint64_t planner_cache_misses = 0;
 
   /// First shuffle index with cumulative saved >= fraction * benign_total;
-  /// nullopt if never reached.
+  /// 0 when the target is zero (nothing needed saving), nullopt if never
+  /// reached.
   [[nodiscard]] std::optional<Count> shuffles_to_fraction(double fraction) const;
 };
 

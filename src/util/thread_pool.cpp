@@ -1,0 +1,116 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace shuffledef::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  }
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::run_chunks(Job& job) {
+  for (;;) {
+    const std::int64_t i =
+        job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.chunk_count) return;
+    const std::int64_t lo = job.begin + i * job.grain;
+    const std::int64_t hi = std::min(job.end, lo + job.grain);
+    try {
+      (*job.body)(lo, hi);
+    } catch (...) {
+      // Cancel the remaining chunks and keep the first exception observed.
+      job.next_chunk.store(job.chunk_count, std::memory_order_relaxed);
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!job.error) job.error = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return stop_ || (job_ != nullptr && generation_ != seen_generation);
+    });
+    if (stop_) return;
+    seen_generation = generation_;
+    Job& job = *job_;
+    lock.unlock();
+    run_chunks(job);
+    lock.lock();
+    ++job.workers_finished;
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& body,
+    std::int64_t grain) {
+  if (end <= begin) return;
+  grain = std::max<std::int64_t>(grain, 1);
+  const std::int64_t chunk_count = (end - begin + grain - 1) / grain;
+  // Serial fast path: no workers, a single chunk, or a nested call from a
+  // worker (job_ already set would deadlock the caller's wait).
+  if (workers_.empty() || chunk_count == 1) {
+    for (std::int64_t i = 0; i < chunk_count; ++i) {
+      const std::int64_t lo = begin + i * grain;
+      body(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  Job job;
+  job.begin = begin;
+  job.grain = grain;
+  job.chunk_count = chunk_count;
+  job.end = end;
+  job.body = &body;
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (job_ != nullptr) {
+      // Nested parallel_for (a body that itself parallelizes): run inline.
+      lock.unlock();
+      for (std::int64_t i = 0; i < chunk_count; ++i) {
+        const std::int64_t lo = begin + i * grain;
+        body(lo, std::min(end, lo + grain));
+      }
+      return;
+    }
+    job_ = &job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  run_chunks(job);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return job.workers_finished == workers_.size(); });
+  job_ = nullptr;
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace shuffledef::util

@@ -1,0 +1,83 @@
+// Small reusable chunked thread pool.
+//
+// The pool owns `threads - 1` worker threads; the calling thread always
+// participates in `parallel_for`, so `ThreadPool(1)` spawns no workers and
+// degenerates to a plain serial loop — the natural single-threaded
+// fallback.  Work is handed out as fixed-size chunks of an index range:
+//
+//   pool.parallel_for(0, rows, [&](std::int64_t lo, std::int64_t hi) {
+//     for (std::int64_t r = lo; r < hi; ++r) process(r);
+//   });
+//
+// Determinism contract: chunk boundaries depend only on (begin, end, grain)
+// — never on the thread count or on scheduling — so any computation whose
+// chunks write disjoint state produces bit-identical results at every
+// thread count.  Callers that accumulate across chunks must combine the
+// per-chunk results in index order themselves.
+//
+// Exceptions thrown by the body are caught, the remaining chunks are
+// cancelled, and the first exception (by completion order) is rethrown on
+// the calling thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace shuffledef::util {
+
+class ThreadPool {
+ public:
+  /// `threads` counts the calling thread: the pool spawns `threads - 1`
+  /// workers.  0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that participate in a parallel_for (workers + caller).
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// Process-wide pool sized to the hardware, created on first use.
+  static ThreadPool& shared();
+
+  /// Invoke `body(lo, hi)` over [begin, end) split into chunks of `grain`
+  /// indices (the last chunk may be short).  Blocks until every chunk has
+  /// run.  Nested parallel_for calls from inside `body` run serially.
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t, std::int64_t)>& body,
+                    std::int64_t grain = 1);
+
+ private:
+  struct Job {
+    std::int64_t begin = 0;
+    std::int64_t grain = 1;
+    std::int64_t chunk_count = 0;
+    std::int64_t end = 0;
+    const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+    std::atomic<std::int64_t> next_chunk{0};
+    std::size_t workers_finished = 0;  // guarded by the pool mutex
+    std::exception_ptr error;          // guarded by the pool mutex
+  };
+
+  void worker_loop();
+  void run_chunks(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait for a new generation
+  std::condition_variable done_cv_;   // caller waits for workers_finished
+  Job* job_ = nullptr;                // guarded by mutex_
+  std::uint64_t generation_ = 0;      // bumped per parallel_for
+  bool stop_ = false;
+};
+
+}  // namespace shuffledef::util

@@ -1,6 +1,7 @@
 #include "cloudsim/event_loop.h"
 
 #include <gtest/gtest.h>
+#include <limits>
 #include <vector>
 
 namespace shuffledef::cloudsim {
@@ -67,6 +68,26 @@ TEST(EventLoop, RejectsPastAndNegative) {
   loop.run();
   EXPECT_THROW(loop.schedule_at(1.0, [] {}), std::invalid_argument);
   EXPECT_THROW(loop.schedule_after(-0.1, [] {}), std::invalid_argument);
+}
+
+TEST(EventLoop, RejectsNonFiniteTimes) {
+  // Regression: NaN compares false against `now_`, so NaN/Inf times used to
+  // slip past the past-time guard and corrupt the heap ordering.
+  EventLoop loop;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(loop.schedule_at(nan, [] {}), std::invalid_argument);
+  EXPECT_THROW(loop.schedule_at(inf, [] {}), std::invalid_argument);
+  EXPECT_THROW(loop.schedule_at(-inf, [] {}), std::invalid_argument);
+  EXPECT_THROW(loop.schedule_after(nan, [] {}), std::invalid_argument);
+  EXPECT_THROW(loop.schedule_after(inf, [] {}), std::invalid_argument);
+  EXPECT_THROW(loop.schedule_after(-inf, [] {}), std::invalid_argument);
+  // The queue stayed clean and ordered after the rejected schedules.
+  std::vector<int> order;
+  loop.schedule_at(2.0, [&] { order.push_back(2); });
+  loop.schedule_at(1.0, [&] { order.push_back(1); });
+  EXPECT_TRUE(loop.run());
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
 TEST(EventLoop, BudgetStopsRunaway) {

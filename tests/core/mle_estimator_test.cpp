@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "core/likelihood.h"
 #include "util/random.h"
 
 namespace shuffledef::core {
@@ -82,6 +86,59 @@ TEST(MleEstimator, RefinementMatchesExhaustive) {
                 0.05 * static_cast<double>(b) + 3.0)
         << "seed=" << seed;
   }
+}
+
+TEST(MleEstimator, EngineSwitchMidScanRestartsCleanly) {
+  // Quadratically spread replica sizes defeat the exact engine's
+  // inclusion-exclusion for mid-range M (deep cancellation) while small M
+  // evaluates fine, so a forced-exact scan switches engines mid-search.
+  // Regression: the estimator must restart until one engine covers every
+  // candidate instead of returning an argmax over mixed, incomparable
+  // likelihoods — and the restart loop must terminate.
+  std::vector<Count> sizes;
+  for (Count i = 0; i < 16; ++i) sizes.push_back(1 + i * i);  // N = 1256
+  const AssignmentPlan plan(sizes);
+  std::vector<bool> attacked(16, false);
+  for (std::size_t i = 10; i < 16; ++i) attacked[i] = true;  // 6 largest hit
+  const ShuffleObservation obs{plan, attacked};
+  const Count lo = obs.attacked_count();
+  const Count hi = obs.clients_on_attacked();
+
+  // The scenario must actually trip the exact engine inside the scan range,
+  // otherwise this test exercises nothing.
+  bool exact_throws = false;
+  const AttackedCountLikelihood exact(plan);
+  for (Count m = lo; m <= hi && !exact_throws; ++m) {
+    try {
+      (void)exact.log_likelihood(m, lo);
+    } catch (const std::invalid_argument&) {
+      exact_throws = true;
+    }
+  }
+  ASSERT_TRUE(exact_throws);
+
+  MleOptions opts;
+  opts.engine = LikelihoodEngine::kExact;
+  opts.exhaustive = true;
+  const Count got = MleEstimator(opts).estimate(obs);
+
+  // After the restart the whole argmax must come from the independence
+  // fallback (first-strictly-greater tie-breaking, ascending M — the same
+  // order the estimator scans in).
+  Count want = lo;
+  double best = -std::numeric_limits<double>::infinity();
+  for (Count m = lo; m <= hi; ++m) {
+    const auto pmf = attacked_count_pmf_independent(plan, m);
+    const double ll =
+        std::log(std::max(pmf[static_cast<std::size_t>(lo)], 1e-300));
+    if (ll > best) {
+      best = ll;
+      want = m;
+    }
+  }
+  EXPECT_EQ(got, want);
+  EXPECT_GE(got, lo);
+  EXPECT_LE(got, hi);
 }
 
 TEST(MleEstimator, GaussianEngineTracksTruthAtScale) {

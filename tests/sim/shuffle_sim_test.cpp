@@ -36,6 +36,45 @@ TEST(ShuffleSim, SavesTargetFractionAgainstModestAttack) {
   EXPECT_TRUE(result.shuffles_to_fraction(0.95).has_value());
 }
 
+TEST(ShuffleSim, ZeroTargetNeedsZeroShuffles) {
+  // Regression: with benign_total == 0 (or fraction ~ 0) the target is 0 and
+  // `cumulative_saved >= 0` held for the first recorded round, so the scan
+  // used to report that round instead of "nothing needed saving".
+  auto cfg = base_config();
+  cfg.benign = {.initial = 0, .rate = 0.0, .total_cap = 0};
+  const auto result = ShuffleSimulator(cfg).run();
+  EXPECT_EQ(result.benign_total, 0);
+  ASSERT_TRUE(result.shuffles_to_fraction(0.95).has_value());
+  EXPECT_EQ(*result.shuffles_to_fraction(0.95), 0);
+
+  // A normal run still reports a positive round count for a real target —
+  // and round 0 for a zero-fraction target.
+  const auto normal = ShuffleSimulator(base_config()).run();
+  ASSERT_TRUE(normal.shuffles_to_fraction(0.95).has_value());
+  EXPECT_GT(*normal.shuffles_to_fraction(0.95), 0);
+  EXPECT_EQ(*normal.shuffles_to_fraction(0.0), 0);
+}
+
+TEST(ShuffleSim, ReportsPlannerCacheCounters) {
+  auto cfg = base_config();
+  const auto cached = ShuffleSimulator(cfg).run();
+  // Every round queries the cache exactly once.
+  EXPECT_EQ(cached.planner_cache_hits + cached.planner_cache_misses,
+            static_cast<std::uint64_t>(cached.rounds.size()));
+
+  cfg.controller.planner_cache_capacity = 0;
+  const auto uncached = ShuffleSimulator(cfg).run();
+  EXPECT_EQ(uncached.planner_cache_hits, 0u);
+  EXPECT_EQ(uncached.planner_cache_misses, 0u);
+  // Caching must not change the simulation.
+  ASSERT_EQ(cached.rounds.size(), uncached.rounds.size());
+  EXPECT_EQ(cached.saved_total, uncached.saved_total);
+  for (std::size_t i = 0; i < cached.rounds.size(); ++i) {
+    EXPECT_EQ(cached.rounds[i].saved, uncached.rounds[i].saved);
+    EXPECT_EQ(cached.rounds[i].replicas, uncached.rounds[i].replicas);
+  }
+}
+
 TEST(ShuffleSim, ConservationInvariants) {
   auto cfg = base_config();
   const auto result = ShuffleSimulator(cfg).run();

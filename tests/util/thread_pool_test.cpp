@@ -1,0 +1,119 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace shuffledef::util {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kRange = 10'000;
+  std::vector<std::atomic<int>> touched(kRange);
+  pool.parallel_for(0, kRange, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      touched[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPool, RespectsGrainBoundaries) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  pool.parallel_for(
+      5, 42,
+      [&](std::int64_t lo, std::int64_t hi) {
+        const std::lock_guard<std::mutex> lock(mu);
+        chunks.emplace_back(lo, hi);
+      },
+      /*grain=*/10);
+  std::sort(chunks.begin(), chunks.end());
+  const std::vector<std::pair<std::int64_t, std::int64_t>> want = {
+      {5, 15}, {15, 25}, {25, 35}, {35, 42}};
+  EXPECT_EQ(chunks, want);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::int64_t sum = 0;
+  pool.parallel_for(0, 100, [&](std::int64_t lo, std::int64_t hi) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    for (std::int64_t i = lo; i < hi; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(7, 7, [&](std::int64_t, std::int64_t) { ++calls; });
+  pool.parallel_for(7, 3, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, PropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 1000,
+                                 [&](std::int64_t lo, std::int64_t) {
+                                   if (lo >= 500) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 },
+                                 /*grain=*/10),
+               std::runtime_error);
+  // The pool must survive a throwing job and accept the next one.
+  std::atomic<std::int64_t> count{0};
+  pool.parallel_for(0, 100, [&](std::int64_t lo, std::int64_t hi) {
+    count.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    pool.parallel_for(0, 257, [&](std::int64_t lo, std::int64_t hi) {
+      std::int64_t local = 0;
+      for (std::int64_t i = lo; i < hi; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 257 * 256 / 2);
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsSerially) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  pool.parallel_for(0, 8, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      pool.parallel_for(0, 10, [&](std::int64_t a, std::int64_t b) {
+        total.fetch_add(b - a);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPool, SharedPoolIsUsable) {
+  std::atomic<std::int64_t> count{0};
+  ThreadPool::shared().parallel_for(0, 64, [&](std::int64_t lo, std::int64_t hi) {
+    count.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(count.load(), 64);
+  EXPECT_GE(ThreadPool::shared().thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace shuffledef::util
