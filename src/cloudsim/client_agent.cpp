@@ -185,6 +185,14 @@ void ClientAgent::on_message(const Message& msg) {
     case MessageType::kWsPush: {
       // Replica-initiated shuffle redirect: reload from the new location.
       const auto& push = std::any_cast<const WsPushPayload&>(msg.payload);
+      // Duplicate-safe: re-sent shuffle commands and injected network
+      // duplicates can deliver the same push twice.  If we are already
+      // heading to (or connected at) that replica, the extra push is a
+      // no-op instead of a spurious reload.
+      if (push.new_replica == replica_ &&
+          (migrating_ || ws_replica_ == replica_)) {
+        break;
+      }
       if (!migrating_) {
         migrating_ = true;
         migration_started_at_ = loop().now();

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "cloudsim/fault.h"
+
 namespace shuffledef::cloudsim {
 
 CloudProvider::CloudProvider(World& world, CloudProviderConfig config)
@@ -20,10 +22,18 @@ void CloudProvider::provision(std::function<void(NodeId)> ready) {
   const std::int32_t domain =
       config_.domains[next_domain_ % config_.domains.size()];
   ++next_domain_;
-  const std::int64_t serial = ++provisioned_;
+  const std::int64_t serial = ++requested_;
+  const double delay = fault_ != nullptr
+                           ? fault_->provision_delay(config_.boot_delay_s)
+                           : config_.boot_delay_s;
   world_.loop().schedule_after(
-      config_.boot_delay_s,
-      [this, domain, serial, ready = std::move(ready)]() {
+      delay, [this, domain, serial, ready = std::move(ready)]() {
+        if (fault_ != nullptr && fault_->provision_fails()) {
+          // The instance never comes up; the caller's watchdog deals with it.
+          ++failed_;
+          return;
+        }
+        ++provisioned_;
         NicConfig nic = config_.replica_nic;
         nic.domain = domain;
         auto* replica = world_.spawn<ReplicaServer>(

@@ -6,6 +6,12 @@
 // instances.  Placement cycles across the configured domains so consecutive
 // replicas land in different failure/bandwidth domains.
 //
+// A FaultInjector (cloudsim/fault.h) can make instantiation unreliable:
+// boot delays stretch by a configurable factor and a requested instance may
+// silently never come up — `ready` simply never fires for it, exactly like
+// an IaaS request that times out.  Callers that must survive this (the
+// coordination server) wrap requests in their own watchdog + retry.
+//
 // This is infrastructure control, not data-plane traffic, so it is a plain
 // object driven through the event loop rather than a Node.
 #pragma once
@@ -18,6 +24,8 @@
 #include "cloudsim/replica_server.h"
 
 namespace shuffledef::cloudsim {
+
+class FaultInjector;
 
 struct CloudProviderConfig {
   double boot_delay_s = 0.5;  // hot-spare activation, not a cold boot
@@ -32,19 +40,30 @@ class CloudProvider {
 
   void set_coordinator(NodeId coordinator) { coordinator_ = coordinator; }
 
+  /// Install a fault injector consulted per provision attempt (nullptr =
+  /// reliable; non-owning).
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+
   /// Boot one replica in the next domain; `ready` fires with its address
-  /// after boot_delay_s.
+  /// after the (possibly fault-stretched) boot delay.  Under injected
+  /// provisioning failures `ready` may never fire.
   void provision(std::function<void(NodeId)> ready);
 
   /// Boot `count` replicas; `ready` fires once with all addresses when the
-  /// last one is up.
+  /// last one is up.  Under injected provisioning failures `ready` may
+  /// never fire — prefer per-instance provision() plus a watchdog when
+  /// faults are in play.
   void provision_many(std::int64_t count,
                       std::function<void(std::vector<NodeId>)> ready);
 
   /// Terminate an instance: its NIC detaches, in-flight traffic is dropped.
   void recycle(NodeId replica);
 
+  [[nodiscard]] std::int64_t requested() const { return requested_; }
   [[nodiscard]] std::int64_t provisioned() const { return provisioned_; }
+  [[nodiscard]] std::int64_t failed() const { return failed_; }
   [[nodiscard]] std::int64_t recycled() const { return recycled_; }
   [[nodiscard]] std::int64_t active() const { return provisioned_ - recycled_; }
 
@@ -52,8 +71,11 @@ class CloudProvider {
   World& world_;
   CloudProviderConfig config_;
   NodeId coordinator_ = kInvalidNode;
+  FaultInjector* fault_ = nullptr;
   std::size_t next_domain_ = 0;
-  std::int64_t provisioned_ = 0;
+  std::int64_t requested_ = 0;    // provision() calls (also names instances)
+  std::int64_t provisioned_ = 0;  // instances that actually came up
+  std::int64_t failed_ = 0;       // instances that never booted
   std::int64_t recycled_ = 0;
 };
 

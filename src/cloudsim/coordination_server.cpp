@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <stdexcept>
 
 #include "util/logging.h"
@@ -13,7 +12,18 @@ CoordinationServer::CoordinationServer(World& world, std::string name,
                                        CoordinatorConfig config)
     : Node(world, std::move(name)),
       config_(config),
-      controller_(config.controller) {}
+      controller_(config.controller) {
+  if (config_.provision_timeout_s <= 0 || config_.command_timeout_s <= 0 ||
+      config_.retry_backoff_initial_s <= 0 ||
+      config_.retry_backoff_cap_s < config_.retry_backoff_initial_s) {
+    throw std::invalid_argument(
+        "CoordinatorConfig: timeouts/backoff must be positive and "
+        "cap >= initial");
+  }
+  if (config_.provision_max_retries < 0 || config_.command_max_retries < 0) {
+    throw std::invalid_argument("CoordinatorConfig: negative retry limit");
+  }
+}
 
 void CoordinationServer::set_infrastructure(
     CloudProvider* provider, std::vector<LoadBalancer*> load_balancers) {
@@ -38,6 +48,15 @@ ReplicaServer* CoordinationServer::replica_ptr(NodeId id) {
   return dynamic_cast<ReplicaServer*>(world().node(id));
 }
 
+double CoordinationServer::backoff_s(int attempt) const {
+  double delay = config_.retry_backoff_initial_s;
+  for (int i = 1; i < attempt; ++i) {
+    delay *= 2.0;
+    if (delay >= config_.retry_backoff_cap_s) break;
+  }
+  return std::min(delay, config_.retry_backoff_cap_s);
+}
+
 void CoordinationServer::on_message(const Message& msg) {
   switch (msg.type) {
     case MessageType::kAttackReport: {
@@ -52,7 +71,9 @@ void CoordinationServer::on_message(const Message& msg) {
     case MessageType::kDecommission: {
       const auto& dec =
           std::any_cast<const DecommissionPayload&>(msg.payload);
-      active_replicas_.erase(dec.replica);
+      pending_commands_.erase(dec.replica);  // command acknowledged
+      // Duplicate-safe: only the first ack for a replica recycles it.
+      if (active_replicas_.erase(dec.replica) == 0) break;
       for (auto* lb : load_balancers_) lb->remove_replica(dec.replica);
       provider_->recycle(dec.replica);
       ++stats_.replicas_recycled;
@@ -74,13 +95,16 @@ void CoordinationServer::execute_round() {
   round_pending_ = false;
   if (attacked_.empty() || provider_ == nullptr) return;
 
-  // Snapshot the attacked replicas and the affected client pool.
+  // Snapshot the attacked replicas and the affected client pool.  Replicas
+  // that already have a shuffle command in flight are not re-shuffled; their
+  // retry loop owns them until the kDecommission ack (or force-recycle).
   std::vector<NodeId> attacked(attacked_.begin(), attacked_.end());
   attacked_.clear();
   std::vector<std::pair<std::string, NodeId>> pool;
   std::vector<NodeId> still_active;
   for (const NodeId r : attacked) {
     if (!active_replicas_.contains(r)) continue;
+    if (pending_commands_.contains(r)) continue;
     still_active.push_back(r);
     auto* replica = replica_ptr(r);
     const auto clients = replica->connected_clients();
@@ -109,7 +133,7 @@ void CoordinationServer::execute_round() {
                static_cast<double>(pool.size())))));
   }
 
-  const auto decision =
+  auto decision =
       controller_.decide(static_cast<core::Count>(pool.size()), obs);
 
   round_in_flight_ = true;
@@ -120,28 +144,109 @@ void CoordinationServer::execute_round() {
                  << pool.size() << ", M-hat " << decision.bot_estimate
                  << ", new replicas " << replica_count;
 
+  auto round = std::make_shared<PendingRound>();
+  round->attacked = std::move(attacked);
+  round->pool = std::move(pool);
+  round->decision = std::move(decision);
+  round->target = replica_count;
+
   // Consume hot spares first; only the shortfall pays the boot delay.
-  std::vector<NodeId> ready;
   while (!hot_spares_.empty() &&
-         static_cast<std::int64_t>(ready.size()) < replica_count) {
-    ready.push_back(hot_spares_.back());
+         static_cast<std::int64_t>(round->ready.size()) < round->target) {
+    round->ready.push_back(hot_spares_.back());
     hot_spares_.pop_back();
   }
   const std::int64_t shortfall =
-      replica_count - static_cast<std::int64_t>(ready.size());
+      round->target - static_cast<std::int64_t>(round->ready.size());
   if (shortfall == 0) {
-    deploy_shuffle(std::move(attacked), std::move(pool), std::move(decision),
-                   ready);
+    finish_round(round);
     return;
   }
-  provider_->provision_many(
-      shortfall, [this, attacked = std::move(attacked),
-                  pool = std::move(pool), decision = std::move(decision),
-                  ready = std::move(ready)](std::vector<NodeId> fresh) mutable {
-        ready.insert(ready.end(), fresh.begin(), fresh.end());
-        deploy_shuffle(std::move(attacked), std::move(pool),
-                       std::move(decision), ready);
-      });
+  round->attempt = 1;
+  request_wave(round, shortfall);
+  arm_provision_watchdog(round);
+}
+
+void CoordinationServer::request_wave(
+    const std::shared_ptr<PendingRound>& round, std::int64_t count) {
+  for (std::int64_t i = 0; i < count; ++i) {
+    provider_->provision([this, round](NodeId fresh) {
+      if (round->deployed) {
+        // Straggler from a presumed-lost wave: keep it warm for the next
+        // round instead of throwing the boot away.
+        add_hot_spare(fresh);
+        ++stats_.late_spares_banked;
+        return;
+      }
+      round->ready.push_back(fresh);
+      if (static_cast<std::int64_t>(round->ready.size()) >= round->target) {
+        finish_round(round);
+      }
+    });
+  }
+}
+
+void CoordinationServer::arm_provision_watchdog(
+    const std::shared_ptr<PendingRound>& round) {
+  const int armed_attempt = round->attempt;
+  loop().schedule_after(config_.provision_timeout_s, [this, round,
+                                                      armed_attempt] {
+    if (round->deployed || round->attempt != armed_attempt) return;
+    const std::int64_t missing =
+        round->target - static_cast<std::int64_t>(round->ready.size());
+    if (round->attempt > config_.provision_max_retries) {
+      // Out of retries: deploy degraded onto whatever booted.
+      SDEF_LOG(Warn) << name() << ": provisioning gave up with "
+                     << round->ready.size() << "/" << round->target
+                     << " replicas";
+      finish_round(round);
+      return;
+    }
+    ++round->attempt;
+    ++stats_.provision_retries;
+    const double delay = backoff_s(round->attempt - 1);
+    SDEF_LOG(Info) << name() << ": provisioning wave " << round->attempt
+                   << " re-requests " << missing << " instances after "
+                   << delay << "s backoff";
+    loop().schedule_after(delay, [this, round, missing] {
+      if (round->deployed) return;
+      request_wave(round, missing);
+      arm_provision_watchdog(round);
+    });
+  });
+}
+
+void CoordinationServer::finish_round(
+    const std::shared_ptr<PendingRound>& round) {
+  if (round->deployed) return;
+  round->deployed = true;
+
+  std::vector<NodeId> replicas = round->ready;
+  if (static_cast<std::int64_t>(replicas.size()) > round->target) {
+    // A retry wave over-delivered; bank the surplus as hot spares.
+    while (static_cast<std::int64_t>(replicas.size()) > round->target) {
+      add_hot_spare(replicas.back());
+      replicas.pop_back();
+      ++stats_.late_spares_banked;
+    }
+  }
+  if (replicas.empty()) {
+    // Nothing booted at all: put the reports back and try again later (the
+    // aggregation window plus backoff paces the retry).
+    ++stats_.rounds_aborted;
+    SDEF_LOG(Warn) << name() << ": round aborted — no replicas available";
+    for (const NodeId r : round->attacked) {
+      if (active_replicas_.contains(r)) attacked_.insert(r);
+    }
+    round_in_flight_ = false;
+    if (!attacked_.empty()) schedule_round();
+    return;
+  }
+  if (static_cast<std::int64_t>(replicas.size()) < round->target) {
+    ++stats_.rounds_degraded;
+  }
+  deploy_shuffle(std::move(round->attacked), std::move(round->pool),
+                 std::move(round->decision), replicas);
 }
 
 void CoordinationServer::deploy_shuffle(
@@ -153,14 +258,22 @@ void CoordinationServer::deploy_shuffle(
   // control the specific assignments of individual clients").
   rng().shuffle(pool);
 
-  // Where does each client go?
+  // Where does each client go?  The plan's buckets map 1:1 onto the new
+  // replicas; when provisioning came up short (degraded round) the surplus
+  // buckets' clients are folded round-robin onto the replicas that exist.
   std::vector<NodeId> target_of(pool.size(), kInvalidNode);
+  std::vector<core::Count> actual_sizes(new_replicas.size(), 0);
   std::size_t cursor = 0;
   for (std::size_t b = 0; b < new_replicas.size(); ++b) {
     const auto size = static_cast<std::size_t>(decision.plan[b]);
     for (std::size_t k = 0; k < size && cursor < pool.size(); ++k, ++cursor) {
       target_of[cursor] = new_replicas[b];
+      ++actual_sizes[b];
     }
+  }
+  for (std::size_t i = cursor; i < pool.size(); ++i) {
+    target_of[i] = new_replicas[i % new_replicas.size()];
+    ++actual_sizes[i % new_replicas.size()];
   }
 
   // Pre-whitelist every client on its new replica and re-point sticky
@@ -175,7 +288,6 @@ void CoordinationServer::deploy_shuffle(
   for (std::size_t i = 0; i < pool.size(); ++i) {
     const auto& [ip, client] = pool[i];
     const NodeId target = target_of[i];
-    if (target == kInvalidNode) continue;  // plan narrower than pool (guarded)
     send(target, MessageType::kWhitelistAdd, kControlMessageBytes,
          WhitelistAddPayload{ip, client});
     for (auto* lb : load_balancers_) lb->update_binding(ip, target);
@@ -184,19 +296,65 @@ void CoordinationServer::deploy_shuffle(
     ++stats_.clients_migrated;
   }
   for (const NodeId r : attacked) {
-    send(r, MessageType::kShuffleCommand, kControlMessageBytes,
-         commands[r]);  // empty command still decommissions the replica
+    pending_commands_[r] =
+        PendingCommand{commands[r], 0, ++command_epoch_};
+    send_shuffle_command(r);
+    arm_command_watchdog(r, pending_commands_[r].epoch);
   }
 
   // The new replicas join the active set (and serve fresh arrivals too).
   for (const NodeId r : new_replicas) register_replica(r);
 
-  last_round_ = LastRound{new_replicas,
-                          std::vector<core::Count>(decision.plan.counts())};
+  last_round_ = LastRound{new_replicas, std::move(actual_sizes)};
   ++stats_.rounds_executed;
   round_in_flight_ = false;
   // Reports that arrived while this round was deploying start the next one.
   if (!attacked_.empty()) schedule_round();
+}
+
+void CoordinationServer::send_shuffle_command(NodeId replica) {
+  // Empty command still decommissions the replica.
+  send(replica, MessageType::kShuffleCommand, kControlMessageBytes,
+       pending_commands_.at(replica).payload);
+}
+
+void CoordinationServer::arm_command_watchdog(NodeId replica,
+                                              std::uint64_t epoch) {
+  const auto it = pending_commands_.find(replica);
+  if (it == pending_commands_.end()) return;
+  // Ack deadline doubles per resend, capped.
+  const double deadline = std::min(
+      config_.command_timeout_s * static_cast<double>(1 << it->second.resends),
+      config_.command_timeout_s + config_.retry_backoff_cap_s);
+  loop().schedule_after(deadline, [this, replica, epoch] {
+    const auto itw = pending_commands_.find(replica);
+    if (itw == pending_commands_.end() || itw->second.epoch != epoch) {
+      return;  // acknowledged (or superseded) in the meantime
+    }
+    if (itw->second.resends >= config_.command_max_retries) {
+      // No ack after every retry: the replica is presumed crashed.  Remove
+      // it so fresh arrivals and heartbeat-rejoining clients only ever see
+      // live replicas.
+      SDEF_LOG(Warn) << name() << ": replica " << replica
+                     << " never acked its shuffle command — force-recycling";
+      pending_commands_.erase(itw);
+      drop_replica(replica);
+      ++stats_.replicas_presumed_crashed;
+      return;
+    }
+    ++itw->second.resends;
+    ++stats_.command_retries;
+    itw->second.epoch = ++command_epoch_;
+    send_shuffle_command(replica);
+    arm_command_watchdog(replica, itw->second.epoch);
+  });
+}
+
+void CoordinationServer::drop_replica(NodeId replica) {
+  if (active_replicas_.erase(replica) == 0) return;
+  for (auto* lb : load_balancers_) lb->remove_replica(replica);
+  provider_->recycle(replica);
+  ++stats_.replicas_recycled;
 }
 
 }  // namespace shuffledef::cloudsim

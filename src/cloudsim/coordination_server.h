@@ -13,8 +13,26 @@
 //
 // Replicas that stop being attacked simply stop reporting: their clients
 // are saved and stay put (non-shuffling replicas, paper §III-C).
+//
+// Nothing above assumes a reliable substrate.  Two watchdog/retry loops
+// (both with capped exponential backoff) make the control plane survive
+// injected faults (cloudsim/fault.h):
+//
+//   * provisioning — instances are requested individually and collected
+//     against a deadline; missing instances are re-requested up to
+//     `provision_max_retries` times, after which the round deploys degraded
+//     onto whatever booted (late stragglers become hot spares).  With no
+//     replicas at all the round re-queues its reports and retries later.
+//   * shuffle commands — each kShuffleCommand must be acknowledged by the
+//     replica's kDecommission; unacknowledged commands are re-sent (the
+//     replica side is idempotent), and after `command_max_retries` the
+//     replica is presumed crashed and force-recycled so its clients'
+//     heartbeat rejoin path finds only live replicas.
 #pragma once
 
+#include <cstdint>
+#include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -34,6 +52,24 @@ struct CoordinatorConfig {
   double aggregation_window_s = 0.3;
   /// First-round bot estimate as a fraction of the affected pool.
   double initial_bot_fraction = 0.1;
+
+  // ---- control-plane robustness ---------------------------------------------
+  /// Deadline for a wave of provision requests before the shortfall is
+  /// re-requested.  Must comfortably exceed the provider's boot delay.
+  double provision_timeout_s = 3.0;
+  /// Re-request waves beyond the first (0 = never retry, fail fast).
+  int provision_max_retries = 4;
+  /// Backoff between provisioning retry waves: initial * 2^(attempt-1),
+  /// capped.
+  double retry_backoff_initial_s = 0.25;
+  double retry_backoff_cap_s = 2.0;
+  /// Deadline for a replica's kDecommission ack of a kShuffleCommand before
+  /// the command is re-sent (doubles per resend, capped at
+  /// retry_backoff_cap_s + command_timeout_s).
+  double command_timeout_s = 1.5;
+  /// Re-sends beyond the first command; afterwards the replica is presumed
+  /// crashed and force-recycled.
+  int command_max_retries = 4;
 };
 
 struct CoordinatorStats {
@@ -41,6 +77,14 @@ struct CoordinatorStats {
   std::int64_t rounds_executed = 0;
   std::int64_t clients_migrated = 0;
   std::int64_t replicas_recycled = 0;
+
+  // Control-plane retry/timeout accounting.
+  std::int64_t provision_retries = 0;   // re-request waves issued
+  std::int64_t rounds_degraded = 0;     // deployed with < planned replicas
+  std::int64_t rounds_aborted = 0;      // no replica booted; round re-queued
+  std::int64_t command_retries = 0;     // kShuffleCommand re-sends
+  std::int64_t replicas_presumed_crashed = 0;  // force-recycled, no ack
+  std::int64_t late_spares_banked = 0;  // stragglers kept as hot spares
 };
 
 class CoordinationServer final : public Node {
@@ -70,14 +114,43 @@ class CoordinationServer final : public Node {
   [[nodiscard]] const std::set<NodeId>& attacked_replicas() const {
     return attacked_;
   }
+  /// Shuffle commands awaiting a kDecommission ack (pending retry state).
+  [[nodiscard]] std::size_t pending_commands() const {
+    return pending_commands_.size();
+  }
 
  private:
+  /// One in-flight shuffle round waiting on provisioning.
+  struct PendingRound {
+    std::vector<NodeId> attacked;
+    std::vector<std::pair<std::string, NodeId>> pool;
+    core::RoundDecision decision;
+    std::vector<NodeId> ready;
+    std::int64_t target = 0;  // replicas wanted
+    int attempt = 0;          // provisioning waves issued so far (1-based)
+    bool deployed = false;
+  };
+
+  struct PendingCommand {
+    ShuffleCommandPayload payload;
+    int resends = 0;
+    std::uint64_t epoch = 0;  // invalidates stale watchdog timers
+  };
+
   void schedule_round();
   void execute_round();
+  void request_wave(const std::shared_ptr<PendingRound>& round,
+                    std::int64_t count);
+  void arm_provision_watchdog(const std::shared_ptr<PendingRound>& round);
+  void finish_round(const std::shared_ptr<PendingRound>& round);
   void deploy_shuffle(std::vector<NodeId> attacked,
                       std::vector<std::pair<std::string, NodeId>> pool,
                       core::RoundDecision decision,
                       const std::vector<NodeId>& new_replicas);
+  void send_shuffle_command(NodeId replica);
+  void arm_command_watchdog(NodeId replica, std::uint64_t epoch);
+  void drop_replica(NodeId replica);
+  [[nodiscard]] double backoff_s(int attempt) const;
   [[nodiscard]] ReplicaServer* replica_ptr(NodeId id);
 
   CoordinatorConfig config_;
@@ -91,6 +164,9 @@ class CoordinationServer final : public Node {
   bool round_pending_ = false;
   bool round_in_flight_ = false;
   bool seeded_estimate_ = false;
+
+  std::map<NodeId, PendingCommand> pending_commands_;
+  std::uint64_t command_epoch_ = 0;
 
   // Previous round's deployment, used as the MLE observation.
   struct LastRound {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "cloudsim/fault.h"
 #include "cloudsim/node.h"
 
 namespace shuffledef::cloudsim {
@@ -60,14 +61,64 @@ double Network::propagation_s(const Port& src, const Port& dst) const {
   return src.nic.base_latency_s + dst.nic.base_latency_s + domain_extra;
 }
 
+void Network::resolve(const Message& msg, NetTraceEvent::Outcome outcome) {
+  if (trace_enabled_) {
+    trace_.push_back(NetTraceEvent{loop_.now(), msg.src, msg.dst, msg.type,
+                                   msg.size_bytes, outcome});
+  }
+}
+
 void Network::send(Message msg) {
+  ++stats_.sends;
   Port& src = port_at(msg.src);
   if (!src.attached) {
     ++stats_.dropped_detached;
+    resolve(msg, NetTraceEvent::Outcome::kDroppedDetached);
     return;
   }
   if (msg.dst < 0 || static_cast<std::size_t>(msg.dst) >= ports_.size()) {
     ++stats_.dropped_detached;  // address never existed (stale reference)
+    resolve(msg, NetTraceEvent::Outcome::kDroppedDetached);
+    return;
+  }
+
+  if (fault_ != nullptr) {
+    switch (fault_->on_send(msg, is_priority_type(msg.type), loop_.now())) {
+      case FaultAction::kDrop:
+        ++stats_.dropped_faulted;
+        resolve(msg, NetTraceEvent::Outcome::kDroppedFaulted);
+        return;
+      case FaultAction::kDuplicate: {
+        // The original delivers normally below; an extra copy re-enters the
+        // sender's NIC after a small delay.  The copy skips the fault gate
+        // (no duplicate chains) and resolves like any other message.
+        ++stats_.duplicated;
+        ++stats_.in_flight;
+        resolve(msg, NetTraceEvent::Outcome::kDuplicated);
+        Message copy = msg;
+        loop_.schedule_after(
+            fault_->config().dup_extra_delay_s,
+            [this, copy = std::move(copy)]() mutable {
+              transmit(std::move(copy));
+            });
+        break;
+      }
+      case FaultAction::kDeliver:
+        break;
+    }
+  }
+
+  ++stats_.in_flight;
+  transmit(std::move(msg));
+}
+
+void Network::transmit(Message msg) {
+  Port& src = port_at(msg.src);
+  if (!src.attached) {
+    // A duplicated copy can outlive its sender's NIC.
+    --stats_.in_flight;
+    ++stats_.dropped_detached;
+    resolve(msg, NetTraceEvent::Outcome::kDroppedDetached);
     return;
   }
   Port& dst = port_at(msg.dst);
@@ -81,7 +132,9 @@ void Network::send(Message msg) {
                                   : src.nic.egress_bps * (1.0 - src.nic.control_share);
   const double out_backlog = std::max(0.0, out_lane.busy_until - now);
   if (out_backlog > src.nic.max_queue_s) {
+    --stats_.in_flight;
     ++stats_.dropped_egress;
+    resolve(msg, NetTraceEvent::Outcome::kDroppedEgress);
     return;
   }
   const double out_ser = static_cast<double>(msg.size_bytes) * 8.0 / out_bps;
@@ -96,7 +149,9 @@ void Network::send(Message msg) {
                                      msg = std::move(msg)]() mutable {
     Port& d = ports_[static_cast<std::size_t>(dst_id)];
     if (!d.attached) {
+      --stats_.in_flight;
       ++stats_.dropped_detached;
+      resolve(msg, NetTraceEvent::Outcome::kDroppedDetached);
       return;
     }
     const double now2 = loop_.now();
@@ -106,7 +161,9 @@ void Network::send(Message msg) {
                               : d.nic.ingress_bps * (1.0 - d.nic.control_share);
     const double in_backlog = std::max(0.0, in_lane.busy_until - now2);
     if (in_backlog > d.nic.max_queue_s) {
+      --stats_.in_flight;
       ++stats_.dropped_ingress;
+      resolve(msg, NetTraceEvent::Outcome::kDroppedIngress);
       return;
     }
     const double in_ser = static_cast<double>(msg.size_bytes) * 8.0 / in_bps;
@@ -114,12 +171,15 @@ void Network::send(Message msg) {
     in_lane.busy_until = done;
     loop_.schedule_at(done, [this, dst_id, msg = std::move(msg)]() mutable {
       Port& d2 = ports_[static_cast<std::size_t>(dst_id)];
+      --stats_.in_flight;
       if (!d2.attached) {
         ++stats_.dropped_detached;
+        resolve(msg, NetTraceEvent::Outcome::kDroppedDetached);
         return;
       }
       ++stats_.delivered;
       stats_.bytes_delivered += msg.size_bytes;
+      resolve(msg, NetTraceEvent::Outcome::kDelivered);
       d2.node->on_message(msg);
     });
   });

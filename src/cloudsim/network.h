@@ -26,7 +26,8 @@
 
 namespace shuffledef::cloudsim {
 
-class Node;  // full definition in node.h
+class Node;           // full definition in node.h
+class FaultInjector;  // full definition in fault.h
 
 struct NicConfig {
   double egress_bps = 100e6;    // bits per second
@@ -44,11 +45,45 @@ struct NetworkConfig {
 };
 
 struct NetworkStats {
+  std::uint64_t sends = 0;       // every send() call
   std::uint64_t delivered = 0;
   std::uint64_t dropped_egress = 0;
   std::uint64_t dropped_ingress = 0;
   std::uint64_t dropped_detached = 0;
+  std::uint64_t dropped_faulted = 0;  // injected loss (fault subsystem)
+  std::uint64_t duplicated = 0;       // extra copies injected
+  std::uint64_t in_flight = 0;        // accepted, not yet resolved
   std::int64_t bytes_delivered = 0;
+
+  /// Conservation invariant: every send() and every injected duplicate is
+  /// delivered, dropped (for exactly one reason), or still in flight.
+  [[nodiscard]] bool conserved() const noexcept {
+    return sends + duplicated == delivered + dropped_egress +
+                                     dropped_ingress + dropped_detached +
+                                     dropped_faulted + in_flight;
+  }
+};
+
+/// One resolved message in the network's (optional) event trace.  Traces of
+/// two runs with the same seed must compare equal — the determinism tests
+/// rely on it.
+struct NetTraceEvent {
+  enum class Outcome : std::uint8_t {
+    kDelivered,
+    kDroppedEgress,
+    kDroppedIngress,
+    kDroppedDetached,
+    kDroppedFaulted,
+    kDuplicated,  // a copy was injected (the copy resolves separately)
+  };
+  double time = 0.0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  MessageType type{};
+  std::int64_t size_bytes = 0;
+  Outcome outcome{};
+
+  bool operator==(const NetTraceEvent&) const = default;
 };
 
 class Network {
@@ -65,8 +100,22 @@ class Network {
 
   [[nodiscard]] bool is_attached(NodeId id) const;
 
-  /// Queue a message for delivery; applies the full latency model.
+  /// Queue a message for delivery; applies the full latency model (and the
+  /// fault injector, when one is installed).
   void send(Message msg);
+
+  /// Install a fault injector consulted on every send (nullptr = fault-free;
+  /// non-owning, must outlive the network or be cleared).
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    fault_ = injector;
+  }
+
+  /// Record every resolved message into an event trace (off by default —
+  /// costs memory proportional to traffic).
+  void enable_trace() noexcept { trace_enabled_ = true; }
+  [[nodiscard]] const std::vector<NetTraceEvent>& trace() const noexcept {
+    return trace_;
+  }
 
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const NicConfig& nic(NodeId id) const;
@@ -90,10 +139,18 @@ class Network {
   const Port& port_at(NodeId id) const;
   [[nodiscard]] double propagation_s(const Port& src, const Port& dst) const;
 
+  /// Push a (fault-gate-passed) message through egress/propagation/ingress.
+  /// Callers must have counted it into stats_.in_flight.
+  void transmit(Message msg);
+  void resolve(const Message& msg, NetTraceEvent::Outcome outcome);
+
   EventLoop& loop_;
   NetworkConfig config_;
   std::vector<Port> ports_;
   NetworkStats stats_;
+  FaultInjector* fault_ = nullptr;
+  bool trace_enabled_ = false;
+  std::vector<NetTraceEvent> trace_;
 };
 
 }  // namespace shuffledef::cloudsim

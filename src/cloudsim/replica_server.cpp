@@ -24,6 +24,14 @@ double ReplicaServer::world_now() const {
   return const_cast<ReplicaServer*>(this)->loop().now();
 }
 
+void ReplicaServer::send_attack_report(double junk_rate) {
+  attack_reported_ = true;
+  last_report_at_ = loop().now();
+  ++stats_.attack_reports_sent;
+  send(coordinator_, MessageType::kAttackReport, kControlMessageBytes,
+       AttackReportPayload{id(), junk_rate});
+}
+
 void ReplicaServer::detection_tick() {
   if (decommissioned_) return;
   const double junk_rate =
@@ -31,12 +39,19 @@ void ReplicaServer::detection_tick() {
   junk_in_window_ = 0;
   const bool under_attack = junk_rate > config_.junk_rate_threshold ||
                             cpu_backlog_s() > config_.cpu_backlog_threshold_s;
-  if (under_attack && !attack_reported_ && coordinator_ != kInvalidNode) {
-    attack_reported_ = true;
-    send(coordinator_, MessageType::kAttackReport, kControlMessageBytes,
-         AttackReportPayload{id(), junk_rate});
-    SDEF_LOG(Info) << name() << ": attack detected (junk " << junk_rate
-                   << "/s, cpu backlog " << cpu_backlog_s() << "s)";
+  if (under_attack && coordinator_ != kInvalidNode) {
+    // Report once per episode, then renew periodically while the attack
+    // persists: the control channel may lose reports, and a lost or failed
+    // shuffle round must not leave the replica silently burning.
+    const bool renew = attack_reported_ && config_.report_renew_s > 0 &&
+                       loop().now() - last_report_at_ >= config_.report_renew_s;
+    if (!attack_reported_ || renew) {
+      if (!attack_reported_) {
+        SDEF_LOG(Info) << name() << ": attack detected (junk " << junk_rate
+                       << "/s, cpu backlog " << cpu_backlog_s() << "s)";
+      }
+      send_attack_report(junk_rate);
+    }
   }
   loop().schedule_after(config_.detect_window_s, [this] { detection_tick(); });
 }
@@ -111,6 +126,10 @@ void ReplicaServer::on_message(const Message& msg) {
     case MessageType::kShuffleCommand: {
       const auto& cmd =
           std::any_cast<const ShuffleCommandPayload&>(msg.payload);
+      // Idempotent: a re-sent command (the coordinator's ack-retry loop, or
+      // an injected duplicate) re-pushes the redirects — giving any lost
+      // kWsPush another chance — and re-acks, but decommissions only once.
+      if (decommissioned_) ++stats_.duplicate_shuffle_commands;
       // Client redirection is prioritized over all application logic (paper
       // §III-C); the pushes ride the control lane, so they get out even when
       // the data plane is saturated.
@@ -136,9 +155,12 @@ void ReplicaServer::simulate_attack_detected() {
   if (decommissioned_ || attack_reported_ || coordinator_ == kInvalidNode) {
     return;
   }
-  attack_reported_ = true;
-  send(coordinator_, MessageType::kAttackReport, kControlMessageBytes,
-       AttackReportPayload{id(), 0.0});
+  send_attack_report(0.0);
+}
+
+void ReplicaServer::crash() {
+  crashed_ = true;
+  decommissioned_ = true;  // stops detection ticks and queued replies
 }
 
 std::vector<std::pair<std::string, NodeId>> ReplicaServer::connected_clients()

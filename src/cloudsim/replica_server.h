@@ -34,6 +34,10 @@ struct ReplicaConfig {
   double detect_window_s = 0.5;
   double junk_rate_threshold = 200.0;    // packets/s
   double cpu_backlog_threshold_s = 1.0;  // computational-attack indicator
+  /// While still under attack, re-send the attack report this long after
+  /// the previous one, so a lost report (or a lost/failed shuffle round)
+  /// cannot silence the defense forever.  0 = report once per episode.
+  double report_renew_s = 2.0;
 };
 
 struct ReplicaStats {
@@ -43,6 +47,8 @@ struct ReplicaStats {
   std::uint64_t junk_received = 0;
   std::uint64_t heavy_served = 0;
   std::uint64_t redirects_pushed = 0;
+  std::uint64_t attack_reports_sent = 0;     // incl. renewals
+  std::uint64_t duplicate_shuffle_commands = 0;  // re-acked idempotently
 };
 
 class ReplicaServer final : public Node {
@@ -64,12 +70,20 @@ class ReplicaServer final : public Node {
   /// paper's Figure 12 measurement).
   void simulate_attack_detected();
 
+  /// Instance failure (fault injection): the server dies on the spot — no
+  /// redirects pushed, no decommission ack, detection stops.  The caller
+  /// detaches the NIC; clients recover via heartbeat rejoin and the
+  /// coordinator via its command watchdog.
+  void crash();
+
   [[nodiscard]] const ReplicaStats& stats() const { return stats_; }
   [[nodiscard]] bool decommissioned() const { return decommissioned_; }
+  [[nodiscard]] bool crashed() const { return crashed_; }
   [[nodiscard]] double cpu_backlog_s() const;
 
  private:
   void detection_tick();
+  void send_attack_report(double junk_rate);
   void serve(const Message& msg, double cpu_seconds, std::int64_t reply_bytes,
              MessageType reply_type, std::any reply_payload);
   [[nodiscard]] double world_now() const;
@@ -81,7 +95,9 @@ class ReplicaServer final : public Node {
   double cpu_busy_until_ = 0.0;
   std::uint64_t junk_in_window_ = 0;
   bool attack_reported_ = false;
+  double last_report_at_ = 0.0;
   bool decommissioned_ = false;
+  bool crashed_ = false;
   ReplicaStats stats_;
 };
 

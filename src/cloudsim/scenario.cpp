@@ -13,6 +13,19 @@ Scenario::Scenario(ScenarioConfig config) {
   }
   world_ = std::make_unique<World>(
       WorldConfig{.seed = config.seed, .network = config.network});
+  if (config.record_net_trace) world_->network().enable_trace();
+
+  // Fault injection: the injector draws from its own substream (forked off
+  // the scenario seed), so a given seed replays bit-identically and an
+  // inert config leaves the world untouched.
+  if (config.faults.active()) {
+    fault_ = std::make_unique<FaultInjector>(
+        config.faults, world_->rng().fork(config.faults.rng_salt));
+    world_->network().set_fault_injector(fault_.get());
+    for (const double t : config.faults.replica_crash_times_s) {
+      world_->loop().schedule_at(t, [this] { crash_one_replica(); });
+    }
+  }
 
   // Cloud provider, spreading replicas across all domains.
   CloudProviderConfig provider_config;
@@ -24,6 +37,7 @@ Scenario::Scenario(ScenarioConfig config) {
     provider_config.domains.push_back(d);
   }
   provider_ = std::make_unique<CloudProvider>(*world_, provider_config);
+  if (fault_) provider_->set_fault_injector(fault_.get());
 
   // Control plane.
   dns_ = world_->spawn<DnsServer>(config.infra_nic, "dns");
@@ -115,6 +129,23 @@ Scenario::Scenario(ScenarioConfig config) {
 }
 
 bool Scenario::run_until(SimTime t) { return world_->loop().run_until(t); }
+
+void Scenario::crash_one_replica() {
+  // Victim: a live (attached) member of the coordinator's active set, chosen
+  // through the fault RNG so the pick replays deterministically.  The crash
+  // is unannounced — no decommission, no redirects — recovery must come from
+  // client heartbeats and the coordinator's command watchdog.
+  std::vector<NodeId> candidates;
+  for (const NodeId r : coordinator_->active_replicas()) {
+    if (world_->network().is_attached(r)) candidates.push_back(r);
+  }
+  if (candidates.empty() || fault_ == nullptr) return;
+  const NodeId victim = candidates[static_cast<std::size_t>(
+      fault_->pick_index(static_cast<std::int64_t>(candidates.size())))];
+  fault_->note_crash();
+  replica(victim)->crash();
+  world_->retire(victim);
+}
 
 ReplicaServer* Scenario::replica(NodeId id) {
   auto* r = dynamic_cast<ReplicaServer*>(world_->node(id));

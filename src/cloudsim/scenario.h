@@ -15,6 +15,7 @@
 #include "cloudsim/cloud_provider.h"
 #include "cloudsim/coordination_server.h"
 #include "cloudsim/dns_server.h"
+#include "cloudsim/fault.h"
 #include "cloudsim/load_balancer.h"
 #include "cloudsim/node.h"
 #include "cloudsim/replica_server.h"
@@ -65,6 +66,15 @@ struct ScenarioConfig {
   double naive_junk_rate_pps = 500.0;
 
   NetworkConfig network;
+
+  /// Fault injection (deterministic in `seed`): message loss/duplication,
+  /// link flaps, replica crashes, provisioning faults.  A default-constructed
+  /// config is inert — the world behaves exactly as if no injector existed.
+  FaultConfig faults;
+
+  /// Record every resolved message into Network::trace() (determinism
+  /// golden tests; costs memory proportional to traffic).
+  bool record_net_trace = false;
 };
 
 class Scenario {
@@ -97,6 +107,16 @@ class Scenario {
   }
   [[nodiscard]] Botmaster* botmaster() { return botmaster_; }
 
+  /// The installed fault injector, or nullptr when the fault config is
+  /// inert.
+  [[nodiscard]] const FaultInjector* fault_injector() const {
+    return fault_.get();
+  }
+  /// Injected-fault counters (all zero when no injector is installed).
+  [[nodiscard]] FaultStats fault_stats() const {
+    return fault_ ? fault_->stats() : FaultStats{};
+  }
+
   [[nodiscard]] ReplicaServer* replica(NodeId id);
 
   // ---- aggregate metrics ----------------------------------------------------
@@ -111,7 +131,10 @@ class Scenario {
   [[nodiscard]] std::int64_t benign_clients_isolated_from_bots() const;
 
  private:
+  void crash_one_replica();
+
   std::unique_ptr<World> world_;
+  std::unique_ptr<FaultInjector> fault_;
   std::unique_ptr<CloudProvider> provider_;
   DnsServer* dns_ = nullptr;
   CoordinationServer* coordinator_ = nullptr;

@@ -9,11 +9,14 @@
 
 namespace shuffledef::core {
 
-std::unique_ptr<Planner> make_planner(const std::string& name) {
+std::unique_ptr<Planner> make_planner(const std::string& name, Count threads) {
   if (name == "even") return std::make_unique<EvenPlanner>();
   if (name == "greedy") return std::make_unique<GreedyPlanner>();
   if (name == "dp") return std::make_unique<SeparableDpPlanner>();
-  if (name == "algorithm1") return std::make_unique<AlgorithmOnePlanner>();
+  if (name == "algorithm1") {
+    return std::make_unique<AlgorithmOnePlanner>(
+        AlgorithmOneOptions{.threads = threads});
+  }
   throw std::invalid_argument("make_planner: unknown planner '" + name +
                               "' (expected even|greedy|dp|algorithm1)");
 }

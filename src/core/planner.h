@@ -27,6 +27,10 @@ class Planner {
 };
 
 /// Factory by name ("even", "greedy", "dp", "algorithm1"); throws on unknown.
-std::unique_ptr<Planner> make_planner(const std::string& name);
+/// `threads` is forwarded to planners with a parallel solve (currently only
+/// "algorithm1"; bit-identical at any setting) and ignored by the rest:
+/// 1 = serial, 0 = the shared process-wide pool, k > 1 = a private pool.
+std::unique_ptr<Planner> make_planner(const std::string& name,
+                                      Count threads = 0);
 
 }  // namespace shuffledef::core

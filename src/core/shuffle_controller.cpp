@@ -10,7 +10,8 @@
 namespace shuffledef::core {
 
 ShuffleController::ShuffleController(ControllerConfig config)
-    : config_(std::move(config)), planner_(make_planner(config_.planner)) {
+    : config_(std::move(config)),
+      planner_(make_planner(config_.planner, config_.planner_threads)) {
   if (config_.replicas < 0 || config_.min_replicas < 2) {
     throw std::invalid_argument(
         "ControllerConfig: replicas must be >= 0 and min_replicas >= 2");

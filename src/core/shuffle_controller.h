@@ -28,6 +28,10 @@ namespace shuffledef::core {
 
 struct ControllerConfig {
   std::string planner = "greedy";
+  /// Worker threads for planners with a parallel solve ("algorithm1"):
+  /// 1 = serial, 0 = shared pool, k > 1 = private pool.  Results are
+  /// bit-identical at any setting (tests/cloudsim/fault_determinism_test).
+  Count planner_threads = 0;
   /// Fixed shuffling-replica count; 0 = adapt P per Theorem 1.
   Count replicas = 0;
   /// Lower bound on adaptive P.

@@ -31,6 +31,10 @@ ShuffleSimulator::ShuffleSimulator(ShuffleSimConfig config)
   if (config_.max_rounds <= 0) {
     throw std::invalid_argument("ShuffleSimConfig: max_rounds must be > 0");
   }
+  if (config_.round_failure_prob < 0.0 || config_.round_failure_prob >= 1.0) {
+    throw std::invalid_argument(
+        "ShuffleSimConfig: round_failure_prob must be in [0, 1)");
+  }
 }
 
 ShuffleSimResult ShuffleSimulator::run() {
@@ -38,6 +42,7 @@ ShuffleSimResult ShuffleSimulator::run() {
   ArrivalProcess benign_arrivals(config_.benign, root.fork(1));
   ArrivalProcess bot_arrivals(config_.bots, root.fork(2));
   util::Rng placement_rng = root.fork(3);
+  util::Rng fault_rng = root.fork(4);
 
   core::ShuffleController controller(config_.controller);
 
@@ -49,6 +54,7 @@ ShuffleSimResult ShuffleSimulator::run() {
   Count pool_benign = 0;
   Count pool_bots = 0;
   Count cumulative_saved = 0;
+  Count outage_run = 0;
   std::optional<core::ShuffleObservation> prev_obs;
 
   for (Count round = 1; round <= config_.max_rounds; ++round) {
@@ -59,6 +65,25 @@ ShuffleSimResult ShuffleSimulator::run() {
       if (benign_arrivals.exhausted() && bot_arrivals.exhausted()) break;
       continue;  // nothing to shuffle yet; wait for arrivals
     }
+
+    if (config_.round_failure_prob > 0.0 &&
+        fault_rng.uniform() < config_.round_failure_prob) {
+      // Control-plane outage: the shuffle command never executes.  Nobody
+      // moves, so the pool and the previous observation both carry over.
+      RoundStats stats;
+      stats.round = round;
+      stats.pool_benign = pool_benign;
+      stats.pool_bots = pool_bots;
+      stats.bot_estimate = controller.bot_estimate();
+      stats.cumulative_saved = cumulative_saved;
+      stats.faulted = true;
+      result.rounds.push_back(stats);
+      ++result.faults.rounds_failed;
+      result.faults.longest_outage =
+          std::max(result.faults.longest_outage, ++outage_run);
+      continue;
+    }
+    outage_run = 0;
 
     if (!config_.controller.use_mle) {
       // Oracle mode: feed the (possibly biased) truth.

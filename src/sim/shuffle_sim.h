@@ -41,6 +41,12 @@ struct ShuffleSimConfig {
   double target_fraction = 0.95;
   Count max_rounds = 5000;
   std::uint64_t seed = 1;
+  /// Per-round probability that the control plane fails to execute the
+  /// shuffle (a lost command / coordinator outage).  A failed round is a
+  /// no-op: nobody moves, nothing is saved, and the controller keeps the
+  /// previous round's observation.  Drawn from an independent RNG substream,
+  /// so the shuffle dynamics for a seed are unchanged when this is 0.
+  double round_failure_prob = 0.0;
 };
 
 struct RoundStats {
@@ -52,6 +58,13 @@ struct RoundStats {
   Count bot_estimate = 0;       // the controller's M-hat for this round
   Count saved = 0;              // benign saved by this shuffle
   Count cumulative_saved = 0;
+  bool faulted = false;         // round lost to an injected control failure
+};
+
+/// Aggregate fault counters for a run (all zero when round_failure_prob = 0).
+struct FaultSummary {
+  Count rounds_failed = 0;    // shuffles lost to injected failures
+  Count longest_outage = 0;   // longest run of consecutive failed rounds
 };
 
 struct ShuffleSimResult {
@@ -63,6 +76,7 @@ struct ShuffleSimResult {
   // disabled via planner_cache_capacity = 0).
   std::uint64_t planner_cache_hits = 0;
   std::uint64_t planner_cache_misses = 0;
+  FaultSummary faults;
 
   /// First shuffle index with cumulative saved >= fraction * benign_total;
   /// 0 when the target is zero (nothing needed saving), nullopt if never

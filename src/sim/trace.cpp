@@ -6,11 +6,12 @@ namespace shuffledef::sim {
 
 void write_round_trace(const ShuffleSimResult& result, std::ostream& os) {
   os << "round,pool_benign,pool_bots,replicas,attacked,bot_estimate,saved,"
-        "cumulative_saved\n";
+        "cumulative_saved,faulted\n";
   for (const auto& r : result.rounds) {
     os << r.round << ',' << r.pool_benign << ',' << r.pool_bots << ','
        << r.replicas << ',' << r.attacked_replicas << ',' << r.bot_estimate
-       << ',' << r.saved << ',' << r.cumulative_saved << '\n';
+       << ',' << r.saved << ',' << r.cumulative_saved << ','
+       << (r.faulted ? 1 : 0) << '\n';
   }
 }
 

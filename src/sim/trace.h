@@ -13,7 +13,7 @@
 namespace shuffledef::sim {
 
 /// Count-based simulator trace:
-/// round,pool_benign,pool_bots,replicas,attacked,bot_estimate,saved,cumulative_saved
+/// round,pool_benign,pool_bots,replicas,attacked,bot_estimate,saved,cumulative_saved,faulted
 void write_round_trace(const ShuffleSimResult& result, std::ostream& os);
 
 /// Client-level simulator trace:

@@ -118,5 +118,100 @@ TEST(DefenseE2E, DeterministicAcrossRuns) {
             b.world().network().stats().delivered);
 }
 
+// ---- fault matrix ----------------------------------------------------------
+//
+// The defense must keep working when the control plane itself is under
+// stress: lossy lanes, a replica crash mid-campaign, slow provisioning.
+
+ScenarioConfig faulted_world(std::uint64_t seed) {
+  auto cfg = small_world(seed);
+  cfg.persistent_bots = 2;
+  cfg.bot_junk_rate_pps = 400.0;
+  cfg.hot_spares = 1;
+  // Heartbeats are the recovery path for lost redirects: a client whose
+  // WebSocket died rejoins through DNS -> LB sticky routing.
+  cfg.client_heartbeat_s = 0.5;
+  return cfg;
+}
+
+void expect_no_benign_client_stranded(Scenario& s, int min_connected) {
+  // Nobody is permanently stuck: every benign client completed at least one
+  // full join (page served), and nearly all are connected at the cutoff
+  // (a client can legitimately be mid-rejoin when the clock stops).
+  for (const auto* c : s.clients()) {
+    EXPECT_GE(c->stats().page_loads.size(), 1u);
+  }
+  EXPECT_GE(s.clients_connected(), min_connected);
+  for (const auto* c : s.clients()) {
+    if (c->connected()) {
+      EXPECT_TRUE(s.world().network().is_attached(c->current_replica()));
+    }
+  }
+}
+
+TEST(DefenseE2E, FaultMatrixKeepsBeatingEvenSplitAndServingEveryone) {
+  for (double loss : {0.0, 0.01, 0.05}) {
+    for (bool crash : {false, true}) {
+      for (bool slow_provision : {false, true}) {
+        SCOPED_TRACE("loss=" + std::to_string(loss) +
+                     " crash=" + std::to_string(crash) +
+                     " slow=" + std::to_string(slow_provision));
+        auto cfg = faulted_world(11);
+        cfg.faults.data_loss_prob = loss;
+        cfg.faults.ctrl_loss_prob = loss;
+        if (crash) cfg.faults.replica_crash_times_s = {10.0};
+        if (slow_provision) cfg.faults.provision_delay_factor = 2.0;
+
+        Scenario defense(cfg);
+        ASSERT_TRUE(defense.run_until(40.0));
+        EXPECT_GT(defense.coordinator()->stats().rounds_executed, 0);
+        EXPECT_TRUE(defense.world().network().stats().conserved());
+        expect_no_benign_client_stranded(defense, /*min_connected=*/10);
+
+        // The shuffling planner must do no worse at isolating benign
+        // clients than the naive even split, faults and all.
+        auto baseline_cfg = cfg;
+        baseline_cfg.coordinator.controller.planner = "even";
+        Scenario baseline(baseline_cfg);
+        ASSERT_TRUE(baseline.run_until(40.0));
+        EXPECT_GE(defense.benign_clients_isolated_from_bots(),
+                  baseline.benign_clients_isolated_from_bots());
+      }
+    }
+  }
+}
+
+// The PR's acceptance scenario: 5% control-lane loss, one mid-campaign
+// replica crash, and twice-as-slow provisioning.  The defense must still
+// converge — bots contained, benign clients served from clean replicas —
+// and the whole campaign must replay bit-identically.
+TEST(DefenseE2E, ConvergesUnderLossCrashAndSlowProvisioning) {
+  auto cfg = faulted_world(12);
+  cfg.clients = 16;
+  cfg.coordinator.controller.replicas = 5;
+  cfg.faults.ctrl_loss_prob = 0.05;
+  cfg.faults.replica_crash_times_s = {12.0};
+  cfg.faults.provision_delay_factor = 2.0;
+  cfg.record_net_trace = true;
+
+  Scenario a(cfg);
+  ASSERT_TRUE(a.run_until(50.0));
+  EXPECT_EQ(a.fault_stats().crashes_executed, 1u);
+  EXPECT_GT(a.fault_stats().drops_ctrl, 0u);
+  EXPECT_GT(a.fault_stats().provisions_delayed, 0u);
+  // Converged: the two bots pin down at most two replicas and the benign
+  // population is served from clean ones.
+  EXPECT_GT(a.coordinator()->stats().rounds_executed, 0);
+  EXPECT_LE(a.replicas_hosting_bots(), 2);
+  EXPECT_GE(a.benign_clients_isolated_from_bots(), 12);
+  expect_no_benign_client_stranded(a, /*min_connected=*/14);
+  EXPECT_TRUE(a.world().network().stats().conserved());
+
+  // Bit-identical replay, event for event.
+  Scenario b(cfg);
+  ASSERT_TRUE(b.run_until(50.0));
+  EXPECT_EQ(a.world().network().trace(), b.world().network().trace());
+}
+
 }  // namespace
 }  // namespace shuffledef::cloudsim

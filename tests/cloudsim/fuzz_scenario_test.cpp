@@ -27,6 +27,20 @@ ScenarioConfig random_config(util::Rng& rng) {
   cfg.replica.detect_window_s = 0.25;
   cfg.replica.junk_rate_threshold = 150.0;
   cfg.boot_delay_s = rng.uniform() * 0.5;
+  // Half the worlds run under injected faults: lossy/duplicating lanes,
+  // provisioning trouble, and (sometimes) a mid-run replica crash.
+  if (rng.bernoulli(0.5)) {
+    cfg.client_heartbeat_s = 0.5;  // lost redirects recovered via rejoin
+    cfg.faults.data_loss_prob = rng.uniform() * 0.05;
+    cfg.faults.ctrl_loss_prob = rng.uniform() * 0.05;
+    cfg.faults.data_dup_prob = rng.uniform() * 0.05;
+    cfg.faults.ctrl_dup_prob = rng.uniform() * 0.05;
+    cfg.faults.provision_delay_factor = rng.bernoulli(0.5) ? 2.0 : 1.0;
+    cfg.faults.provision_failure_prob = rng.uniform() * 0.2;
+    if (rng.bernoulli(0.3)) {
+      cfg.faults.replica_crash_times_s.push_back(5.0 + rng.uniform() * 10.0);
+    }
+  }
   return cfg;
 }
 
@@ -42,13 +56,20 @@ TEST_P(FuzzScenario, RunsCleanAndDeterministic) {
     // Global invariants.
     EXPECT_LE(a.clients_connected(), cfg.clients);
     EXPECT_GE(a.provider().active(), 0);
+    EXPECT_TRUE(a.world().network().stats().conserved())
+        << "NetworkStats conservation violated, seed " << cfg.seed;
     const auto& cs = a.coordinator()->stats();
     EXPECT_GE(cs.rounds_executed, 0);
     EXPECT_EQ(cs.replicas_recycled, a.provider().recycled());
-    if (cfg.persistent_bots == 0 && cfg.naive_bots == 0) {
-      // Quiet worlds never shuffle and (eventually) connect everyone.
+    if (cfg.persistent_bots == 0 && cfg.naive_bots == 0 &&
+        !cfg.faults.active()) {
+      // Quiet fault-free worlds never shuffle and serve everyone.  (A
+      // browsing client can be mid page-reload at the cutoff, so check
+      // completed page loads rather than the instantaneous phase.)
       EXPECT_EQ(cs.rounds_executed, 0);
-      EXPECT_EQ(a.clients_connected(), cfg.clients);
+      for (const auto* c : a.clients()) {
+        EXPECT_GE(c->stats().page_loads.size(), 1u);
+      }
     }
     // Every benign client that is connected sits on an attached replica.
     for (const auto* c : a.clients()) {
@@ -64,6 +85,11 @@ TEST_P(FuzzScenario, RunsCleanAndDeterministic) {
               b.world().network().stats().delivered);
     EXPECT_EQ(a.coordinator()->stats().clients_migrated,
               b.coordinator()->stats().clients_migrated);
+    EXPECT_EQ(a.fault_stats().drops_data, b.fault_stats().drops_data);
+    EXPECT_EQ(a.fault_stats().drops_ctrl, b.fault_stats().drops_ctrl);
+    EXPECT_EQ(a.fault_stats().duplicated, b.fault_stats().duplicated);
+    EXPECT_EQ(a.fault_stats().crashes_executed,
+              b.fault_stats().crashes_executed);
   }
 }
 

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 #include <vector>
 
+#include "cloudsim/fault.h"
 #include "cloudsim/node.h"
+#include "util/random.h"
 
 namespace shuffledef::cloudsim {
 namespace {
@@ -163,6 +165,186 @@ TEST(Network, StatsCountDeliveries) {
   world.loop().run();
   EXPECT_EQ(world.network().stats().delivered, 2u);
   EXPECT_EQ(world.network().stats().bytes_delivered, 300);
+}
+
+// Regression: a message destined for a detached node must count into
+// dropped_detached exactly once, no matter where along the path (send time,
+// in flight, at arrival) the detach happened.
+TEST(Network, DetachedDropsAreCountedExactlyOnce) {
+  World world;
+  auto* a = world.spawn<SinkNode>(fast_nic(0.05), "a");
+  auto* b = world.spawn<SinkNode>(fast_nic(0.05), "b");
+  // Three in-flight messages when the receiver is retired, plus one sent
+  // after the retire.
+  for (int i = 0; i < 3; ++i) {
+    world.network().send({a->id(), b->id(), MessageType::kHttpGet, 100, {}});
+  }
+  world.loop().schedule_at(0.01, [&] {
+    world.retire(b->id());
+    world.network().send({a->id(), b->id(), MessageType::kHttpGet, 100, {}});
+  });
+  world.loop().run();
+  const auto& stats = world.network().stats();
+  EXPECT_EQ(stats.sends, 4u);
+  EXPECT_EQ(stats.dropped_detached, 4u);
+  EXPECT_EQ(stats.delivered, 0u);
+  EXPECT_EQ(stats.in_flight, 0u);
+  EXPECT_TRUE(stats.conserved());
+}
+
+TEST(NetworkFaults, InjectedLossHitsOnlyTheConfiguredLane) {
+  World world;
+  FaultConfig cfg;
+  cfg.data_loss_prob = 1.0;  // kill the data lane, spare control
+  FaultInjector injector(cfg, util::Rng(7));
+  world.network().set_fault_injector(&injector);
+  auto* a = world.spawn<SinkNode>(fast_nic(), "a");
+  auto* b = world.spawn<SinkNode>(fast_nic(), "b");
+  for (int i = 0; i < 5; ++i) {
+    world.network().send({a->id(), b->id(), MessageType::kHttpGet, 100, {}});
+    world.network().send(
+        {a->id(), b->id(), MessageType::kWsPush, 128, WsPushPayload{}});
+  }
+  world.loop().run();
+  ASSERT_EQ(b->arrivals.size(), 5u);
+  for (const auto& ar : b->arrivals) {
+    EXPECT_EQ(ar.type, MessageType::kWsPush);
+  }
+  const auto& stats = world.network().stats();
+  EXPECT_EQ(stats.dropped_faulted, 5u);
+  EXPECT_EQ(injector.stats().drops_data, 5u);
+  EXPECT_EQ(injector.stats().drops_ctrl, 0u);
+  EXPECT_TRUE(stats.conserved());
+}
+
+TEST(NetworkFaults, DuplicationDeliversAnExtraCopy) {
+  World world;
+  FaultConfig cfg;
+  cfg.ctrl_dup_prob = 1.0;
+  FaultInjector injector(cfg, util::Rng(7));
+  world.network().set_fault_injector(&injector);
+  auto* a = world.spawn<SinkNode>(fast_nic(), "a");
+  auto* b = world.spawn<SinkNode>(fast_nic(), "b");
+  world.network().send(
+      {a->id(), b->id(), MessageType::kWsPush, 128, WsPushPayload{}});
+  world.loop().run();
+  EXPECT_EQ(b->arrivals.size(), 2u);  // original + injected copy
+  const auto& stats = world.network().stats();
+  EXPECT_EQ(stats.sends, 1u);
+  EXPECT_EQ(stats.duplicated, 1u);
+  EXPECT_EQ(stats.delivered, 2u);
+  EXPECT_TRUE(stats.conserved());
+}
+
+TEST(NetworkFaults, LinkFlapWindowDropsThenRecovers) {
+  World world;
+  FaultConfig cfg;
+  cfg.link_flaps.push_back({.start_s = 0.0, .duration_s = 1.0});
+  FaultInjector injector(cfg, util::Rng(7));
+  world.network().set_fault_injector(&injector);
+  auto* a = world.spawn<SinkNode>(fast_nic(), "a");
+  auto* b = world.spawn<SinkNode>(fast_nic(), "b");
+  world.network().send({a->id(), b->id(), MessageType::kHttpGet, 100, {}});
+  world.loop().schedule_at(2.0, [&] {
+    world.network().send({a->id(), b->id(), MessageType::kHttpGet, 100, {}});
+  });
+  world.loop().run();
+  EXPECT_EQ(b->arrivals.size(), 1u);  // only the post-flap send
+  EXPECT_EQ(injector.stats().drops_flap, 1u);
+  EXPECT_TRUE(world.network().stats().conserved());
+}
+
+TEST(NetworkFaults, NodeScopedFlapSparesOtherTraffic) {
+  World world;
+  auto* a = world.spawn<SinkNode>(fast_nic(), "a");
+  auto* b = world.spawn<SinkNode>(fast_nic(), "b");
+  auto* c = world.spawn<SinkNode>(fast_nic(), "c");
+  FaultConfig cfg;
+  cfg.link_flaps.push_back(
+      {.start_s = 0.0, .duration_s = 1.0, .node = b->id()});
+  FaultInjector injector(cfg, util::Rng(7));
+  world.network().set_fault_injector(&injector);
+  world.network().send({a->id(), b->id(), MessageType::kHttpGet, 100, {}});
+  world.network().send({a->id(), c->id(), MessageType::kHttpGet, 100, {}});
+  world.loop().run();
+  EXPECT_TRUE(b->arrivals.empty());
+  EXPECT_EQ(c->arrivals.size(), 1u);
+  EXPECT_EQ(injector.stats().drops_flap, 1u);
+}
+
+// Property: the conservation invariant holds for arbitrary traffic mixes,
+// congested NICs, mid-run retires, and probabilistic loss/duplication.
+TEST(NetworkProperty, ConservationHoldsUnderFuzzedTrafficAndFaults) {
+  for (std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    util::Rng rng(seed);
+    World world;
+    FaultConfig cfg;
+    cfg.data_loss_prob = 0.2;
+    cfg.ctrl_loss_prob = 0.1;
+    cfg.data_dup_prob = 0.15;
+    cfg.ctrl_dup_prob = 0.1;
+    cfg.link_flaps.push_back({.start_s = 0.4, .duration_s = 0.2});
+    FaultInjector injector(cfg, rng.fork(99));
+    world.network().set_fault_injector(&injector);
+
+    std::vector<SinkNode*> nodes;
+    for (int i = 0; i < 6; ++i) {
+      NicConfig nic = fast_nic(0.01, i % 2);
+      if (i % 3 == 0) {
+        nic.egress_bps = 4e6;   // force egress backlog drops
+        nic.max_queue_s = 0.1;
+      }
+      nodes.push_back(world.spawn<SinkNode>(nic, "n" + std::to_string(i)));
+    }
+    for (int i = 0; i < 300; ++i) {
+      const auto src = static_cast<std::size_t>(rng.uniform_int(0, 5));
+      const auto dst = static_cast<std::size_t>(rng.uniform_int(0, 5));
+      const bool ctrl = rng.bernoulli(0.3);
+      const auto bytes = ctrl ? 128 : rng.uniform_int(100, 200'000);
+      Message msg{nodes[src]->id(), nodes[dst]->id(),
+                  ctrl ? MessageType::kWsPush : MessageType::kHttpResponse,
+                  bytes,
+                  {}};
+      world.loop().schedule_at(rng.uniform(), [&world, msg] {
+        world.network().send(msg);
+      });
+    }
+    // Retire two nodes mid-run and spot-check the invariant mid-flight.
+    world.loop().schedule_at(0.3, [&] { world.retire(nodes[1]->id()); });
+    world.loop().schedule_at(0.6, [&] { world.retire(nodes[4]->id()); });
+    for (double t : {0.2, 0.5, 0.8}) {
+      world.loop().schedule_at(
+          t, [&] { EXPECT_TRUE(world.network().stats().conserved()); });
+    }
+    world.loop().run();
+
+    const auto& stats = world.network().stats();
+    EXPECT_TRUE(stats.conserved()) << "seed " << seed;
+    EXPECT_EQ(stats.in_flight, 0u) << "seed " << seed;
+    EXPECT_GT(stats.delivered, 0u);
+    EXPECT_GT(stats.dropped_faulted, 0u);
+    EXPECT_GT(stats.duplicated, 0u);
+  }
+}
+
+TEST(NetworkFaults, TraceRecordsEveryResolution) {
+  World world;
+  world.network().enable_trace();
+  FaultConfig cfg;
+  cfg.data_loss_prob = 1.0;
+  FaultInjector injector(cfg, util::Rng(7));
+  world.network().set_fault_injector(&injector);
+  auto* a = world.spawn<SinkNode>(fast_nic(), "a");
+  auto* b = world.spawn<SinkNode>(fast_nic(), "b");
+  world.network().send({a->id(), b->id(), MessageType::kHttpGet, 100, {}});
+  world.network().send(
+      {a->id(), b->id(), MessageType::kWsPush, 128, WsPushPayload{}});
+  world.loop().run();
+  const auto& trace = world.network().trace();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].outcome, NetTraceEvent::Outcome::kDroppedFaulted);
+  EXPECT_EQ(trace[1].outcome, NetTraceEvent::Outcome::kDelivered);
+  EXPECT_EQ(trace[1].type, MessageType::kWsPush);
 }
 
 TEST(Network, RejectsInvalidNicConfig) {

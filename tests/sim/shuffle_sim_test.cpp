@@ -214,5 +214,57 @@ TEST(ShuffleSim, AdaptiveProvisioningAlsoConverges) {
   EXPECT_TRUE(result.reached_target);
 }
 
+TEST(ShuffleSim, RejectsBadRoundFailureProb) {
+  auto cfg = base_config();
+  cfg.round_failure_prob = -0.1;
+  EXPECT_THROW(ShuffleSimulator{cfg}, std::invalid_argument);
+  cfg.round_failure_prob = 1.0;  // would loop forever
+  EXPECT_THROW(ShuffleSimulator{cfg}, std::invalid_argument);
+}
+
+TEST(ShuffleSim, ControlPlaneOutagesDelayButDoNotPreventConvergence) {
+  auto cfg = base_config();
+  const auto clean = ShuffleSimulator(cfg).run();
+  cfg.round_failure_prob = 0.3;
+  const auto faulted = ShuffleSimulator(cfg).run();
+
+  EXPECT_TRUE(faulted.reached_target);
+  EXPECT_GT(faulted.faults.rounds_failed, 0);
+  EXPECT_GE(faulted.faults.longest_outage, 1);
+  EXPECT_LE(faulted.faults.longest_outage, faulted.faults.rounds_failed);
+  // Failed rounds are recorded as no-ops.
+  Count failed_seen = 0;
+  for (const auto& r : faulted.rounds) {
+    if (r.faulted) {
+      ++failed_seen;
+      EXPECT_EQ(r.saved, 0);
+      EXPECT_EQ(r.replicas, 0);
+    }
+  }
+  EXPECT_EQ(failed_seen, faulted.faults.rounds_failed);
+  // Outages only ever add rounds.
+  EXPECT_GE(faulted.rounds.size(), clean.rounds.size());
+  EXPECT_EQ(clean.faults.rounds_failed, 0);
+}
+
+TEST(ShuffleSim, FaultStreamIsIndependentOfShuffleDynamics) {
+  // The fault draws come from their own substream, so the shuffle outcomes
+  // of the non-faulted rounds are exactly the clean run's rounds.
+  auto cfg = base_config();
+  const auto clean = ShuffleSimulator(cfg).run();
+  cfg.round_failure_prob = 0.25;
+  const auto faulted = ShuffleSimulator(cfg).run();
+
+  std::vector<RoundStats> executed;
+  for (const auto& r : faulted.rounds) {
+    if (!r.faulted) executed.push_back(r);
+  }
+  ASSERT_GE(executed.size(), clean.rounds.size());
+  for (std::size_t i = 0; i < clean.rounds.size(); ++i) {
+    EXPECT_EQ(executed[i].saved, clean.rounds[i].saved) << "round " << i;
+    EXPECT_EQ(executed[i].attacked_replicas, clean.rounds[i].attacked_replicas);
+  }
+}
+
 }  // namespace
 }  // namespace shuffledef::sim
