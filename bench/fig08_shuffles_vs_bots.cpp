@@ -7,8 +7,10 @@
 //     increase costs less than a three-fold shuffle increase;
 //   * five-fold more benign clients adds less than ~70% more shuffles;
 //   * saving 95% needs >= ~40% more shuffles than saving 80%.
+#include <fstream>
 #include <iostream>
 
+#include "obs/export.h"
 #include "shuffle_series.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -27,7 +29,38 @@ int main(int argc, char** argv) {
       "arrival-model sensitivity: the full botnet attacks from round 1 "
       "instead of ramping in at 5000 bots per 3 shuffles");
   auto& seed = flags.add_int("seed", 814, "base RNG seed");
+  auto& metrics_csv = flags.add_string(
+      "metrics-csv", "",
+      "write one representative run's full MetricsSnapshot as CSV here");
+  auto& metrics_json = flags.add_string(
+      "metrics-json", "",
+      "write one representative run's full MetricsSnapshot as JSON here");
   flags.parse(argc, argv);
+
+  // Optional observability export: one representative simulation (first grid
+  // point, base seed) with its complete metric snapshot — counters, planner
+  // cache, MLE activity, span timings (see EXPERIMENTS.md).
+  const auto export_metrics = [&](const std::string& csv_path,
+                                  const std::string& json_path) {
+    if (csv_path.empty() && json_path.empty()) return;
+    bench::SeriesPoint pt;
+    pt.benign = 10000;
+    pt.bots = 10000;
+    pt.replicas = 1000;
+    const auto cfg = bench::make_sim_config(
+        pt, static_cast<std::uint64_t>(seed));
+    const auto result = sim::ShuffleSimulator(cfg).run();
+    if (!csv_path.empty()) {
+      std::ofstream out(csv_path);
+      obs::write_csv(result.metrics, out);
+      std::cout << "metrics CSV written to " << csv_path << "\n";
+    }
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      obs::write_json(result.metrics, out);
+      std::cout << "metrics JSON written to " << json_path << "\n";
+    }
+  };
 
   const int r = full ? 30 : static_cast<int>(reps);
   std::vector<Count> bot_counts;
@@ -61,6 +94,7 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   table.print_with_csv();
+  export_metrics(metrics_csv, metrics_json);
   std::cout << "Reproduction check: ~60 shuffles to save 80% of 50K benign "
                "clients under 100K bots; 10x bots < 3x shuffles; 95% costs "
                ">= ~40% more shuffles than 80%." << std::endl;

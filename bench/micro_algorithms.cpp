@@ -12,6 +12,8 @@
 #include "core/separable_dp.h"
 #include "core/shuffle_controller.h"
 #include "cloudsim/event_loop.h"
+#include "obs/registry.h"
+#include "obs/span.h"
 #include "sim/shuffle_sim.h"
 #include "util/random.h"
 
@@ -42,8 +44,12 @@ BENCHMARK(BM_SeparableDpValue)->Arg(200)->Arg(500)->Arg(1000);
 
 void BM_AlgorithmOneValue(benchmark::State& state) {
   // Second arg: thread count (1 = serial sweep, 0 = shared pool/hardware).
+  // Third arg: 1 = record into an obs::Registry (the instrumented-overhead
+  // comparison; 0 = null handles, the uninstrumented baseline).
+  obs::Registry registry;
   core::AlgorithmOneOptions opts;
   opts.threads = state.range(1);
+  opts.registry = state.range(2) != 0 ? &registry : nullptr;
   const core::ShuffleProblem problem{state.range(0), state.range(0) / 2,
                                      state.range(0) / 5};
   core::AlgorithmOnePlanner planner(opts);
@@ -52,11 +58,14 @@ void BM_AlgorithmOneValue(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AlgorithmOneValue)
-    ->Args({30, 1})
-    ->Args({60, 1})
-    ->Args({90, 1})
-    ->Args({60, 0})   // parallel, hardware threads
-    ->Args({90, 0});
+    ->Args({30, 1, 0})
+    ->Args({60, 1, 0})
+    ->Args({90, 1, 0})
+    ->Args({60, 0, 0})   // parallel, hardware threads
+    ->Args({90, 0, 0})
+    ->Args({60, 1, 1})   // instrumented vs {60, 1, 0}
+    ->Args({90, 1, 1})
+    ->Args({90, 0, 1});
 
 void BM_ControllerDecide(benchmark::State& state) {
   // One controller decision per iteration over a recurring set of pool
@@ -132,6 +141,36 @@ void BM_ShuffleRound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ShuffleRound)->Unit(benchmark::kMillisecond);
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  // Cost of one enabled counter increment (a relaxed atomic add).
+  obs::Registry registry;
+  const obs::Counter counter = registry.counter("bench.counter");
+  for (auto _ : state) {
+    counter.inc();
+  }
+  benchmark::DoNotOptimize(registry.snapshot());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsNullCounterInc(benchmark::State& state) {
+  // Cost of a disabled (null-handle) increment: one predictable branch.
+  const obs::Counter counter;
+  for (auto _ : state) {
+    counter.inc();
+  }
+}
+BENCHMARK(BM_ObsNullCounterInc);
+
+void BM_ObsSpan(benchmark::State& state) {
+  // Open + close one span: two clock reads plus the thread-local stack.
+  obs::Registry registry;
+  for (auto _ : state) {
+    const obs::Span span(&registry, "bench.span");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ObsSpan);
 
 void BM_EventLoopThroughput(benchmark::State& state) {
   for (auto _ : state) {

@@ -18,6 +18,7 @@
 #include "core/plan.h"
 #include "core/provisioning.h"
 #include "core/separable_dp.h"
+#include "obs/registry.h"
 #include "util/random.h"
 
 using namespace shuffledef;
@@ -72,11 +73,22 @@ int main() {
             << " replicas attacked; " << saved
             << " benign clients saved this round\n";
 
-  const core::MleEstimator mle;
+  // Any component takes an optional obs::Registry* and records what it did
+  // — counters and timing spans land in one snapshot (see ARCHITECTURE.md
+  // "Observability").
+  obs::Registry registry;
+  const core::MleEstimator mle(core::MleOptions{.registry = &registry});
   const Count m_hat =
       mle.estimate(core::ShuffleObservation{plan, attacked});
   std::cout << "MLE bot estimate from that observation: " << m_hat
-            << " (truth: " << bots << ")\n\n";
+            << " (truth: " << bots << ")\n";
+  const auto metrics = registry.snapshot();
+  if (const auto* span = metrics.span("mle.estimate")) {
+    std::cout << "Observability: counter mle.estimates = "
+              << metrics.counter("mle.estimates") << ", span mle.estimate took "
+              << static_cast<double>(span->total_ns) / 1e6 << " ms\n";
+  }
+  std::cout << "\n";
 
   // --- 3. provision -------------------------------------------------------------
   std::cout << "Theorem 1 threshold for P=" << replicas << ": M* = "

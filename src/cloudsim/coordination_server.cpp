@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/span.h"
 #include "util/logging.h"
 
 namespace shuffledef::cloudsim {
@@ -22,6 +23,22 @@ CoordinationServer::CoordinationServer(World& world, std::string name,
   }
   if (config_.provision_max_retries < 0 || config_.command_max_retries < 0) {
     throw std::invalid_argument("CoordinatorConfig: negative retry limit");
+  }
+  if (auto* registry = config_.controller.registry; registry != nullptr) {
+    metrics_.attack_reports = registry->counter(kMetricCoordAttackReports);
+    metrics_.rounds_executed = registry->counter(kMetricCoordRoundsExecuted);
+    metrics_.clients_migrated = registry->counter(kMetricCoordClientsMigrated);
+    metrics_.replicas_recycled =
+        registry->counter(kMetricCoordReplicasRecycled);
+    metrics_.provision_retries =
+        registry->counter(kMetricCoordProvisionRetries);
+    metrics_.rounds_degraded = registry->counter(kMetricCoordRoundsDegraded);
+    metrics_.rounds_aborted = registry->counter(kMetricCoordRoundsAborted);
+    metrics_.command_retries = registry->counter(kMetricCoordCommandRetries);
+    metrics_.replicas_presumed_crashed =
+        registry->counter(kMetricCoordReplicasPresumedCrashed);
+    metrics_.late_spares_banked =
+        registry->counter(kMetricCoordLateSparesBanked);
   }
 }
 
@@ -63,6 +80,7 @@ void CoordinationServer::on_message(const Message& msg) {
       const auto& report =
           std::any_cast<const AttackReportPayload&>(msg.payload);
       ++stats_.attack_reports;
+      metrics_.attack_reports.inc();
       if (!active_replicas_.contains(report.replica)) break;  // stale
       attacked_.insert(report.replica);
       schedule_round();
@@ -77,6 +95,7 @@ void CoordinationServer::on_message(const Message& msg) {
       for (auto* lb : load_balancers_) lb->remove_replica(dec.replica);
       provider_->recycle(dec.replica);
       ++stats_.replicas_recycled;
+      metrics_.replicas_recycled.inc();
       break;
     }
     default:
@@ -92,6 +111,7 @@ void CoordinationServer::schedule_round() {
 }
 
 void CoordinationServer::execute_round() {
+  const obs::Span span(config_.controller.registry, "coord.execute_round");
   round_pending_ = false;
   if (attacked_.empty() || provider_ == nullptr) return;
 
@@ -176,6 +196,7 @@ void CoordinationServer::request_wave(
         // round instead of throwing the boot away.
         add_hot_spare(fresh);
         ++stats_.late_spares_banked;
+        metrics_.late_spares_banked.inc();
         return;
       }
       round->ready.push_back(fresh);
@@ -204,6 +225,7 @@ void CoordinationServer::arm_provision_watchdog(
     }
     ++round->attempt;
     ++stats_.provision_retries;
+    metrics_.provision_retries.inc();
     const double delay = backoff_s(round->attempt - 1);
     SDEF_LOG(Info) << name() << ": provisioning wave " << round->attempt
                    << " re-requests " << missing << " instances after "
@@ -228,12 +250,14 @@ void CoordinationServer::finish_round(
       add_hot_spare(replicas.back());
       replicas.pop_back();
       ++stats_.late_spares_banked;
+      metrics_.late_spares_banked.inc();
     }
   }
   if (replicas.empty()) {
     // Nothing booted at all: put the reports back and try again later (the
     // aggregation window plus backoff paces the retry).
     ++stats_.rounds_aborted;
+    metrics_.rounds_aborted.inc();
     SDEF_LOG(Warn) << name() << ": round aborted — no replicas available";
     for (const NodeId r : round->attacked) {
       if (active_replicas_.contains(r)) attacked_.insert(r);
@@ -244,6 +268,7 @@ void CoordinationServer::finish_round(
   }
   if (static_cast<std::int64_t>(replicas.size()) < round->target) {
     ++stats_.rounds_degraded;
+    metrics_.rounds_degraded.inc();
   }
   deploy_shuffle(std::move(round->attacked), std::move(round->pool),
                  std::move(round->decision), replicas);
@@ -294,6 +319,7 @@ void CoordinationServer::deploy_shuffle(
     commands[current_home[client]].client_to_replica.emplace_back(client,
                                                                   target);
     ++stats_.clients_migrated;
+    metrics_.clients_migrated.inc();
   }
   for (const NodeId r : attacked) {
     pending_commands_[r] =
@@ -307,6 +333,7 @@ void CoordinationServer::deploy_shuffle(
 
   last_round_ = LastRound{new_replicas, std::move(actual_sizes)};
   ++stats_.rounds_executed;
+  metrics_.rounds_executed.inc();
   round_in_flight_ = false;
   // Reports that arrived while this round was deploying start the next one.
   if (!attacked_.empty()) schedule_round();
@@ -340,10 +367,12 @@ void CoordinationServer::arm_command_watchdog(NodeId replica,
       pending_commands_.erase(itw);
       drop_replica(replica);
       ++stats_.replicas_presumed_crashed;
+      metrics_.replicas_presumed_crashed.inc();
       return;
     }
     ++itw->second.resends;
     ++stats_.command_retries;
+    metrics_.command_retries.inc();
     itw->second.epoch = ++command_epoch_;
     send_shuffle_command(replica);
     arm_command_watchdog(replica, itw->second.epoch);
@@ -355,6 +384,7 @@ void CoordinationServer::drop_replica(NodeId replica) {
   for (auto* lb : load_balancers_) lb->remove_replica(replica);
   provider_->recycle(replica);
   ++stats_.replicas_recycled;
+  metrics_.replicas_recycled.inc();
 }
 
 }  // namespace shuffledef::cloudsim

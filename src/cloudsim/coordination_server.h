@@ -36,14 +36,40 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cloudsim/cloud_provider.h"
 #include "cloudsim/load_balancer.h"
 #include "cloudsim/node.h"
 #include "core/shuffle_controller.h"
+#include "obs/registry.h"
 
 namespace shuffledef::cloudsim {
+
+// Registry metric names mirroring CoordinatorStats.  The sink is
+// `controller.registry` inside CoordinatorConfig — one registry covers the
+// whole control plane.
+inline constexpr std::string_view kMetricCoordAttackReports =
+    "coord.attack_reports";
+inline constexpr std::string_view kMetricCoordRoundsExecuted =
+    "coord.rounds_executed";
+inline constexpr std::string_view kMetricCoordClientsMigrated =
+    "coord.clients_migrated";
+inline constexpr std::string_view kMetricCoordReplicasRecycled =
+    "coord.replicas_recycled";
+inline constexpr std::string_view kMetricCoordProvisionRetries =
+    "coord.provision_retries";
+inline constexpr std::string_view kMetricCoordRoundsDegraded =
+    "coord.rounds_degraded";
+inline constexpr std::string_view kMetricCoordRoundsAborted =
+    "coord.rounds_aborted";
+inline constexpr std::string_view kMetricCoordCommandRetries =
+    "coord.command_retries";
+inline constexpr std::string_view kMetricCoordReplicasPresumedCrashed =
+    "coord.replicas_presumed_crashed";
+inline constexpr std::string_view kMetricCoordLateSparesBanked =
+    "coord.late_spares_banked";
 
 struct CoordinatorConfig {
   core::ControllerConfig controller;
@@ -176,6 +202,12 @@ class CoordinationServer final : public Node {
   std::optional<LastRound> last_round_;
 
   CoordinatorStats stats_;
+  // Null handles when config_.controller.registry is null.
+  struct {
+    obs::Counter attack_reports, rounds_executed, clients_migrated,
+        replicas_recycled, provision_retries, rounds_degraded, rounds_aborted,
+        command_retries, replicas_presumed_crashed, late_spares_banked;
+  } metrics_;
 };
 
 }  // namespace shuffledef::cloudsim

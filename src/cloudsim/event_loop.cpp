@@ -37,6 +37,7 @@ bool EventLoop::run_until(SimTime t_end) {
     queue_.pop();
     now_ = ev.time;
     ++processed_;
+    dispatched_.inc();
     ev.fn();
   }
   if (now_ < t_end) now_ = t_end;
@@ -50,6 +51,7 @@ bool EventLoop::run() {
     queue_.pop();
     now_ = ev.time;
     ++processed_;
+    dispatched_.inc();
     ev.fn();
   }
   return true;

@@ -9,11 +9,17 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string_view>
 #include <vector>
+
+#include "obs/registry.h"
 
 namespace shuffledef::cloudsim {
 
 using SimTime = double;  // seconds since simulation start
+
+inline constexpr std::string_view kMetricLoopEventsDispatched =
+    "loop.events_dispatched";
 
 class EventLoop {
  public:
@@ -38,6 +44,14 @@ class EventLoop {
   /// Guard against runaway simulations (default: 200M events).
   void set_event_budget(std::uint64_t budget) noexcept { budget_ = budget; }
 
+  /// Mirror dispatched-event counts onto kMetricLoopEventsDispatched
+  /// (nullptr detaches).  `processed()` stays authoritative.
+  void set_registry(obs::Registry* registry) {
+    dispatched_ = registry == nullptr
+                      ? obs::Counter{}
+                      : registry->counter(kMetricLoopEventsDispatched);
+  }
+
  private:
   struct Event {
     SimTime time;
@@ -56,6 +70,7 @@ class EventLoop {
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
   std::uint64_t budget_ = 200'000'000;
+  obs::Counter dispatched_;  // null handle when uninstrumented
 };
 
 }  // namespace shuffledef::cloudsim

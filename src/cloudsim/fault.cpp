@@ -11,30 +11,57 @@ bool FaultConfig::active() const {
          provision_failure_prob > 0.0 || !link_flaps.empty();
 }
 
-FaultInjector::FaultInjector(FaultConfig config, util::Rng rng)
-    : config_(std::move(config)), rng_(rng) {
-  auto check_prob = [](double p, const char* what) {
-    if (p < 0.0 || p > 1.0) {
-      throw std::invalid_argument(std::string("FaultConfig: ") + what +
-                                  " must be a probability in [0, 1]");
+std::vector<std::string> FaultConfig::violations(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  auto check_prob = [&](double p, const char* what) {
+    if (!(p >= 0.0) || p > 1.0) {
+      out.push_back(prefix + what + " must be a probability in [0, 1]");
     }
   };
-  check_prob(config_.data_loss_prob, "data_loss_prob");
-  check_prob(config_.ctrl_loss_prob, "ctrl_loss_prob");
-  check_prob(config_.data_dup_prob, "data_dup_prob");
-  check_prob(config_.ctrl_dup_prob, "ctrl_dup_prob");
-  check_prob(config_.provision_failure_prob, "provision_failure_prob");
-  if (config_.provision_delay_factor <= 0.0) {
-    throw std::invalid_argument("FaultConfig: provision_delay_factor <= 0");
+  check_prob(data_loss_prob, "data_loss_prob");
+  check_prob(ctrl_loss_prob, "ctrl_loss_prob");
+  check_prob(data_dup_prob, "data_dup_prob");
+  check_prob(ctrl_dup_prob, "ctrl_dup_prob");
+  check_prob(provision_failure_prob, "provision_failure_prob");
+  if (!(provision_delay_factor > 0.0)) {
+    out.push_back(prefix + "provision_delay_factor must be > 0");
   }
-  if (config_.dup_extra_delay_s < 0.0) {
-    throw std::invalid_argument("FaultConfig: negative dup_extra_delay_s");
+  if (dup_extra_delay_s < 0.0) {
+    out.push_back(prefix + "dup_extra_delay_s must be >= 0");
   }
-  for (const auto& flap : config_.link_flaps) {
+  for (const auto& flap : link_flaps) {
     if (flap.start_s < 0.0 || flap.duration_s < 0.0) {
-      throw std::invalid_argument("FaultConfig: negative link-flap window");
+      out.push_back(prefix + "link-flap windows must be non-negative");
+      break;
     }
   }
+  return out;
+}
+
+FaultInjector::FaultInjector(FaultConfig config, util::Rng rng)
+    : config_(std::move(config)), rng_(rng) {
+  if (const auto violations = config_.violations(); !violations.empty()) {
+    std::string message = "FaultConfig: " + std::to_string(violations.size()) +
+                          " violation(s)";
+    for (const auto& v : violations) message += "; " + v;
+    throw std::invalid_argument(message);
+  }
+}
+
+void FaultInjector::set_registry(obs::Registry* registry) {
+  if (registry == nullptr) {
+    metrics_ = {};
+    return;
+  }
+  metrics_.drops_data = registry->counter(kMetricFaultDropsData);
+  metrics_.drops_ctrl = registry->counter(kMetricFaultDropsCtrl);
+  metrics_.drops_flap = registry->counter(kMetricFaultDropsFlap);
+  metrics_.duplicated = registry->counter(kMetricFaultDuplicated);
+  metrics_.crashes_executed = registry->counter(kMetricFaultCrashesExecuted);
+  metrics_.provisions_failed = registry->counter(kMetricFaultProvisionsFailed);
+  metrics_.provisions_delayed =
+      registry->counter(kMetricFaultProvisionsDelayed);
 }
 
 bool FaultInjector::in_flap(const Message& msg, bool priority,
@@ -55,6 +82,7 @@ FaultAction FaultInjector::on_send(const Message& msg, bool priority,
                                    double now) {
   if (in_flap(msg, priority, now)) {
     ++stats_.drops_flap;
+    metrics_.drops_flap.inc();
     return FaultAction::kDrop;
   }
   const double loss =
@@ -69,23 +97,31 @@ FaultAction FaultInjector::on_send(const Message& msg, bool priority,
   const bool duplicate = rng_.uniform() < dup;
   if (drop) {
     ++(priority ? stats_.drops_ctrl : stats_.drops_data);
+    (priority ? metrics_.drops_ctrl : metrics_.drops_data).inc();
     return FaultAction::kDrop;
   }
   if (duplicate) {
     ++stats_.duplicated;
+    metrics_.duplicated.inc();
     return FaultAction::kDuplicate;
   }
   return FaultAction::kDeliver;
 }
 
 double FaultInjector::provision_delay(double base_delay_s) {
-  if (config_.provision_delay_factor != 1.0) ++stats_.provisions_delayed;
+  if (config_.provision_delay_factor != 1.0) {
+    ++stats_.provisions_delayed;
+    metrics_.provisions_delayed.inc();
+  }
   return base_delay_s * config_.provision_delay_factor;
 }
 
 bool FaultInjector::provision_fails() {
   const bool fails = rng_.bernoulli(config_.provision_failure_prob);
-  if (fails) ++stats_.provisions_failed;
+  if (fails) {
+    ++stats_.provisions_failed;
+    metrics_.provisions_failed.inc();
+  }
   return fails;
 }
 

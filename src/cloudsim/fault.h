@@ -22,12 +22,27 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "cloudsim/message.h"
+#include "obs/registry.h"
 #include "util/random.h"
 
 namespace shuffledef::cloudsim {
+
+// Registry metric names mirroring FaultStats.
+inline constexpr std::string_view kMetricFaultDropsData = "faults.drops_data";
+inline constexpr std::string_view kMetricFaultDropsCtrl = "faults.drops_ctrl";
+inline constexpr std::string_view kMetricFaultDropsFlap = "faults.drops_flap";
+inline constexpr std::string_view kMetricFaultDuplicated = "faults.duplicated";
+inline constexpr std::string_view kMetricFaultCrashesExecuted =
+    "faults.crashes_executed";
+inline constexpr std::string_view kMetricFaultProvisionsFailed =
+    "faults.provisions_failed";
+inline constexpr std::string_view kMetricFaultProvisionsDelayed =
+    "faults.provisions_delayed";
 
 /// A window during which a lane drops every message (both directions).
 /// `node == kInvalidNode` flaps the whole fabric.
@@ -65,6 +80,12 @@ struct FaultConfig {
 
   /// True when any knob deviates from the fault-free default.
   [[nodiscard]] bool active() const;
+
+  /// All violations at once, each prefixed (e.g. "faults.") for embedding in
+  /// a composite config's report.  FaultInjector's constructor throws
+  /// std::invalid_argument listing every violation.
+  [[nodiscard]] std::vector<std::string> violations(
+      const std::string& prefix = {}) const;
 };
 
 struct FaultStats {
@@ -94,7 +115,15 @@ class FaultInjector {
 
   /// Scenario hooks for scheduled crashes: deterministic victim pick.
   [[nodiscard]] std::int64_t pick_index(std::int64_t n);
-  void note_crash() { ++stats_.crashes_executed; }
+  void note_crash() {
+    ++stats_.crashes_executed;
+    metrics_.crashes_executed.inc();
+  }
+
+  /// Mirror every FaultStats field onto registry metrics (kMetricFault*).
+  /// The struct stays authoritative; instrumentation never consumes RNG
+  /// draws, so the fault sequence is unchanged.  nullptr detaches.
+  void set_registry(obs::Registry* registry);
 
   [[nodiscard]] const FaultConfig& config() const { return config_; }
   [[nodiscard]] const FaultStats& stats() const { return stats_; }
@@ -106,6 +135,11 @@ class FaultInjector {
   FaultConfig config_;
   util::Rng rng_;
   FaultStats stats_;
+  // Null handles when no registry is set (all mirror ops no-op).
+  struct {
+    obs::Counter drops_data, drops_ctrl, drops_flap, duplicated,
+        crashes_executed, provisions_failed, provisions_delayed;
+  } metrics_;
 };
 
 }  // namespace shuffledef::cloudsim

@@ -11,6 +11,22 @@ namespace shuffledef::cloudsim {
 Network::Network(EventLoop& loop, NetworkConfig config)
     : loop_(loop), config_(config) {}
 
+void Network::set_registry(obs::Registry* registry) {
+  if (registry == nullptr) {
+    metrics_ = {};
+    return;
+  }
+  metrics_.sends = registry->counter(kMetricNetSends);
+  metrics_.delivered = registry->counter(kMetricNetDelivered);
+  metrics_.dropped_egress = registry->counter(kMetricNetDroppedEgress);
+  metrics_.dropped_ingress = registry->counter(kMetricNetDroppedIngress);
+  metrics_.dropped_detached = registry->counter(kMetricNetDroppedDetached);
+  metrics_.dropped_faulted = registry->counter(kMetricNetDroppedFaulted);
+  metrics_.duplicated = registry->counter(kMetricNetDuplicated);
+  metrics_.bytes_delivered = registry->counter(kMetricNetBytesDelivered);
+  metrics_.in_flight = registry->gauge(kMetricNetInFlight);
+}
+
 NodeId Network::attach(Node* node, NicConfig nic) {
   if (node == nullptr) throw std::invalid_argument("Network: null node");
   if (nic.egress_bps <= 0 || nic.ingress_bps <= 0 || nic.base_latency_s < 0 ||
@@ -70,14 +86,17 @@ void Network::resolve(const Message& msg, NetTraceEvent::Outcome outcome) {
 
 void Network::send(Message msg) {
   ++stats_.sends;
+  metrics_.sends.inc();
   Port& src = port_at(msg.src);
   if (!src.attached) {
     ++stats_.dropped_detached;
+    metrics_.dropped_detached.inc();
     resolve(msg, NetTraceEvent::Outcome::kDroppedDetached);
     return;
   }
   if (msg.dst < 0 || static_cast<std::size_t>(msg.dst) >= ports_.size()) {
     ++stats_.dropped_detached;  // address never existed (stale reference)
+    metrics_.dropped_detached.inc();
     resolve(msg, NetTraceEvent::Outcome::kDroppedDetached);
     return;
   }
@@ -86,6 +105,7 @@ void Network::send(Message msg) {
     switch (fault_->on_send(msg, is_priority_type(msg.type), loop_.now())) {
       case FaultAction::kDrop:
         ++stats_.dropped_faulted;
+        metrics_.dropped_faulted.inc();
         resolve(msg, NetTraceEvent::Outcome::kDroppedFaulted);
         return;
       case FaultAction::kDuplicate: {
@@ -94,6 +114,8 @@ void Network::send(Message msg) {
         // (no duplicate chains) and resolves like any other message.
         ++stats_.duplicated;
         ++stats_.in_flight;
+        metrics_.duplicated.inc();
+        metrics_.in_flight.add(1);
         resolve(msg, NetTraceEvent::Outcome::kDuplicated);
         Message copy = msg;
         loop_.schedule_after(
@@ -109,6 +131,7 @@ void Network::send(Message msg) {
   }
 
   ++stats_.in_flight;
+  metrics_.in_flight.add(1);
   transmit(std::move(msg));
 }
 
@@ -118,6 +141,8 @@ void Network::transmit(Message msg) {
     // A duplicated copy can outlive its sender's NIC.
     --stats_.in_flight;
     ++stats_.dropped_detached;
+    metrics_.in_flight.add(-1);
+    metrics_.dropped_detached.inc();
     resolve(msg, NetTraceEvent::Outcome::kDroppedDetached);
     return;
   }
@@ -134,6 +159,8 @@ void Network::transmit(Message msg) {
   if (out_backlog > src.nic.max_queue_s) {
     --stats_.in_flight;
     ++stats_.dropped_egress;
+    metrics_.in_flight.add(-1);
+    metrics_.dropped_egress.inc();
     resolve(msg, NetTraceEvent::Outcome::kDroppedEgress);
     return;
   }
@@ -151,6 +178,8 @@ void Network::transmit(Message msg) {
     if (!d.attached) {
       --stats_.in_flight;
       ++stats_.dropped_detached;
+      metrics_.in_flight.add(-1);
+      metrics_.dropped_detached.inc();
       resolve(msg, NetTraceEvent::Outcome::kDroppedDetached);
       return;
     }
@@ -163,6 +192,8 @@ void Network::transmit(Message msg) {
     if (in_backlog > d.nic.max_queue_s) {
       --stats_.in_flight;
       ++stats_.dropped_ingress;
+      metrics_.in_flight.add(-1);
+      metrics_.dropped_ingress.inc();
       resolve(msg, NetTraceEvent::Outcome::kDroppedIngress);
       return;
     }
@@ -172,13 +203,17 @@ void Network::transmit(Message msg) {
     loop_.schedule_at(done, [this, dst_id, msg = std::move(msg)]() mutable {
       Port& d2 = ports_[static_cast<std::size_t>(dst_id)];
       --stats_.in_flight;
+      metrics_.in_flight.add(-1);
       if (!d2.attached) {
         ++stats_.dropped_detached;
+        metrics_.dropped_detached.inc();
         resolve(msg, NetTraceEvent::Outcome::kDroppedDetached);
         return;
       }
       ++stats_.delivered;
       stats_.bytes_delivered += msg.size_bytes;
+      metrics_.delivered.inc();
+      metrics_.bytes_delivered.inc(static_cast<std::uint64_t>(msg.size_bytes));
       resolve(msg, NetTraceEvent::Outcome::kDelivered);
       d2.node->on_message(msg);
     });

@@ -19,12 +19,31 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "cloudsim/event_loop.h"
 #include "cloudsim/message.h"
+#include "obs/registry.h"
 
 namespace shuffledef::cloudsim {
+
+// Registry metric names mirroring NetworkStats (same semantics, same
+// conservation invariant; see ARCHITECTURE.md "Observability").
+inline constexpr std::string_view kMetricNetSends = "net.sends";
+inline constexpr std::string_view kMetricNetDelivered = "net.delivered";
+inline constexpr std::string_view kMetricNetDroppedEgress =
+    "net.dropped_egress";
+inline constexpr std::string_view kMetricNetDroppedIngress =
+    "net.dropped_ingress";
+inline constexpr std::string_view kMetricNetDroppedDetached =
+    "net.dropped_detached";
+inline constexpr std::string_view kMetricNetDroppedFaulted =
+    "net.dropped_faulted";
+inline constexpr std::string_view kMetricNetDuplicated = "net.duplicated";
+inline constexpr std::string_view kMetricNetBytesDelivered =
+    "net.bytes_delivered";
+inline constexpr std::string_view kMetricNetInFlight = "net.in_flight";
 
 class Node;           // full definition in node.h
 class FaultInjector;  // full definition in fault.h
@@ -110,6 +129,12 @@ class Network {
     fault_ = injector;
   }
 
+  /// Mirror every NetworkStats field onto registry metrics (kMetricNet*).
+  /// The struct stays authoritative — `stats().conserved()` holds exactly as
+  /// before — and the registry copies obey the same conservation law.
+  /// Call before traffic starts; nullptr detaches.
+  void set_registry(obs::Registry* registry);
+
   /// Record every resolved message into an event trace (off by default —
   /// costs memory proportional to traffic).
   void enable_trace() noexcept { trace_enabled_ = true; }
@@ -151,6 +176,12 @@ class Network {
   FaultInjector* fault_ = nullptr;
   bool trace_enabled_ = false;
   std::vector<NetTraceEvent> trace_;
+  // Null handles when no registry is set (all mirror ops no-op).
+  struct {
+    obs::Counter sends, delivered, dropped_egress, dropped_ingress,
+        dropped_detached, dropped_faulted, duplicated, bytes_delivered;
+    obs::Gauge in_flight;
+  } metrics_;
 };
 
 }  // namespace shuffledef::cloudsim

@@ -7,12 +7,69 @@
 
 namespace shuffledef::cloudsim {
 
-Scenario::Scenario(ScenarioConfig config) {
-  if (config.domains <= 0 || config.initial_replicas <= 0) {
-    throw std::invalid_argument("Scenario: needs >=1 domain and replica");
+std::vector<std::string> ScenarioConfig::validate() const {
+  std::vector<std::string> violations;
+  if (domains < 1) violations.push_back("domains must be >= 1");
+  if (initial_replicas < 1) {
+    violations.push_back("initial_replicas must be >= 1");
   }
+  if (hot_spares < 0) violations.push_back("hot_spares must be >= 0");
+  if (boot_delay_s < 0.0) violations.push_back("boot_delay_s must be >= 0");
+  if (clients < 0) violations.push_back("clients must be >= 0");
+  if (persistent_bots < 0) {
+    violations.push_back("persistent_bots must be >= 0");
+  }
+  if (naive_bots < 0) violations.push_back("naive_bots must be >= 0");
+  if (client_latency_min_s < 0.0 ||
+      client_latency_max_s < client_latency_min_s) {
+    violations.push_back("client latency must satisfy 0 <= min <= max");
+  }
+  if (client_start_spread_s < 0.0) {
+    violations.push_back("client_start_spread_s must be >= 0");
+  }
+  if (bot_start_spread_s < 0.0) {
+    violations.push_back("bot_start_spread_s must be >= 0");
+  }
+  if (bot_junk_rate_pps < 0.0) {
+    violations.push_back("bot_junk_rate_pps must be >= 0");
+  }
+  if (bot_heavy_interval_s < 0.0) {
+    violations.push_back("bot_heavy_interval_s must be >= 0");
+  }
+  if (naive_junk_rate_pps < 0.0) {
+    violations.push_back("naive_junk_rate_pps must be >= 0");
+  }
+  for (auto& v : coordinator.controller.validate()) {
+    violations.push_back("coordinator.controller." + std::move(v));
+  }
+  for (auto& v : faults.violations("faults.")) {
+    violations.push_back(std::move(v));
+  }
+  return violations;
+}
+
+Scenario::Scenario(ScenarioConfig config) {
+  if (const auto violations = config.validate(); !violations.empty()) {
+    std::string message = "ScenarioConfig: " +
+                          std::to_string(violations.size()) + " violation(s)";
+    for (const auto& v : violations) message += "; " + v;
+    throw std::invalid_argument(message);
+  }
+
+  // One registry observes the whole world: owned by default, external when
+  // the caller wants to scope several scenarios onto one sink.
+  if (config.registry != nullptr) {
+    registry_ = config.registry;
+  } else {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+  config.coordinator.controller.registry = registry_;
+
   world_ = std::make_unique<World>(
       WorldConfig{.seed = config.seed, .network = config.network});
+  world_->loop().set_registry(registry_);
+  world_->network().set_registry(registry_);
   if (config.record_net_trace) world_->network().enable_trace();
 
   // Fault injection: the injector draws from its own substream (forked off
@@ -21,6 +78,7 @@ Scenario::Scenario(ScenarioConfig config) {
   if (config.faults.active()) {
     fault_ = std::make_unique<FaultInjector>(
         config.faults, world_->rng().fork(config.faults.rng_salt));
+    fault_->set_registry(registry_);
     world_->network().set_fault_injector(fault_.get());
     for (const double t : config.faults.replica_crash_times_s) {
       world_->loop().schedule_at(t, [this] { crash_one_replica(); });

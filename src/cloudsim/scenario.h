@@ -19,6 +19,8 @@
 #include "cloudsim/load_balancer.h"
 #include "cloudsim/node.h"
 #include "cloudsim/replica_server.h"
+#include "obs/registry.h"
+#include "obs/snapshot.h"
 
 namespace shuffledef::cloudsim {
 
@@ -75,6 +77,16 @@ struct ScenarioConfig {
   /// Record every resolved message into Network::trace() (determinism
   /// golden tests; costs memory proportional to traffic).
   bool record_net_trace = false;
+
+  /// Observability sink for the whole world — event loop, network, fault
+  /// injector, coordinator, controller, planner, estimator all record here.
+  /// nullptr = the Scenario owns a private registry (see
+  /// Scenario::registry() / Scenario::metrics()).
+  obs::Registry* registry = nullptr;
+
+  /// All configuration violations at once (empty = valid).  The Scenario
+  /// constructor throws std::invalid_argument listing every violation.
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 class Scenario {
@@ -119,6 +131,14 @@ class Scenario {
 
   [[nodiscard]] ReplicaServer* replica(NodeId id);
 
+  /// The world's metrics sink (the external one from ScenarioConfig, or the
+  /// Scenario-owned default).
+  [[nodiscard]] obs::Registry& registry() noexcept { return *registry_; }
+  /// Convenience: a frozen snapshot of everything recorded so far.
+  [[nodiscard]] obs::MetricsSnapshot metrics() const {
+    return registry_->snapshot();
+  }
+
   // ---- aggregate metrics ----------------------------------------------------
 
   /// Clients whose join flow completed (page loaded, WebSocket open).
@@ -133,6 +153,8 @@ class Scenario {
  private:
   void crash_one_replica();
 
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_ = nullptr;  // effective sink (owned or external)
   std::unique_ptr<World> world_;
   std::unique_ptr<FaultInjector> fault_;
   std::unique_ptr<CloudProvider> provider_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/span.h"
 #include "util/math.h"
 #include "util/thread_pool.h"
 
@@ -48,6 +49,11 @@ AlgorithmOnePlanner::AlgorithmOnePlanner(AlgorithmOneOptions options)
   if (options_.threads < 0) {
     throw std::invalid_argument("AlgorithmOneOptions: threads must be >= 0");
   }
+  if (options_.registry != nullptr) {
+    solves_ = options_.registry->counter("planner.algorithm1.solves");
+    layers_ = options_.registry->counter("planner.algorithm1.layers");
+    cells_ = options_.registry->counter("planner.algorithm1.cells");
+  }
 }
 
 AlgorithmOnePlanner::~AlgorithmOnePlanner() = default;
@@ -64,6 +70,8 @@ util::ThreadPool* AlgorithmOnePlanner::pool() const {
 
 AlgorithmOnePlanner::Tables AlgorithmOnePlanner::solve(
     const ShuffleProblem& problem, bool keep_argmax) const {
+  const obs::Span span(options_.registry, "planner.algorithm1.solve");
+  solves_.inc();
   problem.validate();
   const Count N = problem.clients;
   const Count M = problem.bots;
@@ -114,6 +122,15 @@ AlgorithmOnePlanner::Tables AlgorithmOnePlanner::solve(
   }
 
   util::ThreadPool* workers = pool();
+  // Instrumentation: every layer sweeps the same (n, m) cell set, so the
+  // count is computed arithmetically once — the parallel hot loop stays
+  // untouched and totals are identical at any thread count.
+  std::uint64_t cells_per_layer = 0;
+  if (cells_) {
+    for (Count n = 0; n <= N; ++n) {
+      cells_per_layer += static_cast<std::uint64_t>(std::min(n, M)) + 1;
+    }
+  }
   for (Count p = 2; p <= P; ++p) {
     // Every cell of this layer reads only `prev` and writes only its own
     // slot of `cur` (and its own assign_no entry), so rows are embarrassingly
@@ -175,6 +192,8 @@ AlgorithmOnePlanner::Tables AlgorithmOnePlanner::solve(
     } else {
       sweep_rows(0, static_cast<std::int64_t>(N) + 1);
     }
+    layers_.inc();
+    cells_.inc(cells_per_layer);
     std::swap(prev, cur);
   }
   t.value = cell(prev, N, M);

@@ -37,6 +37,7 @@
 #include <optional>
 
 #include "core/planner.h"
+#include "obs/registry.h"
 
 namespace shuffledef::util {
 class ThreadPool;
@@ -58,6 +59,12 @@ struct AlgorithmOneOptions {
   /// layer and carries its own KahanSum, and rows are handed out as
   /// fixed-boundary chunks, so the result is bit-identical at any setting.
   Count threads = 0;
+  /// Observability sink (nullptr = uninstrumented).  Counters
+  /// "planner.algorithm1.{solves,layers,cells}" and span
+  /// "planner.algorithm1.solve"; counts are computed per layer (not per
+  /// cell), so the hot loop is untouched and totals are identical at any
+  /// thread count.
+  obs::Registry* registry = nullptr;
 };
 
 class AlgorithmOnePlanner final : public Planner {
@@ -85,6 +92,10 @@ class AlgorithmOnePlanner final : public Planner {
   // Lazily built private pool when options_.threads > 1 (solve() is const;
   // the pool is an execution resource, not logical state).
   mutable std::unique_ptr<util::ThreadPool> private_pool_;
+  // Null handles when options_.registry is null (all ops no-op).
+  obs::Counter solves_;
+  obs::Counter layers_;
+  obs::Counter cells_;
 };
 
 }  // namespace shuffledef::core

@@ -8,6 +8,7 @@
 #include <set>
 
 #include "core/likelihood.h"
+#include "obs/span.h"
 
 namespace shuffledef::core {
 namespace {
@@ -77,9 +78,16 @@ class LikelihoodFn {
 
 }  // namespace
 
-MleEstimator::MleEstimator(MleOptions options) : options_(options) {}
+MleEstimator::MleEstimator(MleOptions options) : options_(options) {
+  if (options_.registry != nullptr) {
+    estimates_ = options_.registry->counter("mle.estimates");
+    engine_restarts_ = options_.registry->counter("mle.engine_restarts");
+  }
+}
 
 Count MleEstimator::estimate(const ShuffleObservation& obs) const {
+  const shuffledef::obs::Span span(options_.registry, "mle.estimate");
+  estimates_.inc();
   obs.validate();
   const Count observed = obs.attacked_count();
   if (observed == 0) return 0;  // nothing attacked: no persistent bots seen
@@ -167,6 +175,7 @@ Count MleEstimator::estimate(const ShuffleObservation& obs) const {
     loglik.mark_started();
     best_m = search();
     if (!loglik.engine_switched() || attempt >= kMaxEngineRestarts) break;
+    engine_restarts_.inc();
   }
   return best_m;
 }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include "core/estimator.h"
+#include "obs/registry.h"
 
 namespace shuffledef::core {
 
@@ -36,6 +37,9 @@ struct MleOptions {
   /// kAuto switches from exact to Gaussian above this replica count (the
   /// exact engine's per-candidate cost grows with P^2 * distinct sizes).
   Count auto_exact_max_replicas = 256;
+  /// Observability sink (nullptr = uninstrumented): counters
+  /// "mle.estimates" and "mle.engine_restarts" plus span "mle.estimate".
+  obs::Registry* registry = nullptr;
 };
 
 class MleEstimator final : public AttackScaleEstimator {
@@ -47,6 +51,9 @@ class MleEstimator final : public AttackScaleEstimator {
 
  private:
   MleOptions options_;
+  // Null handles when options_.registry is null (all ops no-op).
+  obs::Counter estimates_;
+  obs::Counter engine_restarts_;
 };
 
 /// Test/ablation helper: an estimator that knows the truth, optionally with

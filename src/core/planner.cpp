@@ -9,16 +9,24 @@
 
 namespace shuffledef::core {
 
-std::unique_ptr<Planner> make_planner(const std::string& name, Count threads) {
+std::unique_ptr<Planner> make_planner(const std::string& name,
+                                      const PlannerOptions& options) {
   if (name == "even") return std::make_unique<EvenPlanner>();
   if (name == "greedy") return std::make_unique<GreedyPlanner>();
   if (name == "dp") return std::make_unique<SeparableDpPlanner>();
   if (name == "algorithm1") {
     return std::make_unique<AlgorithmOnePlanner>(
-        AlgorithmOneOptions{.threads = threads});
+        AlgorithmOneOptions{.tail_epsilon = options.tail_epsilon,
+                            .a_cap = options.a_cap,
+                            .threads = options.threads,
+                            .registry = options.registry});
   }
   throw std::invalid_argument("make_planner: unknown planner '" + name +
                               "' (expected even|greedy|dp|algorithm1)");
+}
+
+std::unique_ptr<Planner> make_planner(const std::string& name, Count threads) {
+  return make_planner(name, PlannerOptions{.threads = threads});
 }
 
 }  // namespace shuffledef::core

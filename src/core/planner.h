@@ -13,6 +13,10 @@
 #include "core/plan.h"
 #include "core/types.h"
 
+namespace shuffledef::obs {
+class Registry;
+}
+
 namespace shuffledef::core {
 
 class Planner {
@@ -26,11 +30,30 @@ class Planner {
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
+/// Construction knobs shared by every planner factory call.  A struct (not
+/// positional parameters) so future knobs extend without breaking call
+/// sites; fields irrelevant to a given planner are ignored.
+struct PlannerOptions {
+  /// Worker threads for planners with a parallel solve (currently only
+  /// "algorithm1"; bit-identical at any setting): 1 = serial, 0 = the
+  /// shared process-wide pool, k > 1 = a private pool of k threads.
+  Count threads = 0;
+  /// AlgorithmOne accelerations (see AlgorithmOneOptions): truncate the
+  /// hypergeometric tail below this pmf (0 = exact) and cap the per-level
+  /// search over a (0 = search all).
+  double tail_epsilon = 0.0;
+  Count a_cap = 0;
+  /// Observability sink for planner counters/spans (nullptr = none).
+  obs::Registry* registry = nullptr;
+};
+
 /// Factory by name ("even", "greedy", "dp", "algorithm1"); throws on unknown.
-/// `threads` is forwarded to planners with a parallel solve (currently only
-/// "algorithm1"; bit-identical at any setting) and ignored by the rest:
-/// 1 = serial, 0 = the shared process-wide pool, k > 1 = a private pool.
 std::unique_ptr<Planner> make_planner(const std::string& name,
-                                      Count threads = 0);
+                                      const PlannerOptions& options = {});
+
+/// Deprecated positional-parameter factory (pre-PlannerOptions API); kept
+/// for one PR so downstream callers can migrate.
+[[deprecated("use make_planner(name, PlannerOptions{.threads = ...})")]]
+std::unique_ptr<Planner> make_planner(const std::string& name, Count threads);
 
 }  // namespace shuffledef::core

@@ -6,34 +6,67 @@
 
 #include "core/moments_estimator.h"
 #include "core/provisioning.h"
+#include "obs/span.h"
 
 namespace shuffledef::core {
 
+std::vector<std::string> ControllerConfig::validate() const {
+  std::vector<std::string> violations;
+  if (planner != "even" && planner != "greedy" && planner != "dp" &&
+      planner != "algorithm1") {
+    violations.push_back("unknown planner '" + planner +
+                         "' (expected even|greedy|dp|algorithm1)");
+  }
+  if (planner_threads < 0) {
+    violations.push_back("planner_threads must be >= 0");
+  }
+  if (replicas < 0) {
+    violations.push_back("replicas must be >= 0 (0 = adaptive)");
+  }
+  if (min_replicas < 2) {
+    violations.push_back("min_replicas must be >= 2 (P < 2 cannot shuffle)");
+  }
+  if (!(provisioning_headroom >= 1.0)) {
+    violations.push_back("provisioning_headroom must be >= 1");
+  }
+  if (estimator != "mle" && estimator != "moments") {
+    violations.push_back("unknown estimator '" + estimator +
+                         "' (expected mle|moments)");
+  }
+  if (!(estimate_smoothing > 0.0) || estimate_smoothing > 1.0) {
+    violations.push_back("estimate_smoothing must be in (0, 1]");
+  }
+  if (mle.grid_points < 2) {
+    violations.push_back("mle.grid_points must be >= 2");
+  }
+  return violations;
+}
+
 ShuffleController::ShuffleController(ControllerConfig config)
-    : config_(std::move(config)),
-      planner_(make_planner(config_.planner, config_.planner_threads)) {
-  if (config_.replicas < 0 || config_.min_replicas < 2) {
-    throw std::invalid_argument(
-        "ControllerConfig: replicas must be >= 0 and min_replicas >= 2");
+    : config_(std::move(config)) {
+  if (const auto violations = config_.validate(); !violations.empty()) {
+    std::string message = "ControllerConfig: " +
+                          std::to_string(violations.size()) + " violation(s)";
+    for (const auto& v : violations) message += "; " + v;
+    throw std::invalid_argument(message);
   }
-  if (config_.provisioning_headroom < 1.0) {
-    throw std::invalid_argument(
-        "ControllerConfig: provisioning_headroom must be >= 1");
-  }
-  if (config_.estimate_smoothing <= 0.0 || config_.estimate_smoothing > 1.0) {
-    throw std::invalid_argument(
-        "ControllerConfig: estimate_smoothing must be in (0, 1]");
-  }
+  planner_ = make_planner(config_.planner,
+                          PlannerOptions{.threads = config_.planner_threads,
+                                         .registry = config_.registry});
   if (config_.estimator == "mle") {
-    estimator_ = std::make_unique<MleEstimator>(config_.mle);
-  } else if (config_.estimator == "moments") {
-    estimator_ = std::make_unique<MomentsEstimator>();
+    MleOptions mle = config_.mle;
+    mle.registry = config_.registry;
+    estimator_ = std::make_unique<MleEstimator>(mle);
   } else {
-    throw std::invalid_argument("ControllerConfig: unknown estimator '" +
-                                config_.estimator + "' (expected mle|moments)");
+    estimator_ = std::make_unique<MomentsEstimator>();
   }
   if (config_.planner_cache_capacity > 0) {
     cache_.emplace(config_.planner_cache_capacity);
+  }
+  if (config_.registry != nullptr) {
+    decisions_ = config_.registry->counter(kMetricControllerDecisions);
+    cache_hits_ = config_.registry->counter(kMetricPlannerCacheHits);
+    cache_misses_ = config_.registry->counter(kMetricPlannerCacheMisses);
   }
 }
 
@@ -44,10 +77,13 @@ void ShuffleController::set_bot_estimate(Count bots) {
 
 RoundDecision ShuffleController::decide(
     Count pool_clients, const std::optional<ShuffleObservation>& prev) {
+  const obs::Span span(config_.registry, "controller.decide");
+  decisions_.inc();
   if (pool_clients < 0) {
     throw std::invalid_argument("decide: negative pool size");
   }
   if (config_.use_mle && prev.has_value()) {
+    const obs::Span estimate_span(config_.registry, "estimate");
     const Count fresh = estimator_->estimate(*prev);
     if (has_estimate_ && config_.estimate_smoothing < 1.0) {
       const double blended =
@@ -76,11 +112,14 @@ RoundDecision ShuffleController::decide(
   decision.replicas = p;
   const ShuffleProblem problem{
       .clients = pool_clients, .bots = m_hat, .replicas = p};
+  const obs::Span plan_span(config_.registry, "plan");
   if (cache_) {
     const PlannerCacheKey key{planner_->name(), problem};
     if (auto cached = cache_->get_plan(key)) {
+      cache_hits_.inc();
       decision.plan = std::move(*cached);
     } else {
+      cache_misses_.inc();
       decision.plan = planner_->plan(problem);
       cache_->put_plan(key, decision.plan);
     }

@@ -16,6 +16,8 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/estimator.h"
 #include "core/mle_estimator.h"
@@ -23,8 +25,18 @@
 #include "core/planner.h"
 #include "core/planner_cache.h"
 #include "core/types.h"
+#include "obs/registry.h"
 
 namespace shuffledef::core {
+
+// Metric names recorded by the controller (cross-referenced by simulators,
+// benches and tests; see ARCHITECTURE.md "Observability").
+inline constexpr std::string_view kMetricControllerDecisions =
+    "controller.decisions";
+inline constexpr std::string_view kMetricPlannerCacheHits =
+    "controller.planner_cache.hits";
+inline constexpr std::string_view kMetricPlannerCacheMisses =
+    "controller.planner_cache.misses";
 
 struct ControllerConfig {
   std::string planner = "greedy";
@@ -52,6 +64,15 @@ struct ControllerConfig {
   /// Planners are deterministic, so cached decisions are bit-identical to
   /// uncached ones.
   std::size_t planner_cache_capacity = 128;
+  /// Observability sink for the controller, its planner and its estimator
+  /// (nullptr = uninstrumented).  Counters kMetricControllerDecisions and
+  /// kMetricPlannerCache{Hits,Misses}; spans "controller.decide" with
+  /// children "estimate" and "plan".
+  obs::Registry* registry = nullptr;
+
+  /// All configuration violations at once (empty = valid).  The controller
+  /// constructor throws std::invalid_argument listing every violation.
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 struct RoundDecision {
@@ -89,6 +110,10 @@ class ShuffleController {
   std::optional<PlannerCache> cache_;
   Count bot_estimate_ = 0;
   bool has_estimate_ = false;  // EWMA needs a first anchor
+  // Null handles when config_.registry is null (all ops no-op).
+  obs::Counter decisions_;
+  obs::Counter cache_hits_;
+  obs::Counter cache_misses_;
 };
 
 }  // namespace shuffledef::core

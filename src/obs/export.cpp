@@ -1,0 +1,111 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace shuffledef::obs {
+namespace {
+
+/// Shortest round-trip decimal for a double (integers print without ".0").
+std::string fmt_double(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+std::string bucket_field(const MetricsSnapshot::HistogramValue& h,
+                         std::size_t i) {
+  return i < h.bounds.size() ? "le_" + fmt_double(h.bounds[i]) : "le_inf";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_csv(const MetricsSnapshot& snapshot, std::ostream& os) {
+  os << "kind,name,field,value\n";
+  for (const auto& c : snapshot.counters) {
+    os << "counter," << c.name << ",value," << c.value << '\n';
+  }
+  for (const auto& g : snapshot.gauges) {
+    os << "gauge," << g.name << ",value," << g.value << '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      os << "histogram," << h.name << ',' << bucket_field(h, i) << ','
+         << h.counts[i] << '\n';
+    }
+    os << "histogram," << h.name << ",count," << h.count << '\n';
+    os << "histogram," << h.name << ",sum," << fmt_double(h.sum) << '\n';
+  }
+  for (const auto& s : snapshot.spans) {
+    os << "span," << s.path << ",count," << s.count << '\n';
+    os << "span," << s.path << ",total_ns," << s.total_ns << '\n';
+  }
+}
+
+void write_json(const MetricsSnapshot& snapshot, std::ostream& os) {
+  const auto sep = [](bool& first) -> const char* {
+    if (first) {
+      first = false;
+      return "";
+    }
+    return ",";
+  };
+
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    os << sep(first) << "\n    \"" << json_escape(c.name) << "\": " << c.value;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    os << sep(first) << "\n    \"" << json_escape(g.name) << "\": " << g.value;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    os << sep(first) << "\n    \"" << json_escape(h.name)
+       << "\": {\"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      os << (i > 0 ? "," : "") << fmt_double(h.bounds[i]);
+    }
+    os << "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      os << (i > 0 ? "," : "") << h.counts[i];
+    }
+    os << "], \"count\": " << h.count << ", \"sum\": " << fmt_double(h.sum)
+       << "}";
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"spans\": {";
+  first = true;
+  for (const auto& s : snapshot.spans) {
+    os << sep(first) << "\n    \"" << json_escape(s.path)
+       << "\": {\"count\": " << s.count << ", \"total_ns\": " << s.total_ns
+       << "}";
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+}  // namespace shuffledef::obs

@@ -1,0 +1,28 @@
+// Snapshot exporters: stable CSV and JSON serializations of a
+// MetricsSnapshot, for archiving bench runs and diffing across versions.
+//
+// CSV schema (one header line, then one row per scalar):
+//   kind,name,field,value
+//   counter,net.sends,value,123
+//   histogram,sim.saved_per_round,le_100,7
+//   histogram,sim.saved_per_round,le_inf,2
+//   histogram,sim.saved_per_round,count,9
+//   histogram,sim.saved_per_round,sum,412
+//   span,sim.run/round,count,57
+//   span,sim.run/round,total_ns,1234567
+//
+// JSON: one object with "counters"/"gauges"/"histograms"/"spans" members.
+// Both serializations order entries exactly as the snapshot does (sorted by
+// name), so fixed-seed exports diff cleanly.
+#pragma once
+
+#include <iosfwd>
+
+#include "obs/snapshot.h"
+
+namespace shuffledef::obs {
+
+void write_csv(const MetricsSnapshot& snapshot, std::ostream& os);
+void write_json(const MetricsSnapshot& snapshot, std::ostream& os);
+
+}  // namespace shuffledef::obs

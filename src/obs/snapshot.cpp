@@ -1,0 +1,54 @@
+#include "obs/snapshot.h"
+
+#include <algorithm>
+
+namespace shuffledef::obs {
+namespace {
+
+template <typename T>
+const T* find_by(const std::vector<T>& sorted, std::string_view name,
+                 std::string T::*key) {
+  const auto it = std::lower_bound(
+      sorted.begin(), sorted.end(), name,
+      [key](const T& entry, std::string_view probe) {
+        return std::string_view(entry.*key) < probe;
+      });
+  if (it == sorted.end() || std::string_view((*it).*key) != name) return nullptr;
+  return &*it;
+}
+
+}  // namespace
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name,
+                                       std::uint64_t missing) const {
+  const auto* entry = find_by(counters, name, &CounterValue::name);
+  return entry == nullptr ? missing : entry->value;
+}
+
+std::int64_t MetricsSnapshot::gauge(std::string_view name,
+                                    std::int64_t missing) const {
+  const auto* entry = find_by(gauges, name, &GaugeValue::name);
+  return entry == nullptr ? missing : entry->value;
+}
+
+const MetricsSnapshot::HistogramValue* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  return find_by(histograms, name, &HistogramValue::name);
+}
+
+const MetricsSnapshot::SpanValue* MetricsSnapshot::span(
+    std::string_view path) const {
+  return find_by(spans, path, &SpanValue::path);
+}
+
+MetricsSnapshot MetricsSnapshot::deterministic_view() const {
+  MetricsSnapshot view = *this;
+  for (auto& s : view.spans) s.total_ns = 0;
+  return view;
+}
+
+bool MetricsSnapshot::deterministic_equal(const MetricsSnapshot& other) const {
+  return deterministic_view() == other.deterministic_view();
+}
+
+}  // namespace shuffledef::obs

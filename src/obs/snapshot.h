@@ -1,0 +1,69 @@
+// MetricsSnapshot: a frozen, ordered view of an obs::Registry.
+//
+// Snapshots are plain data — copyable, comparable, exportable (obs/export.h)
+// — and every section is sorted by name, so two snapshots of equivalent
+// registries compare equal byte for byte.  Event-derived metrics (counters,
+// gauges, histograms, span *counts*) are deterministic whenever the
+// instrumented computation is; span *durations* are wall-clock and are not.
+// `deterministic_view()` strips the wall-clock part so golden tests can
+// require bit-identical snapshots across runs and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shuffledef::obs {
+
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+    bool operator==(const CounterValue&) const = default;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::int64_t value = 0;
+    bool operator==(const GaugeValue&) const = default;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::vector<double> bounds;          // ascending upper bucket bounds
+    std::vector<std::uint64_t> counts;   // bounds.size() + 1 (last = overflow)
+    std::uint64_t count = 0;             // total observations
+    double sum = 0.0;
+    bool operator==(const HistogramValue&) const = default;
+  };
+  struct SpanValue {
+    std::string path;          // "parent/child" nesting path
+    std::uint64_t count = 0;   // completed span instances (deterministic)
+    std::uint64_t total_ns = 0;  // wall-clock, NOT deterministic
+    bool operator==(const SpanValue&) const = default;
+  };
+
+  std::vector<CounterValue> counters;    // sorted by name
+  std::vector<GaugeValue> gauges;        // sorted by name
+  std::vector<HistogramValue> histograms;  // sorted by name
+  std::vector<SpanValue> spans;          // sorted by path
+
+  /// Counter value by name; `missing` when the counter was never registered.
+  [[nodiscard]] std::uint64_t counter(std::string_view name,
+                                      std::uint64_t missing = 0) const;
+  [[nodiscard]] std::int64_t gauge(std::string_view name,
+                                   std::int64_t missing = 0) const;
+  /// nullptr when absent.
+  [[nodiscard]] const HistogramValue* histogram(std::string_view name) const;
+  [[nodiscard]] const SpanValue* span(std::string_view path) const;
+
+  /// Copy with every span's wall-clock total zeroed.  Two runs of the same
+  /// deterministic computation produce bit-identical deterministic views.
+  [[nodiscard]] MetricsSnapshot deterministic_view() const;
+
+  /// operator== on the deterministic views.
+  [[nodiscard]] bool deterministic_equal(const MetricsSnapshot& other) const;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+}  // namespace shuffledef::obs

@@ -1,0 +1,47 @@
+#include "obs/span.h"
+
+#include <vector>
+
+namespace shuffledef::obs {
+namespace {
+
+struct Frame {
+  Registry* registry;
+  detail::SpanNode* node;
+};
+
+std::vector<Frame>& tls_stack() {
+  static thread_local std::vector<Frame> stack;
+  return stack;
+}
+
+}  // namespace
+
+Span::Span(Registry* registry, std::string_view name) : registry_(registry) {
+  if (registry_ == nullptr) return;
+  auto& stack = tls_stack();
+  // Nest under the innermost live span of the same registry; spans of a
+  // different registry interleaved on this thread do not adopt us.
+  detail::SpanNode* parent =
+      (!stack.empty() && stack.back().registry == registry_)
+          ? stack.back().node
+          : nullptr;
+  node_ = registry_->span_node(parent, name);
+  stack.push_back(Frame{registry_, node_});
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (registry_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+  node_->count.fetch_add(1, std::memory_order_relaxed);
+  node_->total_ns.fetch_add(ns > 0 ? static_cast<std::uint64_t>(ns) : 0,
+                            std::memory_order_relaxed);
+  auto& stack = tls_stack();
+  // Scoped construction guarantees LIFO order within a thread.
+  if (!stack.empty() && stack.back().node == node_) stack.pop_back();
+}
+
+}  // namespace shuffledef::obs

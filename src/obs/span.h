@@ -1,0 +1,47 @@
+// Scoped wall-clock span timers with parent/child nesting.
+//
+//   void ShuffleController::decide(...) {
+//     obs::Span span(registry, "controller.decide");
+//     ...
+//     { obs::Span est(registry, "estimate"); run_mle(); }  // nested
+//   }
+//
+// A span opened while another span of the *same registry* is live on the
+// same thread becomes its child; the aggregated tree is keyed by the full
+// "parent/child" path (MetricsSnapshot::SpanValue).  Counts are
+// deterministic for deterministic code; durations are wall-clock and are
+// excluded from MetricsSnapshot::deterministic_view().
+//
+// Spans are strictly scoped (non-copyable, non-movable) and thread-local:
+// nesting is tracked per thread, so worker threads see their own stacks.
+// A null registry makes construction and destruction free — no clock read.
+#pragma once
+
+#include <chrono>
+#include <string_view>
+
+#include "obs/registry.h"
+
+namespace shuffledef::obs {
+
+class Span {
+ public:
+  /// No-op span (no registry attached).
+  Span() = default;
+  /// Open a span; closes (and records) at scope exit.  `registry` may be
+  /// nullptr, making the span free.
+  Span(Registry* registry, std::string_view name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&&) = delete;
+  Span& operator=(Span&&) = delete;
+
+ private:
+  Registry* registry_ = nullptr;
+  detail::SpanNode* node_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace shuffledef::obs

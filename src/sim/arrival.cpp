@@ -5,12 +5,24 @@
 
 namespace shuffledef::sim {
 
-void ArrivalConfig::validate() const {
-  if (initial < 0 || rate < 0.0 || total_cap < 0) {
-    throw std::invalid_argument("ArrivalConfig: negative parameter");
+std::vector<std::string> ArrivalConfig::violations(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  if (initial < 0) out.push_back(prefix + "initial must be >= 0");
+  if (rate < 0.0) out.push_back(prefix + "rate must be >= 0");
+  if (total_cap < 0) out.push_back(prefix + "total_cap must be >= 0");
+  if (initial > total_cap && initial >= 0 && total_cap >= 0) {
+    out.push_back(prefix + "initial exceeds total_cap");
   }
-  if (initial > total_cap) {
-    throw std::invalid_argument("ArrivalConfig: initial exceeds total_cap");
+  return out;
+}
+
+void ArrivalConfig::validate() const {
+  if (const auto violations = this->violations(); !violations.empty()) {
+    std::string message = "ArrivalConfig: " +
+                          std::to_string(violations.size()) + " violation(s)";
+    for (const auto& v : violations) message += "; " + v;
+    throw std::invalid_argument(message);
   }
 }
 

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "core/types.h"
 #include "util/random.h"
@@ -26,6 +28,11 @@ struct ArrivalConfig {
   double rate = 0.0;      // Poisson mean arrivals per shuffle round
   Count total_cap = 0;    // arrivals stop once this many ever arrived
 
+  /// All violations at once, each prefixed (e.g. "benign.") for embedding in
+  /// a composite config's report.
+  [[nodiscard]] std::vector<std::string> violations(
+      const std::string& prefix = {}) const;
+  /// Throws std::invalid_argument listing every violation.
   void validate() const;
 };
 

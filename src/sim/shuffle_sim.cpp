@@ -1,10 +1,24 @@
 #include "sim/shuffle_sim.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+
+#include "obs/registry.h"
+#include "obs/span.h"
 
 namespace shuffledef::sim {
+namespace {
+
+// Fixed buckets for sim.saved_per_round: decades up to the paper-scale
+// populations (values record event quantities, so the histogram is
+// deterministic in the seed).
+constexpr std::array<double, 6> kSavedBounds = {0.0,    10.0,    100.0,
+                                                1000.0, 10000.0, 100000.0};
+
+}  // namespace
 
 std::optional<Count> ShuffleSimResult::shuffles_to_fraction(
     double fraction) const {
@@ -15,36 +29,98 @@ std::optional<Count> ShuffleSimResult::shuffles_to_fraction(
   // recorded first (every cumulative_saved is >= 0, so the scan below would
   // otherwise return the first recorded round).
   if (target <= 0) return 0;
+  // Count *executed* shuffles: a faulted round runs no shuffle, so it must
+  // not inflate the shuffles-to-save figure (it previously did, and also
+  // disagreed with the trace CSV's `faulted` column on which index the lost
+  // round occupied).
+  Count executed = 0;
   for (const auto& r : rounds) {
-    if (r.cumulative_saved >= target) return r.round;
+    if (!r.faulted) ++executed;
+    if (r.cumulative_saved >= target) return executed;
   }
   return std::nullopt;
 }
 
+std::uint64_t ShuffleSimResult::planner_cache_hits() const {
+  return metrics.counter(core::kMetricPlannerCacheHits);
+}
+
+std::uint64_t ShuffleSimResult::planner_cache_misses() const {
+  return metrics.counter(core::kMetricPlannerCacheMisses);
+}
+
+FaultSummary ShuffleSimResult::faults() const {
+  FaultSummary summary;
+  summary.rounds_failed =
+      static_cast<Count>(metrics.counter(kMetricSimRoundsFaulted));
+  summary.longest_outage =
+      static_cast<Count>(metrics.gauge(kMetricSimLongestOutage));
+  return summary;
+}
+
+std::vector<std::string> ShuffleSimConfig::validate() const {
+  std::vector<std::string> violations;
+  for (auto& v : benign.violations("benign.")) violations.push_back(std::move(v));
+  for (auto& v : bots.violations("bots.")) violations.push_back(std::move(v));
+  for (auto& v : controller.validate()) {
+    violations.push_back("controller." + std::move(v));
+  }
+  if (!(oracle_bias >= 0.0)) {
+    violations.push_back("oracle_bias must be >= 0");
+  }
+  if (initial_bot_estimate < 0) {
+    violations.push_back("initial_bot_estimate must be >= 0");
+  }
+  if (!(target_fraction > 0.0) || target_fraction > 1.0) {
+    violations.push_back("target_fraction must be in (0, 1]");
+  }
+  if (max_rounds <= 0) {
+    violations.push_back("max_rounds must be > 0");
+  }
+  if (!(round_failure_prob >= 0.0) || round_failure_prob >= 1.0) {
+    violations.push_back("round_failure_prob must be in [0, 1)");
+  }
+  return violations;
+}
+
 ShuffleSimulator::ShuffleSimulator(ShuffleSimConfig config)
     : config_(std::move(config)) {
-  config_.benign.validate();
-  config_.bots.validate();
-  if (config_.target_fraction <= 0.0 || config_.target_fraction > 1.0) {
-    throw std::invalid_argument("ShuffleSimConfig: bad target_fraction");
-  }
-  if (config_.max_rounds <= 0) {
-    throw std::invalid_argument("ShuffleSimConfig: max_rounds must be > 0");
-  }
-  if (config_.round_failure_prob < 0.0 || config_.round_failure_prob >= 1.0) {
-    throw std::invalid_argument(
-        "ShuffleSimConfig: round_failure_prob must be in [0, 1)");
+  if (const auto violations = config_.validate(); !violations.empty()) {
+    std::string message = "ShuffleSimConfig: " +
+                          std::to_string(violations.size()) + " violation(s)";
+    for (const auto& v : violations) message += "; " + v;
+    throw std::invalid_argument(message);
   }
 }
 
 ShuffleSimResult ShuffleSimulator::run() {
+  // Each run records into a private registry unless the caller scoped one
+  // in, so the final snapshot covers exactly this run and fixed-seed runs
+  // are bit-identical (modulo span wall-clock durations — see
+  // MetricsSnapshot::deterministic_view()).
+  obs::Registry local_registry;
+  obs::Registry* registry =
+      config_.registry != nullptr ? config_.registry : &local_registry;
+
+  // Eager handle creation: the snapshot schema is stable even for metrics
+  // that stay zero this run.
+  obs::Counter rounds_seen = registry->counter(kMetricSimRounds);
+  obs::Counter rounds_executed = registry->counter(kMetricSimRoundsExecuted);
+  obs::Counter rounds_faulted = registry->counter(kMetricSimRoundsFaulted);
+  obs::Counter saved_counter = registry->counter(kMetricSimSavedTotal);
+  obs::Gauge longest_outage = registry->gauge(kMetricSimLongestOutage);
+  obs::Histogram saved_hist = registry->histogram(
+      kMetricSimSavedPerRound, {kSavedBounds.begin(), kSavedBounds.end()});
+
   util::Rng root(config_.seed);
   ArrivalProcess benign_arrivals(config_.benign, root.fork(1));
   ArrivalProcess bot_arrivals(config_.bots, root.fork(2));
   util::Rng placement_rng = root.fork(3);
   util::Rng fault_rng = root.fork(4);
 
-  core::ShuffleController controller(config_.controller);
+  core::ControllerConfig controller_config = config_.controller;
+  controller_config.registry = registry;
+  core::ShuffleController controller(std::move(controller_config));
 
   ShuffleSimResult result;
   result.benign_total = config_.benign.total_cap;
@@ -54,9 +130,13 @@ ShuffleSimResult ShuffleSimulator::run() {
   Count pool_benign = 0;
   Count pool_bots = 0;
   Count cumulative_saved = 0;
+  Count recorded_rounds = 0;  // rows in result.rounds: 1-based, gap-free
   Count outage_run = 0;
   std::optional<core::ShuffleObservation> prev_obs;
 
+  // Closed explicitly before the final snapshot so its timing is recorded.
+  std::optional<obs::Span> run_span;
+  run_span.emplace(registry, "sim.run");
   for (Count round = 1; round <= config_.max_rounds; ++round) {
     pool_benign += benign_arrivals.next_round();
     pool_bots += bot_arrivals.next_round();
@@ -66,21 +146,23 @@ ShuffleSimResult ShuffleSimulator::run() {
       continue;  // nothing to shuffle yet; wait for arrivals
     }
 
+    const obs::Span round_span(registry, "round");
+    rounds_seen.inc();
+
     if (config_.round_failure_prob > 0.0 &&
         fault_rng.uniform() < config_.round_failure_prob) {
       // Control-plane outage: the shuffle command never executes.  Nobody
       // moves, so the pool and the previous observation both carry over.
       RoundStats stats;
-      stats.round = round;
+      stats.round = ++recorded_rounds;
       stats.pool_benign = pool_benign;
       stats.pool_bots = pool_bots;
       stats.bot_estimate = controller.bot_estimate();
       stats.cumulative_saved = cumulative_saved;
       stats.faulted = true;
       result.rounds.push_back(stats);
-      ++result.faults.rounds_failed;
-      result.faults.longest_outage =
-          std::max(result.faults.longest_outage, ++outage_run);
+      rounds_faulted.inc();
+      longest_outage.max_with(static_cast<std::int64_t>(++outage_run));
       continue;
     }
     outage_run = 0;
@@ -105,7 +187,7 @@ ShuffleSimResult ShuffleSimulator::run() {
         decision.plan.counts(), pool_bots);
 
     RoundStats stats;
-    stats.round = round;
+    stats.round = ++recorded_rounds;
     stats.pool_benign = pool_benign;
     stats.pool_bots = pool_bots;
     stats.replicas = decision.replicas;
@@ -126,6 +208,9 @@ ShuffleSimResult ShuffleSimulator::run() {
     stats.saved = saved;
     stats.cumulative_saved = cumulative_saved;
     result.rounds.push_back(stats);
+    rounds_executed.inc();
+    saved_counter.inc(static_cast<std::uint64_t>(saved));
+    saved_hist.observe(static_cast<double>(saved));
 
     prev_obs = core::ShuffleObservation{decision.plan, std::move(attacked)};
 
@@ -137,11 +222,9 @@ ShuffleSimResult ShuffleSimulator::run() {
       break;  // no benign client left to save
     }
   }
+  run_span.reset();
   result.saved_total = cumulative_saved;
-  if (const auto* cache = controller.planner_cache()) {
-    result.planner_cache_hits = cache->hits();
-    result.planner_cache_misses = cache->misses();
-  }
+  result.metrics = registry->snapshot();
   return result;
 }
 

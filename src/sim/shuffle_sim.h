@@ -14,18 +14,43 @@
 // Per the paper, replicas that are no longer attacked stop shuffling and
 // fresh replicas keep the shuffling-replica count constant, which is
 // exactly what re-planning over the remaining pool each round models.
+//
+// Observability: every run records into an obs::Registry — its own private
+// one by default, or an externally scoped one via ShuffleSimConfig::registry
+// — and the result carries the final MetricsSnapshot.  Snapshots of a fixed
+// seed are deterministic (bit-identical in deterministic_view()) across
+// runs and across planner_threads settings.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/estimator.h"
 #include "core/shuffle_controller.h"
 #include "core/types.h"
+#include "obs/snapshot.h"
 #include "sim/arrival.h"
 
+namespace shuffledef::obs {
+class Registry;
+}
+
 namespace shuffledef::sim {
+
+// Metric names recorded by the simulator (see ARCHITECTURE.md
+// "Observability" for the full catalogue).
+inline constexpr std::string_view kMetricSimRounds = "sim.rounds";
+inline constexpr std::string_view kMetricSimRoundsExecuted =
+    "sim.rounds_executed";
+inline constexpr std::string_view kMetricSimRoundsFaulted =
+    "sim.rounds_faulted";
+inline constexpr std::string_view kMetricSimSavedTotal = "sim.saved_total";
+inline constexpr std::string_view kMetricSimLongestOutage =
+    "sim.longest_outage";  // gauge (high-water mark)
+inline constexpr std::string_view kMetricSimSavedPerRound =
+    "sim.saved_per_round";  // histogram
 
 struct ShuffleSimConfig {
   ArrivalConfig benign;
@@ -47,10 +72,19 @@ struct ShuffleSimConfig {
   /// previous round's observation.  Drawn from an independent RNG substream,
   /// so the shuffle dynamics for a seed are unchanged when this is 0.
   double round_failure_prob = 0.0;
+  /// Metrics sink for the run (nullptr = the simulator uses a private
+  /// registry per run; the result snapshot is then exactly this run's
+  /// activity).  The controller's registry pointer is overridden with the
+  /// effective sink.
+  obs::Registry* registry = nullptr;
+
+  /// All configuration violations at once (empty = valid).  The simulator
+  /// constructor throws std::invalid_argument listing every violation.
+  [[nodiscard]] std::vector<std::string> validate() const;
 };
 
 struct RoundStats {
-  Count round = 0;              // 1-based shuffle index
+  Count round = 0;              // 1-based recorded-round index (gap-free)
   Count pool_benign = 0;        // pool composition entering the shuffle
   Count pool_bots = 0;
   Count replicas = 0;           // P used this round
@@ -62,6 +96,7 @@ struct RoundStats {
 };
 
 /// Aggregate fault counters for a run (all zero when round_failure_prob = 0).
+/// Derived view over the result's MetricsSnapshot.
 struct FaultSummary {
   Count rounds_failed = 0;    // shuffles lost to injected failures
   Count longest_outage = 0;   // longest run of consecutive failed rounds
@@ -72,16 +107,25 @@ struct ShuffleSimResult {
   Count benign_total = 0;   // total benign that ever arrived
   Count saved_total = 0;
   bool reached_target = false;
-  // Controller planner-cache counters for the run (both 0 when the cache is
-  // disabled via planner_cache_capacity = 0).
-  std::uint64_t planner_cache_hits = 0;
-  std::uint64_t planner_cache_misses = 0;
-  FaultSummary faults;
+  /// Every metric of the run: simulator round/fault counters, controller
+  /// decisions and planner-cache hits/misses, MLE and planner activity,
+  /// span timings.  Deterministic in the seed (deterministic_view()).
+  obs::MetricsSnapshot metrics;
 
-  /// First shuffle index with cumulative saved >= fraction * benign_total;
-  /// 0 when the target is zero (nothing needed saving), nullopt if never
-  /// reached.
+  /// Number of *executed* shuffles (faulted rounds execute nothing) up to
+  /// the first recorded round with cumulative saved >= fraction *
+  /// benign_total; 0 when the target is zero (nothing needed saving),
+  /// nullopt if never reached.
   [[nodiscard]] std::optional<Count> shuffles_to_fraction(double fraction) const;
+
+  // ---- deprecated accessors (pre-MetricsSnapshot API; one-PR bridge) -------
+  [[deprecated("read metrics.counter(core::kMetricPlannerCacheHits)")]]
+  [[nodiscard]] std::uint64_t planner_cache_hits() const;
+  [[deprecated("read metrics.counter(core::kMetricPlannerCacheMisses)")]]
+  [[nodiscard]] std::uint64_t planner_cache_misses() const;
+  [[deprecated(
+      "read metrics: kMetricSimRoundsFaulted / kMetricSimLongestOutage")]]
+  [[nodiscard]] FaultSummary faults() const;
 };
 
 class ShuffleSimulator {

@@ -20,6 +20,33 @@ TEST(ControllerConfig, Validation) {
   EXPECT_THROW(ShuffleController{bad3}, std::invalid_argument);
 }
 
+TEST(ControllerConfig, ValidateReportsAllViolationsAtOnce) {
+  ControllerConfig good;
+  EXPECT_TRUE(good.validate().empty());
+
+  ControllerConfig bad;
+  bad.planner = "bogus";
+  bad.planner_threads = -1;
+  bad.min_replicas = 1;  // P < 2 cannot shuffle
+  bad.provisioning_headroom = 0.5;
+  bad.estimator = "psychic";
+  bad.estimate_smoothing = 0.0;
+  bad.mle.grid_points = 1;
+  const auto violations = bad.validate();
+  EXPECT_EQ(violations.size(), 7u);
+
+  // The constructor reports every violation in one message.
+  try {
+    ShuffleController controller(bad);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("7 violation(s)"), std::string::npos) << what;
+    EXPECT_NE(what.find("min_replicas"), std::string::npos);
+    EXPECT_NE(what.find("planner_threads"), std::string::npos);
+  }
+}
+
 TEST(ShuffleController, FixedReplicaCountIsHonored) {
   ControllerConfig config;
   config.replicas = 7;

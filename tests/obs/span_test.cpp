@@ -1,0 +1,121 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/registry.h"
+#include "obs/snapshot.h"
+
+namespace shuffledef::obs {
+namespace {
+
+TEST(Span, NullRegistryRecordsNothing) {
+  { const Span null_span(nullptr, "ghost"); }
+  { const Span default_span; }
+  Registry registry;
+  EXPECT_TRUE(registry.snapshot().spans.empty());
+}
+
+TEST(Span, TopLevelSpanRecordsCountAndDuration) {
+  Registry registry;
+  for (int i = 0; i < 3; ++i) {
+    const Span span(&registry, "work");
+  }
+  const auto snapshot = registry.snapshot();
+  const auto* span = snapshot.span("work");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->count, 3u);
+}
+
+TEST(Span, NestedSpansKeyByParentChildPath) {
+  Registry registry;
+  {
+    const Span outer(&registry, "outer");
+    {
+      const Span inner(&registry, "inner");
+    }
+    {
+      const Span inner(&registry, "inner");  // sibling instance, same path
+    }
+  }
+  {
+    const Span lone(&registry, "inner");  // top level: distinct path
+  }
+  const auto snapshot = registry.snapshot();
+  ASSERT_NE(snapshot.span("outer"), nullptr);
+  const auto* nested = snapshot.span("outer/inner");
+  ASSERT_NE(nested, nullptr);
+  EXPECT_EQ(nested->count, 2u);
+  const auto* top = snapshot.span("inner");
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->count, 1u);
+  EXPECT_EQ(snapshot.span("outer")->count, 1u);
+}
+
+TEST(Span, ThreeLevelNestingBuildsFullPath) {
+  Registry registry;
+  {
+    const Span a(&registry, "a");
+    const Span b(&registry, "b");
+    const Span c(&registry, "c");
+  }
+  const auto snapshot = registry.snapshot();
+  EXPECT_NE(snapshot.span("a"), nullptr);
+  EXPECT_NE(snapshot.span("a/b"), nullptr);
+  EXPECT_NE(snapshot.span("a/b/c"), nullptr);
+  EXPECT_EQ(snapshot.span("b"), nullptr);
+  EXPECT_EQ(snapshot.span("c"), nullptr);
+}
+
+TEST(Span, DifferentRegistriesDoNotAdoptEachOther) {
+  Registry a;
+  Registry b;
+  {
+    const Span outer(&a, "outer");
+    // Opened while a's span is live, but belongs to b: stays top level in b.
+    const Span other(&b, "other");
+    // And a's own child still nests under "outer", not under "other".
+    const Span inner(&a, "inner");
+  }
+  const auto sa = a.snapshot();
+  const auto sb = b.snapshot();
+  EXPECT_NE(sb.span("other"), nullptr);
+  EXPECT_EQ(sb.span("outer/other"), nullptr);
+  EXPECT_NE(sa.span("outer"), nullptr);
+  // "inner" was opened under an interleaved b-span; it must not nest there.
+  EXPECT_EQ(sa.span("outer/inner"), nullptr);
+  EXPECT_NE(sa.span("inner"), nullptr);
+}
+
+TEST(Span, ThreadsKeepIndependentStacks) {
+  Registry registry;
+  {
+    const Span outer(&registry, "outer");
+    std::thread worker([&registry] {
+      // No live span on this thread: "job" is top level, not outer's child.
+      const Span job(&registry, "job");
+    });
+    worker.join();
+  }
+  const auto snapshot = registry.snapshot();
+  EXPECT_NE(snapshot.span("job"), nullptr);
+  EXPECT_EQ(snapshot.span("outer/job"), nullptr);
+}
+
+TEST(Span, DeterministicViewZeroesDurationsOnly) {
+  Registry registry;
+  {
+    const Span span(&registry, "timed");
+  }
+  const auto snapshot = registry.snapshot();
+  const auto view = snapshot.deterministic_view();
+  ASSERT_EQ(view.spans.size(), 1u);
+  EXPECT_EQ(view.spans[0].path, "timed");
+  EXPECT_EQ(view.spans[0].count, 1u);
+  EXPECT_EQ(view.spans[0].total_ns, 0u);
+  EXPECT_TRUE(snapshot.deterministic_equal(view));
+}
+
+}  // namespace
+}  // namespace shuffledef::obs

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+
 namespace shuffledef::sim {
 namespace {
 
@@ -59,13 +62,14 @@ TEST(ShuffleSim, ReportsPlannerCacheCounters) {
   auto cfg = base_config();
   const auto cached = ShuffleSimulator(cfg).run();
   // Every round queries the cache exactly once.
-  EXPECT_EQ(cached.planner_cache_hits + cached.planner_cache_misses,
+  EXPECT_EQ(cached.metrics.counter(core::kMetricPlannerCacheHits) +
+                cached.metrics.counter(core::kMetricPlannerCacheMisses),
             static_cast<std::uint64_t>(cached.rounds.size()));
 
   cfg.controller.planner_cache_capacity = 0;
   const auto uncached = ShuffleSimulator(cfg).run();
-  EXPECT_EQ(uncached.planner_cache_hits, 0u);
-  EXPECT_EQ(uncached.planner_cache_misses, 0u);
+  EXPECT_EQ(uncached.metrics.counter(core::kMetricPlannerCacheHits), 0u);
+  EXPECT_EQ(uncached.metrics.counter(core::kMetricPlannerCacheMisses), 0u);
   // Caching must not change the simulation.
   ASSERT_EQ(cached.rounds.size(), uncached.rounds.size());
   EXPECT_EQ(cached.saved_total, uncached.saved_total);
@@ -228,12 +232,16 @@ TEST(ShuffleSim, ControlPlaneOutagesDelayButDoNotPreventConvergence) {
   cfg.round_failure_prob = 0.3;
   const auto faulted = ShuffleSimulator(cfg).run();
 
+  const std::uint64_t rounds_failed =
+      faulted.metrics.counter(kMetricSimRoundsFaulted);
+  const std::int64_t longest_outage =
+      faulted.metrics.gauge(kMetricSimLongestOutage);
   EXPECT_TRUE(faulted.reached_target);
-  EXPECT_GT(faulted.faults.rounds_failed, 0);
-  EXPECT_GE(faulted.faults.longest_outage, 1);
-  EXPECT_LE(faulted.faults.longest_outage, faulted.faults.rounds_failed);
+  EXPECT_GT(rounds_failed, 0u);
+  EXPECT_GE(longest_outage, 1);
+  EXPECT_LE(static_cast<std::uint64_t>(longest_outage), rounds_failed);
   // Failed rounds are recorded as no-ops.
-  Count failed_seen = 0;
+  std::uint64_t failed_seen = 0;
   for (const auto& r : faulted.rounds) {
     if (r.faulted) {
       ++failed_seen;
@@ -241,10 +249,74 @@ TEST(ShuffleSim, ControlPlaneOutagesDelayButDoNotPreventConvergence) {
       EXPECT_EQ(r.replicas, 0);
     }
   }
-  EXPECT_EQ(failed_seen, faulted.faults.rounds_failed);
+  EXPECT_EQ(failed_seen, rounds_failed);
   // Outages only ever add rounds.
   EXPECT_GE(faulted.rounds.size(), clean.rounds.size());
-  EXPECT_EQ(clean.faults.rounds_failed, 0);
+  EXPECT_EQ(clean.metrics.counter(kMetricSimRoundsFaulted), 0u);
+  // Executed + faulted = recorded rounds.
+  EXPECT_EQ(faulted.metrics.counter(kMetricSimRoundsExecuted) + rounds_failed,
+            static_cast<std::uint64_t>(faulted.rounds.size()));
+}
+
+TEST(ShuffleSim, RoundIndexAndFaultedColumnAgree) {
+  // Regression: recorded rounds used to keep the loop's iteration number, so
+  // a faulted round consumed a "shuffle index" although no shuffle executed
+  // and shuffles_to_fraction over-counted.  Rows are now sequential and
+  // gap-free, and shuffles_to_fraction counts executed shuffles only.
+  auto cfg = base_config();
+  cfg.round_failure_prob = 0.4;
+  cfg.seed = 7;
+  const auto result = ShuffleSimulator(cfg).run();
+  ASSERT_TRUE(result.reached_target);
+  ASSERT_GT(result.metrics.counter(kMetricSimRoundsFaulted), 0u);
+
+  for (std::size_t i = 0; i < result.rounds.size(); ++i) {
+    EXPECT_EQ(result.rounds[i].round, static_cast<Count>(i + 1));
+  }
+
+  Count executed_to_target = 0;
+  const auto target = static_cast<Count>(
+      std::ceil(0.95 * static_cast<double>(result.benign_total)));
+  for (const auto& r : result.rounds) {
+    if (!r.faulted) ++executed_to_target;
+    if (r.cumulative_saved >= target) break;
+  }
+  ASSERT_TRUE(result.shuffles_to_fraction(0.95).has_value());
+  EXPECT_EQ(*result.shuffles_to_fraction(0.95), executed_to_target);
+  // Faulted rounds never count as shuffles.
+  EXPECT_LE(executed_to_target,
+            static_cast<Count>(
+                result.metrics.counter(kMetricSimRoundsExecuted)));
+}
+
+TEST(ShuffleSim, FirstRoundFaultKeepsIndexingConsistent) {
+  // Force a fault-heavy prefix: with a high failure probability some seed
+  // has its very first recorded round faulted; that row must carry round 1
+  // and contribute zero executed shuffles.
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    auto cfg = base_config();
+    cfg.round_failure_prob = 0.6;
+    cfg.max_rounds = 2000;
+    cfg.seed = seed;
+    const auto result = ShuffleSimulator(cfg).run();
+    ASSERT_FALSE(result.rounds.empty());
+    if (!result.rounds.front().faulted) continue;
+    EXPECT_EQ(result.rounds.front().round, 1);
+    EXPECT_EQ(result.rounds.front().saved, 0);
+    // The executed-shuffle count ignores the faulted prefix entirely.
+    std::size_t prefix = 0;
+    while (prefix < result.rounds.size() && result.rounds[prefix].faulted) {
+      ++prefix;
+    }
+    if (result.reached_target) {
+      const auto shuffles = result.shuffles_to_fraction(0.95);
+      ASSERT_TRUE(shuffles.has_value());
+      EXPECT_LE(*shuffles + static_cast<Count>(prefix),
+                static_cast<Count>(result.rounds.size()));
+    }
+    return;  // one qualifying seed is enough
+  }
+  FAIL() << "no seed produced a first-round fault";
 }
 
 TEST(ShuffleSim, FaultStreamIsIndependentOfShuffleDynamics) {
