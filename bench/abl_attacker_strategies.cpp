@@ -6,10 +6,11 @@
 // re-entering through the load balancers does not help because sticky
 // records pin known IPs.  This bench quantifies all three with the
 // client-level simulator.
+#include <array>
 #include <iostream>
 
+#include "shuffle_series.h"
 #include "sim/client_sim.h"
-#include "sim/experiment.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -24,6 +25,9 @@ int main(int argc, char** argv) {
   auto& rounds = flags.add_int("rounds", 80, "shuffle rounds to simulate");
   auto& reps = flags.add_int("reps", 10, "repetitions");
   auto& seed = flags.add_int("seed", 7077, "base RNG seed");
+  auto& jobs_flag = bench::add_jobs_flag(flags);
+  bench::MetricsExport metrics_export;
+  metrics_export.add_flags(flags);
   flags.parse(argc, argv);
 
   struct Row {
@@ -56,35 +60,52 @@ int main(int argc, char** argv) {
                      "attack intensity (active bots/round)",
                      "benign re-polluted / run"});
 
-  for (const auto& s : strategies) {
+  // Every (strategy, repetition) run fans out across --jobs threads; the
+  // per-rep seed keeps the historical seed + r formula keyed on the
+  // repetition index, so results are bit-identical at any jobs setting.
+  sim::SweepRunner runner(
+      sim::SweepConfig{.jobs = static_cast<std::size_t>(jobs_flag)});
+  const std::size_t r_per_s = static_cast<std::size_t>(reps);
+  const auto sweep = runner.run(
+      strategies.size() * r_per_s, [&](const sim::SweepCell& cell) {
+        const auto& s = strategies[cell.index / r_per_s];
+        const std::size_t r = cell.index % r_per_s;
+        sim::ClientSimConfig cfg;
+        cfg.benign = benign;
+        cfg.bots = bots;
+        cfg.strategy = s.params;
+        cfg.controller.planner = "greedy";
+        cfg.controller.replicas = std::max<Count>(50, bots);
+        cfg.controller.use_mle = true;
+        cfg.rounds = rounds;
+        cfg.seed = static_cast<std::uint64_t>(seed) + static_cast<std::uint64_t>(r);
+        const auto result = sim::ClientLevelSimulator(cfg).run();
+        Count rep = 0;
+        for (const auto& round : result.rounds) rep += round.repolluted_benign;
+        return std::array<double, 3>{100.0 * result.final_safe_fraction(),
+                                     result.mean_attack_intensity(),
+                                     static_cast<double>(rep)};
+      });
+  for (std::size_t si = 0; si < strategies.size(); ++si) {
     util::Accumulator safe_pct;
     util::Accumulator intensity;
     util::Accumulator repolluted;
-    for (int r = 0; r < static_cast<int>(reps); ++r) {
-      sim::ClientSimConfig cfg;
-      cfg.benign = benign;
-      cfg.bots = bots;
-      cfg.strategy = s.params;
-      cfg.controller.planner = "greedy";
-      cfg.controller.replicas = std::max<Count>(50, bots);
-      cfg.controller.use_mle = true;
-      cfg.rounds = rounds;
-      cfg.seed = static_cast<std::uint64_t>(seed) + static_cast<std::uint64_t>(r);
-      const auto result = sim::ClientLevelSimulator(cfg).run();
-      safe_pct.add(100.0 * result.final_safe_fraction());
-      intensity.add(result.mean_attack_intensity());
-      Count rep = 0;
-      for (const auto& round : result.rounds) rep += round.repolluted_benign;
-      repolluted.add(static_cast<double>(rep));
+    for (std::size_t r = 0; r < r_per_s; ++r) {
+      const auto& vals = sweep.value(si * r_per_s + r);
+      safe_pct.add(vals[0]);
+      intensity.add(vals[1]);
+      repolluted.add(vals[2]);
     }
     const auto sp = safe_pct.summary();
     const auto in = intensity.summary();
     const auto rp = repolluted.summary();
-    table.add_row({s.label, util::fmt_ci(sp.mean, sp.ci_half_width(0.95), 1),
+    table.add_row({strategies[si].label,
+                   util::fmt_ci(sp.mean, sp.ci_half_width(0.95), 1),
                    util::fmt_ci(in.mean, in.ci_half_width(0.95), 1),
                    util::fmt_ci(rp.mean, rp.ci_half_width(0.95), 0)});
   }
   table.print_with_csv();
+  metrics_export.write_if_requested([&] { return sweep.metrics; });
   std::cout << "Reproduction check (paper §VII): every evasive strategy "
                "still ends with most benign clients safe; dormancy only "
                "lowers delivered attack intensity; naive bots are evaded "

@@ -15,6 +15,7 @@
 //     replicas); we price the whole mitigation with the DefenseCostModel.
 //
 // The table reports replica-hours and dollars for a one-hour attack.
+#include <array>
 #include <iostream>
 
 #include "core/cost_model.h"
@@ -34,6 +35,9 @@ int main(int argc, char** argv) {
                                         "attack duration to price");
   auto& page_kb = flags.add_int("page-kb", 246, "page size migrated per client");
   auto& seed = flags.add_int("seed", 2718, "RNG seed");
+  auto& jobs_flag = bench::add_jobs_flag(flags);
+  bench::MetricsExport metrics_export;
+  metrics_export.add_flags(flags);
   flags.parse(argc, argv);
 
   core::CostRates rates;  // defaults: small-instance public cloud
@@ -48,57 +52,70 @@ int main(int argc, char** argv) {
                      "expansion $", "shuffle rounds", "shuffle replica-h",
                      "shuffle $", "advantage"});
 
-  for (const Count bots : {1000, 2000, 5000, 10000, 20000}) {
-    const Count clients = benign + bots;
+  // Each bot-count row is an independent simulation + pricing exercise; the
+  // rows fan out across --jobs threads and come back in row order.
+  const std::vector<Count> bot_counts = {1000, 2000, 5000, 10000, 20000};
+  sim::SweepRunner runner(
+      sim::SweepConfig{.jobs = static_cast<std::size_t>(jobs_flag)});
+  const auto sweep =
+      runner.run(bot_counts.size(), [&](const sim::SweepCell& cell) {
+        const Count bots = bot_counts[cell.index];
+        const Count clients = benign + bots;
 
-    // --- pure expansion ------------------------------------------------------
-    const Count p_exp =
-        core::expansion_replicas_for_fraction(clients, bots, target);
-    core::DefenseCostModel expansion(rates);
-    expansion.add_steady_state(p_exp, attack_hours * 3600.0);
+        // --- pure expansion --------------------------------------------------
+        const Count p_exp =
+            core::expansion_replicas_for_fraction(clients, bots, target);
+        core::DefenseCostModel expansion(rates);
+        expansion.add_steady_state(p_exp, attack_hours * 3600.0);
 
-    // --- shuffling -----------------------------------------------------------
-    bench::SeriesPoint pt;
-    pt.benign = benign;
-    pt.bots = bots;
-    pt.replicas = replicas;
-    pt.bots_all_at_start = true;  // worst case: the full botnet from round 1
-    auto cfg = bench::make_sim_config(pt, static_cast<std::uint64_t>(seed));
-    cfg.target_fraction = target;
-    const auto result = sim::ShuffleSimulator(cfg).run();
-    const auto rounds = result.shuffles_to_fraction(target).value_or(
-        static_cast<Count>(cfg.max_rounds));
+        // --- shuffling -------------------------------------------------------
+        bench::SeriesPoint pt;
+        pt.benign = benign;
+        pt.bots = bots;
+        pt.replicas = replicas;
+        pt.bots_all_at_start = true;  // worst case: full botnet from round 1
+        auto cfg = bench::make_sim_config(pt, static_cast<std::uint64_t>(seed),
+                                          cell.registry);
+        cfg.target_fraction = target;
+        const auto result = sim::ShuffleSimulator(cfg).run();
+        const auto rounds = result.shuffles_to_fraction(target).value_or(
+            static_cast<Count>(cfg.max_rounds));
 
-    core::DefenseCostModel shuffling(rates);
-    for (Count r = 0; r < rounds; ++r) {
-      // Each round replaces the attacked replicas: conservatively price a
-      // full fleet of launches plus every pooled client refetching the page.
-      const auto& round_stats =
-          result.rounds[static_cast<std::size_t>(std::min<Count>(
-              r, static_cast<Count>(result.rounds.size()) - 1))];
-      shuffling.add_round(pt.replicas, pt.replicas,
-                          round_stats.pool_benign + round_stats.pool_bots,
-                          page_kb * 1024);
-    }
-    // After mitigation, quarantine holds with a small tail fleet for the
-    // rest of the attack window.
-    const double spent = shuffling.wall_seconds();
-    shuffling.add_steady_state(
-        std::max<Count>(replicas / 10, 10),
-        std::max(0.0, attack_hours * 3600.0 - spent));
+        core::DefenseCostModel shuffling(rates);
+        for (Count r = 0; r < rounds; ++r) {
+          // Each round replaces the attacked replicas: conservatively price a
+          // full fleet of launches plus every pooled client refetching the
+          // page.
+          const auto& round_stats =
+              result.rounds[static_cast<std::size_t>(std::min<Count>(
+                  r, static_cast<Count>(result.rounds.size()) - 1))];
+          shuffling.add_round(pt.replicas, pt.replicas,
+                              round_stats.pool_benign + round_stats.pool_bots,
+                              page_kb * 1024);
+        }
+        // After mitigation, quarantine holds with a small tail fleet for the
+        // rest of the attack window.
+        const double spent = shuffling.wall_seconds();
+        shuffling.add_steady_state(
+            std::max<Count>(replicas / 10, 10),
+            std::max(0.0, attack_hours * 3600.0 - spent));
 
+        return std::array<double, 6>{
+            static_cast<double>(p_exp), expansion.replica_hours(),
+            expansion.total_usd(), static_cast<double>(rounds),
+            shuffling.replica_hours(), shuffling.total_usd()};
+      });
+  for (std::size_t i = 0; i < bot_counts.size(); ++i) {
+    const auto& v = sweep.value(i);
     table.add_row(
-        {util::fmt(bots), util::fmt(p_exp),
-         util::fmt(expansion.replica_hours(), 1),
-         util::fmt(expansion.total_usd(), 2), util::fmt(rounds),
-         util::fmt(shuffling.replica_hours(), 1),
-         util::fmt(shuffling.total_usd(), 2),
-         util::fmt(expansion.total_usd() /
-                       std::max(shuffling.total_usd(), 1e-9),
-                   1) +
-             "x"});
+        {util::fmt(bot_counts[i]), util::fmt(static_cast<Count>(v[0])),
+         util::fmt(v[1], 1), util::fmt(v[2], 2),
+         util::fmt(static_cast<Count>(v[3])), util::fmt(v[4], 1),
+         util::fmt(v[5], 2),
+         util::fmt(v[2] / std::max(v[5], 1e-9), 1) + "x"});
   }
   table.print_with_csv();
+  metrics_export.write_if_requested([&] { return sweep.metrics; });
   std::cout << "Reproduction check (paper §I claim + §VII future work): "
                "shuffling contains the same attack for a fraction of the "
                "expansion fleet's cost, and the gap widens with the bot "

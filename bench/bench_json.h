@@ -1,0 +1,57 @@
+// Writer for the machine-readable perf-trajectory file (BENCH_sweep.json):
+// a flat JSON object of string / number / boolean fields, written in
+// insertion order.  Used by the --bench-json modes of fig08 and
+// micro_algorithms; CI uploads the result as a build artifact so the
+// repo accumulates comparable performance numbers over time.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace shuffledef::bench {
+
+class BenchJson {
+ public:
+  void set(const std::string& key, double value) {
+    std::ostringstream os;
+    os.precision(6);
+    os << value;
+    fields_.emplace_back(key, os.str());
+  }
+  void set(const std::string& key, std::int64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void set(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
+  void set(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + value + "\"");  // keys/values: no escapes needed
+  }
+
+  /// Write `{ "k": v, ... }` to `path`; returns false (with a stderr note)
+  /// when the file cannot be opened.
+  bool write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "bench-json: cannot open " << path << "\n";
+      return false;
+    }
+    out << "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out << "  \"" << fields_[i].first << "\": " << fields_[i].second
+          << (i + 1 < fields_.size() ? "," : "") << "\n";
+    }
+    out << "}\n";
+    std::cout << "bench JSON written to " << path << "\n";
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace shuffledef::bench

@@ -9,12 +9,15 @@
 //     upper bound — see DESIGN.md §6.
 //
 // The paper's finding to reproduce: the greedy and DP curves overlap.
+#include <array>
 #include <iostream>
+#include <utility>
 
 #include "core/algorithm_one.h"
 #include "core/greedy_planner.h"
 #include "core/plan.h"
 #include "core/separable_dp.h"
+#include "shuffle_series.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -36,6 +39,9 @@ int main(int argc, char** argv) {
   auto& with_alg1 =
       flags.add_bool("algorithm1", true,
                      "also run the paper's Algorithm 1 on a scaled instance");
+  auto& jobs_flag = bench::add_jobs_flag(flags);
+  bench::MetricsExport metrics_export;
+  metrics_export.add_flags(flags);
   flags.parse(argc, argv);
 
   const std::vector<Count> replica_counts = {50, 100, 150, 200};
@@ -46,21 +52,38 @@ int main(int argc, char** argv) {
       std::to_string(clients) + ")");
   table.set_headers({"replicas", "bots", "greedy %", "dp %", "gap %"});
 
-  core::GreedyPlanner greedy;
-  core::SeparableDpPlanner dp;
+  // Grid cells are pure functions of (p, m); the sweep fans them across
+  // --jobs threads and hands results back in grid order.
+  sim::SweepRunner runner(
+      sim::SweepConfig{.jobs = static_cast<std::size_t>(jobs_flag)});
+  obs::MetricsSnapshot sweep_metrics;
+
+  std::vector<std::pair<Count, Count>> grid;
   for (const Count p : replica_counts) {
     for (const Count m : bot_counts) {
       if (m > clients) continue;
-      const core::ShuffleProblem problem{clients, m, p};
-      const double e_greedy =
-          core::expected_saved(problem, greedy.plan(problem));
-      const double e_dp = dp.value(problem);
-      const Count benign = problem.benign();
-      table.add_row({util::fmt(p), util::fmt(m),
-                     util::fmt(saved_percent(e_greedy, benign), 2),
-                     util::fmt(saved_percent(e_dp, benign), 2),
-                     util::fmt(saved_percent(e_dp - e_greedy, benign), 3)});
+      grid.emplace_back(p, m);
     }
+  }
+  const auto main_sweep =
+      runner.run(grid.size(), [&](const sim::SweepCell& cell) {
+        const auto [p, m] = grid[cell.index];
+        const core::ShuffleProblem problem{clients, m, p};
+        const core::GreedyPlanner greedy;
+        const core::SeparableDpPlanner dp;
+        return std::pair<double, double>(
+            core::expected_saved(problem, greedy.plan(problem)),
+            dp.value(problem));
+      });
+  sweep_metrics.merge(main_sweep.metrics);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto [p, m] = grid[i];
+    const auto [e_greedy, e_dp] = main_sweep.value(i);
+    const Count benign = core::ShuffleProblem{clients, m, p}.benign();
+    table.add_row({util::fmt(p), util::fmt(m),
+                   util::fmt(saved_percent(e_greedy, benign), 2),
+                   util::fmt(saved_percent(e_dp, benign), 2),
+                   util::fmt(saved_percent(e_dp - e_greedy, benign), 3)});
   }
   table.print_with_csv();
 
@@ -74,23 +97,36 @@ int main(int argc, char** argv) {
         "instance N = 80");
     t2.set_headers(
         {"replicas", "bots", "greedy %", "dp %", "algorithm1 (adaptive) %"});
-    core::AlgorithmOnePlanner alg1;
+    std::vector<std::pair<Count, Count>> inset;
     for (const Count p : {4, 8, 16}) {
-      for (const Count m : {4, 8, 16, 24, 32, 40}) {
-        const core::ShuffleProblem problem{n1, m, p};
-        const Count benign = problem.benign();
-        t2.add_row(
-            {util::fmt(p), util::fmt(m),
-             util::fmt(saved_percent(
-                           core::expected_saved(problem, greedy.plan(problem)),
-                           benign),
-                       2),
-             util::fmt(saved_percent(dp.value(problem), benign), 2),
-             util::fmt(saved_percent(alg1.value(problem), benign), 2)});
-      }
+      for (const Count m : {4, 8, 16, 24, 32, 40}) inset.emplace_back(p, m);
+    }
+    const auto inset_sweep =
+        runner.run(inset.size(), [&](const sim::SweepCell& cell) {
+          const auto [p, m] = inset[cell.index];
+          const core::ShuffleProblem problem{n1, m, p};
+          const core::GreedyPlanner greedy;
+          const core::SeparableDpPlanner dp;
+          const core::AlgorithmOnePlanner alg1(
+              core::AlgorithmOneOptions{.threads = 1,
+                                        .registry = cell.registry});
+          return std::array<double, 3>{
+              core::expected_saved(problem, greedy.plan(problem)),
+              dp.value(problem), alg1.value(problem)};
+        });
+    sweep_metrics.merge(inset_sweep.metrics);
+    for (std::size_t i = 0; i < inset.size(); ++i) {
+      const auto [p, m] = inset[i];
+      const Count benign = core::ShuffleProblem{n1, m, p}.benign();
+      const auto& vals = inset_sweep.value(i);
+      t2.add_row({util::fmt(p), util::fmt(m),
+                  util::fmt(saved_percent(vals[0], benign), 2),
+                  util::fmt(saved_percent(vals[1], benign), 2),
+                  util::fmt(saved_percent(vals[2], benign), 2)});
     }
     t2.print_with_csv();
   }
+  metrics_export.write_if_requested([&] { return sweep_metrics; });
   std::cout << "Reproduction check: greedy and dp columns should overlap "
                "(gap well under a few percent)." << std::endl;
   return 0;

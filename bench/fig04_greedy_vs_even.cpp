@@ -6,10 +6,12 @@
 // the number of replicas; beyond that it collapses towards zero saved
 // clients while greedy keeps carving out bot-free buckets.
 #include <iostream>
+#include <utility>
 
 #include "core/even_planner.h"
 #include "core/greedy_planner.h"
 #include "core/plan.h"
+#include "shuffle_series.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -20,6 +22,9 @@ int main(int argc, char** argv) {
   util::Flags flags("fig04_greedy_vs_even",
                     "Figure 4: greedy vs even distribution, one shuffle");
   auto& clients = flags.add_int("clients", 1000, "N, total clients");
+  auto& jobs_flag = bench::add_jobs_flag(flags);
+  bench::MetricsExport metrics_export;
+  metrics_export.add_flags(flags);
   flags.parse(argc, argv);
 
   const std::vector<Count> replica_counts = {100, 200};
@@ -30,21 +35,33 @@ int main(int argc, char** argv) {
                     std::to_string(clients) + ")");
   table.set_headers({"replicas", "bots", "greedy %", "even %"});
 
-  core::GreedyPlanner greedy;
-  core::EvenPlanner even;
+  std::vector<std::pair<Count, Count>> grid;
   for (const Count p : replica_counts) {
-    for (const Count m : bot_counts) {
-      const core::ShuffleProblem problem{clients, m, p};
-      const auto benign = static_cast<double>(problem.benign());
-      const double e_greedy =
-          core::expected_saved(problem, greedy.plan(problem));
-      const double e_even = core::expected_saved(problem, even.plan(problem));
-      table.add_row({util::fmt(p), util::fmt(m),
-                     util::fmt(100.0 * e_greedy / benign, 2),
-                     util::fmt(100.0 * e_even / benign, 2)});
-    }
+    for (const Count m : bot_counts) grid.emplace_back(p, m);
+  }
+  // Each cell is a pure function of (p, m); results come back in grid order.
+  sim::SweepRunner runner(
+      sim::SweepConfig{.jobs = static_cast<std::size_t>(jobs_flag)});
+  const auto sweep = runner.run(grid.size(), [&](const sim::SweepCell& cell) {
+    const auto [p, m] = grid[cell.index];
+    const core::ShuffleProblem problem{clients, m, p};
+    const core::GreedyPlanner greedy;
+    const core::EvenPlanner even;
+    return std::pair<double, double>(
+        core::expected_saved(problem, greedy.plan(problem)),
+        core::expected_saved(problem, even.plan(problem)));
+  });
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto [p, m] = grid[i];
+    const auto benign =
+        static_cast<double>(core::ShuffleProblem{clients, m, p}.benign());
+    const auto& [e_greedy, e_even] = sweep.value(i);
+    table.add_row({util::fmt(p), util::fmt(m),
+                   util::fmt(100.0 * e_greedy / benign, 2),
+                   util::fmt(100.0 * e_even / benign, 2)});
   }
   table.print_with_csv();
+  metrics_export.write_if_requested([&] { return sweep.metrics; });
   std::cout << "Reproduction check: 'even' tracks 'greedy' while bots < "
                "replicas, then collapses towards 0 once bots >> replicas."
             << std::endl;

@@ -15,10 +15,12 @@
 // growing with both M and P.
 #include <cmath>
 #include <iostream>
+#include <utility>
 
 #include "core/algorithm_one.h"
 #include "core/planner_cache.h"
 #include "core/separable_dp.h"
+#include "shuffle_series.h"
 #include "util/flags.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -43,10 +45,15 @@ int main(int argc, char** argv) {
   auto& tail_flag = flags.add_double(
       "tail-epsilon", 1e-12,
       "tail truncation for the serial-vs-parallel sweep");
+  // Timing bench: parallel cells contend for cores and inflate each other's
+  // measured ms, so the grid defaults to serial; --jobs > 1 trades timing
+  // fidelity for wall-clock when only the extrapolation shape matters.
+  auto& jobs_flag = bench::add_jobs_flag(flags, 1);
+  bench::MetricsExport metrics_export;
+  metrics_export.add_flags(flags);
   flags.parse(argc, argv);
 
   const Count n = scaled_n;
-  core::AlgorithmOnePlanner alg1;
 
   util::Table table("Figure 5 — Algorithm 1 (paper's DP) running time, "
                     "measured at N = " + std::to_string(n) +
@@ -58,23 +65,45 @@ int main(int argc, char** argv) {
   const std::vector<double> p_ratios = {0.05, 0.10, 0.15, 0.20};
   const std::vector<double> m_ratios = {0.05, 0.1, 0.2, 0.3, 0.4, 0.5};
 
+  sim::SweepRunner runner(
+      sim::SweepConfig{.jobs = static_cast<std::size_t>(jobs_flag)});
+  obs::MetricsSnapshot sweep_metrics;
+
+  std::vector<std::pair<double, double>> grid;
   for (const double pr : p_ratios) {
     for (const double mr : m_ratios) {
       const auto p = static_cast<Count>(pr * static_cast<double>(n));
       const auto m = static_cast<Count>(mr * static_cast<double>(n));
       if (p < 1 || m < 1) continue;
-      util::Timer timer;
-      (void)alg1.value({n, m, p});
-      const double ms = timer.elapsed_ms();
-      // Cost model: cells N*M*P, inner work O(N * b-range) ~ O(N * M/ P-ish);
-      // empirically the total scales ~ N^2 * M * P at fixed ratios, i.e.
-      // (1000/n)^4 at fixed (M/N, P/N).
-      const double scale = std::pow(1000.0 / static_cast<double>(n), 4.0);
-      table.add_row({util::fmt(p), util::fmt(m), util::fmt(ms, 1),
-                     util::fmt(ms * scale, 0),
-                     "P=" + std::to_string(static_cast<Count>(pr * 1000)) +
-                         ", M=" + std::to_string(static_cast<Count>(mr * 1000))});
+      grid.emplace_back(pr, mr);
     }
+  }
+  const auto sweep = runner.run(grid.size(), [&](const sim::SweepCell& cell) {
+    const auto [pr, mr] = grid[cell.index];
+    const auto p = static_cast<Count>(pr * static_cast<double>(n));
+    const auto m = static_cast<Count>(mr * static_cast<double>(n));
+    // Per-cell planner: AlgorithmOnePlanner's lazy thread pool is not safe
+    // to share across concurrent solves.
+    core::AlgorithmOnePlanner alg1(
+        core::AlgorithmOneOptions{.threads = 1, .registry = cell.registry});
+    util::Timer timer;
+    (void)alg1.value({n, m, p});
+    return timer.elapsed_ms();
+  });
+  sweep_metrics.merge(sweep.metrics);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto [pr, mr] = grid[i];
+    const auto p = static_cast<Count>(pr * static_cast<double>(n));
+    const auto m = static_cast<Count>(mr * static_cast<double>(n));
+    const double ms = sweep.value(i);
+    // Cost model: cells N*M*P, inner work O(N * b-range) ~ O(N * M/ P-ish);
+    // empirically the total scales ~ N^2 * M * P at fixed ratios, i.e.
+    // (1000/n)^4 at fixed (M/N, P/N).
+    const double scale = std::pow(1000.0 / static_cast<double>(n), 4.0);
+    table.add_row({util::fmt(p), util::fmt(m), util::fmt(ms, 1),
+                   util::fmt(ms * scale, 0),
+                   "P=" + std::to_string(static_cast<Count>(pr * 1000)) +
+                       ", M=" + std::to_string(static_cast<Count>(mr * 1000))});
   }
   table.print_with_csv();
 
@@ -164,6 +193,7 @@ int main(int argc, char** argv) {
     t4.print_with_csv();
   }
 
+  metrics_export.write_if_requested([&] { return sweep_metrics; });
   std::cout << "Reproduction check: Algorithm-1 runtimes grow with M and P "
                "and scale ~N^4 at fixed ratios, putting the N=1000 grid in "
                "the 10^5..10^6 ms range for this compiled implementation — "

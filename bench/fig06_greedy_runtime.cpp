@@ -6,8 +6,10 @@
 // microseconds; the table reports both the per-call average in ms, like the
 // paper's axis, and in microseconds.)
 #include <iostream>
+#include <utility>
 
 #include "core/greedy_planner.h"
+#include "shuffle_series.h"
 #include "util/flags.h"
 #include "util/table.h"
 #include "util/timer.h"
@@ -20,6 +22,11 @@ int main(int argc, char** argv) {
                     "Figure 6: running time of the greedy algorithm");
   auto& clients = flags.add_int("clients", 1000, "N, total clients");
   auto& iters = flags.add_int("iters", 2000, "timing iterations per point");
+  // This is a wall-clock timing bench: concurrent cells contend for cores and
+  // inflate each other's per-call averages, so the default stays serial.
+  auto& jobs_flag = bench::add_jobs_flag(flags, 1);
+  bench::MetricsExport metrics_export;
+  metrics_export.add_flags(flags);
   flags.parse(argc, argv);
 
   const std::vector<Count> replica_counts = {50, 100, 150, 200};
@@ -29,22 +36,32 @@ int main(int argc, char** argv) {
                     std::to_string(clients) + ")");
   table.set_headers({"replicas", "bots", "mean ms", "mean us"});
 
-  core::GreedyPlanner greedy;
+  std::vector<std::pair<Count, Count>> grid;
   for (const Count p : replica_counts) {
-    for (const Count m : bot_counts) {
-      const core::ShuffleProblem problem{clients, m, p};
-      // Warm-up (log-factorial cache etc).
+    for (const Count m : bot_counts) grid.emplace_back(p, m);
+  }
+  sim::SweepRunner runner(
+      sim::SweepConfig{.jobs = static_cast<std::size_t>(jobs_flag)});
+  const auto sweep = runner.run(grid.size(), [&](const sim::SweepCell& cell) {
+    const auto [p, m] = grid[cell.index];
+    const core::ShuffleProblem problem{clients, m, p};
+    const core::GreedyPlanner greedy;
+    // Warm-up (log-factorial cache etc).
+    (void)greedy.plan(problem);
+    util::Timer timer;
+    for (Count i = 0; i < iters; ++i) {
       (void)greedy.plan(problem);
-      util::Timer timer;
-      for (Count i = 0; i < iters; ++i) {
-        (void)greedy.plan(problem);
-      }
-      const double us = timer.elapsed_us() / static_cast<double>(iters);
-      table.add_row({util::fmt(p), util::fmt(m), util::fmt(us / 1000.0, 4),
-                     util::fmt(us, 1)});
     }
+    return timer.elapsed_us() / static_cast<double>(iters);
+  });
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto [p, m] = grid[i];
+    const double us = sweep.value(i);
+    table.add_row({util::fmt(p), util::fmt(m), util::fmt(us / 1000.0, 4),
+                   util::fmt(us, 1)});
   }
   table.print_with_csv();
+  metrics_export.write_if_requested([&] { return sweep.metrics; });
   std::cout << "Reproduction check: per-plan time is orders of magnitude "
                "below Figure 5's DP and safe to run on every live shuffle."
             << std::endl;

@@ -9,9 +9,10 @@
 // every replica is attacked, at which point it blows up towards N (the
 // degenerate all-attacked regime Theorem 1 exists to avoid).
 #include <iostream>
+#include <utility>
 
 #include "core/mle_estimator.h"
-#include "sim/experiment.h"
+#include "shuffle_series.h"
 #include "util/flags.h"
 #include "util/random.h"
 #include "util/table.h"
@@ -25,6 +26,9 @@ int main(int argc, char** argv) {
   auto& replicas = flags.add_int("replicas", 100, "P, shuffling replicas");
   auto& reps = flags.add_int("reps", 40, "repetitions per data point");
   auto& seed = flags.add_int("seed", 20140623, "base RNG seed");
+  auto& jobs_flag = bench::add_jobs_flag(flags);
+  bench::MetricsExport metrics_export;
+  metrics_export.add_flags(flags);
   flags.parse(argc, argv);
 
   const Count per_replica = clients / replicas;
@@ -43,25 +47,39 @@ int main(int argc, char** argv) {
   table.set_headers({"true bots", "estimated bots (mean ± 99% CI)",
                      "attacked replicas % (mean ± 99% CI)"});
 
+  sim::SweepRunner runner(
+      sim::SweepConfig{.jobs = static_cast<std::size_t>(jobs_flag)});
+  obs::MetricsSnapshot sweep_metrics;
   for (const Count m : true_bots) {
+    // Repetitions fan out across --jobs threads; the historical per-rep RNG
+    // seeding is keyed on the repetition index, so outputs are bit-identical
+    // at every jobs setting.
+    const auto sweep = runner.run(
+        static_cast<std::size_t>(reps), [&](const sim::SweepCell& cell) {
+          util::Rng rng(static_cast<std::uint64_t>(seed) * 1000003 +
+                        static_cast<std::uint64_t>(m) * 131 +
+                        static_cast<std::uint64_t>(cell.index));
+          const auto placed =
+              rng.multivariate_hypergeometric(plan.counts(), m);
+          std::vector<bool> attacked;
+          Count attacked_count = 0;
+          for (const auto b : placed) {
+            attacked.push_back(b > 0);
+            if (b > 0) ++attacked_count;
+          }
+          const core::ShuffleObservation obs{plan, std::move(attacked)};
+          return std::pair<double, double>(
+              static_cast<double>(mle.estimate(obs)),
+              100.0 * static_cast<double>(attacked_count) /
+                  static_cast<double>(replicas));
+        });
+    sweep_metrics.merge(sweep.metrics);
     util::Accumulator est;
     util::Accumulator attacked_pct;
-    for (int r = 0; r < reps; ++r) {
-      util::Rng rng(static_cast<std::uint64_t>(seed) * 1000003 +
-                    static_cast<std::uint64_t>(m) * 131 +
-                    static_cast<std::uint64_t>(r));
-      const auto placed =
-          rng.multivariate_hypergeometric(plan.counts(), m);
-      std::vector<bool> attacked;
-      Count attacked_count = 0;
-      for (const auto b : placed) {
-        attacked.push_back(b > 0);
-        if (b > 0) ++attacked_count;
-      }
-      const core::ShuffleObservation obs{plan, std::move(attacked)};
-      est.add(static_cast<double>(mle.estimate(obs)));
-      attacked_pct.add(100.0 * static_cast<double>(attacked_count) /
-                       static_cast<double>(replicas));
+    for (std::size_t r = 0; r < sweep.cells.size(); ++r) {
+      const auto& [estimate, pct] = sweep.value(r);
+      est.add(estimate);
+      attacked_pct.add(pct);
     }
     const auto e = est.summary();
     const auto a = attacked_pct.summary();
@@ -70,6 +88,7 @@ int main(int argc, char** argv) {
                    util::fmt_ci(a.mean, a.ci_half_width(0.99), 1)});
   }
   table.print_with_csv();
+  metrics_export.write_if_requested([&] { return sweep_metrics; });
   std::cout << "Reproduction check: estimates track the truth until the "
                "attacked percentage saturates at 100%, then explode towards "
                "N — the paper's degenerate regime." << std::endl;

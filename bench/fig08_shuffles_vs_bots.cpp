@@ -7,13 +7,14 @@
 //     increase costs less than a three-fold shuffle increase;
 //   * five-fold more benign clients adds less than ~70% more shuffles;
 //   * saving 95% needs >= ~40% more shuffles than saving 80%.
-#include <fstream>
+#include <cstdlib>
 #include <iostream>
 
-#include "obs/export.h"
+#include "bench_json.h"
 #include "shuffle_series.h"
 #include "util/flags.h"
 #include "util/table.h"
+#include "util/timer.h"
 
 using namespace shuffledef;
 using core::Count;
@@ -29,38 +30,14 @@ int main(int argc, char** argv) {
       "arrival-model sensitivity: the full botnet attacks from round 1 "
       "instead of ramping in at 5000 bots per 3 shuffles");
   auto& seed = flags.add_int("seed", 814, "base RNG seed");
-  auto& metrics_csv = flags.add_string(
-      "metrics-csv", "",
-      "write one representative run's full MetricsSnapshot as CSV here");
-  auto& metrics_json = flags.add_string(
-      "metrics-json", "",
-      "write one representative run's full MetricsSnapshot as JSON here");
+  auto& jobs_flag = bench::add_jobs_flag(flags);
+  auto& bench_json = flags.add_string(
+      "bench-json", "",
+      "run the grid at --jobs 1 and at --jobs, verify bit-identical "
+      "outputs, and write throughput/speedup numbers to this JSON file");
+  bench::MetricsExport metrics_export;
+  metrics_export.add_flags(flags);
   flags.parse(argc, argv);
-
-  // Optional observability export: one representative simulation (first grid
-  // point, base seed) with its complete metric snapshot — counters, planner
-  // cache, MLE activity, span timings (see EXPERIMENTS.md).
-  const auto export_metrics = [&](const std::string& csv_path,
-                                  const std::string& json_path) {
-    if (csv_path.empty() && json_path.empty()) return;
-    bench::SeriesPoint pt;
-    pt.benign = 10000;
-    pt.bots = 10000;
-    pt.replicas = 1000;
-    const auto cfg = bench::make_sim_config(
-        pt, static_cast<std::uint64_t>(seed));
-    const auto result = sim::ShuffleSimulator(cfg).run();
-    if (!csv_path.empty()) {
-      std::ofstream out(csv_path);
-      obs::write_csv(result.metrics, out);
-      std::cout << "metrics CSV written to " << csv_path << "\n";
-    }
-    if (!json_path.empty()) {
-      std::ofstream out(json_path);
-      obs::write_json(result.metrics, out);
-      std::cout << "metrics JSON written to " << json_path << "\n";
-    }
-  };
 
   const int r = full ? 30 : static_cast<int>(reps);
   std::vector<Count> bot_counts;
@@ -70,31 +47,95 @@ int main(int argc, char** argv) {
     bot_counts = {10000, 20000, 30000, 40000, 50000, 60000, 70000, 80000, 90000, 100000};
   }
 
+  // The whole figure grid as a function of the jobs count, so the
+  // --bench-json mode can run it serially and in parallel and compare.
+  const auto run_grid = [&](std::size_t jobs) {
+    std::vector<std::vector<util::Summary>> rows;
+    for (const Count bots : bot_counts) {
+      std::vector<util::Summary> row;
+      for (const Count benign : {10000, 50000}) {
+        bench::SeriesPoint pt;
+        pt.benign = benign;
+        pt.bots = bots;
+        pt.replicas = 1000;
+        pt.bots_all_at_start = all_at_start;
+        auto summaries = bench::shuffles_to_save_multi(
+            pt, {0.80, 0.95}, r,
+            static_cast<std::uint64_t>(seed) + static_cast<std::uint64_t>(bots) +
+                static_cast<std::uint64_t>(benign),
+            jobs);
+        row.insert(row.end(), summaries.begin(), summaries.end());
+      }
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  };
+
+  const std::size_t jobs = sim::SweepRunner(sim::SweepConfig{
+      .jobs = static_cast<std::size_t>(jobs_flag)}).jobs();
+  util::Timer grid_timer;
+  const auto rows = run_grid(jobs);
+  const double parallel_s = grid_timer.elapsed_ms() / 1000.0;
+
   util::Table table("Figure 8 — number of shuffles (1000 shuffling replicas, "
                     + std::to_string(r) + " reps, 99% CI)");
   table.set_headers({"bots", "10K benign, 80%", "10K benign, 95%",
                      "50K benign, 80%", "50K benign, 95%"});
-
-  for (const Count bots : bot_counts) {
-    std::vector<std::string> row = {util::fmt(bots)};
-    for (const Count benign : {10000, 50000}) {
-      bench::SeriesPoint pt;
-      pt.benign = benign;
-      pt.bots = bots;
-      pt.replicas = 1000;
-      pt.bots_all_at_start = all_at_start;
-      const auto summaries = bench::shuffles_to_save_multi(
-          pt, {0.80, 0.95}, r,
-          static_cast<std::uint64_t>(seed) + static_cast<std::uint64_t>(bots) +
-              static_cast<std::uint64_t>(benign));
-      for (const auto& s : summaries) {
-        row.push_back(util::fmt_ci(s.mean, s.ci_half_width(0.99), 1));
-      }
+  for (std::size_t i = 0; i < bot_counts.size(); ++i) {
+    std::vector<std::string> row = {util::fmt(bot_counts[i])};
+    for (const auto& s : rows[i]) {
+      row.push_back(util::fmt_ci(s.mean, s.ci_half_width(0.99), 1));
     }
     table.add_row(std::move(row));
   }
   table.print_with_csv();
-  export_metrics(metrics_csv, metrics_json);
+
+  // Perf-trajectory mode: rerun the identical grid serially, check the
+  // determinism contract end to end, and persist the numbers.
+  if (!bench_json.empty()) {
+    util::Timer serial_timer;
+    const auto serial_rows = run_grid(1);
+    const double serial_s = serial_timer.elapsed_ms() / 1000.0;
+    bool identical = serial_rows.size() == rows.size();
+    for (std::size_t i = 0; identical && i < rows.size(); ++i) {
+      for (std::size_t j = 0; identical && j < rows[i].size(); ++j) {
+        const auto& a = rows[i][j];
+        const auto& b = serial_rows[i][j];
+        identical = a.count == b.count && a.mean == b.mean &&
+                    a.stddev == b.stddev && a.min == b.min && a.max == b.max;
+      }
+    }
+    const auto cells = static_cast<double>(bot_counts.size()) * 2.0 *
+                       static_cast<double>(r);
+    bench::BenchJson out;
+    out.set("bench", std::string("fig08_shuffles_vs_bots"));
+    out.set("grid_cells", static_cast<std::int64_t>(cells));
+    out.set("reps", static_cast<std::int64_t>(r));
+    out.set("jobs", static_cast<std::int64_t>(jobs));
+    out.set("serial_wall_s", serial_s);
+    out.set("parallel_wall_s", parallel_s);
+    out.set("speedup", parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
+    out.set("cells_per_sec", parallel_s > 0.0 ? cells / parallel_s : 0.0);
+    out.set("bit_identical", identical);
+    out.write(bench_json);
+    if (!identical) {
+      std::cerr << "BUG: serial and parallel sweep outputs differ\n";
+      return EXIT_FAILURE;
+    }
+  }
+
+  // Optional observability export: one representative simulation (first grid
+  // point, base seed) with its complete metric snapshot — counters, planner
+  // cache, MLE activity, span timings (see EXPERIMENTS.md).
+  metrics_export.write_if_requested([&] {
+    bench::SeriesPoint pt;
+    pt.benign = 10000;
+    pt.bots = 10000;
+    pt.replicas = 1000;
+    const auto cfg =
+        bench::make_sim_config(pt, static_cast<std::uint64_t>(seed));
+    return sim::ShuffleSimulator(cfg).run().metrics;
+  });
   std::cout << "Reproduction check: ~60 shuffles to save 80% of 50K benign "
                "clients under 100K bots; 10x bots < 3x shuffles; 95% costs "
                ">= ~40% more shuffles than 80%." << std::endl;

@@ -20,7 +20,11 @@ int main(int argc, char** argv) {
   auto& full = flags.add_bool("full", false,
                               "paper-scale grid (12 replica counts, 30 reps)");
   auto& seed = flags.add_int("seed", 914, "base RNG seed");
+  auto& jobs_flag = bench::add_jobs_flag(flags);
+  bench::MetricsExport metrics_export;
+  metrics_export.add_flags(flags);
   flags.parse(argc, argv);
+  const auto jobs = static_cast<std::size_t>(jobs_flag);
 
   const int r = full ? 30 : static_cast<int>(reps);
   std::vector<Count> replica_counts;
@@ -45,7 +49,8 @@ int main(int argc, char** argv) {
       const auto summaries = bench::shuffles_to_save_multi(
           pt, {0.80, 0.95}, r,
           static_cast<std::uint64_t>(seed) + static_cast<std::uint64_t>(p) * 7 +
-              static_cast<std::uint64_t>(benign));
+              static_cast<std::uint64_t>(benign),
+          jobs);
       for (const auto& s : summaries) {
         row.push_back(util::fmt_ci(s.mean, s.ci_half_width(0.99), 1));
       }
@@ -53,6 +58,15 @@ int main(int argc, char** argv) {
     table.add_row(std::move(row));
   }
   table.print_with_csv();
+  metrics_export.write_if_requested([&] {
+    bench::SeriesPoint pt;
+    pt.benign = 10000;
+    pt.bots = 100000;
+    pt.replicas = replica_counts.front();
+    const auto cfg =
+        bench::make_sim_config(pt, static_cast<std::uint64_t>(seed));
+    return sim::ShuffleSimulator(cfg).run().metrics;
+  });
   std::cout << "Reproduction check: every column falls steadily as the "
                "replica budget grows." << std::endl;
   return 0;

@@ -18,6 +18,9 @@ int main(int argc, char** argv) {
                     "Figure 10: cumulative saved percentage vs shuffles");
   auto& reps = flags.add_int("reps", 30, "repetitions per series");
   auto& seed = flags.add_int("seed", 1014, "base RNG seed");
+  auto& jobs_flag = bench::add_jobs_flag(flags);
+  bench::MetricsExport metrics_export;
+  metrics_export.add_flags(flags);
   flags.parse(argc, argv);
 
   const std::vector<double> percentages = {0.1, 0.2, 0.3, 0.4, 0.5,
@@ -37,7 +40,8 @@ int main(int argc, char** argv) {
     pt.replicas = 1000;
     columns.push_back(bench::shuffles_to_save_multi(
         pt, percentages, static_cast<int>(reps),
-        static_cast<std::uint64_t>(seed) + static_cast<std::uint64_t>(benign)));
+        static_cast<std::uint64_t>(seed) + static_cast<std::uint64_t>(benign),
+        static_cast<std::size_t>(jobs_flag)));
   }
   for (std::size_t i = 0; i < percentages.size(); ++i) {
     table.add_row({util::fmt(100.0 * percentages[i], 0),
@@ -47,6 +51,15 @@ int main(int argc, char** argv) {
                                 columns[1][i].ci_half_width(0.99), 1)});
   }
   table.print_with_csv();
+  metrics_export.write_if_requested([&] {
+    bench::SeriesPoint pt;
+    pt.benign = 10000;
+    pt.bots = 100000;
+    pt.replicas = 1000;
+    const auto cfg =
+        bench::make_sim_config(pt, static_cast<std::uint64_t>(seed));
+    return sim::ShuffleSimulator(cfg).run().metrics;
+  });
   std::cout << "Reproduction check: the shuffle count per extra 10% saved "
                "grows towards the tail (early shuffles save more)."
             << std::endl;

@@ -20,6 +20,7 @@
 #include <iostream>
 
 #include "cloudsim/scenario.h"
+#include "shuffle_series.h"
 #include "util/flags.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -55,9 +56,11 @@ struct MigrationResult {
 };
 
 MigrationResult run_once(int client_count, std::uint64_t seed,
-                         double flood_pps = 0.0) {
+                         double flood_pps = 0.0,
+                         obs::Registry* registry = nullptr) {
   ScenarioConfig cfg;
   cfg.seed = seed;
+  cfg.registry = registry;
   cfg.domains = 1;
   cfg.initial_replicas = 1;  // P1
   cfg.hot_spares = 1;        // P2, pre-booted like the prototype's
@@ -125,23 +128,42 @@ int main(int argc, char** argv) {
   auto& seed = flags.add_int("seed", 1214, "base RNG seed");
   auto& flood_pps = flags.add_double(
       "flood-pps", 4000.0, "junk rate for the flooded variant (packets/s)");
+  auto& jobs_flag = bench::add_jobs_flag(flags);
+  bench::MetricsExport metrics_export;
+  metrics_export.add_flags(flags);
   flags.parse(argc, argv);
+
+  sim::SweepRunner runner(
+      sim::SweepConfig{.jobs = static_cast<std::size_t>(jobs_flag)});
+  obs::MetricsSnapshot sweep_metrics;
+  const std::vector<int> client_counts = {10, 20, 30, 40, 50, 60};
 
   const auto run_table = [&](const std::string& caption, double pps) {
     util::Table table(caption);
     table.set_headers({"clients", "all clients s (mean ± 95% CI)",
                        "per client s (mean ± 95% CI)", "complete runs"});
-    for (const int n : {10, 20, 30, 40, 50, 60}) {
+    // Every (client count, repetition) scenario fans out across --jobs
+    // threads; the per-rep seed keeps the historical formula keyed on the
+    // repetition index, so results are bit-identical at any jobs setting.
+    const std::size_t r_per_n = static_cast<std::size_t>(reps);
+    const auto sweep = runner.run(
+        client_counts.size() * r_per_n, [&](const sim::SweepCell& cell) {
+          const int n = client_counts[cell.index / r_per_n];
+          const std::size_t r = cell.index % r_per_n;
+          return run_once(n,
+                          static_cast<std::uint64_t>(seed) +
+                              static_cast<std::uint64_t>(n) * 997 +
+                              static_cast<std::uint64_t>(r),
+                          pps, cell.registry);
+        });
+    sweep_metrics.merge(sweep.metrics);
+    for (std::size_t ni = 0; ni < client_counts.size(); ++ni) {
+      const int n = client_counts[ni];
       util::Accumulator total;
       util::Accumulator per_client;
       int complete = 0;
-      for (int r = 0; r < static_cast<int>(reps); ++r) {
-        const auto result =
-            run_once(n,
-                     static_cast<std::uint64_t>(seed) +
-                         static_cast<std::uint64_t>(n) * 997 +
-                         static_cast<std::uint64_t>(r),
-                     pps);
+      for (std::size_t r = 0; r < r_per_n; ++r) {
+        const auto& result = sweep.value(ni * r_per_n + r);
         if (!result.complete) continue;
         ++complete;
         total.add(result.total_s);
@@ -166,6 +188,7 @@ int main(int argc, char** argv) {
           util::fmt(flood_pps, 0) +
           " pps (prioritized control lane keeps the shuffle moving)",
       flood_pps);
+  metrics_export.write_if_requested([&] { return sweep_metrics; });
 
   std::cout << "Reproduction check: 60 clients migrate in a few seconds "
                "total; the per-client average grows far more slowly than "

@@ -4,8 +4,13 @@
 // Figures 5/6.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstring>
+#include <iostream>
 #include <optional>
+#include <string>
 
+#include "bench_json.h"
 #include "core/algorithm_one.h"
 #include "core/greedy_planner.h"
 #include "core/mle_estimator.h"
@@ -16,6 +21,7 @@
 #include "obs/span.h"
 #include "sim/shuffle_sim.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 using namespace shuffledef;
 using core::Count;
@@ -66,6 +72,27 @@ BENCHMARK(BM_AlgorithmOneValue)
     ->Args({60, 1, 1})   // instrumented vs {60, 1, 0}
     ->Args({90, 1, 1})
     ->Args({90, 0, 1});
+
+void BM_AlgorithmOneSymmetry(benchmark::State& state) {
+  // Second arg: 1 = exchangeability symmetry cut on, 0 = full candidate
+  // sweep.  Exact-mode (tail_epsilon = 0) so the two variants answer the
+  // same question and the ratio isolates the cut.
+  core::AlgorithmOneOptions opts;
+  opts.threads = 1;
+  opts.tail_epsilon = 0.0;
+  opts.symmetry_cut = state.range(1) != 0;
+  const core::ShuffleProblem problem{state.range(0), state.range(0) / 2,
+                                     state.range(0) / 5};
+  core::AlgorithmOnePlanner planner(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.value(problem));
+  }
+}
+BENCHMARK(BM_AlgorithmOneSymmetry)
+    ->Args({60, 0})
+    ->Args({60, 1})
+    ->Args({90, 0})
+    ->Args({90, 1});
 
 void BM_ControllerDecide(benchmark::State& state) {
   // One controller decision per iteration over a recurring set of pool
@@ -184,6 +211,68 @@ void BM_EventLoopThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_EventLoopThroughput)->Unit(benchmark::kMillisecond);
 
+/// Times one Algorithm-1 solve with and without the symmetry cut and
+/// records the pair (plus the relative value difference, which should sit
+/// at rounding noise) into `out` under `prefix`.
+void symmetry_pair(bench::BenchJson& out, const std::string& prefix,
+                   const core::ShuffleProblem& problem, double tail_epsilon) {
+  core::AlgorithmOneOptions opts;
+  opts.threads = 1;
+  opts.tail_epsilon = tail_epsilon;
+
+  opts.symmetry_cut = false;
+  core::AlgorithmOnePlanner uncut(opts);
+  util::Timer uncut_timer;
+  const double v_uncut = uncut.value(problem);
+  const double uncut_ms = uncut_timer.elapsed_ms();
+
+  opts.symmetry_cut = true;
+  core::AlgorithmOnePlanner cut(opts);
+  util::Timer cut_timer;
+  const double v_cut = cut.value(problem);
+  const double cut_ms = cut_timer.elapsed_ms();
+
+  const double rel_diff =
+      std::abs(v_cut - v_uncut) / std::max(std::abs(v_uncut), 1e-300);
+  out.set(prefix + "_clients", static_cast<std::int64_t>(problem.clients));
+  out.set(prefix + "_bots", static_cast<std::int64_t>(problem.bots));
+  out.set(prefix + "_replicas", static_cast<std::int64_t>(problem.replicas));
+  out.set(prefix + "_tail_epsilon", tail_epsilon);
+  out.set(prefix + "_uncut_ms", uncut_ms);
+  out.set(prefix + "_cut_ms", cut_ms);
+  out.set(prefix + "_speedup", cut_ms > 0.0 ? uncut_ms / cut_ms : 0.0);
+  out.set(prefix + "_rel_value_diff", rel_diff);
+  std::cout << prefix << ": uncut " << uncut_ms << " ms, cut " << cut_ms
+            << " ms, speedup "
+            << (cut_ms > 0.0 ? uncut_ms / cut_ms : 0.0) << "x, rel diff "
+            << rel_diff << "\n";
+}
+
+/// Perf-trajectory mode: a paper-scale Algorithm-1 solve (N = 10^4, P = 10,
+/// the figure-5 extrapolation target) timed with the symmetry cut on and
+/// off, plus a smaller exact-mode (tail_epsilon = 0) pair where the cut is
+/// the only approximation-free difference.
+int run_bench_json(const std::string& path) {
+  bench::BenchJson out;
+  out.set("bench", std::string("micro_algorithms"));
+  symmetry_pair(out, "paper_scale", {10000, 10, 10}, 1e-12);
+  symmetry_pair(out, "exact_mode", {400, 40, 10}, 0.0);
+  return out.write(path) ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `--bench-json <path>` bypasses google-benchmark and runs the
+  // symmetry-cut perf trajectory instead (see EXPERIMENTS.md).
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--bench-json") == 0) {
+      return run_bench_json(argv[i + 1]);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

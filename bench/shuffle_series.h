@@ -5,15 +5,76 @@
 // 5000 per 3 shuffles (capped at the configured total), the controller
 // estimates M by MLE each round (Gaussian engine at these replica counts)
 // and plans with the greedy algorithm over a fixed replica budget.
+//
+// Repetitions fan out across threads via sim::SweepRunner — every bench
+// exposes the shared --jobs flag (add_jobs_flag) and `jobs = 1` reproduces
+// the historical serial output bit for bit (see sweep.h's determinism
+// contract).  MetricsExport packages the --metrics-csv/--metrics-json
+// snapshot-export flags every figure bench offers.
 #pragma once
 
+#include <fstream>
+#include <functional>
+#include <iostream>
 #include <string>
+#include <vector>
 
+#include "obs/export.h"
 #include "sim/experiment.h"
 #include "sim/shuffle_sim.h"
+#include "sim/sweep.h"
+#include "util/flags.h"
 #include "util/stats.h"
 
 namespace shuffledef::bench {
+
+/// The shared cross-bench concurrency flag.  Benches whose tables measure
+/// wall-clock per cell (fig05, fig06) default to 1 so timings stay clean;
+/// the stochastic sweep benches default to hardware concurrency (0).
+inline std::int64_t& add_jobs_flag(util::Flags& flags,
+                                   std::int64_t default_jobs = 0) {
+  return flags.add_int(
+      "jobs", default_jobs,
+      "concurrent sweep cells (0 = hardware concurrency, 1 = serial; "
+      "results are bit-identical at every setting)");
+}
+
+/// --metrics-csv/--metrics-json: write a MetricsSnapshot chosen by the
+/// bench (a representative run, or the sweep-merged aggregate) to disk.
+class MetricsExport {
+ public:
+  void add_flags(util::Flags& flags) {
+    csv_ = &flags.add_string("metrics-csv", "",
+                             "write the bench's MetricsSnapshot as CSV here");
+    json_ = &flags.add_string(
+        "metrics-json", "", "write the bench's MetricsSnapshot as JSON here");
+  }
+
+  [[nodiscard]] bool requested() const {
+    return !csv_->empty() || !json_->empty();
+  }
+
+  /// Calls `make_snapshot` only when one of the flags was given.
+  void write_if_requested(
+      const std::function<obs::MetricsSnapshot()>& make_snapshot) const {
+    if (!requested()) return;
+    const obs::MetricsSnapshot snapshot = make_snapshot();
+    if (!csv_->empty()) {
+      std::ofstream out(*csv_);
+      obs::write_csv(snapshot, out);
+      std::cout << "metrics CSV written to " << *csv_ << "\n";
+    }
+    if (!json_->empty()) {
+      std::ofstream out(*json_);
+      obs::write_json(snapshot, out);
+      std::cout << "metrics JSON written to " << *json_ << "\n";
+    }
+  }
+
+ private:
+  std::string* csv_ = nullptr;
+  std::string* json_ = nullptr;
+};
 
 struct SeriesPoint {
   core::Count benign = 10000;
@@ -27,7 +88,8 @@ struct SeriesPoint {
 };
 
 inline sim::ShuffleSimConfig make_sim_config(const SeriesPoint& pt,
-                                             std::uint64_t seed) {
+                                             std::uint64_t seed,
+                                             obs::Registry* registry = nullptr) {
   sim::ShuffleSimConfig cfg;
   // Benign clients are online when the attack begins; the configured
   // trickle only tops the population up to the same total (see DESIGN.md §6).
@@ -44,38 +106,54 @@ inline sim::ShuffleSimConfig make_sim_config(const SeriesPoint& pt,
   cfg.target_fraction = pt.target_fraction;
   cfg.max_rounds = pt.max_rounds;
   cfg.seed = seed;
+  cfg.registry = registry;
   return cfg;
 }
 
 /// Mean (with CI) number of shuffles to save `fraction` of the benign
 /// population.  Runs that never reach the target count as max_rounds.
 inline util::Summary shuffles_to_save(const SeriesPoint& pt, double fraction,
-                                      int reps, std::uint64_t base_seed) {
-  return sim::repeat(reps, base_seed, [&](std::uint64_t seed) {
-    auto cfg = make_sim_config(pt, seed);
-    cfg.target_fraction = std::max(pt.target_fraction, fraction);
-    const auto result = sim::ShuffleSimulator(cfg).run();
-    const auto shuffles = result.shuffles_to_fraction(fraction);
-    return static_cast<double>(shuffles.value_or(pt.max_rounds));
-  });
+                                      int reps, std::uint64_t base_seed,
+                                      std::size_t jobs = 1) {
+  return sim::repeat(
+      reps, base_seed,
+      [&](std::uint64_t seed) {
+        auto cfg = make_sim_config(pt, seed);
+        cfg.target_fraction = std::max(pt.target_fraction, fraction);
+        const auto result = sim::ShuffleSimulator(cfg).run();
+        const auto shuffles = result.shuffles_to_fraction(fraction);
+        return static_cast<double>(shuffles.value_or(pt.max_rounds));
+      },
+      jobs);
 }
 
-/// Several thresholds from the *same* simulation runs (one sim per rep).
+/// Several thresholds from the *same* simulation runs (one sim per rep,
+/// reps fanned across `jobs` threads, summaries accumulated in rep order).
 inline std::vector<util::Summary> shuffles_to_save_multi(
     const SeriesPoint& pt, const std::vector<double>& fractions, int reps,
-    std::uint64_t base_seed) {
+    std::uint64_t base_seed, std::size_t jobs = 1) {
+  sim::SweepRunner runner(
+      sim::SweepConfig{.jobs = jobs, .base_seed = base_seed});
+  const auto sweep = runner.run(
+      static_cast<std::size_t>(reps),
+      [&](const sim::SweepCell& cell) {
+        auto cfg = make_sim_config(pt, cell.seed, cell.registry);
+        double target = pt.target_fraction;
+        for (const double f : fractions) target = std::max(target, f);
+        cfg.target_fraction = target;
+        const auto result = sim::ShuffleSimulator(cfg).run();
+        std::vector<double> shuffles;
+        shuffles.reserve(fractions.size());
+        for (const double f : fractions) {
+          shuffles.push_back(static_cast<double>(
+              result.shuffles_to_fraction(f).value_or(pt.max_rounds)));
+        }
+        return shuffles;
+      });
   std::vector<util::Accumulator> accs(fractions.size());
-  std::uint64_t state = base_seed;
-  for (int r = 0; r < reps; ++r) {
-    auto cfg = make_sim_config(pt, util::splitmix64(state));
-    double target = pt.target_fraction;
-    for (const double f : fractions) target = std::max(target, f);
-    cfg.target_fraction = target;
-    const auto result = sim::ShuffleSimulator(cfg).run();
-    for (std::size_t i = 0; i < fractions.size(); ++i) {
-      accs[i].add(static_cast<double>(
-          result.shuffles_to_fraction(fractions[i]).value_or(pt.max_rounds)));
-    }
+  for (std::size_t r = 0; r < sweep.cells.size(); ++r) {
+    const auto& shuffles = sweep.value(r);  // rethrows a failed rep
+    for (std::size_t i = 0; i < fractions.size(); ++i) accs[i].add(shuffles[i]);
   }
   std::vector<util::Summary> out;
   out.reserve(accs.size());

@@ -136,7 +136,14 @@ AlgorithmOnePlanner::Tables AlgorithmOnePlanner::solve(
     // slot of `cur` (and its own assign_no entry), so rows are embarrassingly
     // parallel; each cell's KahanSum is private, keeping the result
     // bit-identical to the serial sweep at any thread count.
+    const bool mirror_halves =
+        options_.symmetry_cut && options_.a_cap == 0;
     const auto sweep_rows = [&](std::int64_t row_lo, std::int64_t row_hi) {
+      // Scratch for mirror-candidate values (symmetry cut only): written
+      // once per cell for every upper-half candidate, then scanned in
+      // ascending order so the first-maximizer tie-break of the uncut loop
+      // is preserved.  Local to the chunk call — chunks run concurrently.
+      std::vector<double> upper;
       for (Count n = row_lo; n < row_hi; ++n) {
         for (Count m = 0; m <= std::min(n, M); ++m) {
           // Degenerate cases where splitting is impossible or pointless.
@@ -145,24 +152,60 @@ AlgorithmOnePlanner::Tables AlgorithmOnePlanner::solve(
             if (keep_argmax) t.assign_no[t.idx(p, n, m)] = kNoSplit;
             continue;
           }
-          const Count a_hi =
-              options_.a_cap > 0 ? std::min(n - 1, options_.a_cap) : n - 1;
+          // With the symmetry cut, lower candidates [1, half] are walked
+          // directly and each walk also yields the mirror candidate n - a
+          // (for a <= mirror_hi, i.e. mirrors covering [half + 1, n - 1]).
+          const Count half = n / 2;
+          const Count mirror_hi = mirror_halves ? n - 1 - half : 0;
+          const Count a_hi = options_.a_cap > 0
+                                 ? std::min(n - 1, options_.a_cap)
+                                 : (mirror_halves ? half : n - 1);
+          if (mirror_halves &&
+              upper.size() < static_cast<std::size_t>(mirror_hi)) {
+            upper.resize(static_cast<std::size_t>(mirror_hi));
+          }
           double best = -1.0;
           Count best_a = 1;
+          // Start-of-walk pmf for the symmetry-cut path: Pr(b = 0 | draws
+          // = a) obeys P0(a+1) = P0(a) * (n-m-a)/(n-a), which replaces the
+          // per-candidate log-factorial exponentiation whenever lo == 0
+          // (always, at paper scale, where m << n).  The uncut loop keeps
+          // the historical closed-form start bit-for-bit.
+          double pmf0 = static_cast<double>(n - m) / static_cast<double>(n);
           for (Count a = 1; a <= a_hi; ++a) {
             // Hypergeometric expectation over b = bots landing on the bucket
             // of size a, with incremental pmf updates.
             const Count lo = std::max<Count>(0, a - (n - m));
             const Count hi = std::min(a, m);
-            double pmf = util::hypergeometric_pmf(n, m, a, lo);
+            double pmf = (mirror_halves && lo == 0)
+                             ? pmf0
+                             : util::hypergeometric_pmf(n, m, a, lo);
             const auto mode = static_cast<Count>(
                 (static_cast<double>(a) + 1.0) *
                 (static_cast<double>(m) + 1.0) /
                 (static_cast<double>(n) + 2.0));
+            const bool eval_mirror = a <= mirror_hi;
             util::KahanSum acc;
+            util::KahanSum acc_mirror;
             for (Count b = lo; b <= hi; ++b) {
               if (b == 0) acc.add(static_cast<double>(a) * pmf);  // S(a,0,1)=a
               acc.add(pmf * cell(prev, n - a, m - b));
+              if (eval_mirror) {
+                // Mirror candidate n - a: its single replica takes n - a
+                // clients and its remainder is exactly this size-a bucket
+                // with these b bots, so the same pmf weights apply.
+                acc_mirror.add(pmf * cell(prev, a, b));
+                // Clean-bucket term of the mirror: all m bots land in the
+                // size-a remainder, and Pr(B_a = m) == Pr(no bots in n - a
+                // draws) exactly (hypergeometric complement symmetry), so
+                // the walk supplies it with no extra log-factorial work.
+                // A tail-truncated walk that stops before b == m drops a
+                // term bounded by n * tail_epsilon, inside the same epsilon
+                // class as the truncation itself.
+                if (b == m) {
+                  acc_mirror.add(static_cast<double>(n - a) * pmf);
+                }
+              }
               if (options_.tail_epsilon > 0.0 && b > mode &&
                   pmf < options_.tail_epsilon) {
                 break;
@@ -174,9 +217,24 @@ AlgorithmOnePlanner::Tables AlgorithmOnePlanner::solve(
                      ((bd + 1.0) *
                       (static_cast<double>(n - m - a) + bd + 1.0));
             }
+            if (eval_mirror) {
+              upper[static_cast<std::size_t>(n - a - half - 1)] =
+                  acc_mirror.value();
+            }
             if (acc.value() > best) {
               best = acc.value();
               best_a = a;
+            }
+            if (mirror_halves && a + 1 <= n - m) {
+              pmf0 *= static_cast<double>(n - m - a) /
+                      static_cast<double>(n - a);
+            }
+          }
+          for (Count ap = half + 1; mirror_halves && ap <= n - 1; ++ap) {
+            const double v = upper[static_cast<std::size_t>(ap - half - 1)];
+            if (v > best) {
+              best = v;
+              best_a = ap;
             }
           }
           cell(cur, n, m) = best;

@@ -17,6 +17,22 @@
 //     this one is a genuine heuristic: interior levels lose the option of
 //     cutting a large sacrificial bucket, so the value can drop slightly
 //     (tests bound the loss); a_cap = 0 (default) disables it;
+//   * an exchangeability symmetry cut on the split loop (symmetry_cut,
+//     default on) evaluates both split candidates a and n - a from one
+//     hypergeometric walk, halving the loop.  Note this is NOT the naive
+//     "V(a) = V(n - a)" symmetry — that identity is false for p > 2 (the
+//     V(a) curve is bimodal: a second "sacrificial bucket" peak sits near
+//     a ~ n - m, so restricting the search to a <= ceil(n/2) loses value,
+//     up to ~4% on small instances).  Instead, exchangeability of the
+//     uniform placement gives Pr(b | draws=a) = Pr(m-b | draws=n-a), so
+//     the mirror candidate's value is exactly
+//       V(n-a) = (n-a) * Pr(no bots in n-a draws) + E_{b~Hyp(n,m,a)}[S(a,b,p-1)]
+//     and both expectations share the pmf walk of the lower candidate.
+//     The cut is exact in real arithmetic; the mirror sum takes a different
+//     (mathematically equal) floating-point path, so values can differ from
+//     the uncut solver in the last ulps when the optimum sits in the upper
+//     half — tests pin equality to 1e-9 relative and exhaustively on small
+//     grids;
 //   * the per-layer (n, m) cell sweep runs on a chunked thread pool
 //     (AlgorithmOneOptions::threads) — cells of one layer only read the
 //     previous layer, so the parallel sweep is bit-identical to the serial
@@ -51,6 +67,13 @@ struct AlgorithmOneOptions {
   double tail_epsilon = 0.0;
   /// Cap the per-level search over a (0 = search all of [1, n-1]).
   Count a_cap = 0;
+  /// Evaluate split candidates a and n - a from one shared hypergeometric
+  /// walk (see the header comment for the exchangeability identity this
+  /// rests on).  Exact in real arithmetic; upper-half candidate values may
+  /// differ from the uncut loop in the last ulps.  Ignored when a_cap > 0
+  /// (a_cap already restricts the candidate set).  Default on; set false
+  /// to recover the uncut loop bit-for-bit.
+  bool symmetry_cut = true;
   /// Guard against accidental monster allocations (value + argmax tables).
   std::size_t memory_limit_bytes = std::size_t{2} << 30;
   /// Threads for the per-layer cell sweep: 1 = serial (no pool touched),

@@ -18,6 +18,7 @@ std::unique_ptr<Planner> make_planner(const std::string& name,
     return std::make_unique<AlgorithmOnePlanner>(
         AlgorithmOneOptions{.tail_epsilon = options.tail_epsilon,
                             .a_cap = options.a_cap,
+                            .symmetry_cut = options.symmetry_cut,
                             .threads = options.threads,
                             .registry = options.registry});
   }

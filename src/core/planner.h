@@ -43,6 +43,9 @@ struct PlannerOptions {
   /// search over a (0 = search all).
   double tail_epsilon = 0.0;
   Count a_cap = 0;
+  /// AlgorithmOne exchangeability symmetry cut (see AlgorithmOneOptions):
+  /// evaluate split candidates a and n - a from one hypergeometric walk.
+  bool symmetry_cut = true;
   /// Observability sink for planner counters/spans (nullptr = none).
   obs::Registry* registry = nullptr;
 };

@@ -1,6 +1,7 @@
 #include "obs/snapshot.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace shuffledef::obs {
 namespace {
@@ -15,6 +16,30 @@ const T* find_by(const std::vector<T>& sorted, std::string_view name,
       });
   if (it == sorted.end() || std::string_view((*it).*key) != name) return nullptr;
   return &*it;
+}
+
+// Union of two name-sorted sections; entries present in both are combined.
+template <typename T, typename Combine>
+std::vector<T> merge_sorted(const std::vector<T>& a, const std::vector<T>& b,
+                            std::string T::*key, const Combine& combine) {
+  std::vector<T> out;
+  out.reserve(a.size() + b.size());
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if ((*ia).*key < (*ib).*key) {
+      out.push_back(*ia++);
+    } else if ((*ib).*key < (*ia).*key) {
+      out.push_back(*ib++);
+    } else {
+      T entry = *ia++;
+      combine(entry, *ib++);
+      out.push_back(std::move(entry));
+    }
+  }
+  out.insert(out.end(), ia, a.end());
+  out.insert(out.end(), ib, b.end());
+  return out;
 }
 
 }  // namespace
@@ -49,6 +74,44 @@ MetricsSnapshot MetricsSnapshot::deterministic_view() const {
 
 bool MetricsSnapshot::deterministic_equal(const MetricsSnapshot& other) const {
   return deterministic_view() == other.deterministic_view();
+}
+
+MetricsSnapshot& MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  counters = merge_sorted(counters, other.counters, &CounterValue::name,
+                          [](CounterValue& into, const CounterValue& from) {
+                            into.value += from.value;
+                          });
+  gauges = merge_sorted(gauges, other.gauges, &GaugeValue::name,
+                        [](GaugeValue& into, const GaugeValue& from) {
+                          into.value = std::max(into.value, from.value);
+                        });
+  histograms = merge_sorted(
+      histograms, other.histograms, &HistogramValue::name,
+      [](HistogramValue& into, const HistogramValue& from) {
+        if (into.bounds != from.bounds) {
+          throw std::invalid_argument(
+              "MetricsSnapshot::merge: histogram '" + into.name +
+              "' has conflicting bucket bounds");
+        }
+        for (std::size_t i = 0; i < into.counts.size(); ++i) {
+          into.counts[i] += from.counts[i];
+        }
+        into.count += from.count;
+        into.sum += from.sum;
+      });
+  spans = merge_sorted(spans, other.spans, &SpanValue::path,
+                       [](SpanValue& into, const SpanValue& from) {
+                         into.count += from.count;
+                         into.total_ns += from.total_ns;
+                       });
+  return *this;
+}
+
+MetricsSnapshot MetricsSnapshot::merged(
+    const std::vector<MetricsSnapshot>& parts) {
+  MetricsSnapshot out;
+  for (const auto& part : parts) out.merge(part);
+  return out;
 }
 
 }  // namespace shuffledef::obs

@@ -63,6 +63,23 @@ struct MetricsSnapshot {
   /// operator== on the deterministic views.
   [[nodiscard]] bool deterministic_equal(const MetricsSnapshot& other) const;
 
+  /// Merge `other` into this snapshot and return *this.  Sections combine by
+  /// name union (output stays sorted): counter values, histogram bucket
+  /// counts / observation totals / sums, and span counts / durations add;
+  /// gauges keep the maximum, so an aggregate gauge reads "worst across
+  /// parts" — the useful semantics for high-water marks like
+  /// sim.longest_outage.  Histograms sharing a name must share bucket
+  /// bounds (throws std::invalid_argument otherwise — the same schema rule
+  /// Registry enforces).  The operation is associative and commutative,
+  /// except for last-ulp rounding of the histogram float `sum`; it is exact
+  /// (hence fully associative) whenever observations are integer-valued,
+  /// which every sim.* histogram is.
+  MetricsSnapshot& merge(const MetricsSnapshot& other);
+
+  /// Out-of-place left-to-right merge of any number of snapshots.
+  [[nodiscard]] static MetricsSnapshot merged(
+      const std::vector<MetricsSnapshot>& parts);
+
   bool operator==(const MetricsSnapshot&) const = default;
 };
 

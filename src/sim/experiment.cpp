@@ -2,19 +2,27 @@
 
 #include <stdexcept>
 
-#include "util/random.h"
-
 namespace shuffledef::sim {
 
 util::Summary repeat(int reps, std::uint64_t base_seed,
-                     const std::function<double(std::uint64_t)>& metric) {
+                     const std::function<double(std::uint64_t)>& metric,
+                     std::size_t jobs) {
   if (reps <= 0) throw std::invalid_argument("repeat: reps must be > 0");
+  SweepRunner runner(SweepConfig{.jobs = jobs, .base_seed = base_seed});
+  const auto sweep = runner.run(
+      static_cast<std::size_t>(reps),
+      [&metric](const SweepCell& cell) { return metric(cell.seed); });
   util::Accumulator acc;
-  std::uint64_t state = base_seed;
-  for (int r = 0; r < reps; ++r) {
-    acc.add(metric(util::splitmix64(state)));
+  // Accumulate in submission order; value(i) rethrows a failed repetition.
+  for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+    acc.add(sweep.value(i));
   }
   return acc.summary();
+}
+
+util::Summary repeat(int reps, std::uint64_t base_seed,
+                     const std::function<double(std::uint64_t)>& metric) {
+  return repeat(reps, base_seed, metric, /*jobs=*/1);
 }
 
 }  // namespace shuffledef::sim

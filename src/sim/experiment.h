@@ -7,12 +7,25 @@
 #include <cstdint>
 #include <functional>
 
+#include "sim/sweep.h"
 #include "util/stats.h"
 
 namespace shuffledef::sim {
 
 /// Run `metric(rep_seed)` for `reps` deterministic per-repetition seeds
-/// derived from `base_seed` and summarize.
+/// derived from `base_seed` and summarize.  Repetitions fan out across
+/// `jobs` threads via SweepRunner (1 = serial, 0 = hardware concurrency);
+/// the summary is accumulated in repetition order, so it is bit-identical
+/// at every jobs setting.  `metric` must be safe to call concurrently when
+/// jobs != 1.  A repetition that throws fails the whole call: the first
+/// failing repetition's error is rethrown as std::runtime_error.
+util::Summary repeat(int reps, std::uint64_t base_seed,
+                     const std::function<double(std::uint64_t)>& metric,
+                     std::size_t jobs);
+
+/// Deprecated serial-only signature (pre-SweepRunner API); equivalent to
+/// the overload above with jobs = 1.  Kept as a one-release bridge.
+[[deprecated("use repeat(reps, base_seed, metric, jobs)")]]
 util::Summary repeat(int reps, std::uint64_t base_seed,
                      const std::function<double(std::uint64_t)>& metric);
 

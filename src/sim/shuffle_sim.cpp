@@ -12,11 +12,11 @@
 namespace shuffledef::sim {
 namespace {
 
-// Fixed buckets for sim.saved_per_round: decades up to the paper-scale
+// Fixed buckets for sim.saved_per_round: decades up to million-client
 // populations (values record event quantities, so the histogram is
 // deterministic in the seed).
-constexpr std::array<double, 6> kSavedBounds = {0.0,    10.0,    100.0,
-                                                1000.0, 10000.0, 100000.0};
+constexpr std::array<double, 7> kSavedBounds = {
+    0.0, 10.0, 100.0, 1000.0, 10000.0, 100000.0, 1000000.0};
 
 }  // namespace
 

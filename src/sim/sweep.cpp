@@ -1,0 +1,76 @@
+#include "sim/sweep.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "util/math.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace shuffledef::sim {
+
+SweepRunner::SweepRunner(SweepConfig config) : config_(config) {
+  jobs_ = config_.jobs != 0
+              ? config_.jobs
+              : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+SweepRunner::~SweepRunner() = default;
+
+std::vector<std::uint64_t> SweepRunner::seeds(std::size_t cell_count) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(cell_count);
+  std::uint64_t state = config_.base_seed;
+  for (std::size_t i = 0; i < cell_count; ++i) {
+    out.push_back(util::splitmix64(state));
+  }
+  return out;
+}
+
+SweepRunner::DispatchStats SweepRunner::dispatch(
+    std::size_t cell_count,
+    const std::function<void(std::size_t)>& cell) const {
+  // Cells hammer the hypergeometric pmf from many threads at once; build
+  // the log-factorial table before the fan-out so concurrent first users
+  // don't serialize on its one-time initialization.
+  util::warm_math_tables();
+  const auto start = std::chrono::steady_clock::now();
+  if (jobs_ <= 1 || cell_count <= 1) {
+    for (std::size_t i = 0; i < cell_count; ++i) cell(i);
+  } else {
+    if (!pool_) pool_ = std::make_unique<util::ThreadPool>(jobs_);
+    // grain = 1: cells are coarse units (a whole simulation each), so
+    // per-cell hand-out gives the best load balance; correctness never
+    // depends on chunking because results are keyed by submission index.
+    pool_->parallel_for(
+        0, static_cast<std::int64_t>(cell_count),
+        [&cell](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t i = lo; i < hi; ++i) {
+            cell(static_cast<std::size_t>(i));
+          }
+        },
+        /*grain=*/1);
+  }
+  DispatchStats stats;
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (stats.wall_seconds > 0.0) {
+    stats.cells_per_second =
+        static_cast<double>(cell_count) / stats.wall_seconds;
+  }
+  return stats;
+}
+
+void SweepRunner::record(std::size_t cells, std::size_t failed,
+                         double cells_per_second) const {
+  if (config_.registry == nullptr) return;
+  config_.registry->counter("sweep.cells").inc(cells);
+  config_.registry->counter("sweep.cells_failed").inc(failed);
+  config_.registry->gauge("sweep.cells_per_sec")
+      .max_with(static_cast<std::int64_t>(std::llround(cells_per_second)));
+}
+
+}  // namespace shuffledef::sim

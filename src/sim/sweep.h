@@ -1,0 +1,168 @@
+// SweepRunner: the batch execution engine behind every figure/ablation
+// grid.  It fans an arbitrary number of cells — one (config, seed) point of
+// an experiment grid — across a thread pool and collects the results in
+// submission order regardless of completion order.
+//
+// Determinism contract:
+//   * Per-cell seeds come from the same splitmix64 chain sim::repeat has
+//     always used (state = base_seed; seed_i = splitmix64(state)), computed
+//     serially up front — cell i sees the same seed at every jobs setting.
+//   * Results land in submission-indexed slots and per-cell metric
+//     registries are merged in submission order, so SweepResult::cells and
+//     SweepResult::metrics.deterministic_view() are bit-identical at any
+//     jobs count (jobs = 1 reproduces the historical serial loop exactly).
+//   * wall_seconds / cells_per_second are wall-clock and excluded.
+//
+// Failure isolation: a throwing cell records its error message in its slot
+// instead of killing the sweep; SweepResult::value(i) rethrows on access.
+//
+// The cell body is invoked concurrently from multiple threads — it must be
+// a pure function of the SweepCell it receives (the per-cell registry gives
+// each invocation a private metrics sink).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "obs/registry.h"
+#include "obs/snapshot.h"
+
+namespace shuffledef::util {
+class ThreadPool;
+}
+
+namespace shuffledef::sim {
+
+struct SweepConfig {
+  /// Concurrent cells: 1 = serial in the calling thread (no pool built),
+  /// 0 = hardware concurrency, k > 1 = a private pool of k threads.
+  std::size_t jobs = 0;
+  /// Base seed of the deterministic per-cell seed chain.
+  std::uint64_t base_seed = 0;
+  /// Optional sweep-level sink, mirroring the counters sweep.cells /
+  /// sweep.cells_failed (also present in SweepResult::metrics) plus the
+  /// throughput gauge sweep.cells_per_sec.  The gauge is wall-clock-derived
+  /// and therefore outside the determinism contract (which is why it lives
+  /// only here and not in SweepResult::metrics).
+  obs::Registry* registry = nullptr;
+};
+
+/// Context handed to the cell body.
+struct SweepCell {
+  std::size_t index = 0;             // submission index
+  std::uint64_t seed = 0;            // splitmix64-derived per-cell seed
+  obs::Registry* registry = nullptr; // private per-cell sink (never null)
+};
+
+template <typename T>
+struct SweepCellResult {
+  std::size_t index = 0;
+  std::uint64_t seed = 0;
+  std::optional<T> value;  // empty iff the cell threw
+  std::string error;       // what() of the captured exception
+  [[nodiscard]] bool ok() const noexcept { return value.has_value(); }
+};
+
+template <typename T>
+struct SweepResult {
+  std::vector<SweepCellResult<T>> cells;  // submission order
+  /// Per-cell registries merged in submission order (deterministic_view()
+  /// is bit-identical at every jobs setting).
+  obs::MetricsSnapshot metrics;
+  std::size_t failed = 0;
+  double wall_seconds = 0.0;      // wall-clock: NOT deterministic
+  double cells_per_second = 0.0;  // wall-clock: NOT deterministic
+
+  /// Value of cell i; rethrows the cell's captured error.
+  [[nodiscard]] const T& value(std::size_t i) const {
+    const auto& c = cells.at(i);
+    if (!c.ok()) {
+      throw std::runtime_error("sweep cell " + std::to_string(c.index) +
+                               " failed: " + c.error);
+    }
+    return *c.value;
+  }
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepConfig config = {});
+  ~SweepRunner();
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  /// Effective concurrency (jobs == 0 resolved to the hardware count).
+  [[nodiscard]] std::size_t jobs() const noexcept { return jobs_; }
+
+  /// The seed cell i of a `cell_count`-cell sweep receives — the same
+  /// chain sim::repeat derives, exposed for callers that precompute cells.
+  [[nodiscard]] std::vector<std::uint64_t> seeds(std::size_t cell_count) const;
+
+  /// Run `body(cell)` for every cell and collect.  `body` must be safe to
+  /// invoke concurrently and must return a value (its result type is the
+  /// sweep's T).  Exceptions from a cell are captured per cell.
+  template <typename Fn>
+  auto run(std::size_t cell_count, Fn&& body)
+      -> SweepResult<std::decay_t<std::invoke_result_t<Fn&, const SweepCell&>>> {
+    using T = std::decay_t<std::invoke_result_t<Fn&, const SweepCell&>>;
+    static_assert(!std::is_void_v<T>,
+                  "sweep cell bodies must return a value");
+    SweepResult<T> result;
+    result.cells.resize(cell_count);
+    std::vector<std::unique_ptr<obs::Registry>> registries(cell_count);
+    for (auto& r : registries) r = std::make_unique<obs::Registry>();
+    const auto seed_chain = seeds(cell_count);
+    const auto stats = dispatch(cell_count, [&](std::size_t i) {
+      auto& slot = result.cells[i];
+      slot.index = i;
+      slot.seed = seed_chain[i];
+      const SweepCell ctx{i, seed_chain[i], registries[i].get()};
+      try {
+        slot.value.emplace(body(ctx));
+      } catch (const std::exception& e) {
+        slot.error = e.what();
+      } catch (...) {
+        slot.error = "unknown exception";
+      }
+    });
+    result.wall_seconds = stats.wall_seconds;
+    result.cells_per_second = stats.cells_per_second;
+    for (std::size_t i = 0; i < cell_count; ++i) {
+      result.metrics.merge(registries[i]->snapshot());
+      if (!result.cells[i].ok()) ++result.failed;
+    }
+    // sweep.cells / sweep.cells_failed are deterministic counts and belong
+    // in the result snapshot; the wall-clock throughput gauge goes only to
+    // the optional config registry (see record()).
+    obs::Registry sweep_registry;
+    sweep_registry.counter("sweep.cells").inc(cell_count);
+    sweep_registry.counter("sweep.cells_failed").inc(result.failed);
+    result.metrics.merge(sweep_registry.snapshot());
+    record(cell_count, result.failed, result.cells_per_second);
+    return result;
+  }
+
+ private:
+  struct DispatchStats {
+    double wall_seconds = 0.0;
+    double cells_per_second = 0.0;
+  };
+  DispatchStats dispatch(std::size_t cell_count,
+                         const std::function<void(std::size_t)>& cell) const;
+  void record(std::size_t cells, std::size_t failed,
+              double cells_per_second) const;
+
+  SweepConfig config_;
+  std::size_t jobs_ = 1;
+  // Lazily built private pool when jobs_ > 1 (run() is logically const on
+  // the runner; the pool is an execution resource, as in AlgorithmOnePlanner).
+  mutable std::unique_ptr<util::ThreadPool> pool_;
+};
+
+}  // namespace shuffledef::sim

@@ -9,7 +9,9 @@ namespace {
 
 constexpr std::int64_t kLogFactCacheSize = 1 << 20;  // exact up to ~1M
 
-const std::vector<double>& log_fact_table() {
+// Process-wide cache (magic static): built once — possibly under the
+// static-init mutex on first use — then read lock-free forever after.
+const double* log_fact_table() {
   static const std::vector<double> table = [] {
     std::vector<double> t(kLogFactCacheSize);
     t[0] = 0.0;
@@ -18,20 +20,35 @@ const std::vector<double>& log_fact_table() {
     }
     return t;
   }();
-  return table;
+  return table.data();
+}
+
+// Table-pointer-in-hand variants: the binomial/pmf hot paths fetch the
+// magic static once per call instead of once per factorial (each fetch is
+// a guarded acquire load).
+inline double log_factorial_from(const double* table, std::int64_t n) {
+  if (n < kLogFactCacheSize) return table[n];
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+inline double log_binomial_from(const double* table, std::int64_t n,
+                                std::int64_t k) {
+  if (k < 0 || k > n || n < 0) return kNegInf;
+  return log_factorial_from(table, n) - log_factorial_from(table, k) -
+         log_factorial_from(table, n - k);
 }
 
 }  // namespace
 
+void warm_math_tables() { (void)log_fact_table(); }
+
 double log_factorial(std::int64_t n) {
   if (n < 0) throw std::invalid_argument("log_factorial: negative argument");
-  if (n < kLogFactCacheSize) return log_fact_table()[static_cast<size_t>(n)];
-  return std::lgamma(static_cast<double>(n) + 1.0);
+  return log_factorial_from(log_fact_table(), n);
 }
 
 double log_binomial(std::int64_t n, std::int64_t k) {
-  if (k < 0 || k > n || n < 0) return kNegInf;
-  return log_factorial(n) - log_factorial(k) - log_factorial(n - k);
+  return log_binomial_from(log_fact_table(), n, k);
 }
 
 double binomial(std::int64_t n, std::int64_t k) {
@@ -47,7 +64,9 @@ double prob_no_bots(std::int64_t n, std::int64_t m, std::int64_t x) {
   if (m == 0) return 1.0;
   if (x == 0) return 1.0;
   if (x > n - m) return 0.0;  // not enough non-bot clients to fill the replica
-  return std::exp(log_binomial(n - x, m) - log_binomial(n, m));
+  const double* table = log_fact_table();
+  return std::exp(log_binomial_from(table, n - x, m) -
+                  log_binomial_from(table, n, m));
 }
 
 double log_hypergeometric_pmf(std::int64_t total, std::int64_t successes,
@@ -59,9 +78,10 @@ double log_hypergeometric_pmf(std::int64_t total, std::int64_t successes,
   if (k < 0 || k > draws || k > successes || draws - k > total - successes) {
     return kNegInf;
   }
-  return log_binomial(successes, k) +
-         log_binomial(total - successes, draws - k) -
-         log_binomial(total, draws);
+  const double* table = log_fact_table();
+  return log_binomial_from(table, successes, k) +
+         log_binomial_from(table, total - successes, draws - k) -
+         log_binomial_from(table, total, draws);
 }
 
 double hypergeometric_pmf(std::int64_t total, std::int64_t successes,

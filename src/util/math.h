@@ -13,6 +13,13 @@
 
 namespace shuffledef::util {
 
+/// Eagerly build the process-wide log-factorial table that backs
+/// log_factorial / log_binomial / hypergeometric_pmf (otherwise it is built
+/// lazily on first use).  Call once before fanning work across threads so
+/// concurrent first users don't serialize on the one-time ~1M-entry
+/// initialization.  Thread-safe and idempotent.
+void warm_math_tables();
+
 /// Natural log of n! (n >= 0).  Values up to an internal cache size are
 /// exact table lookups; larger arguments fall back to lgamma.
 double log_factorial(std::int64_t n);

@@ -1,0 +1,133 @@
+// Algorithm 1 exchangeability symmetry cut (see algorithm_one.h): the
+// mirrored candidate V(n - a) is evaluated from the same hypergeometric walk
+// as V(a), halving the candidate sweep.  The identity is exact in real
+// arithmetic; these tests pin value equality against the uncut sweep on
+// exhaustive small grids and randomized larger ones, and the escape hatch's
+// bitwise guarantees.  Runs under the "threading" ctest label so the TSan
+// lane covers the cut inside the chunked parallel sweep.
+#include "core/algorithm_one.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace shuffledef::core {
+namespace {
+
+double value_with(const ShuffleProblem& problem, bool symmetry_cut,
+                  double tail_epsilon = 0.0, Count a_cap = 0,
+                  Count threads = 1) {
+  AlgorithmOneOptions opts;
+  opts.threads = threads;
+  opts.tail_epsilon = tail_epsilon;
+  opts.a_cap = a_cap;
+  opts.symmetry_cut = symmetry_cut;
+  return AlgorithmOnePlanner(opts).value(problem);
+}
+
+void expect_rel_close(double cut, double uncut, double tol,
+                      const ShuffleProblem& problem) {
+  const double scale = std::max({std::abs(cut), std::abs(uncut), 1.0});
+  EXPECT_LE(std::abs(cut - uncut), tol * scale)
+      << "N=" << problem.clients << " M=" << problem.bots
+      << " P=" << problem.replicas << " cut=" << cut << " uncut=" << uncut;
+}
+
+TEST(SymmetryCut, ValueEqualOnExhaustiveSmallGrid) {
+  // Every (N, M, P) with N <= 14: the cut must agree with the full sweep to
+  // rounding noise (the mirrored candidates take a different but exact
+  // floating-point path).
+  for (Count n = 4; n <= 14; ++n) {
+    for (Count m = 1; m <= n - 2; ++m) {
+      for (Count p = 2; p <= 5; ++p) {
+        const ShuffleProblem problem{n, m, p};
+        expect_rel_close(value_with(problem, true),
+                         value_with(problem, false), 1e-12, problem);
+      }
+    }
+  }
+}
+
+TEST(SymmetryCut, ValueEqualOnRandomizedGrid) {
+  util::Rng rng(20140623);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto n = static_cast<Count>(rng.uniform_int(20, 90));
+    const auto m = static_cast<Count>(rng.uniform_int(1, n - 2));
+    const auto p = static_cast<Count>(rng.uniform_int(2, 10));
+    const ShuffleProblem problem{n, m, p};
+    expect_rel_close(value_with(problem, true), value_with(problem, false),
+                     1e-9, problem);
+  }
+}
+
+TEST(SymmetryCut, ValueEqualUnderTailTruncation) {
+  // The pmf-smallness truncation applies to the direct and mirrored sums in
+  // the same epsilon class, so the cut changes nothing material.
+  util::Rng rng(8);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto n = static_cast<Count>(rng.uniform_int(30, 80));
+    const auto m = static_cast<Count>(rng.uniform_int(2, n - 2));
+    const auto p = static_cast<Count>(rng.uniform_int(2, 8));
+    const ShuffleProblem problem{n, m, p};
+    expect_rel_close(value_with(problem, true, 1e-12),
+                     value_with(problem, false, 1e-12), 1e-9, problem);
+  }
+}
+
+TEST(SymmetryCut, ValueEqualInsideParallelSweep) {
+  // The mirror scratch is per-chunk state inside the parallel sweep; the
+  // threaded cut must agree with the serial uncut reference.
+  for (const Count n : {40, 70}) {
+    const ShuffleProblem problem{n, n / 3, 5};
+    expect_rel_close(value_with(problem, true, 0.0, 0, 4),
+                     value_with(problem, false), 1e-9, problem);
+  }
+}
+
+TEST(SymmetryCut, ACapDisablesTheCutBitwise) {
+  // a_cap already restricts the candidate range; composing it with the
+  // mirror would change which candidates are seen, so the cut is ignored —
+  // bit-for-bit, not approximately.
+  for (const Count n : {30, 60}) {
+    const ShuffleProblem problem{n, n / 2, 5};
+    EXPECT_EQ(value_with(problem, true, 0.0, 8),
+              value_with(problem, false, 0.0, 8));
+    EXPECT_EQ(value_with(problem, true, 1e-10, 4),
+              value_with(problem, false, 1e-10, 4));
+  }
+}
+
+TEST(SymmetryCut, DisabledCutIsDeterministic) {
+  // The escape hatch recovers the historical uncut loop; repeated solves are
+  // bitwise identical (the golden anchor for debugging suspected cut bugs).
+  const ShuffleProblem problem{50, 20, 4};
+  EXPECT_EQ(value_with(problem, false), value_with(problem, false));
+  EXPECT_EQ(value_with(problem, true), value_with(problem, true));
+}
+
+TEST(SymmetryCut, PlanStillOptimalOnSmallInstances) {
+  // The buffered ascending final scan must keep the returned plan
+  // equivalent to the uncut planner's.  Buckets are exchangeable, so the
+  // plans are compared as sorted bucket-size multisets (the cut can emit
+  // the same partition with buckets in a different order).
+  for (Count n = 6; n <= 12; ++n) {
+    const ShuffleProblem problem{n, n / 3, 3};
+    AlgorithmOneOptions cut_opts;
+    cut_opts.threads = 1;
+    cut_opts.symmetry_cut = true;
+    AlgorithmOneOptions uncut_opts = cut_opts;
+    uncut_opts.symmetry_cut = false;
+    auto cut_counts = AlgorithmOnePlanner(cut_opts).plan(problem).counts();
+    auto uncut_counts =
+        AlgorithmOnePlanner(uncut_opts).plan(problem).counts();
+    std::sort(cut_counts.begin(), cut_counts.end());
+    std::sort(uncut_counts.begin(), uncut_counts.end());
+    EXPECT_EQ(cut_counts, uncut_counts) << "N=" << problem.clients;
+  }
+}
+
+}  // namespace
+}  // namespace shuffledef::core

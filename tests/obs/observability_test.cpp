@@ -72,6 +72,11 @@ TEST(Observability, SimCountersAgreeWithResultFields) {
   ASSERT_NE(hist, nullptr);
   EXPECT_EQ(hist->count, m.counter(sim::kMetricSimRoundsExecuted));
   EXPECT_DOUBLE_EQ(hist->sum, static_cast<double>(result.saved_total));
+  // Schema: the top finite bucket covers paper-scale rounds (a 1.5e5-client
+  // round saving everything must not land in overflow).
+  ASSERT_FALSE(hist->bounds.empty());
+  EXPECT_DOUBLE_EQ(hist->bounds.front(), 0.0);
+  EXPECT_DOUBLE_EQ(hist->bounds.back(), 1000000.0);
 }
 
 TEST(Observability, SpanNestingUnderInjectedFaults) {

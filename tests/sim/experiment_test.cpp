@@ -9,10 +9,13 @@ namespace {
 
 TEST(Repeat, CallsMetricOncePerRepWithDistinctSeeds) {
   std::vector<std::uint64_t> seeds;
-  const auto summary = repeat(10, 99, [&](std::uint64_t seed) {
-    seeds.push_back(seed);
-    return 1.0;
-  });
+  const auto summary = repeat(
+      10, 99,
+      [&](std::uint64_t seed) {
+        seeds.push_back(seed);
+        return 1.0;
+      },
+      1);
   EXPECT_EQ(summary.count, 10);
   EXPECT_DOUBLE_EQ(summary.mean, 1.0);
   std::sort(seeds.begin(), seeds.end());
@@ -22,10 +25,13 @@ TEST(Repeat, CallsMetricOncePerRepWithDistinctSeeds) {
 TEST(Repeat, DeterministicInBaseSeed) {
   auto run = [](std::uint64_t base) {
     std::vector<std::uint64_t> seeds;
-    repeat(5, base, [&](std::uint64_t s) {
-      seeds.push_back(s);
-      return 0.0;
-    });
+    repeat(
+        5, base,
+        [&](std::uint64_t s) {
+          seeds.push_back(s);
+          return 0.0;
+        },
+        1);
     return seeds;
   };
   EXPECT_EQ(run(7), run(7));
@@ -34,15 +40,15 @@ TEST(Repeat, DeterministicInBaseSeed) {
 
 TEST(Repeat, SummaryStatisticsCorrect) {
   int i = 0;
-  const auto summary =
-      repeat(4, 1, [&](std::uint64_t) { return static_cast<double>(i++); });
+  const auto summary = repeat(
+      4, 1, [&](std::uint64_t) { return static_cast<double>(i++); }, 1);
   EXPECT_DOUBLE_EQ(summary.mean, 1.5);
   EXPECT_DOUBLE_EQ(summary.min, 0.0);
   EXPECT_DOUBLE_EQ(summary.max, 3.0);
 }
 
 TEST(Repeat, RejectsNonPositiveReps) {
-  EXPECT_THROW(repeat(0, 1, [](std::uint64_t) { return 0.0; }),
+  EXPECT_THROW(repeat(0, 1, [](std::uint64_t) { return 0.0; }, 1),
                std::invalid_argument);
 }
 

@@ -1,0 +1,165 @@
+// SweepRunner determinism contract: results and merged metric snapshots are
+// bit-identical at every jobs count, per-cell failures are captured without
+// poisoning sibling cells, and MetricsSnapshot::merge is associative for
+// integer-valued metric activity.  Runs under the "threading" ctest label so
+// the TSan lane exercises the cross-thread paths.
+#include "sim/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/registry.h"
+#include "obs/snapshot.h"
+#include "sim/experiment.h"
+#include "util/random.h"
+
+namespace shuffledef::sim {
+namespace {
+
+/// A cell body with real metric activity: deterministic in (index, seed)
+/// only, so any cross-thread interference shows up as a diff.
+double busy_cell(const SweepCell& cell) {
+  util::Rng rng(cell.seed);
+  cell.registry->counter("test.cells").inc();
+  auto hist = cell.registry->histogram("test.value", {100.0, 500.0, 900.0});
+  const auto v = static_cast<double>(rng.uniform_int(0, 1000));
+  hist.observe(v);
+  cell.registry->gauge("test.max_cell").max_with(
+      static_cast<std::int64_t>(cell.index));
+  return v + static_cast<double>(cell.index);
+}
+
+TEST(SweepRunner, ResultsAndMetricsBitIdenticalAcrossJobs) {
+  const auto run = [](std::size_t jobs) {
+    SweepRunner runner(SweepConfig{.jobs = jobs, .base_seed = 7});
+    return runner.run(64, busy_cell);
+  };
+  const auto serial = run(1);
+  const auto parallel = run(8);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].seed, parallel.cells[i].seed);
+    EXPECT_EQ(serial.value(i), parallel.value(i)) << "cell " << i;
+  }
+  // Per-cell registries merge in submission order, so the aggregate snapshot
+  // is part of the determinism contract (wall-clock fields excluded).
+  EXPECT_EQ(serial.metrics.deterministic_view(),
+            parallel.metrics.deterministic_view());
+  EXPECT_EQ(serial.metrics.counter("test.cells"), 64u);
+  EXPECT_EQ(serial.metrics.counter("sweep.cells"), 64u);
+  EXPECT_EQ(serial.metrics.counter("sweep.cells_failed"), 0u);
+  EXPECT_EQ(serial.metrics.gauge("test.max_cell"), 63);
+}
+
+TEST(SweepRunner, SeedsMatchHistoricalRepeatChain) {
+  // sim::repeat has always derived per-rep seeds from a splitmix64 chain
+  // rooted at the base seed; SweepRunner must reproduce it exactly so
+  // existing experiment outputs survive the port.
+  std::uint64_t state = 42;
+  std::vector<std::uint64_t> expected;
+  for (int i = 0; i < 6; ++i) expected.push_back(util::splitmix64(state));
+  SweepRunner runner(SweepConfig{.jobs = 3, .base_seed = 42});
+  EXPECT_EQ(runner.seeds(6), expected);
+  const auto sweep = runner.run(
+      6, [](const SweepCell& cell) { return static_cast<double>(cell.seed); });
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(sweep.value(i), static_cast<double>(expected[i]));
+  }
+}
+
+TEST(SweepRunner, CapturesPerCellFailuresWithoutPoisoningSiblings) {
+  SweepRunner runner(SweepConfig{.jobs = 4, .base_seed = 1});
+  const auto sweep = runner.run(8, [](const SweepCell& cell) {
+    if (cell.index == 5) throw std::runtime_error("boom in cell 5");
+    return static_cast<double>(cell.index);
+  });
+  EXPECT_EQ(sweep.failed, 1u);
+  EXPECT_FALSE(sweep.cells[5].ok());
+  EXPECT_NE(sweep.cells[5].error.find("boom in cell 5"), std::string::npos);
+  EXPECT_THROW((void)sweep.value(5), std::runtime_error);
+  for (std::size_t i = 0; i < 8; ++i) {
+    if (i == 5) continue;
+    EXPECT_TRUE(sweep.cells[i].ok());
+    EXPECT_EQ(sweep.value(i), static_cast<double>(i));
+  }
+  EXPECT_EQ(sweep.metrics.counter("sweep.cells"), 8u);
+  EXPECT_EQ(sweep.metrics.counter("sweep.cells_failed"), 1u);
+}
+
+TEST(Repeat, JobsOverloadBitIdenticalToSerial) {
+  const auto metric = [](std::uint64_t seed) {
+    return static_cast<double>(seed % 1009) * 0.5;
+  };
+  const auto serial = repeat(32, 99, metric, 1);
+  const auto parallel = repeat(32, 99, metric, 4);
+  EXPECT_EQ(serial.count, parallel.count);
+  EXPECT_EQ(serial.mean, parallel.mean);
+  EXPECT_EQ(serial.stddev, parallel.stddev);
+  EXPECT_EQ(serial.min, parallel.min);
+  EXPECT_EQ(serial.max, parallel.max);
+}
+
+TEST(Repeat, DeprecatedBridgeDelegatesToSerial) {
+  const auto metric = [](std::uint64_t seed) {
+    return static_cast<double>(seed % 101);
+  };
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto legacy = repeat(12, 5, metric);
+#pragma GCC diagnostic pop
+  const auto current = repeat(12, 5, metric, 1);
+  EXPECT_EQ(legacy.count, current.count);
+  EXPECT_EQ(legacy.mean, current.mean);
+  EXPECT_EQ(legacy.stddev, current.stddev);
+  EXPECT_EQ(legacy.min, current.min);
+  EXPECT_EQ(legacy.max, current.max);
+}
+
+obs::MetricsSnapshot snapshot_with(std::uint64_t counter_n,
+                                   std::int64_t gauge_v, double hist_v) {
+  obs::Registry registry;
+  auto counter = registry.counter("m.count");
+  for (std::uint64_t i = 0; i < counter_n; ++i) counter.inc();
+  registry.gauge("m.peak").max_with(gauge_v);
+  registry.histogram("m.hist", {1.0, 10.0}).observe(hist_v);
+  return registry.snapshot();
+}
+
+TEST(MetricsMerge, AssociativeForIntegerValuedActivity) {
+  const auto a = snapshot_with(3, 10, 0.0);
+  const auto b = snapshot_with(5, -2, 4.0);
+  const auto c = snapshot_with(7, 25, 12.0);
+
+  auto left = a;
+  left.merge(b);
+  left.merge(c);
+  auto bc = b;
+  bc.merge(c);
+  auto right = a;
+  right.merge(bc);
+  EXPECT_EQ(left.deterministic_view(), right.deterministic_view());
+  EXPECT_EQ(obs::MetricsSnapshot::merged({a, b, c}).deterministic_view(),
+            left.deterministic_view());
+
+  EXPECT_EQ(left.counter("m.count"), 15u);
+  EXPECT_EQ(left.gauge("m.peak"), 25);  // gauges merge as max
+  const auto* hist = left.histogram("m.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 3u);
+  EXPECT_DOUBLE_EQ(hist->sum, 16.0);
+}
+
+TEST(MetricsMerge, HistogramBoundsConflictThrows) {
+  obs::Registry r1;
+  r1.histogram("m.hist", {1.0, 2.0}).observe(0.5);
+  obs::Registry r2;
+  r2.histogram("m.hist", {1.0, 3.0}).observe(0.5);
+  auto a = r1.snapshot();
+  EXPECT_THROW(a.merge(r2.snapshot()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shuffledef::sim
