@@ -17,15 +17,50 @@
 // moving target defense is stateless, only focusing on the current state of
 // the replica servers"): every round it shuffles exactly the attacked
 // replicas' clients and leaves clean replicas alone.
+//
+// Engine design (million-client scale): the client population lives in a
+// struct-of-arrays store — a flat per-client bot-index column, the shuffling
+// pool as parallel id/bot-index arrays, saved groups as slices of flat
+// member/bot arenas, and per-bot behavior state in a flat
+// `std::vector<BotBehavior>` — so a round's activity pass, re-pollution
+// scan, bucket scan and partition are contiguous sweeps instead of
+// pointer-chasing, and benign-safety accounting is O(1) running totals
+// instead of a full rescan of every saved client per round.  The sweeps are
+// sharded across a `util::ThreadPool` (`ClientSimConfig::threads`) with
+// chunk boundaries that depend only on the data, and every random draw comes
+// from either the serial shuffle stream or a per-bot `util::SmallRng` fork —
+// so results are bit-identical at every thread count (EXPECT_EQ, enforced by
+// tests/sim/client_sim_golden_test.cpp).  `ReferenceClientSimulator`
+// (client_sim_reference.h) keeps the original array-of-structs serial engine
+// as a differential baseline.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/shuffle_controller.h"
+#include "obs/snapshot.h"
 #include "sim/strategy.h"
 
+namespace shuffledef::util {
+class ThreadPool;
+}
+
 namespace shuffledef::sim {
+
+// Metric names recorded by the client-level simulator (see ARCHITECTURE.md
+// "Observability" for the full catalogue).
+inline constexpr std::string_view kMetricClientRounds = "client.rounds";
+inline constexpr std::string_view kMetricClientRepolluted =
+    "client.repolluted";
+inline constexpr std::string_view kMetricClientSaved = "client.saved";
+inline constexpr std::string_view kMetricClientAwayBots =
+    "client.away_bots";  // gauge (point-in-time, last round wins)
+inline constexpr std::string_view kMetricClientPoolSize =
+    "client.pool_size";  // histogram (one observation per round)
 
 struct ClientSimConfig {
   Count benign = 1000;
@@ -34,6 +69,28 @@ struct ClientSimConfig {
   core::ControllerConfig controller;
   Count rounds = 100;
   std::uint64_t seed = 1;
+  /// Worker threads for the sharded round sweeps: 1 = serial, 0 = shared
+  /// pool, k > 1 = a private pool of k threads (the AlgorithmOneOptions
+  /// convention).  Results are bit-identical at every setting.
+  Count threads = 0;
+  /// Verify the conservation invariant at the end of every round: every
+  /// client id is in exactly one of {pool, saved group, away}, and the
+  /// engine's running totals match a recount.  Throws std::logic_error on
+  /// violation.  O(clients) per round — for tests, not production runs.
+  bool audit = false;
+  /// Metrics sink for the run (nullptr = the simulator uses a private
+  /// registry per run; the result snapshot is then exactly this run's
+  /// activity).  The controller's registry pointer is overridden with the
+  /// effective sink.
+  obs::Registry* registry = nullptr;
+
+  /// All violations at once, each prefixed (e.g. "client.") for embedding in
+  /// a composite config's report.  Includes the nested strategy./controller.
+  /// violations.
+  [[nodiscard]] std::vector<std::string> violations(
+      const std::string& prefix = {}) const;
+  /// Throws std::invalid_argument listing every violation.
+  void validate() const;
 };
 
 struct ClientRoundMetrics {
@@ -45,26 +102,51 @@ struct ClientRoundMetrics {
   Count repolluted_benign = 0;   // benign dragged back into the pool this round
   Count away_bots = 0;           // quit-reenter bots currently outside
   Count attacked_replicas = 0;
+  Count saved_clients = 0;       // all clients (benign + dormant bots) on
+                                 // clean, non-shuffling replicas
+
+  friend bool operator==(const ClientRoundMetrics&,
+                         const ClientRoundMetrics&) = default;
 };
 
 struct ClientSimResult {
   std::vector<ClientRoundMetrics> rounds;
   Count benign_total = 0;
+  /// Every metric of the run (client.* round counters plus the controller /
+  /// MLE / planner activity).  Deterministic in the seed and the thread
+  /// count (deterministic_view()).
+  obs::MetricsSnapshot metrics;
 
   /// Fraction of benign clients safe at the end of the run.
   [[nodiscard]] double final_safe_fraction() const;
-  /// Mean active attackers per round (the delivered attack intensity).
+  /// Mean active attackers per round — the *delivered* attack intensity —
+  /// averaged over the rounds in which a shuffling pool existed.  Rounds
+  /// with an empty pool have no attack surface (every active bot would have
+  /// re-polluted its replica back into the pool) and are excluded so a long
+  /// all-bots-quit tail cannot dilute the metric.
   [[nodiscard]] double mean_attack_intensity() const;
+  /// Mean active attackers over *all* rounds, empty-pool tail included (the
+  /// pre-refactor definition; kept for run-length-normalized comparisons).
+  [[nodiscard]] double mean_attack_intensity_all_rounds() const;
 };
 
 class ClientLevelSimulator {
  public:
   explicit ClientLevelSimulator(ClientSimConfig config);
+  ~ClientLevelSimulator();
+  ClientLevelSimulator(const ClientLevelSimulator&) = delete;
+  ClientLevelSimulator& operator=(const ClientLevelSimulator&) = delete;
 
   [[nodiscard]] ClientSimResult run();
 
  private:
+  [[nodiscard]] util::ThreadPool* pool() const;
+
   ClientSimConfig config_;
+  // Lazily built private pool when config_.threads > 1 (run() is logically
+  // const on the configuration; the pool is an execution resource, as in
+  // AlgorithmOnePlanner).
+  mutable std::unique_ptr<util::ThreadPool> private_pool_;
 };
 
 }  // namespace shuffledef::sim

@@ -1,0 +1,204 @@
+#include "sim/client_sim_reference.h"
+
+#include <algorithm>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace shuffledef::sim {
+namespace {
+
+struct Client {
+  Count bot_index = -1;  // -1 = benign
+  [[nodiscard]] bool is_bot() const { return bot_index >= 0; }
+};
+
+struct AwayBot {
+  Count client_id = 0;
+  Count rounds_left = 0;
+  bool new_ip = false;
+  Count recorded_group = -1;  // -1 = was in the shuffling pool
+};
+
+}  // namespace
+
+ReferenceClientSimulator::ReferenceClientSimulator(ClientSimConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
+}
+
+ClientSimResult ReferenceClientSimulator::run() {
+  util::Rng root(config_.seed);
+  util::Rng shuffle_rng = root.fork(1);
+  util::Rng behavior_rng = root.fork(2);
+
+  // Client registry: ids are stable; clients sit either in the shuffling
+  // pool, in a saved group, or (bots only) away.
+  std::vector<Client> clients;
+  std::vector<BotBehavior> behaviors;
+  clients.reserve(static_cast<std::size_t>(config_.benign + config_.bots));
+  for (Count i = 0; i < config_.benign; ++i) clients.push_back({});
+  for (Count b = 0; b < config_.bots; ++b) {
+    clients.push_back({.bot_index = b});
+    behaviors.emplace_back(behavior_rng.fork_small(static_cast<std::uint64_t>(b)));
+  }
+
+  std::vector<Count> pool;  // client ids currently being shuffled
+  for (Count id = 0; id < config_.benign + config_.bots; ++id) pool.push_back(id);
+  std::vector<std::vector<Count>> saved_groups;  // non-shuffling replicas
+  std::vector<AwayBot> away;
+
+  core::ShuffleController controller(config_.controller);
+  std::optional<core::ShuffleObservation> prev_obs;
+
+  ClientSimResult result;
+  result.benign_total = config_.benign;
+
+  // Naive bots cannot even reach the replicas after the very first server
+  // replacement; drop them from the pool immediately (they contribute only
+  // to the pre-defense flood, which is not modelled here).
+  if (config_.strategy.strategy == BotStrategy::kNaive) {
+    std::erase_if(pool, [&](Count id) {
+      return clients[static_cast<std::size_t>(id)].is_bot();
+    });
+  }
+
+  for (Count round = 1; round <= config_.rounds; ++round) {
+    ClientRoundMetrics metrics;
+    metrics.round = round;
+
+    // 1. Away bots tick down; returning bots are placed.
+    for (auto it = away.begin(); it != away.end();) {
+      if (--it->rounds_left > 0) {
+        ++it;
+        continue;
+      }
+      if (!it->new_ip && it->recorded_group >= 0 &&
+          static_cast<std::size_t>(it->recorded_group) < saved_groups.size()) {
+        // Known IP: the sticky record pins it back to its old replica.
+        saved_groups[static_cast<std::size_t>(it->recorded_group)].push_back(
+            it->client_id);
+      } else {
+        // Fresh IP (or the recorded replica was the shuffling pool).
+        pool.push_back(it->client_id);
+      }
+      it = away.erase(it);
+    }
+
+    // 2. Each present bot decides whether it attacks this round.
+    std::vector<bool> bot_active(behaviors.size(), false);
+    auto decide_activity = [&](Count id) {
+      const auto& c = clients[static_cast<std::size_t>(id)];
+      if (!c.is_bot()) return;
+      bot_active[static_cast<std::size_t>(c.bot_index)] =
+          behaviors[static_cast<std::size_t>(c.bot_index)].step_attacks(
+              config_.strategy);
+    };
+    for (const Count id : pool) decide_activity(id);
+    for (const auto& group : saved_groups) {
+      for (const Count id : group) decide_activity(id);
+    }
+
+    // 3. Saved groups with an active bot are re-polluted: the replica is
+    //    attacked, so it rejoins the shuffle pool with all its clients.
+    for (auto it = saved_groups.begin(); it != saved_groups.end();) {
+      const bool attacked = std::any_of(it->begin(), it->end(), [&](Count id) {
+        const auto& c = clients[static_cast<std::size_t>(id)];
+        return c.is_bot() && bot_active[static_cast<std::size_t>(c.bot_index)];
+      });
+      if (attacked) {
+        for (const Count id : *it) {
+          if (!clients[static_cast<std::size_t>(id)].is_bot()) {
+            ++metrics.repolluted_benign;
+          }
+          pool.push_back(id);
+        }
+        it = saved_groups.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // 4. Shuffle the pool across a fresh replica set.
+    metrics.pool_clients = static_cast<Count>(pool.size());
+    for (const Count id : pool) {
+      if (clients[static_cast<std::size_t>(id)].is_bot()) ++metrics.pool_bots;
+    }
+    for (std::size_t b = 0; b < bot_active.size(); ++b) {
+      if (bot_active[b]) ++metrics.active_attackers;
+    }
+    metrics.away_bots = static_cast<Count>(away.size());
+
+    if (!pool.empty()) {
+      if (!config_.controller.use_mle) {
+        controller.set_bot_estimate(metrics.pool_bots);
+      } else if (!prev_obs.has_value()) {
+        controller.set_bot_estimate(
+            std::max<Count>(1, static_cast<Count>(pool.size()) / 10));
+      }
+      const auto decision =
+          controller.decide(static_cast<Count>(pool.size()), prev_obs);
+      shuffle_rng.shuffle(pool);
+
+      std::vector<bool> attacked_flags(decision.plan.replica_count(), false);
+      std::vector<Count> next_pool;
+      std::size_t cursor = 0;
+      for (std::size_t r = 0; r < decision.plan.replica_count(); ++r) {
+        const auto sz = static_cast<std::size_t>(decision.plan[r]);
+        const std::span<const Count> bucket(pool.data() + cursor, sz);
+        cursor += sz;
+        const bool attacked =
+            std::any_of(bucket.begin(), bucket.end(), [&](Count id) {
+              const auto& c = clients[static_cast<std::size_t>(id)];
+              return c.is_bot() &&
+                     bot_active[static_cast<std::size_t>(c.bot_index)];
+            });
+        if (attacked) {
+          attacked_flags[r] = true;
+          ++metrics.attacked_replicas;
+          next_pool.insert(next_pool.end(), bucket.begin(), bucket.end());
+        } else if (!bucket.empty()) {
+          // Clean bucket: becomes a non-shuffling replica.  Dormant bots
+          // that happened to sit here are "saved" too — until they wake.
+          saved_groups.emplace_back(bucket.begin(), bucket.end());
+        }
+      }
+      prev_obs = core::ShuffleObservation{decision.plan,
+                                          std::move(attacked_flags)};
+
+      // 5. Every pool bot witnessed a shuffle; quit-reenter bots may leave.
+      std::vector<Count> staying;
+      staying.reserve(next_pool.size());
+      for (const Count id : next_pool) {
+        auto& c = clients[static_cast<std::size_t>(id)];
+        if (c.is_bot()) {
+          auto& behavior = behaviors[static_cast<std::size_t>(c.bot_index)];
+          behavior.on_shuffled(config_.strategy);
+          if (behavior.away()) {
+            away.push_back({.client_id = id,
+                            .rounds_left = config_.strategy.reenter_delay,
+                            .new_ip = behavior.reenters_with_new_ip(),
+                            .recorded_group = -1});
+            continue;
+          }
+        }
+        staying.push_back(id);
+      }
+      pool = std::move(staying);
+    }
+
+    // 6. Account benign safety.
+    for (const auto& group : saved_groups) {
+      metrics.saved_clients += static_cast<Count>(group.size());
+      for (const Count id : group) {
+        if (!clients[static_cast<std::size_t>(id)].is_bot()) {
+          ++metrics.benign_safe;
+        }
+      }
+    }
+    result.rounds.push_back(metrics);
+  }
+  return result;
+}
+
+}  // namespace shuffledef::sim

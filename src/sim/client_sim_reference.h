@@ -1,0 +1,37 @@
+// Frozen pre-SoA client-level engine, kept as a differential baseline.
+//
+// This is the original `ClientLevelSimulator` round loop verbatim: an
+// array-of-structs client registry, a `std::vector<std::vector<Count>>` of
+// saved groups, strictly serial sweeps, and per-round O(all clients) safety
+// accounting.  The only change from the seed engine is that each bot draws
+// from its own forked `util::SmallRng` stream through the shared
+// `BotBehavior` state machine (the strategy logic itself is shared with the
+// production engine, so the two cannot drift apart on behavior rules).
+//
+// Two jobs:
+//   * correctness oracle — tests/sim/client_sim_golden_test.cpp asserts the
+//     SoA engine reproduces this engine's ClientRoundMetrics bit-for-bit,
+//     round by round, for every strategy;
+//   * performance denominator — bench/abl_client_scale.cpp reports the SoA
+//     engine's speedup over this engine at N = 10^6 (BENCH_clientsim.json).
+//
+// Do not optimize this file; its value is being the naive, obviously-correct
+// implementation.  `threads`, `audit` and `registry` in the config are
+// ignored (the reference engine is serial and uninstrumented).
+#pragma once
+
+#include "sim/client_sim.h"
+
+namespace shuffledef::sim {
+
+class ReferenceClientSimulator {
+ public:
+  explicit ReferenceClientSimulator(ClientSimConfig config);
+
+  [[nodiscard]] ClientSimResult run();
+
+ private:
+  ClientSimConfig config_;
+};
+
+}  // namespace shuffledef::sim

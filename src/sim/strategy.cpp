@@ -1,6 +1,7 @@
 #include "sim/strategy.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace shuffledef::sim {
 
@@ -15,27 +16,50 @@ const char* bot_strategy_name(BotStrategy strategy) noexcept {
   return "?";
 }
 
-BotBehavior::BotBehavior(StrategyParams params, util::Rng /*rng*/)
-    : params_(params) {}
+std::vector<std::string> StrategyParams::violations(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  const auto probability = [&](double p, const char* name) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      out.push_back(prefix + name + " must be in [0, 1]");
+    }
+  };
+  probability(on_probability, "on_probability");
+  probability(quit_probability, "quit_probability");
+  probability(new_ip_probability, "new_ip_probability");
+  probability(wave_duty, "wave_duty");
+  if (reenter_delay < 0) out.push_back(prefix + "reenter_delay must be >= 0");
+  if (wave_period < 1) out.push_back(prefix + "wave_period must be >= 1");
+  return out;
+}
 
-bool BotBehavior::step_attacks(util::Rng& rng) {
+void StrategyParams::validate() const {
+  if (const auto violations = this->violations(); !violations.empty()) {
+    std::string message = "StrategyParams: " +
+                          std::to_string(violations.size()) + " violation(s)";
+    for (const auto& v : violations) message += "; " + v;
+    throw std::invalid_argument(message);
+  }
+}
+
+bool BotBehavior::step_attacks(const StrategyParams& params) {
   if (away_rounds_ > 0) {
     --away_rounds_;
     return false;
   }
-  switch (params_.strategy) {
+  switch (params.strategy) {
     case BotStrategy::kAlwaysOn:
       return true;
     case BotStrategy::kOnOff:
-      return rng.bernoulli(params_.on_probability);
+      return rng_.bernoulli(params.on_probability);
     case BotStrategy::kQuitReenter:
       return true;  // attacks while present; exit decisions on shuffles
     case BotStrategy::kNaive:
       return false;  // cannot follow moving replicas at all
     case BotStrategy::kSynchronizedWaves: {
-      const Count period = std::max<Count>(1, params_.wave_period);
+      const Count period = std::max<Count>(1, params.wave_period);
       const auto on_rounds = static_cast<Count>(
-          params_.wave_duty * static_cast<double>(period));
+          params.wave_duty * static_cast<double>(period));
       const bool on = (round_counter_ % period) < std::max<Count>(1, on_rounds);
       ++round_counter_;
       return on;
@@ -44,12 +68,12 @@ bool BotBehavior::step_attacks(util::Rng& rng) {
   return false;
 }
 
-void BotBehavior::on_shuffled(util::Rng& rng) {
-  if (params_.strategy != BotStrategy::kQuitReenter) return;
+void BotBehavior::on_shuffled(const StrategyParams& params) {
+  if (params.strategy != BotStrategy::kQuitReenter) return;
   if (away_rounds_ > 0) return;
-  if (rng.bernoulli(params_.quit_probability)) {
-    away_rounds_ = std::max<Count>(1, params_.reenter_delay);
-    pending_new_ip_ = rng.bernoulli(params_.new_ip_probability);
+  if (rng_.bernoulli(params.quit_probability)) {
+    away_rounds_ = std::max<Count>(1, params.reenter_delay);
+    pending_new_ip_ = rng_.bernoulli(params.new_ip_probability);
   }
 }
 

@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "core/types.h"
 #include "util/random.h"
@@ -53,25 +55,43 @@ struct StrategyParams {
   /// each cycle spent attacking.
   Count wave_period = 6;
   double wave_duty = 0.5;
+
+  /// All violations at once, each prefixed (e.g. "strategy.") for embedding
+  /// in a composite config's report.
+  [[nodiscard]] std::vector<std::string> violations(
+      const std::string& prefix = {}) const;
+  /// Throws std::invalid_argument listing every violation.
+  void validate() const;
 };
 
 /// Per-bot state machine for the round-based strategy simulator.
+///
+/// Each bot owns its forked `util::SmallRng` stream, so a bot's behavior
+/// depends only on its own state — never on the order bots are visited in.
+/// That is what lets `ClientLevelSimulator` shard its activity and quit
+/// sweeps across threads with bit-identical results at every thread count.
+/// The struct is a flat 32-byte record; a `std::vector<BotBehavior>` indexed
+/// by bot id is the per-bot column of the SoA client store.
+///
+/// Strategy parameters are shared by the whole botnet and are passed into
+/// each step instead of being copied per bot (a million bots would otherwise
+/// carry a million copies of the same StrategyParams).
 class BotBehavior {
  public:
-  BotBehavior(StrategyParams params, util::Rng rng);
+  explicit BotBehavior(util::SmallRng rng) : rng_(rng) {}
 
   /// Advance one round.  Returns true when the bot actively attacks the
   /// replica it is currently assigned to this round.
-  bool step_attacks(util::Rng& rng);
+  bool step_attacks(const StrategyParams& params);
 
   /// Called when the bot's replica was shuffled (it noticed the defense).
-  void on_shuffled(util::Rng& rng);
+  void on_shuffled(const StrategyParams& params);
 
   [[nodiscard]] bool away() const { return away_rounds_ > 0; }
   [[nodiscard]] bool reenters_with_new_ip() const { return pending_new_ip_; }
 
  private:
-  StrategyParams params_;
+  util::SmallRng rng_;        // private behavior stream (order-independent)
   Count away_rounds_ = 0;     // kQuitReenter: rounds left outside the system
   Count round_counter_ = 0;   // kSynchronizedWaves: shared phase (all bots
                               // step once per round, so counters align)

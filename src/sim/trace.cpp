@@ -17,12 +17,12 @@ void write_round_trace(const ShuffleSimResult& result, std::ostream& os) {
 
 void write_client_trace(const ClientSimResult& result, std::ostream& os) {
   os << "round,pool_clients,pool_bots,active_attackers,benign_safe,"
-        "repolluted,away_bots,attacked\n";
+        "repolluted,away_bots,attacked,saved\n";
   for (const auto& r : result.rounds) {
     os << r.round << ',' << r.pool_clients << ',' << r.pool_bots << ','
        << r.active_attackers << ',' << r.benign_safe << ','
        << r.repolluted_benign << ',' << r.away_bots << ','
-       << r.attacked_replicas << '\n';
+       << r.attacked_replicas << ',' << r.saved_clients << '\n';
   }
 }
 

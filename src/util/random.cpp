@@ -29,6 +29,13 @@ Rng Rng::fork(std::uint64_t salt) const {
   return Rng(splitmix64(s));
 }
 
+SmallRng Rng::fork_small(std::uint64_t salt) const {
+  // Same derivation as fork(), with an extra constant so fork(salt) and
+  // fork_small(salt) are distinct streams.
+  std::uint64_t s = seed_ ^ (0xC3C3C3C3CAFEF00DULL + salt * 0x9E3779B97F4A7C15ULL);
+  return SmallRng(splitmix64(s));
+}
+
 std::uint64_t Rng::next_u64() { return engine_(); }
 
 double Rng::uniform() {

@@ -22,12 +22,46 @@ namespace shuffledef::util {
 /// splitmix64: used to stretch user seeds into well-distributed state.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Tiny 8-byte-state generator (one splitmix64 step per draw) for per-entity
+/// substreams at population scale: a million bots each carrying their own
+/// `SmallRng` cost 8 MB, where a million forked `Rng`s (mt19937_64) would
+/// cost gigabytes.  Streams are derived with `Rng::fork_small(salt)`, so
+/// per-entity draws are independent of the order entities are visited in —
+/// the property that lets the client-level simulator shard its behavior
+/// sweeps across threads and stay bit-identical at every thread count.
+class SmallRng {
+ public:
+  explicit SmallRng(std::uint64_t seed = 0) : state_(seed) {}
+
+  std::uint64_t next_u64() { return splitmix64(state_); }
+
+  /// Uniform in [0, 1) (53 random bits, like Rng::uniform).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Same edge-case contract as Rng::bernoulli: p <= 0 and p >= 1 decide
+  /// without consuming a draw.
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x5DEECE66DULL);
 
   /// Derive an independent substream; deterministic in (parent seed, salt).
   [[nodiscard]] Rng fork(std::uint64_t salt) const;
+
+  /// Derive an independent 8-byte-state substream (see SmallRng); same
+  /// (parent seed, salt) determinism as fork().
+  [[nodiscard]] SmallRng fork_small(std::uint64_t salt) const;
 
   std::uint64_t next_u64();
 

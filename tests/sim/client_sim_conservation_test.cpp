@@ -1,0 +1,124 @@
+// Conservation property battery for the SoA client-level engine.
+//
+// The engine's own audit (ClientSimConfig::audit) recounts the full client
+// population at the end of every round: every client id in exactly one of
+// {shuffling pool, saved group, away}, naive-dropped bots in none, and the
+// running totals (pool bot count, saved benign, saved clients) equal to a
+// from-scratch recount.  A violation throws std::logic_error, so running a
+// randomized grid of strategies x seeds x thread counts with the audit armed
+// is a property test over the whole round loop — including the parallel
+// sweeps, whose chunk reductions feed those totals.
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/client_sim.h"
+
+namespace shuffledef::sim {
+namespace {
+
+constexpr BotStrategy kAllStrategies[] = {
+    BotStrategy::kAlwaysOn, BotStrategy::kOnOff, BotStrategy::kQuitReenter,
+    BotStrategy::kNaive, BotStrategy::kSynchronizedWaves};
+
+TEST(ClientSimConservation, RandomizedConfigsHoldTheInvariantEveryRound) {
+  std::mt19937 gen(20260806);
+  std::uniform_int_distribution<Count> benign_dist(0, 1500);
+  std::uniform_int_distribution<Count> bots_dist(0, 120);
+  std::uniform_int_distribution<Count> rounds_dist(1, 50);
+  std::uniform_int_distribution<Count> replicas_dist(2, 64);
+  std::uniform_int_distribution<int> strategy_dist(0, 4);
+  std::uniform_real_distribution<double> prob_dist(0.0, 1.0);
+  std::uniform_int_distribution<Count> delay_dist(0, 4);
+  std::uniform_int_distribution<std::uint64_t> seed_dist(1, 1u << 20);
+  const Count thread_grid[] = {1, 2, 5, 0};
+
+  for (int trial = 0; trial < 24; ++trial) {
+    ClientSimConfig cfg;
+    cfg.benign = benign_dist(gen);
+    cfg.bots = bots_dist(gen);
+    cfg.rounds = rounds_dist(gen);
+    cfg.seed = seed_dist(gen);
+    cfg.strategy.strategy = kAllStrategies[strategy_dist(gen)];
+    cfg.strategy.on_probability = prob_dist(gen);
+    cfg.strategy.quit_probability = prob_dist(gen);
+    cfg.strategy.new_ip_probability = prob_dist(gen);
+    cfg.strategy.reenter_delay = delay_dist(gen);
+    cfg.strategy.wave_period = 1 + delay_dist(gen);
+    cfg.strategy.wave_duty = prob_dist(gen);
+    cfg.controller.planner = "greedy";
+    cfg.controller.replicas = replicas_dist(gen);
+    cfg.controller.use_mle = (trial % 2) == 0;
+    cfg.threads = thread_grid[trial % 4];
+    cfg.audit = true;
+
+    SCOPED_TRACE("trial " + std::to_string(trial) + " strategy " +
+                 bot_strategy_name(cfg.strategy.strategy) + " benign " +
+                 std::to_string(cfg.benign) + " bots " +
+                 std::to_string(cfg.bots) + " seed " +
+                 std::to_string(cfg.seed) + " threads " +
+                 std::to_string(cfg.threads));
+    ClientSimResult result;
+    ASSERT_NO_THROW(result = ClientLevelSimulator(cfg).run());
+    ASSERT_EQ(result.rounds.size(), static_cast<std::size_t>(cfg.rounds));
+    for (const auto& r : result.rounds) {
+      EXPECT_LE(r.benign_safe, cfg.benign);
+      EXPECT_LE(r.benign_safe, r.saved_clients);
+      EXPECT_LE(r.pool_bots, cfg.bots);
+      EXPECT_LE(r.active_attackers, cfg.bots);
+      EXPECT_GE(r.pool_clients, r.pool_bots);
+    }
+  }
+}
+
+// Metrics-level conservation where the timing allows an exact identity:
+// always-on bots are active every round, so no clean bucket ever contains a
+// bot and nobody is away.  The pool measured in round r (post re-pollution,
+// which never fires) plus the clients saved through round r-1 is the entire
+// population.
+TEST(ClientSimConservation, AlwaysOnPoolPlusSavedIsTotal) {
+  ClientSimConfig cfg;
+  cfg.benign = 800;
+  cfg.bots = 60;
+  cfg.strategy.strategy = BotStrategy::kAlwaysOn;
+  cfg.controller.planner = "greedy";
+  cfg.controller.replicas = 50;
+  cfg.controller.use_mle = false;
+  cfg.rounds = 40;
+  cfg.seed = 11;
+  cfg.audit = true;
+  const auto result = ClientLevelSimulator(cfg).run();
+  Count prev_saved = 0;
+  for (const auto& r : result.rounds) {
+    EXPECT_EQ(r.pool_clients + prev_saved, cfg.benign + cfg.bots);
+    EXPECT_EQ(r.saved_clients, r.benign_safe);  // groups are pure benign
+    EXPECT_EQ(r.away_bots, 0);
+    prev_saved = r.saved_clients;
+  }
+}
+
+// Same identity for naive bots, minus the round-one drop: the population
+// that remains in the system is exactly the benign clients.
+TEST(ClientSimConservation, NaiveDropLeavesExactlyBenignInTheSystem) {
+  ClientSimConfig cfg;
+  cfg.benign = 500;
+  cfg.bots = 40;
+  cfg.strategy.strategy = BotStrategy::kNaive;
+  cfg.controller.planner = "greedy";
+  cfg.controller.replicas = 30;
+  cfg.controller.use_mle = false;
+  cfg.rounds = 10;
+  cfg.seed = 13;
+  cfg.audit = true;
+  const auto result = ClientLevelSimulator(cfg).run();
+  Count prev_saved = 0;
+  for (const auto& r : result.rounds) {
+    EXPECT_EQ(r.pool_clients + prev_saved, cfg.benign);
+    EXPECT_EQ(r.pool_bots, 0);
+    prev_saved = r.saved_clients;
+  }
+}
+
+}  // namespace
+}  // namespace shuffledef::sim

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/registry.h"
+
 namespace shuffledef::sim {
 namespace {
 
@@ -25,6 +27,23 @@ TEST(ClientSim, ConfigValidation) {
   cfg = base_config();
   cfg.benign = -1;
   EXPECT_THROW(ClientLevelSimulator{cfg}, std::invalid_argument);
+  cfg = base_config();
+  cfg.threads = -2;
+  EXPECT_THROW(ClientLevelSimulator{cfg}, std::invalid_argument);
+}
+
+TEST(ClientSim, ViolationsCollectsEverythingWithPrefixes) {
+  auto cfg = base_config();
+  cfg.rounds = 0;
+  cfg.threads = -1;
+  cfg.strategy.on_probability = 1.5;
+  const auto violations = cfg.violations("client.");
+  ASSERT_EQ(violations.size(), 3u);
+  EXPECT_EQ(violations[0], "client.rounds must be > 0");
+  EXPECT_EQ(violations[1],
+            "client.threads must be >= 0 (1 = serial, 0 = shared pool)");
+  EXPECT_EQ(violations[2], "client.strategy.on_probability must be in [0, 1]");
+  EXPECT_TRUE(base_config().violations().empty());
 }
 
 TEST(ClientSim, AlwaysOnBotsGetIsolated) {
@@ -118,6 +137,97 @@ TEST(ClientSim, ZeroBotsEverythingSafeInOneRound) {
   cfg.rounds = 2;
   const auto result = ClientLevelSimulator(cfg).run();
   EXPECT_DOUBLE_EQ(result.final_safe_fraction(), 1.0);
+}
+
+TEST(ClientSim, MeanAttackIntensitySkipsEmptyPoolRounds) {
+  // With rarely-active on-off bots the pool intermittently empties: every
+  // bot sits dormant on some clean replica, so nobody is being shuffled and
+  // nobody attacks.  Those rounds have no attack surface and must not
+  // dilute the delivered-intensity metric.  (An active bot can never be
+  // seen with an empty pool — waking re-pollutes its replica back into the
+  // pool before the round's metrics are taken.)
+  auto cfg = base_config();
+  cfg.bots = 8;
+  cfg.strategy.strategy = BotStrategy::kOnOff;
+  cfg.strategy.on_probability = 0.15;
+  cfg.rounds = 80;
+  const auto result = ClientLevelSimulator(cfg).run();
+
+  Count empty_rounds = 0;
+  double total_active = 0.0;
+  for (const auto& r : result.rounds) {
+    if (r.pool_clients == 0) {
+      // No pool => no one to attack: the engine reports zero attackers.
+      EXPECT_EQ(r.active_attackers, 0);
+      ++empty_rounds;
+    }
+    total_active += static_cast<double>(r.active_attackers);
+  }
+  ASSERT_GT(empty_rounds, 0) << "scenario no longer produces an empty tail";
+
+  const auto n = static_cast<double>(result.rounds.size());
+  const double nonempty = n - static_cast<double>(empty_rounds);
+  // Pin both definitions: the fixed metric averages over nonempty rounds,
+  // the _all_rounds variant keeps the pre-fix semantics.
+  EXPECT_DOUBLE_EQ(result.mean_attack_intensity(), total_active / nonempty);
+  EXPECT_DOUBLE_EQ(result.mean_attack_intensity_all_rounds(),
+                   total_active / n);
+  EXPECT_GT(result.mean_attack_intensity(),
+            result.mean_attack_intensity_all_rounds());
+}
+
+TEST(ClientSim, ResultCarriesClientMetricsFamily) {
+  auto cfg = base_config();
+  cfg.rounds = 20;
+  const auto result = ClientLevelSimulator(cfg).run();
+  const auto& m = result.metrics;
+
+  EXPECT_EQ(m.counter(kMetricClientRounds), 20u);
+  Count repolluted = 0;
+  for (const auto& r : result.rounds) repolluted += r.repolluted_benign;
+  EXPECT_EQ(m.counter(kMetricClientRepolluted),
+            static_cast<std::uint64_t>(repolluted));
+  // Always-on: nothing re-pollutes, so cumulative saves equal the final
+  // saved population.
+  EXPECT_EQ(m.counter(kMetricClientSaved),
+            static_cast<std::uint64_t>(result.rounds.back().saved_clients));
+  EXPECT_EQ(m.gauge(kMetricClientAwayBots), result.rounds.back().away_bots);
+  const auto* pool_hist = m.histogram(kMetricClientPoolSize);
+  ASSERT_NE(pool_hist, nullptr);
+  EXPECT_EQ(pool_hist->count, 20u);
+
+  // The run is instrumented with spans, and every round opens one under the
+  // run span.
+  const auto* round_span = m.span("client_sim.run/round");
+  ASSERT_NE(round_span, nullptr);
+  EXPECT_EQ(round_span->count, 20u);
+}
+
+TEST(ClientSim, ExternalRegistryAccumulatesAcrossRuns) {
+  obs::Registry registry;
+  auto cfg = base_config();
+  cfg.rounds = 10;
+  cfg.registry = &registry;
+  (void)ClientLevelSimulator(cfg).run();
+  (void)ClientLevelSimulator(cfg).run();
+  EXPECT_EQ(registry.snapshot().counter(kMetricClientRounds), 20u);
+}
+
+TEST(ClientSim, AuditedRunAcceptsEveryStrategy) {
+  for (const auto strategy :
+       {BotStrategy::kAlwaysOn, BotStrategy::kOnOff, BotStrategy::kQuitReenter,
+        BotStrategy::kNaive, BotStrategy::kSynchronizedWaves}) {
+    auto cfg = base_config();
+    cfg.strategy.strategy = strategy;
+    cfg.strategy.on_probability = 0.4;
+    cfg.strategy.quit_probability = 0.3;
+    cfg.strategy.reenter_delay = 2;
+    cfg.strategy.new_ip_probability = 0.5;
+    cfg.rounds = 30;
+    cfg.audit = true;
+    EXPECT_NO_THROW((void)ClientLevelSimulator(cfg).run())
+        << bot_strategy_name(strategy);
+  }
 }
 
 }  // namespace

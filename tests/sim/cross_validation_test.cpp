@@ -14,13 +14,13 @@ namespace {
 /// in oracle mode (the estimator is identical anyway; this isolates the
 /// round dynamics).
 double count_based_rounds(Count benign, Count bots, Count replicas,
-                          std::uint64_t seed) {
+                          std::uint64_t seed, bool use_mle = false) {
   ShuffleSimConfig cfg;
   cfg.benign = {.initial = benign, .rate = 0.0, .total_cap = benign};
   cfg.bots = {.initial = bots, .rate = 0.0, .total_cap = bots};
   cfg.controller.planner = "greedy";
   cfg.controller.replicas = replicas;
-  cfg.controller.use_mle = false;
+  cfg.controller.use_mle = use_mle;
   cfg.target_fraction = 0.80;
   cfg.max_rounds = 2000;
   cfg.seed = seed;
@@ -30,15 +30,16 @@ double count_based_rounds(Count benign, Count bots, Count replicas,
 }
 
 double client_level_rounds(Count benign, Count bots, Count replicas,
-                           std::uint64_t seed) {
+                           std::uint64_t seed, bool use_mle = false,
+                           Count rounds = 2000) {
   ClientSimConfig cfg;
   cfg.benign = benign;
   cfg.bots = bots;
   cfg.strategy.strategy = BotStrategy::kAlwaysOn;
   cfg.controller.planner = "greedy";
   cfg.controller.replicas = replicas;
-  cfg.controller.use_mle = false;
-  cfg.rounds = 2000;
+  cfg.controller.use_mle = use_mle;
+  cfg.rounds = rounds;
   cfg.seed = seed;
   const auto r = ClientLevelSimulator(cfg).run();
   const auto target = static_cast<Count>(0.8 * static_cast<double>(benign));
@@ -72,6 +73,39 @@ INSTANTIATE_TEST_SUITE_P(Sweep, SimulatorCrossValidation,
                                            XvalCase{1000, 100, 100},
                                            XvalCase{800, 10, 30},
                                            XvalCase{400, 200, 80}));
+
+// Same agreement at N = 10^5 clients (the SoA engine makes this cheap
+// enough for a unit test).  Fewer seeds, so the tolerance stays at the
+// noisy-mean level of the small cases.
+TEST(SimulatorCrossValidationScale, AlwaysOnAgreesAtHundredThousandClients) {
+  constexpr Count kBenign = 100000, kBots = 2000, kReplicas = 200;
+  util::Accumulator count_based;
+  util::Accumulator client_level;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    count_based.add(count_based_rounds(kBenign, kBots, kReplicas, seed));
+    client_level.add(
+        client_level_rounds(kBenign, kBots, kReplicas, seed + 100,
+                            /*use_mle=*/false, /*rounds=*/200));
+  }
+  EXPECT_NEAR(count_based.mean(), client_level.mean(),
+              0.25 * std::max(count_based.mean(), client_level.mean()) + 2.0);
+}
+
+// The MLE estimation path (rather than the oracle bot count) feeds both
+// engines the same estimator; convergence speed must still agree.
+TEST(SimulatorCrossValidationScale, MleOnPathAgrees) {
+  constexpr Count kBenign = 2000, kBots = 100, kReplicas = 60;
+  util::Accumulator count_based;
+  util::Accumulator client_level;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    count_based.add(
+        count_based_rounds(kBenign, kBots, kReplicas, seed, /*use_mle=*/true));
+    client_level.add(client_level_rounds(kBenign, kBots, kReplicas, seed + 100,
+                                         /*use_mle=*/true));
+  }
+  EXPECT_NEAR(count_based.mean(), client_level.mean(),
+              0.25 * std::max(count_based.mean(), client_level.mean()) + 2.0);
+}
 
 }  // namespace
 }  // namespace shuffledef::sim
