@@ -80,8 +80,20 @@ int main(int argc, char** argv) {
   const std::size_t variants = 1 + thread_grid.size();
   sim::SweepRunner runner(
       sim::SweepConfig{.jobs = static_cast<std::size_t>(jobs_flag)});
+  // Cost hints: cells span two orders of magnitude in client count, so the
+  // 10^6 cells start first and the 10^4 ones backfill (the reference engine
+  // is the slowest variant at any scale — weight it up).
+  sim::SweepPlan grid;
+  grid.cell_count = scales.size() * variants;
+  grid.cost_hints.reserve(grid.cell_count);
+  for (const Count clients : scales) {
+    for (std::size_t v = 0; v < variants; ++v) {
+      grid.cost_hints.push_back(static_cast<double>(clients) *
+                                (v == 0 ? 4.0 : 1.0));
+    }
+  }
   const auto sweep = runner.run(
-      scales.size() * variants, [&](const sim::SweepCell& cell) {
+      grid, [&](const sim::SweepCell& cell) {
         const Count clients = scales[cell.index / variants];
         const std::size_t variant = cell.index % variants;
         // Fixed per-scale seed (not the sweep's seed chain): all variants

@@ -13,6 +13,7 @@
 // snapshot-export flags every figure bench offers.
 #pragma once
 
+#include <algorithm>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -24,6 +25,7 @@
 #include "sim/shuffle_sim.h"
 #include "sim/sweep.h"
 #include "util/flags.h"
+#include "util/random.h"
 #include "util/stats.h"
 
 namespace shuffledef::bench {
@@ -125,6 +127,89 @@ inline util::Summary shuffles_to_save(const SeriesPoint& pt, double fraction,
         return static_cast<double>(shuffles.value_or(pt.max_rounds));
       },
       jobs);
+}
+
+/// Wall/scheduling stats of one campaign sweep (all wall-clock-derived:
+/// outside the determinism contract).
+struct CampaignStats {
+  std::size_t cells = 0;
+  std::size_t cells_stolen = 0;
+  double wall_seconds = 0.0;
+  double setup_seconds = 0.0;
+  double cell_wall_p50_s = 0.0;
+  double cell_wall_p90_s = 0.0;
+  double cell_wall_max_s = 0.0;
+};
+
+/// A whole figure grid as ONE sweep: every (point, rep) cell is submitted
+/// to a single SweepRunner job, so the fan-out sees pts.size() * reps cells
+/// instead of pts.size() sequential `reps`-cell sweeps — the difference
+/// between a 10-cell tail per grid point and one big work-stealing pool.
+/// Per-cell seeds reproduce the per-point splitmix64 chains exactly
+/// (cell (p, r) gets chain(seed_of(pts[p]))[r]), and summaries accumulate
+/// in rep order, so the output is bit-identical to calling
+/// shuffles_to_save_multi point by point, at every jobs setting.  Cost
+/// hints start the biggest populations first; scheduling cannot change an
+/// output bit (see sweep.h).  Returns one vector of summaries per point,
+/// ordered by `fractions`.
+inline std::vector<std::vector<util::Summary>> shuffles_campaign(
+    const std::vector<SeriesPoint>& pts, const std::vector<double>& fractions,
+    int reps, const std::function<std::uint64_t(const SeriesPoint&)>& seed_of,
+    std::size_t jobs, CampaignStats* stats = nullptr) {
+  const std::size_t n_reps = static_cast<std::size_t>(reps);
+  sim::SweepPlan plan;
+  plan.cell_count = pts.size() * n_reps;
+  plan.seeds.reserve(plan.cell_count);
+  plan.cost_hints.reserve(plan.cell_count);
+  for (const auto& pt : pts) {
+    std::uint64_t state = seed_of(pt);
+    const auto hint = static_cast<double>(pt.benign + pt.bots);
+    for (std::size_t r = 0; r < n_reps; ++r) {
+      plan.seeds.push_back(util::splitmix64(state));
+      plan.cost_hints.push_back(hint);
+    }
+  }
+  sim::SweepRunner runner(sim::SweepConfig{.jobs = jobs});
+  const auto sweep = runner.run(plan, [&](const sim::SweepCell& cell) {
+    const auto& pt = pts[cell.index / n_reps];
+    auto cfg = make_sim_config(pt, cell.seed, cell.registry);
+    double target = pt.target_fraction;
+    for (const double f : fractions) target = std::max(target, f);
+    cfg.target_fraction = target;
+    const auto result = sim::ShuffleSimulator(cfg).run();
+    std::vector<double> shuffles;
+    shuffles.reserve(fractions.size());
+    for (const double f : fractions) {
+      shuffles.push_back(static_cast<double>(
+          result.shuffles_to_fraction(f).value_or(pt.max_rounds)));
+    }
+    return shuffles;
+  });
+  if (stats != nullptr) {
+    stats->cells = plan.cell_count;
+    stats->cells_stolen = sweep.cells_stolen;
+    stats->wall_seconds = sweep.wall_seconds;
+    stats->setup_seconds = sweep.setup_seconds;
+    stats->cell_wall_p50_s = sweep.cell_wall_p50_s;
+    stats->cell_wall_p90_s = sweep.cell_wall_p90_s;
+    stats->cell_wall_max_s = sweep.cell_wall_max_s;
+  }
+  std::vector<std::vector<util::Summary>> out;
+  out.reserve(pts.size());
+  for (std::size_t p = 0; p < pts.size(); ++p) {
+    std::vector<util::Accumulator> accs(fractions.size());
+    for (std::size_t r = 0; r < n_reps; ++r) {
+      const auto& shuffles = sweep.value(p * n_reps + r);  // rethrows failures
+      for (std::size_t i = 0; i < fractions.size(); ++i) {
+        accs[i].add(shuffles[i]);
+      }
+    }
+    std::vector<util::Summary> summaries;
+    summaries.reserve(accs.size());
+    for (const auto& a : accs) summaries.push_back(a.summary());
+    out.push_back(std::move(summaries));
+  }
+  return out;
 }
 
 /// Several thresholds from the *same* simulation runs (one sim per rep,

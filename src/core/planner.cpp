@@ -26,8 +26,4 @@ std::unique_ptr<Planner> make_planner(const std::string& name,
                               "' (expected even|greedy|dp|algorithm1)");
 }
 
-std::unique_ptr<Planner> make_planner(const std::string& name, Count threads) {
-  return make_planner(name, PlannerOptions{.threads = threads});
-}
-
 }  // namespace shuffledef::core

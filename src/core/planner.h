@@ -54,9 +54,4 @@ struct PlannerOptions {
 std::unique_ptr<Planner> make_planner(const std::string& name,
                                       const PlannerOptions& options = {});
 
-/// Deprecated positional-parameter factory (pre-PlannerOptions API); kept
-/// for one PR so downstream callers can migrate.
-[[deprecated("use make_planner(name, PlannerOptions{.threads = ...})")]]
-std::unique_ptr<Planner> make_planner(const std::string& name, Count threads);
-
 }  // namespace shuffledef::core

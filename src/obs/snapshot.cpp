@@ -107,11 +107,27 @@ MetricsSnapshot& MetricsSnapshot::merge(const MetricsSnapshot& other) {
   return *this;
 }
 
-MetricsSnapshot MetricsSnapshot::merged(
-    const std::vector<MetricsSnapshot>& parts) {
-  MetricsSnapshot out;
-  for (const auto& part : parts) out.merge(part);
-  return out;
+MetricsSnapshot MetricsSnapshot::merged(std::vector<MetricsSnapshot> parts) {
+  if (parts.empty()) return {};
+  // Pairwise tree over the input order: each level merges neighbours
+  // (2i, 2i+1) and compacts in place; an odd tail passes through.  The
+  // shape is a pure function of parts.size(), so the result never depends
+  // on scheduling.
+  std::size_t n = parts.size();
+  while (n > 1) {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i + 1 < n; i += 2) {
+      parts[i].merge(parts[i + 1]);
+      if (out != i) parts[out] = std::move(parts[i]);
+      ++out;
+    }
+    if (n % 2 == 1) {
+      parts[out] = std::move(parts[n - 1]);
+      ++out;
+    }
+    n = out;
+  }
+  return std::move(parts[0]);
 }
 
 }  // namespace shuffledef::obs

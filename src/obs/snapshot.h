@@ -76,9 +76,15 @@ struct MetricsSnapshot {
   /// which every sim.* histogram is.
   MetricsSnapshot& merge(const MetricsSnapshot& other);
 
-  /// Out-of-place left-to-right merge of any number of snapshots.
-  [[nodiscard]] static MetricsSnapshot merged(
-      const std::vector<MetricsSnapshot>& parts);
+  /// Out-of-place merge of any number of snapshots, combined as a pairwise
+  /// balanced tree over the input order (level k merges neighbours 2i and
+  /// 2i+1).  The tree shape depends only on parts.size(), and merge is
+  /// associative (exactly so for integer-valued observations; up to
+  /// last-ulp float rounding of histogram sums otherwise), so the result
+  /// is deterministic in the inputs and — for integer-valued activity —
+  /// bit-identical to the left-to-right fold.  The tree halves the length
+  /// of the sorted-section merge chains a long fold would re-walk.
+  [[nodiscard]] static MetricsSnapshot merged(std::vector<MetricsSnapshot> parts);
 
   bool operator==(const MetricsSnapshot&) const = default;
 };

@@ -20,9 +20,4 @@ util::Summary repeat(int reps, std::uint64_t base_seed,
   return acc.summary();
 }
 
-util::Summary repeat(int reps, std::uint64_t base_seed,
-                     const std::function<double(std::uint64_t)>& metric) {
-  return repeat(reps, base_seed, metric, /*jobs=*/1);
-}
-
 }  // namespace shuffledef::sim

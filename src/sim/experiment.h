@@ -23,10 +23,4 @@ util::Summary repeat(int reps, std::uint64_t base_seed,
                      const std::function<double(std::uint64_t)>& metric,
                      std::size_t jobs);
 
-/// Deprecated serial-only signature (pre-SweepRunner API); equivalent to
-/// the overload above with jobs = 1.  Kept as a one-release bridge.
-[[deprecated("use repeat(reps, base_seed, metric, jobs)")]]
-util::Summary repeat(int reps, std::uint64_t base_seed,
-                     const std::function<double(std::uint64_t)>& metric);
-
 }  // namespace shuffledef::sim

@@ -41,23 +41,6 @@ std::optional<Count> ShuffleSimResult::shuffles_to_fraction(
   return std::nullopt;
 }
 
-std::uint64_t ShuffleSimResult::planner_cache_hits() const {
-  return metrics.counter(core::kMetricPlannerCacheHits);
-}
-
-std::uint64_t ShuffleSimResult::planner_cache_misses() const {
-  return metrics.counter(core::kMetricPlannerCacheMisses);
-}
-
-FaultSummary ShuffleSimResult::faults() const {
-  FaultSummary summary;
-  summary.rounds_failed =
-      static_cast<Count>(metrics.counter(kMetricSimRoundsFaulted));
-  summary.longest_outage =
-      static_cast<Count>(metrics.gauge(kMetricSimLongestOutage));
-  return summary;
-}
-
 std::vector<std::string> ShuffleSimConfig::validate() const {
   std::vector<std::string> violations;
   for (auto& v : benign.violations("benign.")) violations.push_back(std::move(v));

@@ -95,13 +95,6 @@ struct RoundStats {
   bool faulted = false;         // round lost to an injected control failure
 };
 
-/// Aggregate fault counters for a run (all zero when round_failure_prob = 0).
-/// Derived view over the result's MetricsSnapshot.
-struct FaultSummary {
-  Count rounds_failed = 0;    // shuffles lost to injected failures
-  Count longest_outage = 0;   // longest run of consecutive failed rounds
-};
-
 struct ShuffleSimResult {
   std::vector<RoundStats> rounds;
   Count benign_total = 0;   // total benign that ever arrived
@@ -117,15 +110,6 @@ struct ShuffleSimResult {
   /// benign_total; 0 when the target is zero (nothing needed saving),
   /// nullopt if never reached.
   [[nodiscard]] std::optional<Count> shuffles_to_fraction(double fraction) const;
-
-  // ---- deprecated accessors (pre-MetricsSnapshot API; one-PR bridge) -------
-  [[deprecated("read metrics.counter(core::kMetricPlannerCacheHits)")]]
-  [[nodiscard]] std::uint64_t planner_cache_hits() const;
-  [[deprecated("read metrics.counter(core::kMetricPlannerCacheMisses)")]]
-  [[nodiscard]] std::uint64_t planner_cache_misses() const;
-  [[deprecated(
-      "read metrics: kMetricSimRoundsFaulted / kMetricSimLongestOutage")]]
-  [[nodiscard]] FaultSummary faults() const;
 };
 
 class ShuffleSimulator {

@@ -1,6 +1,7 @@
 #include "util/math.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <stdexcept>
 
@@ -38,9 +39,18 @@ inline double log_binomial_from(const double* table, std::int64_t n,
          log_factorial_from(table, n - k);
 }
 
+std::atomic<bool> math_tables_warm_flag{false};
+
 }  // namespace
 
-void warm_math_tables() { (void)log_fact_table(); }
+void warm_math_tables() {
+  (void)log_fact_table();
+  math_tables_warm_flag.store(true, std::memory_order_release);
+}
+
+bool math_tables_warm() noexcept {
+  return math_tables_warm_flag.load(std::memory_order_acquire);
+}
 
 double log_factorial(std::int64_t n) {
   if (n < 0) throw std::invalid_argument("log_factorial: negative argument");

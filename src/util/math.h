@@ -20,6 +20,11 @@ namespace shuffledef::util {
 /// initialization.  Thread-safe and idempotent.
 void warm_math_tables();
 
+/// True once warm_math_tables() has completed — lets benches assert that
+/// one-time table initialization happened before, not inside, a timed
+/// region (lazy first-use builds do NOT set this).
+bool math_tables_warm() noexcept;
+
 /// Natural log of n! (n >= 0).  Values up to an internal cache size are
 /// exact table lookups; larger arguments fall back to lgamma.
 double log_factorial(std::int64_t n);

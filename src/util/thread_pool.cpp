@@ -1,8 +1,25 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace shuffledef::util {
+namespace {
+
+/// Claim one chunk index without overshooting chunk_count (CAS rather than
+/// fetch_add so cancellation can account for skipped chunks exactly).
+std::int64_t claim_chunk(std::atomic<std::int64_t>& next,
+                         std::int64_t chunk_count) {
+  std::int64_t cur = next.load(std::memory_order_relaxed);
+  while (cur < chunk_count) {
+    if (next.compare_exchange_weak(cur, cur + 1, std::memory_order_relaxed)) {
+      return cur;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -29,40 +46,138 @@ ThreadPool& ThreadPool::shared() {
   return pool;
 }
 
-void ThreadPool::run_chunks(Job& job) {
+void ThreadPool::run_chunks(Job& job, bool as_worker) {
+  auto& executed = as_worker ? job.stolen_ : job.by_submitter_;
   for (;;) {
-    const std::int64_t i =
-        job.next_chunk.fetch_add(1, std::memory_order_relaxed);
-    if (i >= job.chunk_count) return;
+    const std::int64_t i = claim_chunk(job.next_chunk, job.chunk_count);
+    if (i < 0) return;
     const std::int64_t lo = job.begin + i * job.grain;
     const std::int64_t hi = std::min(job.end, lo + job.grain);
     try {
-      (*job.body)(lo, hi);
+      job.body(lo, hi);
+      executed.fetch_add(1, std::memory_order_relaxed);
     } catch (...) {
-      // Cancel the remaining chunks and keep the first exception observed.
-      job.next_chunk.store(job.chunk_count, std::memory_order_relaxed);
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (!job.error) job.error = std::current_exception();
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (!job.error) job.error = std::current_exception();
+      }
+      // Cancel the unclaimed chunks and fold them into chunks_done so the
+      // completion condition (chunks_done == chunk_count) still fires.
+      std::int64_t cur = job.next_chunk.load(std::memory_order_relaxed);
+      while (cur < job.chunk_count) {
+        if (job.next_chunk.compare_exchange_weak(cur, job.chunk_count,
+                                                 std::memory_order_relaxed)) {
+          job.chunks_done.fetch_add(job.chunk_count - cur,
+                                    std::memory_order_acq_rel);
+          break;
+        }
+      }
     }
+    // Release so the thread that observes the final count (acquire) sees
+    // every result this chunk produced before it marks the job done.
+    job.chunks_done.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+ThreadPool::JobHandle ThreadPool::pick_runnable_locked() {
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    Job& job = **it;
+    if (job.next_chunk.load(std::memory_order_relaxed) >= job.chunk_count) {
+      it = queue_.erase(it);  // fully claimed: nothing left to hand out
+      continue;
+    }
+    if (job.max_threads != 0) {
+      std::size_t cur = job.participants.load(std::memory_order_relaxed);
+      if (cur >= job.max_threads) {
+        ++it;
+        continue;
+      }
+      job.participants.fetch_add(1, std::memory_order_relaxed);
+    }
+    return *it;
+  }
+  return nullptr;
+}
+
+void ThreadPool::retire_locked(const JobHandle& job) {
+  const auto it = std::find(queue_.begin(), queue_.end(), job);
+  if (it != queue_.end() &&
+      job->next_chunk.load(std::memory_order_relaxed) >= job->chunk_count) {
+    queue_.erase(it);
+  }
+  if (!job->done && job->chunks_done.load(std::memory_order_acquire) ==
+                        job->chunk_count) {
+    job->done = true;
+    done_cv_.notify_all();
   }
 }
 
 void ThreadPool::worker_loop() {
-  std::uint64_t seen_generation = 0;
+  std::uint64_t seen_version = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    work_cv_.wait(lock, [&] {
-      return stop_ || (job_ != nullptr && generation_ != seen_generation);
-    });
     if (stop_) return;
-    seen_generation = generation_;
-    Job& job = *job_;
+    JobHandle job = pick_runnable_locked();
+    if (!job) {
+      work_cv_.wait(lock, [&] {
+        return stop_ || queue_version_ != seen_version;
+      });
+      seen_version = queue_version_;
+      continue;
+    }
     lock.unlock();
-    run_chunks(job);
+    run_chunks(*job, /*as_worker=*/true);
     lock.lock();
-    ++job.workers_finished;
-    done_cv_.notify_one();
+    retire_locked(job);
   }
+}
+
+ThreadPool::JobHandle ThreadPool::submit(
+    std::int64_t begin, std::int64_t end,
+    std::function<void(std::int64_t, std::int64_t)> body, std::int64_t grain,
+    std::size_t max_threads) {
+  grain = std::max<std::int64_t>(grain, 1);
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = std::max(begin, end);
+  job->grain = grain;
+  job->chunk_count = (job->end - begin + grain - 1) / grain;
+  job->max_threads = max_threads;
+  job->body = std::move(body);
+  if (job->chunk_count == 0) {
+    job->done = true;  // empty range: already complete, never queued
+    return job;
+  }
+  std::size_t to_wake = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(job);
+    ++queue_version_;
+    // Wake only as many workers as could usefully claim a chunk; the job
+    // completes on chunks-done, so un-woken workers are never waited on.
+    to_wake = workers_.size();
+    to_wake = std::min<std::size_t>(
+        to_wake, static_cast<std::size_t>(job->chunk_count));
+    if (max_threads != 0) to_wake = std::min(to_wake, max_threads - 1);
+  }
+  for (std::size_t i = 0; i < to_wake; ++i) work_cv_.notify_one();
+  return job;
+}
+
+void ThreadPool::wait(const JobHandle& job) {
+  run_chunks(*job, /*as_worker=*/false);
+  std::unique_lock<std::mutex> lock(mutex_);
+  retire_locked(job);
+  done_cv_.wait(lock, [&] {
+    if (!job->done && job->chunks_done.load(std::memory_order_acquire) ==
+                          job->chunk_count) {
+      job->done = true;  // the waiter itself may observe completion first
+    }
+    return job->done;
+  });
+  const std::exception_ptr error = job->error;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel_for(
@@ -72,8 +187,6 @@ void ThreadPool::parallel_for(
   if (end <= begin) return;
   grain = std::max<std::int64_t>(grain, 1);
   const std::int64_t chunk_count = (end - begin + grain - 1) / grain;
-  // Serial fast path: no workers, a single chunk, or a nested call from a
-  // worker (job_ already set would deadlock the caller's wait).
   if (workers_.empty() || chunk_count == 1) {
     for (std::int64_t i = 0; i < chunk_count; ++i) {
       const std::int64_t lo = begin + i * grain;
@@ -81,36 +194,7 @@ void ThreadPool::parallel_for(
     }
     return;
   }
-
-  Job job;
-  job.begin = begin;
-  job.grain = grain;
-  job.chunk_count = chunk_count;
-  job.end = end;
-  job.body = &body;
-
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (job_ != nullptr) {
-      // Nested parallel_for (a body that itself parallelizes): run inline.
-      lock.unlock();
-      for (std::int64_t i = 0; i < chunk_count; ++i) {
-        const std::int64_t lo = begin + i * grain;
-        body(lo, std::min(end, lo + grain));
-      }
-      return;
-    }
-    job_ = &job;
-    ++generation_;
-  }
-  work_cv_.notify_all();
-
-  run_chunks(job);
-
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return job.workers_finished == workers_.size(); });
-  job_ = nullptr;
-  if (job.error) std::rethrow_exception(job.error);
+  wait(submit(begin, end, body, grain));
 }
 
 }  // namespace shuffledef::util

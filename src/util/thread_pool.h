@@ -1,13 +1,29 @@
-// Small reusable chunked thread pool.
+// Persistent task-queue thread pool with chunked index-range jobs.
 //
-// The pool owns `threads - 1` worker threads; the calling thread always
-// participates in `parallel_for`, so `ThreadPool(1)` spawns no workers and
+// The pool owns `threads - 1` worker threads; the submitting thread always
+// participates in `wait`, so `ThreadPool(1)` spawns no workers and
 // degenerates to a plain serial loop — the natural single-threaded
-// fallback.  Work is handed out as fixed-size chunks of an index range:
+// fallback.  Work is handed out as fixed-size chunks of an index range.
 //
+// Two layers of API:
+//
+//   // One-shot (the historical interface, now a shim over submit/wait):
 //   pool.parallel_for(0, rows, [&](std::int64_t lo, std::int64_t hi) {
 //     for (std::int64_t r = lo; r < hi; ++r) process(r);
 //   });
+//
+//   // Persistent-queue mode: enqueue a job, help run it, collect stats.
+//   auto job = pool.submit(0, rows, body, /*grain=*/1, /*max_threads=*/4);
+//   pool.wait(job);  // caller runs chunks too; rethrows the first error
+//
+// Scheduling: workers pull chunks from queued jobs through an atomic
+// claim counter, so an idle worker steals whatever chunks remain — there
+// is no per-job wake/park barrier.  A job COMPLETES when every chunk has
+// run (chunks-done counting), never when workers park: a late-waking or
+// busy worker that never claims a chunk cannot stall a tiny job.
+// `max_threads` caps how many threads participate in one job (the
+// submitter always counts as one), which is how SweepRunner honours
+// `--jobs k` on the process-shared pool.
 //
 // Determinism contract: chunk boundaries depend only on (begin, end, grain)
 // — never on the thread count or on scheduling — so any computation whose
@@ -17,14 +33,20 @@
 //
 // Exceptions thrown by the body are caught, the remaining chunks are
 // cancelled, and the first exception (by completion order) is rethrown on
-// the calling thread.
+// the waiting thread.
+//
+// Nested submissions (a body that itself calls parallel_for / submit on
+// the same pool) are safe: the nested waiter drains its own job's chunks,
+// and idle workers may help, so nesting can never deadlock.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -33,6 +55,37 @@ namespace shuffledef::util {
 
 class ThreadPool {
  public:
+  /// One enqueued chunked job.  Opaque except for post-completion stats.
+  class Job {
+   public:
+    /// Chunks executed by the submitting/waiting thread vs. stolen by pool
+    /// workers.  Scheduling-dependent (NOT deterministic); read only after
+    /// `wait` returned.
+    [[nodiscard]] std::int64_t chunks_by_submitter() const noexcept {
+      return by_submitter_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t chunks_stolen() const noexcept {
+      return stolen_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class ThreadPool;
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    std::int64_t grain = 1;
+    std::int64_t chunk_count = 0;
+    std::size_t max_threads = 0;  // 0 = unlimited
+    std::function<void(std::int64_t, std::int64_t)> body;
+    std::atomic<std::int64_t> next_chunk{0};   // claim counter (CAS, no overshoot)
+    std::atomic<std::int64_t> chunks_done{0};  // executed + cancelled chunks
+    std::atomic<std::int64_t> by_submitter_{0};
+    std::atomic<std::int64_t> stolen_{0};
+    std::atomic<std::size_t> participants{1};  // submitter holds a slot
+    bool done = false;                         // guarded by the pool mutex
+    std::exception_ptr error;                  // guarded by the pool mutex
+  };
+  using JobHandle = std::shared_ptr<Job>;
+
   /// `threads` counts the calling thread: the pool spawns `threads - 1`
   /// workers.  0 means std::thread::hardware_concurrency().
   explicit ThreadPool(std::size_t threads = 0);
@@ -41,7 +94,7 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Total threads that participate in a parallel_for (workers + caller).
+  /// Total threads that participate in a job (workers + caller).
   [[nodiscard]] std::size_t thread_count() const noexcept {
     return workers_.size() + 1;
   }
@@ -49,34 +102,43 @@ class ThreadPool {
   /// Process-wide pool sized to the hardware, created on first use.
   static ThreadPool& shared();
 
-  /// Invoke `body(lo, hi)` over [begin, end) split into chunks of `grain`
-  /// indices (the last chunk may be short).  Blocks until every chunk has
-  /// run.  Nested parallel_for calls from inside `body` run serially.
+  /// Enqueue `body(lo, hi)` over [begin, end) split into chunks of `grain`
+  /// indices (the last chunk may be short) and return immediately.  At most
+  /// `max_threads` threads (0 = no cap; the submitter counts as one) run
+  /// this job's chunks concurrently.
+  JobHandle submit(std::int64_t begin, std::int64_t end,
+                   std::function<void(std::int64_t, std::int64_t)> body,
+                   std::int64_t grain = 1, std::size_t max_threads = 0);
+
+  /// Help run the job's remaining chunks, then block until every chunk has
+  /// completed (chunks-done, not workers-parked).  Rethrows the first
+  /// exception any chunk raised.
+  void wait(const JobHandle& job);
+
+  /// submit + wait, with a serial fast path when the pool has no workers
+  /// or the range is a single chunk.  Blocks until every chunk has run.
   void parallel_for(std::int64_t begin, std::int64_t end,
                     const std::function<void(std::int64_t, std::int64_t)>& body,
                     std::int64_t grain = 1);
 
  private:
-  struct Job {
-    std::int64_t begin = 0;
-    std::int64_t grain = 1;
-    std::int64_t chunk_count = 0;
-    std::int64_t end = 0;
-    const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
-    std::atomic<std::int64_t> next_chunk{0};
-    std::size_t workers_finished = 0;  // guarded by the pool mutex
-    std::exception_ptr error;          // guarded by the pool mutex
-  };
-
   void worker_loop();
-  void run_chunks(Job& job);
+  /// Claim and run chunks until none remain; counts executed chunks into
+  /// the stolen/submitter stat selected by `as_worker`.
+  void run_chunks(Job& job, bool as_worker);
+  /// With the pool mutex held: first queued job with unclaimed chunks and a
+  /// free participant slot (claims the slot), or nullptr.
+  JobHandle pick_runnable_locked();
+  /// With the pool mutex held: drop fully-claimed jobs from the queue and
+  /// mark `job` done (+ notify waiters) once every chunk completed.
+  void retire_locked(const JobHandle& job);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
-  std::condition_variable work_cv_;   // workers wait for a new generation
-  std::condition_variable done_cv_;   // caller waits for workers_finished
-  Job* job_ = nullptr;                // guarded by mutex_
-  std::uint64_t generation_ = 0;      // bumped per parallel_for
+  std::condition_variable work_cv_;  // workers: queue version changed
+  std::condition_variable done_cv_;  // waiters: some job completed
+  std::deque<JobHandle> queue_;      // guarded by mutex_
+  std::uint64_t queue_version_ = 0;  // bumped per submit
   bool stop_ = false;
 };
 

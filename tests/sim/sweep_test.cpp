@@ -102,20 +102,91 @@ TEST(Repeat, JobsOverloadBitIdenticalToSerial) {
   EXPECT_EQ(serial.max, parallel.max);
 }
 
-TEST(Repeat, DeprecatedBridgeDelegatesToSerial) {
-  const auto metric = [](std::uint64_t seed) {
-    return static_cast<double>(seed % 101);
+TEST(SweepRunner, CostHintsAndStealingNeverChangeOutputs) {
+  // Scheduler-order independence: randomized cost hints reorder execution
+  // (big cells first, idle workers steal the rest) but results and merged
+  // metrics must stay bit-identical to the unhinted serial sweep.
+  SweepRunner serial_runner(SweepConfig{.jobs = 1, .base_seed = 11});
+  const auto baseline = serial_runner.run(48, busy_cell);
+  util::Rng hint_rng(2026);
+  for (int round = 0; round < 4; ++round) {
+    SweepPlan plan;
+    plan.cell_count = 48;
+    plan.cost_hints.resize(48);
+    for (auto& h : plan.cost_hints) {
+      h = static_cast<double>(hint_rng.uniform_int(0, 1000));
+    }
+    SweepRunner runner(SweepConfig{.jobs = 8, .base_seed = 11});
+    const auto hinted = runner.run(plan, busy_cell);
+    ASSERT_EQ(hinted.cells.size(), baseline.cells.size());
+    for (std::size_t i = 0; i < baseline.cells.size(); ++i) {
+      EXPECT_EQ(hinted.cells[i].seed, baseline.cells[i].seed);
+      EXPECT_EQ(hinted.value(i), baseline.value(i)) << "cell " << i;
+    }
+    EXPECT_EQ(hinted.metrics.deterministic_view(),
+              baseline.metrics.deterministic_view());
+  }
+}
+
+TEST(SweepRunner, CostHintSizeMismatchThrows) {
+  SweepRunner runner(SweepConfig{.jobs = 2, .base_seed = 1});
+  SweepPlan plan;
+  plan.cell_count = 4;
+  plan.cost_hints = {1.0, 2.0};
+  EXPECT_THROW(runner.run(plan, busy_cell), std::invalid_argument);
+  plan.cost_hints.clear();
+  plan.seeds = {1, 2, 3};
+  EXPECT_THROW(runner.run(plan, busy_cell), std::invalid_argument);
+}
+
+TEST(SweepRunner, SeedOverridesReplaceTheChain) {
+  // A plan may carry grid-specific per-cell seeds (fig08's campaign mode
+  // derives one chain per grid point); cells must see them verbatim and
+  // the override must stay bit-identical across jobs settings.
+  SweepPlan plan;
+  plan.cell_count = 6;
+  plan.seeds = {901, 17, 3, 3, 54321, 0};
+  const auto run = [&](std::size_t jobs) {
+    SweepRunner runner(SweepConfig{.jobs = jobs, .base_seed = 7});
+    return runner.run(plan, busy_cell);
   };
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto legacy = repeat(12, 5, metric);
-#pragma GCC diagnostic pop
-  const auto current = repeat(12, 5, metric, 1);
-  EXPECT_EQ(legacy.count, current.count);
-  EXPECT_EQ(legacy.mean, current.mean);
-  EXPECT_EQ(legacy.stddev, current.stddev);
-  EXPECT_EQ(legacy.min, current.min);
-  EXPECT_EQ(legacy.max, current.max);
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  for (std::size_t i = 0; i < plan.seeds.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].seed, plan.seeds[i]);
+    EXPECT_EQ(parallel.cells[i].seed, plan.seeds[i]);
+    EXPECT_EQ(serial.value(i), parallel.value(i));
+  }
+  EXPECT_EQ(serial.metrics.deterministic_view(),
+            parallel.metrics.deterministic_view());
+}
+
+TEST(SweepRunner, FailureCaptureUnderWorkStealing) {
+  // A throwing cell scheduled under cost hints (stolen by whichever thread
+  // got there) must land its error in its own submission slot and leave
+  // every sibling intact.
+  SweepPlan plan;
+  plan.cell_count = 16;
+  plan.cost_hints.resize(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    plan.cost_hints[i] = static_cast<double>((i * 7) % 16);  // scrambled order
+  }
+  SweepRunner runner(SweepConfig{.jobs = 8, .base_seed = 3});
+  const auto sweep = runner.run(plan, [](const SweepCell& cell) {
+    cell.registry->counter("test.cells").inc();
+    if (cell.index == 11) throw std::runtime_error("boom in cell 11");
+    return static_cast<double>(cell.index);
+  });
+  EXPECT_EQ(sweep.failed, 1u);
+  EXPECT_FALSE(sweep.cells[11].ok());
+  EXPECT_NE(sweep.cells[11].error.find("boom in cell 11"), std::string::npos);
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (i == 11) continue;
+    EXPECT_EQ(sweep.value(i), static_cast<double>(i));
+  }
+  // The failing cell still recorded its pre-throw metric activity.
+  EXPECT_EQ(sweep.metrics.counter("test.cells"), 16u);
+  EXPECT_EQ(sweep.metrics.counter("sweep.cells_failed"), 1u);
 }
 
 obs::MetricsSnapshot snapshot_with(std::uint64_t counter_n,

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -93,7 +94,9 @@ TEST(ThreadPool, ReusableAcrossManyJobs) {
   }
 }
 
-TEST(ThreadPool, NestedParallelForRunsSerially) {
+TEST(ThreadPool, NestedParallelForCoversEveryIndex) {
+  // A body that itself parallelizes enqueues a nested job; the nested
+  // waiter drains it (idle workers may help) — no deadlock, full coverage.
   ThreadPool pool(4);
   std::atomic<std::int64_t> total{0};
   pool.parallel_for(0, 8, [&](std::int64_t lo, std::int64_t hi) {
@@ -104,6 +107,92 @@ TEST(ThreadPool, NestedParallelForRunsSerially) {
     }
   });
   EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPool, SubmitWaitRunsAllChunksAndReportsStats) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kRange = 1000;
+  std::vector<std::atomic<int>> touched(kRange);
+  auto job = pool.submit(
+      0, kRange,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          touched[static_cast<std::size_t>(i)].fetch_add(1);
+        }
+      },
+      /*grain=*/10);
+  pool.wait(job);
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+  EXPECT_EQ(job->chunks_by_submitter() + job->chunks_stolen(), 100);
+}
+
+TEST(ThreadPool, MaxThreadsOneMeansOnlyTheWaiterRuns) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> count{0};
+  auto job = pool.submit(
+      0, 64,
+      [&](std::int64_t lo, std::int64_t hi) { count.fetch_add(hi - lo); },
+      /*grain=*/1, /*max_threads=*/1);
+  pool.wait(job);
+  EXPECT_EQ(count.load(), 64);
+  EXPECT_EQ(job->chunks_stolen(), 0);
+  EXPECT_EQ(job->chunks_by_submitter(), 64);
+}
+
+TEST(ThreadPool, SubmitWaitPropagatesFirstError) {
+  ThreadPool pool(4);
+  auto job = pool.submit(
+      0, 100,
+      [&](std::int64_t lo, std::int64_t) {
+        if (lo == 50) throw std::runtime_error("boom at 50");
+      },
+      /*grain=*/1);
+  EXPECT_THROW(pool.wait(job), std::runtime_error);
+  // The pool survives and accepts the next job.
+  std::atomic<std::int64_t> count{0};
+  pool.parallel_for(0, 10, [&](std::int64_t lo, std::int64_t hi) {
+    count.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, TinyJobCompletesWhileEveryWorkerIsBusy) {
+  // Completion is chunks-done, not workers-parked: a 2-chunk job on an
+  // 8-thread pool must finish via the waiting thread alone, without a
+  // round-trip through workers that never claim a chunk.  Under the old
+  // barrier design this deadlocked: all 7 workers are pinned inside the
+  // blocker job below and can never park for the tiny job.
+  ThreadPool pool(8);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool released = false;
+  std::atomic<int> blocker_started{0};
+  auto blocker = pool.submit(
+      0, 7,
+      [&](std::int64_t, std::int64_t) {
+        blocker_started.fetch_add(1);
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return released; });
+      },
+      /*grain=*/1);
+  while (blocker_started.load() < 7) std::this_thread::yield();
+
+  std::atomic<std::int64_t> tiny_count{0};
+  auto tiny = pool.submit(
+      0, 2,
+      [&](std::int64_t lo, std::int64_t hi) { tiny_count.fetch_add(hi - lo); },
+      /*grain=*/1);
+  pool.wait(tiny);  // must not require the 7 blocked workers to park
+  EXPECT_EQ(tiny_count.load(), 2);
+  EXPECT_EQ(tiny->chunks_by_submitter(), 2);
+  EXPECT_EQ(tiny->chunks_stolen(), 0);
+
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    released = true;
+  }
+  cv.notify_all();
+  pool.wait(blocker);
 }
 
 TEST(ThreadPool, SharedPoolIsUsable) {
