@@ -5,6 +5,7 @@
 // repo accumulates comparable performance numbers over time.
 #pragma once
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -23,6 +24,9 @@ class BenchJson {
     fields_.emplace_back(key, os.str());
   }
   void set(const std::string& key, std::int64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  void set(const std::string& key, std::uint64_t value) {
     fields_.emplace_back(key, std::to_string(value));
   }
   void set(const std::string& key, bool value) {

@@ -45,6 +45,11 @@ int main(int argc, char** argv) {
   auto& tail_flag = flags.add_double(
       "tail-epsilon", 1e-12,
       "tail truncation for the serial-vs-parallel sweep");
+  auto& warm_rounds_flag = flags.add_int(
+      "warm-rounds", 3,
+      "rounds of the warm-start re-planning trajectory (0 = skip): after a "
+      "cold Algorithm-1 solve, each round drifts N and re-plans against the "
+      "retained DP tables");
   // Timing bench: parallel cells contend for cores and inflate each other's
   // measured ms, so the grid defaults to serial; --jobs > 1 trades timing
   // fidelity for wall-clock when only the extrapolation shape matters.
@@ -163,6 +168,47 @@ int main(int argc, char** argv) {
       }
     }
     t3.print_with_csv();
+  }
+
+  // Warm-start re-planning trajectory: the online loop this PR's solver
+  // rewrite targets.  One cold solve retains the full DP layer stack; each
+  // subsequent round drifts N (clients joining) and re-plans, which only
+  // extends the new table cells.  Values are checked bit-identical against
+  // a cold planner every round.
+  if (warm_rounds_flag > 0) {
+    const Count pn = std::max<Count>(parallel_n, 20);
+    const auto p = std::max<Count>(2, pn / 50);
+    const auto m = std::max<Count>(1, pn / 20);
+    core::AlgorithmOneOptions warm_opts;
+    warm_opts.threads = 1;
+    warm_opts.tail_epsilon = tail_flag;
+    core::AlgorithmOnePlanner warm(warm_opts);
+    core::AlgorithmOneOptions cold_opts = warm_opts;
+    cold_opts.warm_start = false;
+    core::AlgorithmOnePlanner cold(cold_opts);
+
+    util::Table t5("Figure 5 (engineering) — Algorithm 1 warm-start "
+                   "re-planning over " + std::to_string(warm_rounds_flag) +
+                   " drifted rounds at N ~ " + std::to_string(pn));
+    t5.set_headers({"round", "clients", "warm ms", "cold ms", "speedup",
+                    "bit-identical"});
+    Count n_round = pn;
+    for (int round = 0; round <= warm_rounds_flag; ++round) {
+      util::Timer warm_timer;
+      const double v_warm = warm.value({n_round, m, p});
+      const double warm_ms = warm_timer.elapsed_ms();
+      util::Timer cold_timer;
+      const double v_cold = cold.value({n_round, m, p});
+      const double cold_ms = cold_timer.elapsed_ms();
+      t5.add_row({round == 0 ? std::string("cold")
+                              : util::fmt(static_cast<Count>(round)),
+                  util::fmt(n_round),
+                  util::fmt(warm_ms, 1), util::fmt(cold_ms, 1),
+                  util::fmt(cold_ms / std::max(warm_ms, 1e-9), 2),
+                  v_warm == v_cold ? "yes" : "NO (BUG)"});
+      n_round += std::max<Count>(1, pn / 100);
+    }
+    t5.print_with_csv();
   }
 
   // Planner-result cache: a steady-state shuffle loop re-solves a handful

@@ -1,18 +1,66 @@
+// Production Algorithm-1 solver: batched pmf kernel + safe branch-and-bound
+// pruning + cross-round warm-starting.  See algorithm_one.h for the design
+// overview and ReferenceAlgorithmOne for the frozen pre-rewrite solver that
+// the differential battery pins this file against.
+//
+// Layer layout is [m][n] (row m contiguous over n) so that one "b-pass" of
+// the hypergeometric walk streams over the whole candidate block of a cell:
+//
+//   term b of candidate a:  pmf_b(a) * S(n-a, m-b, p-1)
+//
+// reads the previous layer's row (m-b) at reversed index n-a.  A reversed
+// copy of the previous layer (prev_rev) turns those into forward contiguous
+// loads, and a reversed reciprocal table (rcpr) does the same for the
+// division-free pmf update, so every inner loop is a flat fma/mul stream.
+//
+// Two levels of mechanical sympathy on top of the layout:
+//
+//   * The streams live in the k_* kernels below: __restrict-qualified so
+//     the compiler vectorizes without runtime alias checks, and (on x86-64
+//     GCC, sanitizers off) compiled as target_clones over ISA *features*
+//     ("avx2", "avx512f") so wide variants are picked at load time while
+//     the binary stays baseline-compatible.  (Feature predicates, not
+//     arch= names: __builtin_cpu_is matches exact microarchitectures and
+//     silently falls back to the SSE2 default on anything newer.)  Clone
+//     selection is per-machine, not per-call, so values remain
+//     bit-identical across thread counts, pruning modes, and warm vs cold
+//     solves on any one host.
+//
+//   * Candidate lanes are processed in L1-resident blocks of kLaneBlock:
+//     for each block of a row, the full cross-m pi0 chain and every b-pass
+//     of every cell run before the sweep moves to the next block.  At
+//     paper scale a cell's lane arrays span ~40 KB each, so a pass-per-
+//     array order would stream the whole working set through L2 a dozen
+//     times per cell; the blocked order touches ~4 KB per array per phase
+//     and is compute-bound instead.  Per-lane arithmetic is a fixed chain
+//     regardless of blocking, so results are bit-identical to the unblocked
+//     order.
 #include "core/algorithm_one.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "obs/span.h"
 #include "util/math.h"
 #include "util/thread_pool.h"
 
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+#define SHUFFLEDEF_TC \
+  __attribute__((target_clones("default", "avx2", "avx512f")))
+#else
+#define SHUFFLEDEF_TC
+#endif
+
 namespace shuffledef::core {
 namespace {
 
-// Sentinel in the assign_no table: "do not split — put everything on one
+// Sentinel in the assign tables: "do not split — put everything on one
 // replica" (used for n <= 1, m == 0, and padding).
 constexpr std::uint16_t kNoSplit = 0;
 
@@ -21,26 +69,1541 @@ constexpr std::uint16_t kNoSplit = 0;
 // the chunk-dispatch overhead negligible without hurting load balance.
 constexpr std::int64_t kRowGrain = 16;
 
+// Candidate lanes per L1 block (8 doubles/lane of hot state ~= 4 KB/array).
+constexpr Count kLaneBlock = 256;
+
+// Branch-and-bound safety margin, relative to the incumbent: a candidate is
+// pruned only when its upper bound sits at least this far BELOW the
+// incumbent, so floating-point noise in the bound (~1e-13 relative) can
+// never discard a candidate that ties or beats the true optimum — values,
+// plans, and first-maximizer tie-breaks are bit-identical with pruning on
+// or off.
+constexpr double kPruneMarginRel = 1e-9;
+
+// Pruning is only worth bookkeeping when the walk has a tail to skip.
+constexpr Count kPruneMinBots = 4;
+constexpr Count kPruneMinLanes = 8;
+
+// Mid-walk bound re-checks run on the late passes (b >= m - 4, every other
+// pass): the unimodal tail bound only bites once most mass has been
+// accumulated, and late checks are where surviving lanes still have passes
+// left to skip.
+
+// Retained warm-start entries per planner (distinct (P, fingerprint) keys).
+constexpr std::size_t kWarmCapacity = 4;
+
 double base_case(Count n, Count m) {
   return m == 0 ? static_cast<double>(n) : 0.0;
 }
 
+// ---- Vector kernels ------------------------------------------------------
+// Each kernel is one flat pass over lane indices [lo, hi] (inclusive).  All
+// pointer arguments are base pointers indexed by the lane; "pre-offset"
+// pointers (revm, rj, pr, pr1, r1) have the per-pass offset folded in by
+// the caller so the kernel body stays a pure stream.  Value accumulation
+// stays lane-private, so no kernel needs fast-math reassociation; the only
+// cross-lane reductions are hand-unrolled 8-way (k_sum over 0/1 flags —
+// exact, the addends are integers — and k_max, whose fixed combine order
+// keeps the argmax tie-break deterministic).
+
+// b = 0 terms: acc = pi0 * (a + S(n-a, m, p-1)), accm = pi0 * S(a, 0, p-1).
+SHUFFLEDEF_TC
+void k_seed_mir(double* __restrict acc, double* __restrict accm,
+                const double* __restrict pi0, const double* __restrict af,
+                const double* __restrict revm, const double* __restrict prev0,
+                std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    const double t = pi0[i];
+    acc[i] = t * (af[i] + revm[i]);
+    accm[i] = t * prev0[i];
+  }
+}
+
+SHUFFLEDEF_TC
+void k_seed_dir(double* __restrict acc, const double* __restrict pi0,
+                const double* __restrict af, const double* __restrict revm,
+                std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    acc[i] = pi0[i] * (af[i] + revm[i]);
+  }
+}
+
+// One b-pass of the division-free pmf walk plus the direct value update.
+// Four fused variants cover {plain, mirror-range} x {exact, truncating} so
+// every pass touches its window exactly once: the _m variants add term b of
+// the mirror candidate from the in-register pre-truncation pmf (the
+// reference adds the term to both units before stopping a lane, so the
+// mirror must never see a truncated pmf), and the _t variants fuse the
+// reference truncation blend (term b is always accumulated first; only the
+// stored pmf is zeroed).
+//
+// Every value accumulation below is an explicit std::fma, never `+= a * b`:
+// GCC contracts implicit mul+add inconsistently between a loop's vector
+// body and its peel/remainder iterations, so with `+=` a lane's rounding
+// would depend on its position relative to the kernel's [lo, hi] — and
+// pruning (or a different block boundary) shifts those positions.  Explicit
+// fma is correctly rounded in both scalar and vector form, which is what
+// makes values independent of prune on/off, warm/cold, and window shrinks.
+SHUFFLEDEF_TC
+void k_bpass(double* __restrict pmf, double* __restrict acc,
+             const double* __restrict af, const double* __restrict rj,
+             const double* __restrict pr, double k1, double bm1,
+             std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    const double p = pmf[i] * (k1 * (af[i] - bm1)) * rj[i];
+    acc[i] = std::fma(p, pr[i], acc[i]);
+    pmf[i] = p;
+  }
+}
+
+SHUFFLEDEF_TC
+void k_bpass_t(double* __restrict pmf, double* __restrict acc,
+               const double* __restrict af, const double* __restrict rj,
+               const double* __restrict pr, double as0, double eps,
+               double k1, double bm1, std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    const double p = pmf[i] * (k1 * (af[i] - bm1)) * rj[i];
+    acc[i] = std::fma(p, pr[i], acc[i]);
+    pmf[i] = (af[i] < as0 && p < eps) ? 0.0 : p;
+  }
+}
+
+SHUFFLEDEF_TC
+void k_bpass_m(double* __restrict pmf, double* __restrict acc,
+               double* __restrict accm, const double* __restrict af,
+               const double* __restrict rj, const double* __restrict pr,
+               const double* __restrict brow, double k1, double bm1,
+               std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    const double p = pmf[i] * (k1 * (af[i] - bm1)) * rj[i];
+    acc[i] = std::fma(p, pr[i], acc[i]);
+    accm[i] = std::fma(p, brow[i], accm[i]);
+    pmf[i] = p;
+  }
+}
+
+SHUFFLEDEF_TC
+void k_bpass_m_t(double* __restrict pmf, double* __restrict acc,
+                 double* __restrict accm, const double* __restrict af,
+                 const double* __restrict rj, const double* __restrict pr,
+                 const double* __restrict brow, double as0, double eps,
+                 double k1, double bm1, std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    const double p = pmf[i] * (k1 * (af[i] - bm1)) * rj[i];
+    acc[i] = std::fma(p, pr[i], acc[i]);
+    accm[i] = std::fma(p, brow[i], accm[i]);
+    pmf[i] = (af[i] < as0 && p < eps) ? 0.0 : p;
+  }
+}
+
+// Fused multi-pass variants: two or four consecutive b-passes in one sweep
+// over the lanes, used on the exact (eps == 0) path between checkpoint
+// boundaries.  Per lane the arithmetic is the identical chain the single
+// passes would run — the pmf and the acc/accm partial sums are simply kept
+// in registers between sub-passes instead of round-tripping through memory,
+// which cuts the load/store traffic per term roughly in half.  Lanes below
+// a sub-pass's support (a < b) self-annihilate: the (a - b + 1) factor is
+// zero at a = b - 1, and the zero propagates through every later sub-pass
+// (0 * x adds +/-0.0 to the sums, which changes nothing).  Per-pass scalars
+// are derived in-kernel from (mf, b): all quantities are small exact
+// integers in double, so the derived k1/bm1 equal the single-pass values
+// bit-for-bit.  Pointer offsets per sub-pass: rj steps by -1, pr by -stride,
+// brow by +stride.
+SHUFFLEDEF_TC
+void k_bpass2(double* __restrict pmf, double* __restrict acc,
+              const double* __restrict af, const double* __restrict rj,
+              const double* __restrict pr, const double* __restrict rcp,
+              std::ptrdiff_t stride, double mf, std::int64_t b,
+              std::int64_t lo, std::int64_t hi) {
+  const double bf = static_cast<double>(b);
+  const double k10 = (mf - bf + 1.0) * rcp[b];
+  const double k11 = (mf - bf) * rcp[b + 1];
+  const double bm10 = bf - 1.0;
+  const double bm11 = bf;
+  const double* rj1 = rj - 1;
+  const double* pr1 = pr - stride;
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    double t = pmf[i];
+    double v = acc[i];
+    t = t * (k10 * (af[i] - bm10)) * rj[i];
+    v = std::fma(t, pr[i], v);
+    t = t * (k11 * (af[i] - bm11)) * rj1[i];
+    v = std::fma(t, pr1[i], v);
+    acc[i] = v;
+    pmf[i] = t;
+  }
+}
+
+SHUFFLEDEF_TC
+void k_bpass4(double* __restrict pmf, double* __restrict acc,
+              const double* __restrict af, const double* __restrict rj,
+              const double* __restrict pr, const double* __restrict rcp,
+              std::ptrdiff_t stride, double mf, std::int64_t b,
+              std::int64_t lo, std::int64_t hi) {
+  const double bf = static_cast<double>(b);
+  const double k10 = (mf - bf + 1.0) * rcp[b];
+  const double k11 = (mf - bf) * rcp[b + 1];
+  const double k12 = (mf - bf - 1.0) * rcp[b + 2];
+  const double k13 = (mf - bf - 2.0) * rcp[b + 3];
+  const double bm10 = bf - 1.0;
+  const double bm11 = bf;
+  const double bm12 = bf + 1.0;
+  const double bm13 = bf + 2.0;
+  const double* rj1 = rj - 1;
+  const double* rj2 = rj - 2;
+  const double* rj3 = rj - 3;
+  const double* pr1 = pr - stride;
+  const double* pr2 = pr - 2 * stride;
+  const double* pr3 = pr - 3 * stride;
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    double t = pmf[i];
+    double v = acc[i];
+    t = t * (k10 * (af[i] - bm10)) * rj[i];
+    v = std::fma(t, pr[i], v);
+    t = t * (k11 * (af[i] - bm11)) * rj1[i];
+    v = std::fma(t, pr1[i], v);
+    t = t * (k12 * (af[i] - bm12)) * rj2[i];
+    v = std::fma(t, pr2[i], v);
+    t = t * (k13 * (af[i] - bm13)) * rj3[i];
+    v = std::fma(t, pr3[i], v);
+    acc[i] = v;
+    pmf[i] = t;
+  }
+}
+
+SHUFFLEDEF_TC
+void k_bpass2_m(double* __restrict pmf, double* __restrict acc,
+                double* __restrict accm, const double* __restrict af,
+                const double* __restrict rj, const double* __restrict pr,
+                const double* __restrict brow, const double* __restrict rcp,
+                std::ptrdiff_t stride, double mf, std::int64_t b,
+                std::int64_t lo, std::int64_t hi) {
+  const double bf = static_cast<double>(b);
+  const double k10 = (mf - bf + 1.0) * rcp[b];
+  const double k11 = (mf - bf) * rcp[b + 1];
+  const double bm10 = bf - 1.0;
+  const double bm11 = bf;
+  const double* rj1 = rj - 1;
+  const double* pr1 = pr - stride;
+  const double* brow1 = brow + stride;
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    double t = pmf[i];
+    double v = acc[i];
+    double w = accm[i];
+    t = t * (k10 * (af[i] - bm10)) * rj[i];
+    v = std::fma(t, pr[i], v);
+    w = std::fma(t, brow[i], w);
+    t = t * (k11 * (af[i] - bm11)) * rj1[i];
+    v = std::fma(t, pr1[i], v);
+    w = std::fma(t, brow1[i], w);
+    acc[i] = v;
+    accm[i] = w;
+    pmf[i] = t;
+  }
+}
+
+SHUFFLEDEF_TC
+void k_bpass4_m(double* __restrict pmf, double* __restrict acc,
+                double* __restrict accm, const double* __restrict af,
+                const double* __restrict rj, const double* __restrict pr,
+                const double* __restrict brow, const double* __restrict rcp,
+                std::ptrdiff_t stride, double mf, std::int64_t b,
+                std::int64_t lo, std::int64_t hi) {
+  const double bf = static_cast<double>(b);
+  const double k10 = (mf - bf + 1.0) * rcp[b];
+  const double k11 = (mf - bf) * rcp[b + 1];
+  const double k12 = (mf - bf - 1.0) * rcp[b + 2];
+  const double k13 = (mf - bf - 2.0) * rcp[b + 3];
+  const double bm10 = bf - 1.0;
+  const double bm11 = bf;
+  const double bm12 = bf + 1.0;
+  const double bm13 = bf + 2.0;
+  const double* rj1 = rj - 1;
+  const double* rj2 = rj - 2;
+  const double* rj3 = rj - 3;
+  const double* pr1 = pr - stride;
+  const double* pr2 = pr - 2 * stride;
+  const double* pr3 = pr - 3 * stride;
+  const double* brow1 = brow + stride;
+  const double* brow2 = brow + 2 * stride;
+  const double* brow3 = brow + 3 * stride;
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    double t = pmf[i];
+    double v = acc[i];
+    double w = accm[i];
+    t = t * (k10 * (af[i] - bm10)) * rj[i];
+    v = std::fma(t, pr[i], v);
+    w = std::fma(t, brow[i], w);
+    t = t * (k11 * (af[i] - bm11)) * rj1[i];
+    v = std::fma(t, pr1[i], v);
+    w = std::fma(t, brow1[i], w);
+    t = t * (k12 * (af[i] - bm12)) * rj2[i];
+    v = std::fma(t, pr2[i], v);
+    w = std::fma(t, brow2[i], w);
+    t = t * (k13 * (af[i] - bm13)) * rj3[i];
+    v = std::fma(t, pr3[i], v);
+    w = std::fma(t, brow3[i], w);
+    acc[i] = v;
+    accm[i] = w;
+    pmf[i] = t;
+  }
+}
+
+// Truncating fused variants: the same fused chains with the reference's
+// truncation blend applied to the in-register pmf after each sub-pass, so
+// the eps > 0 path fuses exactly like the exact path.  `eps` gates every
+// sub-pass except the last, which uses `epsL`: the caller passes epsL = 0
+// when the group ends at b == m (a blend with eps == 0 never fires, since
+// the pmf chain is nonnegative), because the clean-bucket term must read
+// the pre-truncation pmf of the final pass.
+SHUFFLEDEF_TC
+void k_bpass2_t(double* __restrict pmf, double* __restrict acc,
+                const double* __restrict af, const double* __restrict rj,
+                const double* __restrict pr, double as0, double as1,
+                const double* __restrict rcp, std::ptrdiff_t stride,
+                double mf, std::int64_t b, double eps, double epsL,
+                std::int64_t lo, std::int64_t hi) {
+  const double bf = static_cast<double>(b);
+  const double k10 = (mf - bf + 1.0) * rcp[b];
+  const double k11 = (mf - bf) * rcp[b + 1];
+  const double bm10 = bf - 1.0;
+  const double bm11 = bf;
+  const double* rj1 = rj - 1;
+  const double* pr1 = pr - stride;
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    double t = pmf[i];
+    double v = acc[i];
+    t = t * (k10 * (af[i] - bm10)) * rj[i];
+    v = std::fma(t, pr[i], v);
+    t = (af[i] < as0 && t < eps) ? 0.0 : t;
+    t = t * (k11 * (af[i] - bm11)) * rj1[i];
+    v = std::fma(t, pr1[i], v);
+    t = (af[i] < as1 && t < epsL) ? 0.0 : t;
+    acc[i] = v;
+    pmf[i] = t;
+  }
+}
+
+SHUFFLEDEF_TC
+void k_bpass4_t(double* __restrict pmf, double* __restrict acc,
+                const double* __restrict af, const double* __restrict rj,
+                const double* __restrict pr, double as0, double as1,
+                double as2, double as3,
+                const double* __restrict rcp, std::ptrdiff_t stride,
+                double mf, std::int64_t b, double eps, double epsL,
+                std::int64_t lo, std::int64_t hi) {
+  const double bf = static_cast<double>(b);
+  const double k10 = (mf - bf + 1.0) * rcp[b];
+  const double k11 = (mf - bf) * rcp[b + 1];
+  const double k12 = (mf - bf - 1.0) * rcp[b + 2];
+  const double k13 = (mf - bf - 2.0) * rcp[b + 3];
+  const double bm10 = bf - 1.0;
+  const double bm11 = bf;
+  const double bm12 = bf + 1.0;
+  const double bm13 = bf + 2.0;
+  const double* rj1 = rj - 1;
+  const double* rj2 = rj - 2;
+  const double* rj3 = rj - 3;
+  const double* pr1 = pr - stride;
+  const double* pr2 = pr - 2 * stride;
+  const double* pr3 = pr - 3 * stride;
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    double t = pmf[i];
+    double v = acc[i];
+    t = t * (k10 * (af[i] - bm10)) * rj[i];
+    v = std::fma(t, pr[i], v);
+    t = (af[i] < as0 && t < eps) ? 0.0 : t;
+    t = t * (k11 * (af[i] - bm11)) * rj1[i];
+    v = std::fma(t, pr1[i], v);
+    t = (af[i] < as1 && t < eps) ? 0.0 : t;
+    t = t * (k12 * (af[i] - bm12)) * rj2[i];
+    v = std::fma(t, pr2[i], v);
+    t = (af[i] < as2 && t < eps) ? 0.0 : t;
+    t = t * (k13 * (af[i] - bm13)) * rj3[i];
+    v = std::fma(t, pr3[i], v);
+    t = (af[i] < as3 && t < epsL) ? 0.0 : t;
+    acc[i] = v;
+    pmf[i] = t;
+  }
+}
+
+SHUFFLEDEF_TC
+void k_bpass2_mt(double* __restrict pmf, double* __restrict acc,
+                 double* __restrict accm, const double* __restrict af,
+                 const double* __restrict rj, const double* __restrict pr,
+                 const double* __restrict brow, double as0, double as1,
+                 const double* __restrict rcp, std::ptrdiff_t stride,
+                 double mf, std::int64_t b, double eps, double epsL,
+                 std::int64_t lo, std::int64_t hi) {
+  const double bf = static_cast<double>(b);
+  const double k10 = (mf - bf + 1.0) * rcp[b];
+  const double k11 = (mf - bf) * rcp[b + 1];
+  const double bm10 = bf - 1.0;
+  const double bm11 = bf;
+  const double* rj1 = rj - 1;
+  const double* pr1 = pr - stride;
+  const double* brow1 = brow + stride;
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    double t = pmf[i];
+    double v = acc[i];
+    double w = accm[i];
+    t = t * (k10 * (af[i] - bm10)) * rj[i];
+    v = std::fma(t, pr[i], v);
+    w = std::fma(t, brow[i], w);
+    t = (af[i] < as0 && t < eps) ? 0.0 : t;
+    t = t * (k11 * (af[i] - bm11)) * rj1[i];
+    v = std::fma(t, pr1[i], v);
+    w = std::fma(t, brow1[i], w);
+    t = (af[i] < as1 && t < epsL) ? 0.0 : t;
+    acc[i] = v;
+    accm[i] = w;
+    pmf[i] = t;
+  }
+}
+
+SHUFFLEDEF_TC
+void k_bpass4_mt(double* __restrict pmf, double* __restrict acc,
+                 double* __restrict accm, const double* __restrict af,
+                 const double* __restrict rj, const double* __restrict pr,
+                 const double* __restrict brow, double as0, double as1,
+                 double as2, double as3,
+                 const double* __restrict rcp, std::ptrdiff_t stride,
+                 double mf, std::int64_t b, double eps, double epsL,
+                 std::int64_t lo, std::int64_t hi) {
+  const double bf = static_cast<double>(b);
+  const double k10 = (mf - bf + 1.0) * rcp[b];
+  const double k11 = (mf - bf) * rcp[b + 1];
+  const double k12 = (mf - bf - 1.0) * rcp[b + 2];
+  const double k13 = (mf - bf - 2.0) * rcp[b + 3];
+  const double bm10 = bf - 1.0;
+  const double bm11 = bf;
+  const double bm12 = bf + 1.0;
+  const double bm13 = bf + 2.0;
+  const double* rj1 = rj - 1;
+  const double* rj2 = rj - 2;
+  const double* rj3 = rj - 3;
+  const double* pr1 = pr - stride;
+  const double* pr2 = pr - 2 * stride;
+  const double* pr3 = pr - 3 * stride;
+  const double* brow1 = brow + stride;
+  const double* brow2 = brow + 2 * stride;
+  const double* brow3 = brow + 3 * stride;
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    double t = pmf[i];
+    double v = acc[i];
+    double w = accm[i];
+    t = t * (k10 * (af[i] - bm10)) * rj[i];
+    v = std::fma(t, pr[i], v);
+    w = std::fma(t, brow[i], w);
+    t = (af[i] < as0 && t < eps) ? 0.0 : t;
+    t = t * (k11 * (af[i] - bm11)) * rj1[i];
+    v = std::fma(t, pr1[i], v);
+    w = std::fma(t, brow1[i], w);
+    t = (af[i] < as1 && t < eps) ? 0.0 : t;
+    t = t * (k12 * (af[i] - bm12)) * rj2[i];
+    v = std::fma(t, pr2[i], v);
+    w = std::fma(t, brow2[i], w);
+    t = (af[i] < as2 && t < eps) ? 0.0 : t;
+    t = t * (k13 * (af[i] - bm13)) * rj3[i];
+    v = std::fma(t, pr3[i], v);
+    w = std::fma(t, brow3[i], w);
+    t = (af[i] < as3 && t < epsL) ? 0.0 : t;
+    acc[i] = v;
+    accm[i] = w;
+    pmf[i] = t;
+  }
+}
+
+// Clean-bucket term of the mirror candidate at b == m.  Reads the
+// pre-truncation pmf, so it must run before the _t blend of the final pass
+// (the caller uses the untruncated variants at b == m and truncates after).
+SHUFFLEDEF_TC
+void k_clean(double* __restrict accm, const double* __restrict pmf,
+             const double* __restrict af, double nf, std::int64_t lo,
+             std::int64_t hi) {
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    accm[i] = std::fma(pmf[i], nf - af[i], accm[i]);
+  }
+}
+
+// Cross-m recurrence for Pr(b=0 | draws=a).
+SHUFFLEDEF_TC
+void k_pi0(double* __restrict pi0, const double* __restrict af, double cf,
+           double rcpc, std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t i = lo; i <= hi; ++i) pi0[i] *= (cf - af[i]) * rcpc;
+}
+
+// Max over x[lo..hi].  Eight independent accumulator chains so the compiler
+// can SLP-vectorize (a single conditional max chain is a serial reduction
+// GCC will not vectorize without -ffast-math); max is associative and
+// commutative over non-NaN doubles, so the result is identical to the
+// serial scan.
+SHUFFLEDEF_TC
+double k_max(const double* __restrict x, std::int64_t lo, std::int64_t hi,
+             double init) {
+  double b0 = init, b1 = init, b2 = init, b3 = init;
+  double b4 = init, b5 = init, b6 = init, b7 = init;
+  std::int64_t i = lo;
+  for (; i + 7 <= hi; i += 8) {
+    b0 = x[i] > b0 ? x[i] : b0;
+    b1 = x[i + 1] > b1 ? x[i + 1] : b1;
+    b2 = x[i + 2] > b2 ? x[i + 2] : b2;
+    b3 = x[i + 3] > b3 ? x[i + 3] : b3;
+    b4 = x[i + 4] > b4 ? x[i + 4] : b4;
+    b5 = x[i + 5] > b5 ? x[i + 5] : b5;
+    b6 = x[i + 6] > b6 ? x[i + 6] : b6;
+    b7 = x[i + 7] > b7 ? x[i + 7] : b7;
+  }
+  for (; i <= hi; ++i) b0 = x[i] > b0 ? x[i] : b0;
+  b0 = b1 > b0 ? b1 : b0;
+  b2 = b3 > b2 ? b3 : b2;
+  b4 = b5 > b4 ? b5 : b4;
+  b6 = b7 > b6 ? b7 : b6;
+  b0 = b2 > b0 ? b2 : b0;
+  b4 = b6 > b4 ? b6 : b4;
+  return b4 > b0 ? b4 : b0;
+}
+
+// First (lowest) index in [lo, hi] with x[i] == v, or hi + 1 if none.  The
+// skip path is a vectorizable any-match sum over 64-lane chunks; only the
+// hit chunk is scanned serially.
+SHUFFLEDEF_TC
+std::int64_t k_findeq_fwd(const double* __restrict x, std::int64_t lo,
+                          std::int64_t hi, double v) {
+  constexpr std::int64_t kChunk = 64;
+  std::int64_t i = lo;
+  for (; i + kChunk - 1 <= hi; i += kChunk) {
+    std::int64_t any = 0;
+    for (std::int64_t j = i; j < i + kChunk; ++j) {
+      any += static_cast<std::int64_t>(x[j] == v);
+    }
+    if (any != 0) break;
+  }
+  for (; i <= hi; ++i) {
+    if (x[i] == v) return i;
+  }
+  return hi + 1;
+}
+
+// Last (highest) index in [lo, hi] with x[i] == v, or lo - 1 if none.
+SHUFFLEDEF_TC
+std::int64_t k_findeq_bwd(const double* __restrict x, std::int64_t lo,
+                          std::int64_t hi, double v) {
+  constexpr std::int64_t kChunk = 64;
+  std::int64_t i = hi;
+  for (; i - kChunk + 1 >= lo; i -= kChunk) {
+    std::int64_t any = 0;
+    for (std::int64_t j = i - kChunk + 1; j <= i; ++j) {
+      any += static_cast<std::int64_t>(x[j] == v);
+    }
+    if (any != 0) break;
+  }
+  for (; i >= lo; --i) {
+    if (x[i] == v) return i;
+  }
+  return lo - 1;
+}
+
+// Pre-walk pruning bounds from the exact b=0 terms plus per-column maxima
+// of the previous layer (monotonicity of the value function in the bot
+// count, at its extremes).  With dead = 1 - pi0 (the pmf mass past b = 0):
+//
+//   direct:  v(a) = acc0 + sum_{b=1..m-1} pmf_b * prev[m-b][n-a]
+//                        + pmf_m * (n - a)
+//            <= acc0 + min(dead * (n - a),                      // capacity
+//                          dead * cmd + pm * ((n - a) - cmd))   // colmax
+//            with cmd = max_{1<=m'<m} prev[m'][n-a] and pm >= Pr(b = m | a)
+//            (pm = (a_hi / n)^m for the block's top lane: the probability
+//            that all m bots land in a draws is at most (a / n)^m, and is
+//            increasing in a).  The two bounds cross because pm can exceed
+//            dead on small-a lanes; both are valid, so take the min.
+//
+//   mirror:  v(n - a) = accm0 + sum_{b=1..m} pmf_b * prev[b][a]
+//                             + pmf_m * (n - a)
+//            <= accm0 + dead * cmf + pi_top * (n - a)
+//            with cmf = max_{1<=m'<=m} prev[m'][a] (always <= a, so this
+//            dominates the old capacity form) and pi_top the exact
+//            Pr(b = m) at the top of the mirror range (increasing in a).
+//
+// The colmax terms are what make the bound bite on shallow layers: against
+// layer 1, prev[m'][x] == 0 for every m' >= 1, so cmd == cmf == 0 and
+// nearly every lane dies before its first b-pass.  FP rounding of the
+// bound arithmetic (~1e-16 relative) is absorbed by the pruning margin
+// (1e-9 relative).  _both covers lanes with a live mirror unit; _dir the
+// rest.
+//
+// The bound passes are split "element-wise kernel + separate reductions"
+// deliberately: GCC refuses FP min/max and FP-sum loop reductions without
+// fast-math, so a fused bound-plus-count loop compiles scalar.  The flag
+// kernels below are pure element-wise streams (alive flags ad/am written
+// as exact 0.0/1.0 doubles — these loop-vectorize), and the counts and
+// live windows come from k_sum (a plain load-sum over the flags, the one
+// FP-reduction shape GCC vectorizes via slot chains; the flags are
+// integer-valued so slot partials are exact and order-independent) and
+// k_first_pos / k_last_pos (chunked any-scans that only walk dead ends).
+// The b-passes then walk only the surviving direct band and mirror band:
+// interior kills still cost their lanes, but end kills and the gap
+// between a low direct band and a high mirror band are skipped.
+//
+// The _seed variants fuse the b = 0 seeding pass (same expressions as
+// k_seed_mir / k_seed_dir, so seeds are bit-identical whichever kernel
+// wrote them) with the bound check: one pass instead of seed + re-read.
+// Used for every block after the cell's incumbent exists; the first block
+// seeds separately because the full-walk incumbent seed needs acc before
+// the threshold is known.
+SHUFFLEDEF_TC
+void k_flag0_both(double* __restrict ad, double* __restrict am,
+                  double* __restrict pmf, const double* __restrict acc,
+                  const double* __restrict accm,
+                  const double* __restrict pi0, const double* __restrict af,
+                  const double* __restrict cmd, const double* __restrict cmf,
+                  const double* __restrict pr1, const double* __restrict r1,
+                  double nf, double pm, double pi_top, double thr, double mf,
+                  std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    const double dead = 1.0 - pi0[i];
+    const double na = nf - af[i];
+    const double cap = dead * na;
+    const double cmx = std::fma(dead, cmd[i], pm * (na - cmd[i]));
+    const double p1 = pi0[i] * (mf * af[i]) * r1[i];
+    const double resid = dead - p1;
+    const double two = std::fma(p1, pr1[i], resid > 0.0 ? resid * na : 0.0);
+    double ub = cap < cmx ? cap : cmx;
+    if (two < ub) ub = two;
+    const double da = acc[i] + ub >= thr ? 1.0 : 0.0;
+    const double ma =
+        accm[i] + dead * cmf[i] + pi_top * na >= thr ? 1.0 : 0.0;
+    ad[i] = da;
+    am[i] = ma;
+    pmf[i] = (da + ma != 0.0) ? pi0[i] : 0.0;
+  }
+}
+
+SHUFFLEDEF_TC
+void k_flag0_dir(double* __restrict ad, double* __restrict pmf,
+                 const double* __restrict acc, const double* __restrict pi0,
+                 const double* __restrict af, const double* __restrict cmd,
+                 const double* __restrict pr1, const double* __restrict r1,
+                 double nf, double pm, double thr, double mf, std::int64_t lo,
+                 std::int64_t hi) {
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    const double dead = 1.0 - pi0[i];
+    const double na = nf - af[i];
+    const double cap = dead * na;
+    const double cmx = std::fma(dead, cmd[i], pm * (na - cmd[i]));
+    const double p1 = pi0[i] * (mf * af[i]) * r1[i];
+    const double resid = dead - p1;
+    const double two = std::fma(p1, pr1[i], resid > 0.0 ? resid * na : 0.0);
+    double ub = cap < cmx ? cap : cmx;
+    if (two < ub) ub = two;
+    const double da = acc[i] + ub >= thr ? 1.0 : 0.0;
+    ad[i] = da;
+    pmf[i] = da != 0.0 ? pi0[i] : 0.0;
+  }
+}
+
+SHUFFLEDEF_TC
+void k_seed_flag0_mir(double* __restrict ad, double* __restrict am,
+                      double* __restrict acc, double* __restrict accm,
+                      double* __restrict pmf, const double* __restrict pi0,
+                      const double* __restrict af,
+                      const double* __restrict revm,
+                      const double* __restrict prev0,
+                      const double* __restrict cmd,
+                      const double* __restrict cmf,
+                      const double* __restrict pr1,
+                      const double* __restrict r1, double nf, double pm,
+                      double pi_top, double thr, double mf, std::int64_t lo,
+                      std::int64_t hi) {
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    const double t = pi0[i];
+    const double a0 = t * (af[i] + revm[i]);
+    const double w0 = t * prev0[i];
+    acc[i] = a0;
+    accm[i] = w0;
+    const double dead = 1.0 - t;
+    const double na = nf - af[i];
+    const double cap = dead * na;
+    const double cmx = std::fma(dead, cmd[i], pm * (na - cmd[i]));
+    const double p1 = t * (mf * af[i]) * r1[i];
+    const double resid = dead - p1;
+    const double two = std::fma(p1, pr1[i], resid > 0.0 ? resid * na : 0.0);
+    double ub = cap < cmx ? cap : cmx;
+    if (two < ub) ub = two;
+    const double da = a0 + ub >= thr ? 1.0 : 0.0;
+    const double ma = w0 + dead * cmf[i] + pi_top * na >= thr ? 1.0 : 0.0;
+    ad[i] = da;
+    am[i] = ma;
+    pmf[i] = (da + ma != 0.0) ? t : 0.0;
+  }
+}
+
+SHUFFLEDEF_TC
+void k_seed_flag0_dir(double* __restrict ad, double* __restrict acc,
+                      double* __restrict pmf, const double* __restrict pi0,
+                      const double* __restrict af,
+                      const double* __restrict revm,
+                      const double* __restrict cmd,
+                      const double* __restrict pr1,
+                      const double* __restrict r1, double nf, double pm,
+                      double thr, double mf, std::int64_t lo, std::int64_t hi) {
+  for (std::int64_t i = lo; i <= hi; ++i) {
+    const double t = pi0[i];
+    const double a0 = t * (af[i] + revm[i]);
+    acc[i] = a0;
+    const double dead = 1.0 - t;
+    const double na = nf - af[i];
+    const double cap = dead * na;
+    const double cmx = std::fma(dead, cmd[i], pm * (na - cmd[i]));
+    const double p1 = t * (mf * af[i]) * r1[i];
+    const double resid = dead - p1;
+    const double two = std::fma(p1, pr1[i], resid > 0.0 ? resid * na : 0.0);
+    double ub = cap < cmx ? cap : cmx;
+    if (two < ub) ub = two;
+    const double da = a0 + ub >= thr ? 1.0 : 0.0;
+    ad[i] = da;
+    pmf[i] = da != 0.0 ? t : 0.0;
+  }
+}
+
+// Plain sum over [lo, hi], used on the exact-0/1 flag arrays (alive
+// counts).  Each slot partial is integer-valued, so the slot split is
+// exact and the result is order-independent.
+SHUFFLEDEF_TC
+double k_sum(const double* __restrict x, std::int64_t lo, std::int64_t hi) {
+  double c0 = 0.0, c1 = 0.0, c2 = 0.0, c3 = 0.0;
+  double c4 = 0.0, c5 = 0.0, c6 = 0.0, c7 = 0.0;
+  std::int64_t i = lo;
+  for (; i + 7 <= hi; i += 8) {
+    c0 += x[i];
+    c1 += x[i + 1];
+    c2 += x[i + 2];
+    c3 += x[i + 3];
+    c4 += x[i + 4];
+    c5 += x[i + 5];
+    c6 += x[i + 6];
+    c7 += x[i + 7];
+  }
+  for (; i <= hi; ++i) c0 += x[i];
+  return ((c0 + c1) + (c2 + c3)) + ((c4 + c5) + (c6 + c7));
+}
+
+// First / last index in [lo, hi] with x[i] > 0, for shrinking the live
+// windows to the surviving extremes: 64-lane chunk sums (vectorizable)
+// skip dead ends; only the hit chunk is scanned serially.
+SHUFFLEDEF_TC
+std::int64_t k_first_pos(const double* __restrict x, std::int64_t lo,
+                         std::int64_t hi) {
+  constexpr std::int64_t kChunk = 64;
+  std::int64_t i = lo;
+  for (; i + kChunk - 1 <= hi; i += kChunk) {
+    double any = 0.0;
+    for (std::int64_t j = i; j < i + kChunk; ++j) any += x[j];
+    if (any != 0.0) break;
+  }
+  for (; i <= hi; ++i) {
+    if (x[i] > 0.0) return i;
+  }
+  return hi + 1;
+}
+
+SHUFFLEDEF_TC
+std::int64_t k_last_pos(const double* __restrict x, std::int64_t lo,
+                        std::int64_t hi) {
+  constexpr std::int64_t kChunk = 64;
+  std::int64_t i = hi;
+  for (; i - kChunk + 1 >= lo; i -= kChunk) {
+    double any = 0.0;
+    for (std::int64_t j = i - kChunk + 1; j <= i; ++j) any += x[j];
+    if (any != 0.0) break;
+  }
+  for (; i >= lo; --i) {
+    if (x[i] > 0.0) return i;
+  }
+  return lo - 1;
+}
+
+// One record per candidate unit stopped by the pruner (verify mode only):
+// the recheck recomputes the unit's true value and demands it stays below
+// `limit` (= incumbent at stop time minus half the safety margin).
+struct PrunedRec {
+  Count a = 0;
+  double limit = 0.0;
+  bool mirror_unit = false;  // the mirror candidate n - a, not a itself
+};
+
+// Cross-block per-cell state: the pruning incumbent plus the running
+// candidate selection, carried from lane block to lane block of one (n, m)
+// cell.  Each block's best is extracted at the end of its walk, while the
+// lanes are still L1-hot, so acc/accm can be shared across all m of the row
+// and the row-end merge touches only this aggregate (O(1) per cell).
+//
+// Tie-breaks reproduce the reference's single ascending-a scan exactly:
+//   * direct candidates ascend with the lane index, so the first maximizer
+//     is "strict > across ascending blocks, forward find within a block";
+//   * mirror candidates a' = n - lane ascend as the lane DEscends, so the
+//     first maximizer is the highest lane: ">= across ascending blocks,
+//     backward find within a block".
+// Pruned units hold partial sums strictly below their stop-time threshold
+// (thr = incumbent - margin < incumbent <= final winner), so a dead lane's
+// partial can never win or tie either selection — a transiently recorded
+// dead partial is always displaced by the true winner's block.
+struct CellAgg {
+  double incumbent = -1.0;
+  double pi_top = 0.0;
+  bool seeded = false;  // full-walk incumbent seed done
+  double best = -1.0;   // best direct candidate value so far
+  Count best_a = 0;     // its lane (== candidate a)
+  double mbest = -1.0;  // best mirror candidate value so far
+  Count mbest_lane = 0; // its lane (candidate a' = n - lane)
+};
+
+// Per-chunk scratch: reused across the rows of one chunk, sized once.
+struct RowScratch {
+  std::vector<double> pi0;    // Pr(b=0 | draws=a), maintained across m
+  std::vector<double> pmf;    // current pmf term per lane (0 = lane dead)
+  std::vector<double> acc;    // direct candidate partial value
+  std::vector<double> accm;   // mirror candidate partial value
+  std::vector<double> astarf; // [m][b] truncation-gate index thresholds
+  std::vector<double> ad;     // direct unit alive (exact 0/1)
+  std::vector<double> am;     // mirror unit alive (exact 0/1)
+  std::vector<CellAgg> agg;                  // [m] per-row cell state
+  std::vector<Count> seed_a;                 // [m] previous row's argmax
+  std::vector<PrunedRec> pruned;             // per (block, m), verify only
+  std::uint64_t n_pruned = 0;
+  std::uint64_t n_rechecks = 0;
+  std::uint64_t n_kernel_cells = 0;
+  std::uint64_t n_kernel_cands = 0;
+
+  void ensure(std::size_t lanes, std::size_t mrows) {
+    if (pi0.size() < lanes) {
+      pi0.resize(lanes);
+      pmf.resize(lanes);
+      acc.resize(lanes);
+      accm.resize(lanes);
+      ad.resize(lanes);
+      am.resize(lanes);
+    }
+    if (agg.size() < mrows) {
+      agg.resize(mrows);
+      seed_a.resize(mrows, 0);
+      astarf.resize(mrows * mrows);
+    }
+  }
+};
+
+// Everything one layer sweep needs; value semantics are fully determined by
+// (n, m, prev contents, eps, mirror, a_cap) — never by rectangle bounds,
+// strides, chunking, or pruning — which is what makes warm extension and
+// the parallel sweep bit-identical to a serial cold solve.
+struct SweepCtx {
+  Count M = 0;            // compute cells with m <= min(n, M)
+  Count m_lo = 0;         // first m to compute (> 0 for warm extension rows)
+  double eps = 0.0;
+  bool mirror = false;    // symmetry_cut && a_cap == 0
+  Count a_cap = 0;
+  bool prune = false;
+  bool verify = false;
+  const double* prev = nullptr;      // previous layer, [m][n]
+  const double* prev_rev = nullptr;  // previous layer, rows reversed
+  // Per-column running maxima of the previous layer's bot rows, for the
+  // pruning bounds (null when pruning is off):
+  //   cmd_rev[m][i] = max over m' in [1, m)  of prev[m'][·], rows reversed
+  //   cmf[m][x]     = max over m' in [1, m]  of prev[m'][x]
+  const double* cmd_rev = nullptr;
+  const double* cmf = nullptr;
+  double* cur = nullptr;             // this layer, [m][n]
+  std::uint16_t* assign = nullptr;   // this layer's argmax or nullptr
+  std::size_t stride = 0;            // doubles per m-row
+  const double* rcp = nullptr;       // rcp[k] = 1/k
+  const double* rcpr = nullptr;      // rcpr[j] = 1/(L - j)
+  std::size_t rcp_l = 0;             // the L above
+  const double* af = nullptr;        // af[i] = (double)i
+  std::atomic<std::uint64_t>* c_pruned = nullptr;
+  std::atomic<std::uint64_t>* c_rechecks = nullptr;
+  std::atomic<std::uint64_t>* c_kernel_cells = nullptr;
+  std::atomic<std::uint64_t>* c_kernel_cands = nullptr;
+};
+
+// Exact scalar walk of one candidate: the canonical path for candidates
+// whose hypergeometric support does not start at b = 0 (a > n - m, where
+// the cross-m pmf chain is zero), for verify-mode rechecks, and for the
+// full-walk incumbent seed.  Term set and truncation semantics match the
+// reference solver exactly.
+void scalar_candidate(const SweepCtx& cx, Count n, Count m, Count a,
+                      bool eval_mirror, double* v_dir, double* v_mir) {
+  const Count lo = std::max<Count>(0, a - (n - m));
+  const Count hi = std::min(a, m);
+  double pmf = util::hypergeometric_pmf(n, m, a, lo);
+  const auto mode = static_cast<Count>((static_cast<double>(a) + 1.0) *
+                                       (static_cast<double>(m) + 1.0) /
+                                       (static_cast<double>(n) + 2.0));
+  double acc = 0.0;
+  double accm = 0.0;
+  const double* prev = cx.prev;
+  const std::size_t st = cx.stride;
+  for (Count b = lo; b <= hi; ++b) {
+    if (b == 0) acc += static_cast<double>(a) * pmf;  // S(a, 0, 1) = a
+    acc += pmf * prev[static_cast<std::size_t>(m - b) * st +
+                      static_cast<std::size_t>(n - a)];
+    if (eval_mirror) {
+      accm += pmf * prev[static_cast<std::size_t>(b) * st +
+                         static_cast<std::size_t>(a)];
+      if (b == m) accm += static_cast<double>(n - a) * pmf;
+    }
+    if (cx.eps > 0.0 && b > mode && pmf < cx.eps) break;
+    const double bd = static_cast<double>(b);
+    pmf *= (static_cast<double>(m) - bd) * (static_cast<double>(a) - bd) /
+           ((bd + 1.0) * (static_cast<double>(n - m - a) + bd + 1.0));
+  }
+  *v_dir = acc;
+  *v_mir = accm;
+}
+
+// Exact index form of the per-lane truncation gate.  The reference
+// truncates lane a at pass b once b > mode(a) (and pmf < eps), with
+// mode(a) = floor((a + 1) * (m + 1) / (n + 2.0)) evaluated in double.  The
+// numerator product is exact in double and IEEE division and floor are
+// monotone, so mode is nondecreasing in a and the per-lane test b > mode(a)
+// is equivalent to a < astar(b), astar(b) = min{a : mode(a) >= b}.  The
+// truncated kernels compare af[i] against this broadcast threshold instead
+// of loading a per-lane mode array, which removes the per-lane division
+// that used to fill that array — bit-identical gates, one fewer stream.
+Count gate_astar(Count n, Count m, Count b) {
+  const double np2 = static_cast<double>(n) + 2.0;
+  const double mp1 = static_cast<double>(m) + 1.0;
+  const double bf = static_cast<double>(b);
+  const auto mode_of = [&](Count x) {
+    return std::floor((static_cast<double>(x) + 1.0) * mp1 / np2);
+  };
+  const double guess =
+      std::min(std::max(bf * np2 / mp1, 1.0), static_cast<double>(n) + 2.0);
+  Count a = static_cast<Count>(guess);
+  while (a > 1 && mode_of(a - 1) >= bf) --a;
+  while (mode_of(a) < bf) ++a;
+  return a;
+}
+
+// Walk cell (n, m)'s candidate lanes [blo, bhi] (all within the vector
+// region a <= n - m) through every b-pass, updating the cell's cross-block
+// aggregate.  s.pi0 must hold Pr(b=0 | draws=a) for this (n, m) over the
+// block.  Per-lane arithmetic is exactly the unblocked chain; only the
+// iteration order differs.
+void block_walk(const SweepCtx& cx, RowScratch& s, Count n, Count m,
+                Count blo, Count bhi, Count va_hi, CellAgg& agg) {
+  const Count half = n / 2;
+  const bool mirror = cx.mirror;
+  const Count mirror_hi = mirror ? n - 1 - half : 0;
+  const double nf = cx.af[n];
+  const double mf = cx.af[m];
+  const std::size_t rc = cx.stride - 1;
+  const std::size_t roff = rc - static_cast<std::size_t>(n);
+  const double* af = cx.af;
+  double* acc = s.acc.data();
+  double* accm = s.accm.data();
+  double* pmf = s.pmf.data();
+  double* ad = s.ad.data();
+  double* am = s.am.data();
+  const double* pi0 = s.pi0.data();
+  s.pruned.clear();
+
+  const bool do_prune =
+      cx.prune && m >= kPruneMinBots && va_hi >= kPruneMinLanes;
+  const Count mhi0 = mirror ? std::min(bhi, mirror_hi) : blo - 1;
+
+  // Live candidate bands (inclusive lane ranges): direct candidates in
+  // [dv_lo, dv_hi], mirror candidates in [mv_lo, mv_hi].  Pruning shrinks
+  // both to the surviving extremes reported by the prune kernels; the
+  // b-passes walk only the union of the two bands, skipping any gap
+  // between them (e.g. a low direct band and a high mirror band).
+  const double* revm =
+      cx.prev_rev + static_cast<std::size_t>(m) * cx.stride + roff;
+  double inc = agg.incumbent;
+  Count dv_lo = blo;
+  Count dv_hi = bhi;
+  Count mv_lo = blo;
+  Count mv_hi = mhi0;
+  if (!do_prune) {
+    // b = 0 terms; every partial sum of nonnegative terms is a valid lower
+    // bound on the cell optimum, so these also seed the incumbent.
+    if (mirror) {
+      k_seed_mir(acc, accm, pi0, af, revm, cx.prev, blo, bhi);
+    } else {
+      k_seed_dir(acc, pi0, af, revm, blo, bhi);
+    }
+    std::memcpy(pmf + blo, pi0 + blo,
+                static_cast<std::size_t>(bhi - blo + 1) * sizeof(double));
+  } else {
+    // The first block (and every verify-mode block) seeds before pruning:
+    // the full-walk incumbent seed needs acc, and the verify loop reads
+    // the seeds scalar.  Later non-verify blocks fuse seed + prune into
+    // one pass (identical seed expressions, so seeds are bit-identical
+    // whichever kernel wrote them).
+    const bool pre_seeded = !agg.seeded || cx.verify;
+    if (pre_seeded) {
+      if (mirror) {
+        k_seed_mir(acc, accm, pi0, af, revm, cx.prev, blo, bhi);
+      } else {
+        k_seed_dir(acc, pi0, af, revm, blo, bhi);
+      }
+    }
+    if (!agg.seeded) {
+      // Full-walk incumbent seed: evaluate the first block's best b=0 lane
+      // exactly.  Its value is typically within a hair of the cell
+      // optimum, so the b=0 bounds discard most lanes before any b-pass
+      // runs.  (A scalar walk's value may differ from the batched lane's
+      // in the last ulps; the safety margin absorbs that.)
+      const double b0 = k_max(acc, blo, bhi, -1.0);
+      const auto a0 = static_cast<Count>(k_findeq_fwd(acc, blo, bhi, b0));
+      double vd0 = 0.0;
+      double vm0 = 0.0;
+      scalar_candidate(cx, n, m, a0, mirror && a0 <= mirror_hi, &vd0, &vm0);
+      inc = std::max(inc, std::max(vd0, vm0));
+      if (mirror && mirror_hi >= 1) {
+        agg.pi_top = util::hypergeometric_pmf(n, m, mirror_hi, m);
+      }
+      agg.seeded = true;
+    }
+    const double pi_top = agg.pi_top;
+    const double margin = kPruneMarginRel * std::max(1.0, inc);
+    const double thr = inc - margin;
+    const double* cmd =
+        cx.cmd_rev + static_cast<std::size_t>(m) * cx.stride + roff;
+    const double* cmfa = cx.cmf + static_cast<std::size_t>(m) * cx.stride;
+    // Streams for the two-term direct bound: the b = 1 term of a lane's
+    // walk is pi0 * (m * a) / (n - m + 1 - a) * prev[m-1][n-a] — the exact
+    // FP expression the first b-pass will compute — so bounding the tail
+    // past b = 1 by (dead mass - p1) * (n - a) is far tighter than
+    // dead * (n - a) when prev[m-1][.] sits well below capacity.  FP slop
+    // between (1 - pi0) - p1 and the true tail mass is absorbed by the
+    // pruning margin, like every other bound arm here.
+    const double* pr1 =
+        cx.prev_rev + static_cast<std::size_t>(m - 1) * cx.stride + roff;
+    const double* r1 =
+        cx.rcpr + (cx.rcp_l - static_cast<std::size_t>(n - m + 1));
+    // pm = (a_hi / n)^m for the block's top lane: an upper bound on
+    // Pr(b = m | a) for every lane of the block (increasing in a, and
+    // (a/n)^m exceeds the exact hypergeometric probability with relative
+    // slack far above FP rounding).
+    double pm = 1.0;
+    {
+      double base = af[bhi] * cx.rcp[n];
+      Count e = m;
+      while (e > 0) {
+        if ((e & 1) != 0) pm *= base;
+        base *= base;
+        e >>= 1;
+      }
+    }
+    if (cx.verify) {
+      const double limit = inc - 0.5 * margin;
+      bool anyd = false;
+      bool anym = false;
+      for (Count a = blo; a <= bhi; ++a) {
+        const double dead = 1.0 - pi0[a];
+        const double na = nf - af[a];
+        const double cap = dead * na;
+        const double cmx = std::fma(dead, cmd[a], pm * (na - cmd[a]));
+        const double p1 = pi0[a] * (mf * af[a]) * r1[a];
+        const double resid = dead - p1;
+        const double two = std::fma(p1, pr1[a], resid > 0.0 ? resid * na : 0.0);
+        double ub = cap < cmx ? cap : cmx;
+        if (two < ub) ub = two;
+        const bool da = acc[a] + ub >= thr;
+        bool ma = false;
+        if (a <= mhi0) {
+          ma = accm[a] + dead * cmfa[a] + pi_top * na >= thr;
+          if (ma) {
+            if (!anym) mv_lo = a;
+            mv_hi = a;
+            anym = true;
+          } else {
+            ++s.n_pruned;
+            s.pruned.push_back({a, limit, true});
+          }
+        }
+        if (da) {
+          if (!anyd) dv_lo = a;
+          dv_hi = a;
+          anyd = true;
+        } else {
+          ++s.n_pruned;
+          s.pruned.push_back({a, limit, false});
+        }
+        pmf[a] = (da || ma) ? pi0[a] : 0.0;
+      }
+      if (!anyd) {
+        dv_lo = 1;
+        dv_hi = 0;
+      }
+      if (!anym) {
+        mv_lo = 1;
+        mv_hi = 0;
+      }
+    } else {
+      if (pre_seeded) {
+        if (mhi0 >= blo) {
+          k_flag0_both(ad, am, pmf, acc, accm, pi0, af, cmd, cmfa, pr1, r1,
+                       nf, pm, pi_top, thr, mf, blo, mhi0);
+        }
+        if (bhi > mhi0) {
+          k_flag0_dir(ad, pmf, acc, pi0, af, cmd, pr1, r1, nf, pm, thr, mf,
+                      std::max(blo, mhi0 + 1), bhi);
+        }
+      } else {
+        if (mhi0 >= blo) {
+          k_seed_flag0_mir(ad, am, acc, accm, pmf, pi0, af, revm, cx.prev,
+                           cmd, cmfa, pr1, r1, nf, pm, pi_top, thr, mf, blo,
+                           mhi0);
+        }
+        if (bhi > mhi0) {
+          k_seed_flag0_dir(ad, acc, pmf, pi0, af, revm, cmd, pr1, r1, nf,
+                           pm, thr, mf, std::max(blo, mhi0 + 1), bhi);
+        }
+      }
+      const double alive_d = k_sum(ad, blo, bhi);
+      const double alive_m = mhi0 >= blo ? k_sum(am, blo, mhi0) : 0.0;
+      const std::uint64_t units =
+          static_cast<std::uint64_t>(bhi - blo + 1) +
+          (mhi0 >= blo ? static_cast<std::uint64_t>(mhi0 - blo + 1) : 0u);
+      s.n_pruned += units - static_cast<std::uint64_t>(alive_d + alive_m);
+      if (alive_d > 0.0) {
+        dv_lo = static_cast<Count>(k_first_pos(ad, blo, bhi));
+        dv_hi = static_cast<Count>(k_last_pos(ad, blo, bhi));
+      } else {
+        dv_lo = 1;
+        dv_hi = 0;
+      }
+      if (alive_m > 0.0) {
+        mv_lo = static_cast<Count>(k_first_pos(am, blo, mhi0));
+        mv_hi = static_cast<Count>(k_last_pos(am, blo, mhi0));
+      } else {
+        mv_lo = 1;
+        mv_hi = 0;
+      }
+    }
+  }
+
+  const double eps = cx.eps;
+  // Truncation-gate thresholds for this cell (see gate_astar), precomputed
+  // once per row in sweep_rows.
+  const double* asrow =
+      eps > 0.0
+          ? s.astarf.data() + static_cast<std::size_t>(m) * s.agg.size()
+          : nullptr;
+
+  // b-passes.  Lane a's support ends at b = min(a, m): the pmf update's
+  // (a - b + 1) factor zeroes it naturally, so passes start at
+  // a = max(band_lo, b).  On the exact path (eps == 0) consecutive passes
+  // are
+  // fused two or four at a time: the fused kernels run the identical
+  // per-lane chain with the pmf and partial sums held in registers (lanes
+  // entering mid-group self-annihilate through the zero support factor —
+  // see the kernel comment).  The grouping depends only on (m, b), never on
+  // execution knobs, so prune on/off and warm/cold solves group (and round)
+  // identically.
+  const auto st_pd = static_cast<std::ptrdiff_t>(cx.stride);
+  Count b = 1;
+  while (b <= m) {
+    // Live sub-ranges for this pass: lane a's support needs a >= b, and
+    // both bands only ever shrink from below as b grows, so a lane skipped
+    // at pass b stays skipped — per-lane pmf chains are never broken.
+    const Count dlo = std::max(dv_lo, b);
+    const Count mlo = std::max(mv_lo, b);
+    const bool anyd = dlo <= dv_hi;
+    const bool anym = mlo <= mv_hi;
+    if (!anyd && !anym) break;
+    const Count left = m - b + 1;
+    const Count fuse = left >= 4 ? 4 : (left >= 2 ? 2 : 1);
+    const Count bend = b + fuse - 1;
+    // Truncation blend for fused groups; the last sub-pass of the final
+    // group (bend == m) must leave the pmf untruncated for k_clean.
+    const double epsL = bend == m ? 0.0 : eps;
+    const double bf = af[b];
+    // Gate thresholds for the group's sub-passes (unused entries stay 0;
+    // an eps == 0 blend never fires regardless of its threshold).
+    double as0 = 0.0;
+    double as1 = 0.0;
+    double as2 = 0.0;
+    double as3 = 0.0;
+    if (eps > 0.0) {
+      as0 = asrow[b];
+      if (fuse >= 2) as1 = asrow[b + 1];
+      if (fuse == 4) {
+        as2 = asrow[b + 2];
+        as3 = asrow[b + 3];
+      }
+    }
+    const double* pr =
+        cx.prev_rev + static_cast<std::size_t>(m - b) * cx.stride + roff;
+    const double* rj =
+        cx.rcpr + (cx.rcp_l - static_cast<std::size_t>(n - m + b));
+    // Final pass (b == m): the clean-bucket term reads the pre-truncation
+    // pmf, so run untruncated variants and skip the (dead-store) blend.
+    const bool tr = eps > 0.0 && b < m;
+    const auto plain = [&](Count lo, Count hi) {
+      if (fuse == 4) {
+        if (eps > 0.0) {
+          k_bpass4_t(pmf, acc, af, rj, pr, as0, as1, as2, as3, cx.rcp,
+                     st_pd, mf, b, eps, epsL, lo, hi);
+        } else {
+          k_bpass4(pmf, acc, af, rj, pr, cx.rcp, st_pd, mf, b, lo, hi);
+        }
+      } else if (fuse == 2) {
+        if (eps > 0.0) {
+          k_bpass2_t(pmf, acc, af, rj, pr, as0, as1, cx.rcp, st_pd, mf, b,
+                     eps, epsL, lo, hi);
+        } else {
+          k_bpass2(pmf, acc, af, rj, pr, cx.rcp, st_pd, mf, b, lo, hi);
+        }
+      } else if (tr) {
+        k_bpass_t(pmf, acc, af, rj, pr, as0, eps,
+                  (mf - bf + 1.0) * cx.rcp[b], bf - 1.0, lo, hi);
+      } else {
+        k_bpass(pmf, acc, af, rj, pr, (mf - bf + 1.0) * cx.rcp[b], bf - 1.0,
+                lo, hi);
+      }
+    };
+    if (anym) {
+      const double* brow = cx.prev + static_cast<std::size_t>(b) * cx.stride;
+      // Direct-only lanes below the mirror band, the mirror band itself
+      // (its acc updates are free rides for lanes whose direct unit died),
+      // then direct-only lanes above it.  Lanes in neither band — pruned
+      // ends and the gap between bands — are skipped entirely.
+      if (anyd && dlo < mlo) plain(dlo, std::min(dv_hi, mlo - 1));
+      if (fuse == 4) {
+        if (eps > 0.0) {
+          k_bpass4_mt(pmf, acc, accm, af, rj, pr, brow, as0, as1, as2, as3,
+                      cx.rcp, st_pd, mf, b, eps, epsL, mlo, mv_hi);
+        } else {
+          k_bpass4_m(pmf, acc, accm, af, rj, pr, brow, cx.rcp, st_pd, mf, b,
+                     mlo, mv_hi);
+        }
+      } else if (fuse == 2) {
+        if (eps > 0.0) {
+          k_bpass2_mt(pmf, acc, accm, af, rj, pr, brow, as0, as1, cx.rcp,
+                      st_pd, mf, b, eps, epsL, mlo, mv_hi);
+        } else {
+          k_bpass2_m(pmf, acc, accm, af, rj, pr, brow, cx.rcp, st_pd, mf, b,
+                     mlo, mv_hi);
+        }
+      } else if (tr) {
+        k_bpass_m_t(pmf, acc, accm, af, rj, pr, brow, as0, eps,
+                    (mf - bf + 1.0) * cx.rcp[b], bf - 1.0, mlo, mv_hi);
+      } else {
+        k_bpass_m(pmf, acc, accm, af, rj, pr, brow,
+                  (mf - bf + 1.0) * cx.rcp[b], bf - 1.0, mlo, mv_hi);
+      }
+      if (anyd && dv_hi > mv_hi) plain(std::max(dlo, mv_hi + 1), dv_hi);
+      if (bend == m) {
+        // Clean-bucket term of the mirror: all m bots land in the size-a
+        // remainder; Pr(B_a = m) == Pr(no bots in n - a draws) exactly.
+        // Lanes below m hold pmf == +/-0 here (their support ended), so
+        // clamping to the single-pass range is exact either way.
+        const Count clo = std::max(mlo, m);
+        if (clo <= mv_hi) k_clean(accm, pmf, af, nf, clo, mv_hi);
+      }
+    } else {
+      plain(dlo, dv_hi);
+    }
+    b = bend + 1;
+  }
+
+  // Block-end best extraction, while the lanes are still L1-hot.  The walk
+  // above ran every b-pass, so live lanes hold final candidate values.
+  // Extraction is clamped to the post-prune0 live windows: every excluded
+  // lane was pruned there, and a pruned partial cannot win or tie (see
+  // CellAgg), so skipping it changes nothing.
+  if (dv_lo <= dv_hi) {
+    const double bd = k_max(acc, dv_lo, dv_hi, -1.0);
+    if (bd > agg.best) {
+      agg.best = bd;
+      agg.best_a = static_cast<Count>(k_findeq_fwd(acc, dv_lo, dv_hi, bd));
+    }
+  }
+  if (mv_lo <= mv_hi) {
+    const double bm = k_max(accm, mv_lo, mv_hi, -1.0);
+    if (bm >= agg.mbest) {
+      agg.mbest = bm;
+      agg.mbest_lane =
+          static_cast<Count>(k_findeq_bwd(accm, mv_lo, mv_hi, bm));
+    }
+  }
+  agg.incumbent = std::max(inc, std::max(agg.best, agg.mbest));
+
+  if (cx.verify) {
+    for (const PrunedRec& rec : s.pruned) {
+      double vd = 0.0;
+      double vm = 0.0;
+      scalar_candidate(cx, n, m, rec.a, rec.mirror_unit, &vd, &vm);
+      const double v = rec.mirror_unit ? vm : vd;
+      if (v > rec.limit) {
+        throw std::logic_error(
+            "AlgorithmOnePlanner: verify_pruning failed at cell (n=" +
+            std::to_string(n) + ", m=" + std::to_string(m) + ", a=" +
+            std::to_string(rec.mirror_unit ? n - rec.a : rec.a) +
+            "): pruned value " + std::to_string(v) + " exceeds limit " +
+            std::to_string(rec.limit));
+      }
+      ++s.n_rechecks;
+    }
+  }
+}
+
+// Rows [row_lo, row_hi) of one layer, computing cells with m in
+// [max(cx.m_lo, 0), min(n, cx.M)].  Lane blocks are the outer loop within a
+// row: each block runs its pi0 chain and every cell's b-walk while L1-hot.
+// The pi0 chain always starts at m = 0, so a row entered mid-extension
+// (m_lo > 0) reproduces exactly the same pi0 values a cold sweep would see.
+void sweep_rows(const SweepCtx& cx, std::int64_t row_lo, std::int64_t row_hi,
+                RowScratch& s) {
+  const std::size_t st = cx.stride;
+  for (Count n = row_lo; n < row_hi; ++n) {
+    // Incumbent seeds (see below) carry across rows but reset at every
+    // kRowGrain boundary — exactly the parallel_for chunk boundaries, and
+    // chunk starts are always row_lo + i * kRowGrain — so pruning behavior
+    // (and its counters) is identical at any thread count.
+    if ((n - row_lo) % kRowGrain == 0) {
+      std::fill(s.seed_a.begin(), s.seed_a.end(), Count{0});
+    }
+    const Count m_top = std::min(n, cx.M);
+    if (n <= 1) {
+      for (Count m = std::max<Count>(cx.m_lo, 0); m <= m_top; ++m) {
+        cx.cur[static_cast<std::size_t>(m) * st + static_cast<std::size_t>(n)] =
+            base_case(n, m);
+        if (cx.assign) {
+          cx.assign[static_cast<std::size_t>(m) * st +
+                    static_cast<std::size_t>(n)] = kNoSplit;
+        }
+      }
+      continue;
+    }
+    if (cx.m_lo <= 0) {
+      cx.cur[static_cast<std::size_t>(n)] = static_cast<double>(n);
+      if (cx.assign) cx.assign[static_cast<std::size_t>(n)] = kNoSplit;
+    }
+    if (m_top == 0) continue;
+    const Count half = n / 2;
+    const bool mirror = cx.mirror;
+    const Count mirror_hi = mirror ? n - 1 - half : 0;
+    const Count a_hi_row =
+        cx.a_cap > 0 ? std::min(n - 1, cx.a_cap) : (mirror ? half : n - 1);
+    const Count m_start = std::max<Count>(cx.m_lo, 1);
+    s.ensure(static_cast<std::size_t>(a_hi_row) + 1,
+             static_cast<std::size_t>(m_top) + 1);
+    for (Count m = m_start; m <= m_top; ++m) {
+      CellAgg& agg = s.agg[static_cast<std::size_t>(m)];
+      agg = CellAgg{};
+      // Cross-cell incumbent seed: rows of a chunk run in ascending n, so
+      // cell (n - 1, m)'s argmax is a known near-optimal candidate index
+      // for this cell (the optimum drifts slowly in n).  One exact scalar
+      // walk of that candidate is a proven lower bound on the cell optimum
+      // before any block runs, so even the first block prunes against a
+      // near-final incumbent instead of warming one up block by block.
+      // Value-neutral like all pruning state: it only tightens thresholds.
+      const Count sa = s.seed_a[static_cast<std::size_t>(m)];
+      if (cx.prune && m >= kPruneMinBots && sa >= 1 && sa <= n - 1 &&
+          (cx.a_cap == 0 || sa <= cx.a_cap)) {
+        double vd = 0.0;
+        double vm = 0.0;
+        scalar_candidate(cx, n, m, sa, false, &vd, &vm);
+        agg.incumbent = vd;
+        if (mirror && mirror_hi >= 1) {
+          agg.pi_top = util::hypergeometric_pmf(n, m, mirror_hi, m);
+        }
+        agg.seeded = true;
+      }
+    }
+    if (cx.eps > 0.0) {
+      // Truncation-gate thresholds a < astar(b) for every cell of the row
+      // (stride = agg.size(), stable within the row after ensure()).
+      const std::size_t astride = s.agg.size();
+      for (Count m = m_start; m <= m_top; ++m) {
+        for (Count b = 1; b <= m; ++b) {
+          s.astarf[static_cast<std::size_t>(m) * astride +
+                   static_cast<std::size_t>(b)] =
+              static_cast<double>(gate_astar(n, m, b));
+        }
+      }
+    }
+
+    double* pi0 = s.pi0.data();
+    for (Count blo = 1; blo <= a_hi_row; blo += kLaneBlock) {
+      const Count bhi = std::min<Count>(blo + kLaneBlock - 1, a_hi_row);
+      for (Count a = blo; a <= bhi; ++a) pi0[a] = 1.0;
+      for (Count m = 1; m <= m_top; ++m) {
+        // pi0_m(a) = pi0_{m-1}(a) * (n - m + 1 - a) / (n - m + 1): the
+        // division-free cross-m recurrence for Pr(b=0 | draws=a).  Zeros
+        // propagate before any factor goes negative, so values self-clamp
+        // to 0 outside the support (a > n - m).
+        k_pi0(pi0, cx.af, cx.af[n - m + 1], cx.rcp[n - m + 1], blo, bhi);
+        if (m < m_start) continue;
+        const Count va_hi = std::min(a_hi_row, n - m);
+        if (blo > va_hi) continue;  // block fully in the scalar region
+        block_walk(cx, s, n, m, blo, std::min(bhi, va_hi), va_hi,
+                   s.agg[static_cast<std::size_t>(m)]);
+      }
+    }
+
+    for (Count m = m_start; m <= m_top; ++m) {
+      const Count va_hi = std::min(a_hi_row, n - m);
+      if (va_hi >= 1) {
+        s.n_kernel_cands +=
+            static_cast<std::uint64_t>(va_hi) +
+            (mirror ? static_cast<std::uint64_t>(std::min(va_hi, mirror_hi))
+                    : 0u);
+      }
+      // Candidates whose support starts above b = 0 (a > n - m): canonical
+      // scalar walks, folded straight into the cell aggregate.  These lanes
+      // sit above every vector-region lane, so the reference's ascending-a
+      // tie-breaks are "strict >" for the direct unit (lower lanes are
+      // earlier candidates and win ties) and ">=" for the mirror unit
+      // (a' = n - lane, so HIGHER lanes are earlier candidates and win
+      // ties) — the same rules CellAgg applies across blocks.
+      CellAgg& agg = s.agg[static_cast<std::size_t>(m)];
+      const Count s_lo = std::max<Count>(va_hi + 1, 1);
+      for (Count a = s_lo; a <= a_hi_row; ++a) {
+        const bool em = mirror && a <= mirror_hi;
+        double vd = 0.0;
+        double vm = 0.0;
+        scalar_candidate(cx, n, m, a, em, &vd, &vm);
+        if (vd > agg.best) {
+          agg.best = vd;
+          agg.best_a = a;
+        }
+        if (em && vm >= agg.mbest) {
+          agg.mbest = vm;
+          agg.mbest_lane = a;
+        }
+      }
+      // Final selection: the mirror unit displaces the direct one only on a
+      // strict > — direct candidates (a <= n/2) precede mirror candidates
+      // (a' > n/2) in the reference's ascending scan.
+      double best = agg.best;
+      Count best_a = agg.best_a;
+      if (mirror && agg.mbest > best) {
+        best = agg.mbest;
+        best_a = n - agg.mbest_lane;
+      }
+      s.seed_a[static_cast<std::size_t>(m)] = best_a;
+      cx.cur[static_cast<std::size_t>(m) * st + static_cast<std::size_t>(n)] =
+          best;
+      if (cx.assign) {
+        cx.assign[static_cast<std::size_t>(m) * st +
+                  static_cast<std::size_t>(n)] =
+            static_cast<std::uint16_t>(best_a);
+      }
+      s.n_kernel_cells += 1;
+    }
+  }
+}
+
+void flush_counters(const SweepCtx& cx, const RowScratch& s) {
+  cx.c_pruned->fetch_add(s.n_pruned, std::memory_order_relaxed);
+  cx.c_rechecks->fetch_add(s.n_rechecks, std::memory_order_relaxed);
+  cx.c_kernel_cells->fetch_add(s.n_kernel_cells, std::memory_order_relaxed);
+  cx.c_kernel_cands->fetch_add(s.n_kernel_cands, std::memory_order_relaxed);
+}
+
+// Per-column running maxima over the previous layer's bot rows (see the
+// SweepCtx fields): row m of cmf covers prev rows [1, m], row m of cmd_rev
+// covers prev_rev rows [1, m).  Rows 0 and 1 of cmd_rev (and row 0 of cmf)
+// are zero — an empty max over nonnegative values.
+void build_colmax(const double* prev, const double* prev_rev, double* cmf,
+                  double* cmd_rev, std::size_t mrows, std::size_t stride) {
+  std::memset(cmf, 0, stride * sizeof(double));
+  std::memset(cmd_rev, 0, std::min<std::size_t>(mrows, 2) * stride *
+                              sizeof(double));
+  if (mrows > 1) {
+    std::memcpy(cmf + stride, prev + stride, stride * sizeof(double));
+  }
+  for (std::size_t m = 2; m < mrows; ++m) {
+    const double* pf = prev + m * stride;
+    const double* cf_1 = cmf + (m - 1) * stride;
+    double* cf = cmf + m * stride;
+    const double* pr_1 = prev_rev + (m - 1) * stride;
+    const double* cd_1 = cmd_rev + (m - 1) * stride;
+    double* cd = cmd_rev + m * stride;
+    for (std::size_t x = 0; x < stride; ++x) {
+      cf[x] = std::max(cf_1[x], pf[x]);
+      cd[x] = std::max(cd_1[x], pr_1[x]);
+    }
+  }
+}
+
+// Reverse every m-row of `src` into `dst`: dst[m][stride-1 - n] = src[m][n].
+void reverse_rows(const double* src, double* dst, std::size_t rows,
+                  std::size_t stride) {
+  for (std::size_t m = 0; m < rows; ++m) {
+    const double* in = src + m * stride;
+    double* out = dst + m * stride;
+    for (std::size_t n = 0; n < stride; ++n) out[stride - 1 - n] = in[n];
+  }
+}
+
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  v *= 0x9e3779b97f4a7c15ULL;
+  v ^= v >> 29;
+  h ^= v;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 32;
+  return h;
+}
+
 }  // namespace
 
-struct AlgorithmOnePlanner::Tables {
+std::uint64_t AlgorithmOneOptions::fingerprint() const {
+  std::uint64_t h = 0xa190017700000007ULL;
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(tail_epsilon));
+  std::memcpy(&bits, &tail_epsilon, sizeof(bits));
+  h = mix64(h, bits);
+  h = mix64(h, static_cast<std::uint64_t>(a_cap));
+  h = mix64(h, symmetry_cut ? 1u : 0u);
+  return h;
+}
+
+// A retained warm-start entry: the full layer stack (values for p = 1..P,
+// argmax for p = 2..P) solved out to extent (n_ext, m_ext), reusable and
+// extendable by any later problem with the same (P, fingerprint).
+struct AlgorithmOnePlanner::Warm {
+  std::uint64_t fingerprint = 0;
+  Count replicas = 0;
+  Count n_ext = 0;
+  Count m_ext = 0;
+  std::size_t stride = 0;  // doubles per m-row (= n_ext + 1)
+  std::size_t mrows = 0;   // rows per layer (= m_ext + 1)
+  std::vector<std::vector<double>> value;           // [P] layers
+  std::vector<std::vector<std::uint16_t>> assign;   // [P-1] layers (p >= 2)
+
+  [[nodiscard]] std::size_t bytes() const {
+    const std::size_t layer = stride * mrows;
+    return layer * value.size() * sizeof(double) +
+           layer * assign.size() * sizeof(std::uint16_t);
+  }
+};
+
+struct AlgorithmOnePlanner::SolveResult {
+  double value = 0.0;
   Count clients = 0;
   Count bots = 0;
   Count replicas = 0;
-  double value = 0.0;
-  // assign_no[p][n][m] flattened; only filled when keep_argmax.
-  std::vector<std::uint16_t> assign_no;
-  bool has_argmax = false;
+  const Warm* warm = nullptr;  // retained-mode tables (owned by the planner)
+  // Rolling-mode argmax stack, [p-2][m][n] with row stride `stride`.
+  std::vector<std::uint16_t> assign;
+  std::size_t stride = 0;
 
-  [[nodiscard]] std::size_t idx(Count p, Count n, Count m) const {
-    const auto stride_m = static_cast<std::size_t>(bots + 1);
-    const auto stride_n = static_cast<std::size_t>(clients + 1) * stride_m;
-    return static_cast<std::size_t>(p - 1) * stride_n +
-           static_cast<std::size_t>(n) * stride_m + static_cast<std::size_t>(m);
+  [[nodiscard]] std::uint16_t assign_at(Count p, Count n, Count m) const {
+    if (warm != nullptr) {
+      return warm->assign[static_cast<std::size_t>(p - 2)]
+                         [static_cast<std::size_t>(m) * warm->stride +
+                          static_cast<std::size_t>(n)];
+    }
+    const std::size_t layer =
+        static_cast<std::size_t>(bots + 1) * stride;
+    return assign[static_cast<std::size_t>(p - 2) * layer +
+                  static_cast<std::size_t>(m) * stride +
+                  static_cast<std::size_t>(n)];
   }
 };
 
@@ -53,6 +1616,19 @@ AlgorithmOnePlanner::AlgorithmOnePlanner(AlgorithmOneOptions options)
     solves_ = options_.registry->counter("planner.algorithm1.solves");
     layers_ = options_.registry->counter("planner.algorithm1.layers");
     cells_ = options_.registry->counter("planner.algorithm1.cells");
+    pruned_ =
+        options_.registry->counter("planner.algorithm1.pruned_candidates");
+    rechecks_ =
+        options_.registry->counter("planner.algorithm1.pruned_rechecks");
+    warm_hits_ = options_.registry->counter("planner.algorithm1.warm_hits");
+    warm_exts_ =
+        options_.registry->counter("planner.algorithm1.warm_extensions");
+    warm_misses_ =
+        options_.registry->counter("planner.algorithm1.warm_misses");
+    kernel_cells_ =
+        options_.registry->counter("planner.algorithm1.kernel_cells");
+    kernel_cands_ =
+        options_.registry->counter("planner.algorithm1.kernel_candidates");
   }
 }
 
@@ -68,7 +1644,58 @@ util::ThreadPool* AlgorithmOnePlanner::pool() const {
   return private_pool_.get();
 }
 
-AlgorithmOnePlanner::Tables AlgorithmOnePlanner::solve(
+void AlgorithmOnePlanner::clear_warm_cache() const { warm_.clear(); }
+
+namespace {
+
+// Per-solve immutable tables shared by every sweep of the solve.
+struct SolveTables {
+  std::vector<double> af;    // af[i] = i
+  std::vector<double> rcp;   // rcp[k] = 1/k (rcp[0] unused)
+  std::vector<double> rcpr;  // rcpr[j] = 1/(L - j), L = size - 1
+  std::size_t rcp_l = 0;
+
+  explicit SolveTables(Count n_max) {
+    const auto len = static_cast<std::size_t>(n_max) + 3;
+    af.resize(len);
+    rcp.resize(len);
+    rcpr.resize(len);
+    rcp_l = len - 1;
+    for (std::size_t i = 0; i < len; ++i) {
+      af[i] = static_cast<double>(i);
+      rcp[i] = i == 0 ? 0.0 : 1.0 / static_cast<double>(i);
+      // rcpr[j] == rcp[L - j] so rcpr[L - k + a] is a forward contiguous
+      // walk over 1/(k - a).
+      const std::size_t k = rcp_l - i;
+      rcpr[i] = k == 0 ? 0.0 : 1.0 / static_cast<double>(k);
+    }
+  }
+};
+
+struct SweepCounters {
+  std::atomic<std::uint64_t> pruned{0};
+  std::atomic<std::uint64_t> rechecks{0};
+  std::atomic<std::uint64_t> kernel_cells{0};
+  std::atomic<std::uint64_t> kernel_cands{0};
+};
+
+void run_sweep(SweepCtx cx, std::int64_t row_lo, std::int64_t row_hi,
+               util::ThreadPool* workers) {
+  const auto body = [&cx](std::int64_t lo, std::int64_t hi) {
+    RowScratch scratch;
+    sweep_rows(cx, lo, hi, scratch);
+    flush_counters(cx, scratch);
+  };
+  if (workers != nullptr && row_hi - row_lo > kRowGrain) {
+    workers->parallel_for(row_lo, row_hi, body, kRowGrain);
+  } else {
+    body(row_lo, row_hi);
+  }
+}
+
+}  // namespace
+
+AlgorithmOnePlanner::SolveResult AlgorithmOnePlanner::solve(
     const ShuffleProblem& problem, bool keep_argmax) const {
   const obs::Span span(options_.registry, "planner.algorithm1.solve");
   solves_.inc();
@@ -82,180 +1709,323 @@ AlgorithmOnePlanner::Tables AlgorithmOnePlanner::solve(
         "use GreedyPlanner or SeparableDpPlanner at this scale");
   }
 
-  const auto layer_size =
-      static_cast<std::size_t>(N + 1) * static_cast<std::size_t>(M + 1);
-  std::size_t need = 2 * layer_size * sizeof(double);
-  if (keep_argmax) {
-    need += layer_size * static_cast<std::size_t>(P) * sizeof(std::uint16_t);
-  }
-  if (need > options_.memory_limit_bytes) {
-    throw std::invalid_argument(
-        "AlgorithmOnePlanner: tables exceed memory_limit_bytes (" +
-        std::to_string(need) + " bytes needed)");
-  }
-
-  Tables t;
-  t.clients = N;
-  t.bots = M;
-  t.replicas = P;
-  t.has_argmax = keep_argmax;
-  if (keep_argmax) {
-    t.assign_no.assign(layer_size * static_cast<std::size_t>(P), kNoSplit);
-  }
-
-  auto cell = [&](std::vector<double>& layer, Count n, Count m) -> double& {
-    return layer[static_cast<std::size_t>(n) * static_cast<std::size_t>(M + 1) +
-                 static_cast<std::size_t>(m)];
+  const auto layer_cells = [](Count n, Count m) {
+    return static_cast<std::size_t>(n + 1) * static_cast<std::size_t>(m + 1);
+  };
+  const auto warm_bytes = [&](Count n, Count m) {
+    return layer_cells(n, m) *
+           (static_cast<std::size_t>(P) * sizeof(double) +
+            static_cast<std::size_t>(P - 1) * sizeof(std::uint16_t));
   };
 
-  // Layer p = 1.
-  std::vector<double> prev(layer_size, 0.0);
-  std::vector<double> cur(layer_size, 0.0);
-  for (Count n = 0; n <= N; ++n) {
-    for (Count m = 0; m <= std::min(n, M); ++m) {
-      cell(prev, n, m) = base_case(n, m);
-    }
+  // Memory gate, matching the historical rolling-mode accounting: the
+  // retained warm mode additionally requires the full stack to fit both
+  // limits, else it falls back to the rolling two-layer mode.
+  const std::size_t layer_size = layer_cells(N, M);
+  std::size_t need_rolling = 2 * layer_size * sizeof(double);
+  if (keep_argmax) {
+    need_rolling +=
+        layer_size * static_cast<std::size_t>(P) * sizeof(std::uint16_t);
   }
-  if (P == 1) {
-    t.value = cell(prev, N, M);
-    return t;
+  const bool retained = options_.warm_start && P >= 2 &&
+                        warm_bytes(N, M) <= options_.warm_memory_limit_bytes &&
+                        warm_bytes(N, M) <= options_.memory_limit_bytes;
+  if (!retained && need_rolling > options_.memory_limit_bytes) {
+    throw std::invalid_argument(
+        "AlgorithmOnePlanner: tables exceed memory_limit_bytes (" +
+        std::to_string(need_rolling) + " bytes needed)");
   }
 
+  SolveResult r;
+  r.clients = N;
+  r.bots = M;
+  r.replicas = P;
+  if (P == 1) {
+    r.value = base_case(N, M);
+    return r;
+  }
+
+  const std::uint64_t fp = options_.fingerprint();
+  SweepCounters totals;
   util::ThreadPool* workers = pool();
-  // Instrumentation: every layer sweeps the same (n, m) cell set, so the
-  // count is computed arithmetically once — the parallel hot loop stays
-  // untouched and totals are identical at any thread count.
+
+  const auto make_ctx = [&](const double* prev, const double* prev_rev,
+                            const double* cmf, const double* cmd_rev,
+                            double* cur, std::uint16_t* assign,
+                            std::size_t stride, const SolveTables& tabs,
+                            Count m_cap, Count m_lo) {
+    SweepCtx cx;
+    cx.M = m_cap;
+    cx.m_lo = m_lo;
+    cx.eps = options_.tail_epsilon;
+    cx.mirror = options_.symmetry_cut && options_.a_cap == 0;
+    cx.a_cap = options_.a_cap;
+    cx.prune = options_.prune;
+    cx.verify = options_.verify_pruning;
+    cx.prev = prev;
+    cx.prev_rev = prev_rev;
+    cx.cmf = cmf;
+    cx.cmd_rev = cmd_rev;
+    cx.cur = cur;
+    cx.assign = assign;
+    cx.stride = stride;
+    cx.rcp = tabs.rcp.data();
+    cx.rcpr = tabs.rcpr.data();
+    cx.rcp_l = tabs.rcp_l;
+    cx.af = tabs.af.data();
+    cx.c_pruned = &totals.pruned;
+    cx.c_rechecks = &totals.rechecks;
+    cx.c_kernel_cells = &totals.kernel_cells;
+    cx.c_kernel_cands = &totals.kernel_cands;
+    return cx;
+  };
+  const auto flush_obs = [&] {
+    pruned_.inc(totals.pruned.load(std::memory_order_relaxed));
+    rechecks_.inc(totals.rechecks.load(std::memory_order_relaxed));
+    kernel_cells_.inc(totals.kernel_cells.load(std::memory_order_relaxed));
+    kernel_cands_.inc(totals.kernel_cands.load(std::memory_order_relaxed));
+  };
+
+  if (retained) {
+    // ---- Warm-start retained mode -------------------------------------
+    Warm* hit = nullptr;
+    for (auto& w : warm_) {
+      if (w->fingerprint == fp && w->replicas == P) {
+        hit = w.get();
+        break;
+      }
+    }
+    const auto touch = [&](Warm* w) {
+      for (std::size_t i = 0; i < warm_.size(); ++i) {
+        if (warm_[i].get() == w) {
+          auto keep = std::move(warm_[i]);
+          warm_.erase(warm_.begin() + static_cast<std::ptrdiff_t>(i));
+          warm_.push_back(std::move(keep));
+          return;
+        }
+      }
+    };
+    const auto evict_to_fit = [&](const Warm* protect, std::size_t incoming) {
+      // Drop least-recently-used entries (front of the list) until the
+      // retained set fits the warm budget and the entry-count cap.
+      const auto total = [&] {
+        std::size_t sum = incoming;
+        for (const auto& w : warm_) sum += w->bytes();
+        return sum;
+      };
+      std::size_t i = 0;
+      while (warm_.size() > 0 &&
+             (warm_.size() >= kWarmCapacity ||
+              total() > options_.warm_memory_limit_bytes)) {
+        if (i >= warm_.size()) break;
+        if (warm_[i].get() == protect) {
+          ++i;
+          continue;
+        }
+        warm_.erase(warm_.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    };
+
+    if (hit != nullptr && N <= hit->n_ext && M <= hit->m_ext) {
+      warm_hits_.inc();
+      touch(hit);
+      r.warm = hit;
+      r.value = hit->value[static_cast<std::size_t>(P - 1)]
+                          [static_cast<std::size_t>(M) * hit->stride +
+                           static_cast<std::size_t>(N)];
+      return r;
+    }
+
+    const Count n2 = hit != nullptr ? std::max(N, hit->n_ext) : N;
+    const Count m2 = hit != nullptr ? std::max(M, hit->m_ext) : M;
+    if (hit != nullptr && (warm_bytes(n2, m2) >
+                               options_.warm_memory_limit_bytes ||
+                           warm_bytes(n2, m2) > options_.memory_limit_bytes)) {
+      // The union extent no longer fits: drop the entry and solve cold.
+      for (std::size_t i = 0; i < warm_.size(); ++i) {
+        if (warm_[i].get() == hit) {
+          warm_.erase(warm_.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+      hit = nullptr;
+    }
+
+    const bool extending = hit != nullptr;
+    const Count old_n = extending ? hit->n_ext : -1;
+    const Count old_m = extending ? hit->m_ext : -1;
+    Warm* w = hit;
+    if (!extending) {
+      auto fresh = std::make_unique<Warm>();
+      fresh->fingerprint = fp;
+      fresh->replicas = P;
+      w = fresh.get();
+      evict_to_fit(nullptr, warm_bytes(N, M));
+      warm_.push_back(std::move(fresh));
+      warm_misses_.inc();
+    } else {
+      touch(w);
+      evict_to_fit(w, 0);
+      warm_exts_.inc();
+    }
+
+    const Count nn = extending ? std::max(N, old_n) : N;
+    const Count mm = extending ? std::max(M, old_m) : M;
+    const auto stride = static_cast<std::size_t>(nn) + 1;
+    const auto mrows = static_cast<std::size_t>(mm) + 1;
+    const std::size_t layer = stride * mrows;
+
+    // (Re)allocate layers, preserving already-computed rows on extension.
+    if (w->stride != stride || w->mrows != mrows) {
+      const std::size_t old_stride = w->stride;
+      std::vector<std::vector<double>> value(static_cast<std::size_t>(P));
+      std::vector<std::vector<std::uint16_t>> assign(
+          static_cast<std::size_t>(P - 1));
+      for (Count p = 1; p <= P; ++p) {
+        auto& dst = value[static_cast<std::size_t>(p - 1)];
+        dst.assign(layer, 0.0);
+        if (extending) {
+          const auto& src = w->value[static_cast<std::size_t>(p - 1)];
+          for (Count m = 0; m <= old_m; ++m) {
+            std::memcpy(dst.data() + static_cast<std::size_t>(m) * stride,
+                        src.data() + static_cast<std::size_t>(m) * old_stride,
+                        old_stride * sizeof(double));
+          }
+        }
+      }
+      for (Count p = 2; p <= P; ++p) {
+        auto& dst = assign[static_cast<std::size_t>(p - 2)];
+        dst.assign(layer, kNoSplit);
+        if (extending) {
+          const auto& src = w->assign[static_cast<std::size_t>(p - 2)];
+          for (Count m = 0; m <= old_m; ++m) {
+            std::memcpy(dst.data() + static_cast<std::size_t>(m) * stride,
+                        src.data() + static_cast<std::size_t>(m) * old_stride,
+                        old_stride * sizeof(std::uint16_t));
+          }
+        }
+      }
+      w->value = std::move(value);
+      w->assign = std::move(assign);
+      w->stride = stride;
+      w->mrows = mrows;
+    }
+
+    // Layer p = 1 base case over the full (possibly extended) extent.
+    {
+      double* l1 = w->value[0].data();
+      for (Count n = 0; n <= nn; ++n) l1[n] = static_cast<double>(n);
+      for (Count m = 1; m <= mm; ++m) {
+        double* row = l1 + static_cast<std::size_t>(m) * stride;
+        std::memset(row, 0, stride * sizeof(double));
+      }
+    }
+
+    SolveTables tabs(nn);
+    std::vector<double> prev_rev(layer);
+    std::vector<double> cmf(options_.prune ? layer : 0);
+    std::vector<double> cmd_rev(options_.prune ? layer : 0);
+    std::uint64_t new_cells = 0;
+    for (Count p = 2; p <= P; ++p) {
+      const double* prev = w->value[static_cast<std::size_t>(p - 2)].data();
+      double* cur = w->value[static_cast<std::size_t>(p - 1)].data();
+      std::uint16_t* assign = w->assign[static_cast<std::size_t>(p - 2)].data();
+      reverse_rows(prev, prev_rev.data(), mrows, stride);
+      if (options_.prune) {
+        build_colmax(prev, prev_rev.data(), cmf.data(), cmd_rev.data(),
+                     mrows, stride);
+      }
+      if (!extending) {
+        SweepCtx cx = make_ctx(prev, prev_rev.data(), cmf.data(),
+                               cmd_rev.data(), cur, assign, stride, tabs, mm,
+                               0);
+        run_sweep(cx, 0, static_cast<std::int64_t>(nn) + 1, workers);
+      } else {
+        // R2: old rows gain bot columns (m in (old_m, mm]).
+        if (mm > old_m) {
+          SweepCtx cx = make_ctx(prev, prev_rev.data(), cmf.data(),
+                                 cmd_rev.data(), cur, assign, stride, tabs,
+                                 mm, old_m + 1);
+          run_sweep(cx, 0, static_cast<std::int64_t>(old_n) + 1, workers);
+        }
+        // R1: brand-new rows (n in (old_n, nn]).
+        if (nn > old_n) {
+          SweepCtx cx = make_ctx(prev, prev_rev.data(), cmf.data(),
+                                 cmd_rev.data(), cur, assign, stride, tabs,
+                                 mm, 0);
+          run_sweep(cx, static_cast<std::int64_t>(old_n) + 1,
+                    static_cast<std::int64_t>(nn) + 1, workers);
+        }
+      }
+      layers_.inc();
+    }
+    if (cells_) {
+      for (Count n = 0; n <= nn; ++n) {
+        const Count top = std::min(n, mm);
+        if (extending && n <= old_n) {
+          const Count done = std::min(n, old_m);
+          new_cells += static_cast<std::uint64_t>(top - done);
+        } else {
+          new_cells += static_cast<std::uint64_t>(top) + 1;
+        }
+      }
+      cells_.inc(new_cells * static_cast<std::uint64_t>(P - 1));
+    }
+    w->n_ext = nn;
+    w->m_ext = mm;
+    flush_obs();
+    r.warm = w;
+    r.value = w->value[static_cast<std::size_t>(P - 1)]
+                      [static_cast<std::size_t>(M) * stride +
+                       static_cast<std::size_t>(N)];
+    return r;
+  }
+
+  // ---- Rolling two-layer mode (warm-start off or stack too large) ------
+  if (options_.warm_start) warm_misses_.inc();
+  const auto stride = static_cast<std::size_t>(N) + 1;
+  std::vector<double> prev(layer_size, 0.0);
+  std::vector<double> cur(layer_size, 0.0);
+  std::vector<double> prev_rev(layer_size, 0.0);
+  if (keep_argmax) {
+    r.assign.assign(layer_size * static_cast<std::size_t>(P - 1), kNoSplit);
+    r.stride = stride;
+  }
+  for (Count n = 0; n <= N; ++n) prev[static_cast<std::size_t>(n)] =
+      static_cast<double>(n);
+
+  SolveTables tabs(N);
   std::uint64_t cells_per_layer = 0;
   if (cells_) {
     for (Count n = 0; n <= N; ++n) {
       cells_per_layer += static_cast<std::uint64_t>(std::min(n, M)) + 1;
     }
   }
+  std::vector<double> cmf(options_.prune ? layer_size : 0);
+  std::vector<double> cmd_rev(options_.prune ? layer_size : 0);
   for (Count p = 2; p <= P; ++p) {
-    // Every cell of this layer reads only `prev` and writes only its own
-    // slot of `cur` (and its own assign_no entry), so rows are embarrassingly
-    // parallel; each cell's KahanSum is private, keeping the result
-    // bit-identical to the serial sweep at any thread count.
-    const bool mirror_halves =
-        options_.symmetry_cut && options_.a_cap == 0;
-    const auto sweep_rows = [&](std::int64_t row_lo, std::int64_t row_hi) {
-      // Scratch for mirror-candidate values (symmetry cut only): written
-      // once per cell for every upper-half candidate, then scanned in
-      // ascending order so the first-maximizer tie-break of the uncut loop
-      // is preserved.  Local to the chunk call — chunks run concurrently.
-      std::vector<double> upper;
-      for (Count n = row_lo; n < row_hi; ++n) {
-        for (Count m = 0; m <= std::min(n, M); ++m) {
-          // Degenerate cases where splitting is impossible or pointless.
-          if (n <= 1 || m == 0) {
-            cell(cur, n, m) = base_case(n, m);
-            if (keep_argmax) t.assign_no[t.idx(p, n, m)] = kNoSplit;
-            continue;
-          }
-          // With the symmetry cut, lower candidates [1, half] are walked
-          // directly and each walk also yields the mirror candidate n - a
-          // (for a <= mirror_hi, i.e. mirrors covering [half + 1, n - 1]).
-          const Count half = n / 2;
-          const Count mirror_hi = mirror_halves ? n - 1 - half : 0;
-          const Count a_hi = options_.a_cap > 0
-                                 ? std::min(n - 1, options_.a_cap)
-                                 : (mirror_halves ? half : n - 1);
-          if (mirror_halves &&
-              upper.size() < static_cast<std::size_t>(mirror_hi)) {
-            upper.resize(static_cast<std::size_t>(mirror_hi));
-          }
-          double best = -1.0;
-          Count best_a = 1;
-          // Start-of-walk pmf for the symmetry-cut path: Pr(b = 0 | draws
-          // = a) obeys P0(a+1) = P0(a) * (n-m-a)/(n-a), which replaces the
-          // per-candidate log-factorial exponentiation whenever lo == 0
-          // (always, at paper scale, where m << n).  The uncut loop keeps
-          // the historical closed-form start bit-for-bit.
-          double pmf0 = static_cast<double>(n - m) / static_cast<double>(n);
-          for (Count a = 1; a <= a_hi; ++a) {
-            // Hypergeometric expectation over b = bots landing on the bucket
-            // of size a, with incremental pmf updates.
-            const Count lo = std::max<Count>(0, a - (n - m));
-            const Count hi = std::min(a, m);
-            double pmf = (mirror_halves && lo == 0)
-                             ? pmf0
-                             : util::hypergeometric_pmf(n, m, a, lo);
-            const auto mode = static_cast<Count>(
-                (static_cast<double>(a) + 1.0) *
-                (static_cast<double>(m) + 1.0) /
-                (static_cast<double>(n) + 2.0));
-            const bool eval_mirror = a <= mirror_hi;
-            util::KahanSum acc;
-            util::KahanSum acc_mirror;
-            for (Count b = lo; b <= hi; ++b) {
-              if (b == 0) acc.add(static_cast<double>(a) * pmf);  // S(a,0,1)=a
-              acc.add(pmf * cell(prev, n - a, m - b));
-              if (eval_mirror) {
-                // Mirror candidate n - a: its single replica takes n - a
-                // clients and its remainder is exactly this size-a bucket
-                // with these b bots, so the same pmf weights apply.
-                acc_mirror.add(pmf * cell(prev, a, b));
-                // Clean-bucket term of the mirror: all m bots land in the
-                // size-a remainder, and Pr(B_a = m) == Pr(no bots in n - a
-                // draws) exactly (hypergeometric complement symmetry), so
-                // the walk supplies it with no extra log-factorial work.
-                // A tail-truncated walk that stops before b == m drops a
-                // term bounded by n * tail_epsilon, inside the same epsilon
-                // class as the truncation itself.
-                if (b == m) {
-                  acc_mirror.add(static_cast<double>(n - a) * pmf);
-                }
-              }
-              if (options_.tail_epsilon > 0.0 && b > mode &&
-                  pmf < options_.tail_epsilon) {
-                break;
-              }
-              // pmf(b+1)/pmf(b) for Hypergeom(total=n, successes=m, draws=a).
-              const double bd = static_cast<double>(b);
-              pmf *= (static_cast<double>(m) - bd) *
-                     (static_cast<double>(a) - bd) /
-                     ((bd + 1.0) *
-                      (static_cast<double>(n - m - a) + bd + 1.0));
-            }
-            if (eval_mirror) {
-              upper[static_cast<std::size_t>(n - a - half - 1)] =
-                  acc_mirror.value();
-            }
-            if (acc.value() > best) {
-              best = acc.value();
-              best_a = a;
-            }
-            if (mirror_halves && a + 1 <= n - m) {
-              pmf0 *= static_cast<double>(n - m - a) /
-                      static_cast<double>(n - a);
-            }
-          }
-          for (Count ap = half + 1; mirror_halves && ap <= n - 1; ++ap) {
-            const double v = upper[static_cast<std::size_t>(ap - half - 1)];
-            if (v > best) {
-              best = v;
-              best_a = ap;
-            }
-          }
-          cell(cur, n, m) = best;
-          if (keep_argmax) {
-            t.assign_no[t.idx(p, n, m)] = static_cast<std::uint16_t>(best_a);
-          }
-        }
-      }
-    };
-    if (workers != nullptr) {
-      workers->parallel_for(0, static_cast<std::int64_t>(N) + 1, sweep_rows,
-                            kRowGrain);
-    } else {
-      sweep_rows(0, static_cast<std::int64_t>(N) + 1);
+    reverse_rows(prev.data(), prev_rev.data(),
+                 static_cast<std::size_t>(M) + 1, stride);
+    if (options_.prune) {
+      build_colmax(prev.data(), prev_rev.data(), cmf.data(), cmd_rev.data(),
+                   static_cast<std::size_t>(M) + 1, stride);
     }
+    std::uint16_t* assign =
+        keep_argmax ? r.assign.data() +
+                          static_cast<std::size_t>(p - 2) * layer_size
+                    : nullptr;
+    SweepCtx cx = make_ctx(prev.data(), prev_rev.data(), cmf.data(),
+                           cmd_rev.data(), cur.data(), assign, stride, tabs,
+                           M, 0);
+    run_sweep(cx, 0, static_cast<std::int64_t>(N) + 1, workers);
     layers_.inc();
     cells_.inc(cells_per_layer);
     std::swap(prev, cur);
   }
-  t.value = cell(prev, N, M);
-  return t;
+  flush_obs();
+  r.value = prev[static_cast<std::size_t>(M) * stride +
+                 static_cast<std::size_t>(N)];
+  return r;
 }
 
 double AlgorithmOnePlanner::value(const ShuffleProblem& problem) const {
@@ -263,7 +2033,7 @@ double AlgorithmOnePlanner::value(const ShuffleProblem& problem) const {
 }
 
 AssignmentPlan AlgorithmOnePlanner::plan(const ShuffleProblem& problem) const {
-  const Tables t = solve(problem, /*keep_argmax=*/true);
+  const SolveResult r = solve(problem, /*keep_argmax=*/true);
   std::vector<Count> counts;
   counts.reserve(static_cast<std::size_t>(problem.replicas));
 
@@ -275,7 +2045,7 @@ AssignmentPlan AlgorithmOnePlanner::plan(const ShuffleProblem& problem) const {
       n = 0;
       break;
     }
-    const std::uint16_t a_raw = t.assign_no[t.idx(p, n, m)];
+    const std::uint16_t a_raw = r.assign_at(p, n, m);
     if (a_raw == kNoSplit) {
       counts.push_back(n);
       n = 0;

@@ -1,0 +1,66 @@
+// Frozen copy of the pre-optimization AlgorithmOnePlanner (PR 4 vintage):
+// the oracle and perf denominator for the rewritten planner in
+// algorithm_one.{h,cpp}.
+//
+// This class is the `ReferenceClientSimulator` pattern applied to the
+// planner: the solver code below must NOT be optimized, refactored, or
+// otherwise "improved" — its entire value is that it stays the simple,
+// audited transcription of the paper's recurrence:
+//
+//   S(n, m, 1) = n if m == 0 else 0
+//   S(n, m, p) = max_{1<=a<=n-1} sum_b Pr(b | a) * [S(a, b, 1) + S(n-a, m-b, p-1)]
+//   Pr(b | a)  = C(m, b) * C(n-m, a-b) / C(n, a)          (hypergeometric)
+//
+// Differential tests (tests/core/planner_oracle_test.cpp) sweep randomized
+// (N, M, P, tail_epsilon, a_cap, symmetry_cut, threads) configurations and
+// require the production planner to agree with this oracle to <= 1e-10
+// relative on values and exactly on plan multisets.
+//
+// It shares AlgorithmOneOptions with the production planner; fields that
+// post-date the freeze (prune, verify_pruning, warm_start, ...) are ignored
+// here — the reference always evaluates every candidate cold.
+#pragma once
+
+#include <memory>
+
+#include "core/algorithm_one.h"
+#include "core/planner.h"
+#include "obs/registry.h"
+
+namespace shuffledef::util {
+class ThreadPool;
+}
+
+namespace shuffledef::core {
+
+class ReferenceAlgorithmOne final : public Planner {
+ public:
+  explicit ReferenceAlgorithmOne(AlgorithmOneOptions options = {});
+  ~ReferenceAlgorithmOne() override;
+
+  /// The optimal expected number of benign clients saved, S(N, M, P).
+  [[nodiscard]] double value(const ShuffleProblem& problem) const;
+
+  /// Extract a concrete plan by walking the assign_no table (expected bot
+  /// remainder round(m * (n-a) / n), exactly as the production planner).
+  [[nodiscard]] AssignmentPlan plan(const ShuffleProblem& problem) const override;
+
+  [[nodiscard]] std::string name() const override {
+    return "algorithm1_reference";
+  }
+
+ private:
+  struct Tables;
+  [[nodiscard]] Tables solve(const ShuffleProblem& problem, bool keep_argmax) const;
+  [[nodiscard]] util::ThreadPool* pool() const;
+
+  AlgorithmOneOptions options_;
+  mutable std::unique_ptr<util::ThreadPool> private_pool_;
+  // Counters use the "planner.algorithm1_reference.*" prefix so oracle runs
+  // never pollute the production planner's metrics.
+  obs::Counter solves_;
+  obs::Counter layers_;
+  obs::Counter cells_;
+};
+
+}  // namespace shuffledef::core

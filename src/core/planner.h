@@ -7,6 +7,7 @@
 //   SeparableDpPlanner  — exact optimal fixed-plan DP in O(P * N^2)
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -28,6 +29,13 @@ class Planner {
   [[nodiscard]] virtual AssignmentPlan plan(const ShuffleProblem& problem) const = 0;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Fingerprint over the options that affect this planner's output, for
+  /// result caches keyed by (name, problem, fingerprint).  Planners whose
+  /// output depends only on the problem keep the default 0; AlgorithmOne
+  /// returns AlgorithmOneOptions::fingerprint() so e.g. a truncated and an
+  /// exact planner never share cache entries.
+  [[nodiscard]] virtual std::uint64_t options_fingerprint() const { return 0; }
 };
 
 /// Construction knobs shared by every planner factory call.  A struct (not
@@ -46,6 +54,14 @@ struct PlannerOptions {
   /// AlgorithmOne exchangeability symmetry cut (see AlgorithmOneOptions):
   /// evaluate split candidates a and n - a from one hypergeometric walk.
   bool symmetry_cut = true;
+  /// AlgorithmOne branch-and-bound pruning and its debug recheck mode (see
+  /// AlgorithmOneOptions::{prune, verify_pruning}).  Bit-identical values
+  /// and plans either way; verify_pruning is a costly audit for tests.
+  bool prune = true;
+  bool verify_pruning = false;
+  /// AlgorithmOne cross-round DP table retention (see
+  /// AlgorithmOneOptions::warm_start).  Bit-identical to cold solves.
+  bool warm_start = true;
   /// Observability sink for planner counters/spans (nullptr = none).
   obs::Registry* registry = nullptr;
 };

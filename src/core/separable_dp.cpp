@@ -47,25 +47,71 @@ Solution solve(const ShuffleProblem& problem, bool keep_argmax) {
     for (Count n = 0; n <= N; ++n) arg_at(1, n) = static_cast<std::uint32_t>(n);
   }
 
+  // The candidate loop reads prev backwards (prev[n - x] as x grows), which
+  // defeats auto-vectorization; a reversed copy prev_rev[k] = prev[N - k]
+  // turns it into two forward contiguous streams.  The sweep is then split
+  // into a flat add pass into `cand` (vectorizes cleanly), an 8-way unrolled
+  // max scan, and — only when extracting a plan — a forward scan for the
+  // first index attaining the max.  "First index" reproduces the strict
+  // `v > best` tie-break of the scalar loop exactly, and the per-candidate
+  // value g[x] + prev[n-x] is the same expression in the same order, so the
+  // restructured sweep is bit-identical to the original
+  // (tests/core/planner_oracle_test pins it against small-grid oracles).
+  std::vector<double> prev_rev(static_cast<std::size_t>(N + 1), 0.0);
+  std::vector<double> cand(static_cast<std::size_t>(N + 1), 0.0);
   for (Count p = 2; p <= P; ++p) {
     for (Count n = 0; n <= N; ++n) {
-      double best = -1.0;
-      Count best_x = 0;
-      const Count hi = std::min(n, x_max == 0 ? n : x_max);
-      for (Count x = 0; x <= hi; ++x) {
-        const double v = g[static_cast<std::size_t>(x)] +
-                         prev[static_cast<std::size_t>(n - x)];
-        if (v > best) {
-          best = v;
-          best_x = x;
-        }
-      }
+      prev_rev[static_cast<std::size_t>(N - n)] =
+          prev[static_cast<std::size_t>(n)];
+    }
+    for (Count n = 0; n <= N; ++n) {
       // Sizes above x_max are only useful on the final dump bucket, where
       // they are equivalent to leaving best at the x = 0 candidate paired
       // with D(p-1, n) — but D(p-1, n) already covers "one big bucket"
       // through its own base case, so the cap is lossless.
+      const Count hi = std::min(n, x_max == 0 ? n : x_max);
+      const double* pr = prev_rev.data() + static_cast<std::size_t>(N - n);
+      double* c = cand.data();
+      for (Count x = 0; x <= hi; ++x) {
+        c[static_cast<std::size_t>(x)] =
+            g[static_cast<std::size_t>(x)] + pr[static_cast<std::size_t>(x)];
+      }
+      double b0 = -1.0, b1 = -1.0, b2 = -1.0, b3 = -1.0;
+      double b4 = -1.0, b5 = -1.0, b6 = -1.0, b7 = -1.0;
+      Count x = 0;
+      for (; x + 7 <= hi; x += 8) {
+        const double* cx = c + static_cast<std::size_t>(x);
+        b0 = cx[0] > b0 ? cx[0] : b0;
+        b1 = cx[1] > b1 ? cx[1] : b1;
+        b2 = cx[2] > b2 ? cx[2] : b2;
+        b3 = cx[3] > b3 ? cx[3] : b3;
+        b4 = cx[4] > b4 ? cx[4] : b4;
+        b5 = cx[5] > b5 ? cx[5] : b5;
+        b6 = cx[6] > b6 ? cx[6] : b6;
+        b7 = cx[7] > b7 ? cx[7] : b7;
+      }
+      for (; x <= hi; ++x) {
+        const double v = c[static_cast<std::size_t>(x)];
+        b0 = v > b0 ? v : b0;
+      }
+      b0 = b1 > b0 ? b1 : b0;
+      b2 = b3 > b2 ? b3 : b2;
+      b4 = b5 > b4 ? b5 : b4;
+      b6 = b7 > b6 ? b7 : b6;
+      b0 = b2 > b0 ? b2 : b0;
+      b4 = b6 > b4 ? b6 : b4;
+      const double best = b4 > b0 ? b4 : b0;
       cur[static_cast<std::size_t>(n)] = best;
-      if (keep_argmax) arg_at(p, n) = static_cast<std::uint32_t>(best_x);
+      if (keep_argmax) {
+        Count best_x = hi;
+        for (Count j = 0; j <= hi; ++j) {
+          if (c[static_cast<std::size_t>(j)] == best) {
+            best_x = j;
+            break;
+          }
+        }
+        arg_at(p, n) = static_cast<std::uint32_t>(best_x);
+      }
     }
     std::swap(prev, cur);
   }

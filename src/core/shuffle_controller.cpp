@@ -114,7 +114,10 @@ RoundDecision ShuffleController::decide(
       .clients = pool_clients, .bots = m_hat, .replicas = p};
   const obs::Span plan_span(config_.registry, "plan");
   if (cache_) {
-    const PlannerCacheKey key{planner_->name(), problem};
+    // The fingerprint keeps differently-configured planners of the same
+    // kind (e.g. exact vs tail-truncated algorithm1) from sharing entries.
+    const PlannerCacheKey key{planner_->name(), problem,
+                              planner_->options_fingerprint()};
     if (auto cached = cache_->get_plan(key)) {
       cache_hits_.inc();
       decision.plan = std::move(*cached);

@@ -1,0 +1,172 @@
+// Property tests for Algorithm 1's branch-and-bound pruning (see
+// algorithm_one.h): pruning must be *provably safe*, meaning
+//
+//   1. values, plans and tie-breaks are bit-identical with prune on or off;
+//   2. under verify_pruning, every pruned candidate's true value is
+//      recomputed and audited against the incumbent it lost to — the
+//      "planner.algorithm1.pruned_rechecks" counter must equal
+//      "planner.algorithm1.pruned_candidates" exactly, proving no pruned
+//      candidate escaped the audit (and none of the audits threw);
+//   3. the pruned count itself is deterministic: identical across thread
+//      counts and across verify on/off.
+//
+// The sweep runs >= 200 seeded configurations (8 shards x 26 configs),
+// jointly randomizing (N, M, P, tail_epsilon, a_cap, symmetry_cut).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/algorithm_one.h"
+#include "obs/registry.h"
+#include "util/random.h"
+
+namespace shuffledef::core {
+namespace {
+
+struct SolveOutcome {
+  double value = 0.0;
+  std::vector<Count> plan;
+  std::uint64_t pruned = 0;
+  std::uint64_t rechecks = 0;
+};
+
+SolveOutcome run(const ShuffleProblem& pb, AlgorithmOneOptions o) {
+  obs::Registry reg;
+  o.registry = &reg;
+  o.warm_start = false;  // isolate pruning from table reuse
+  const AlgorithmOnePlanner planner(o);
+  SolveOutcome out;
+  out.value = planner.value(pb);
+  out.plan = planner.plan(pb).counts();
+  const auto snap = reg.snapshot();
+  out.pruned = snap.counter("planner.algorithm1.pruned_candidates");
+  out.rechecks = snap.counter("planner.algorithm1.pruned_rechecks");
+  return out;
+}
+
+AlgorithmOneOptions random_options(util::Rng& rng) {
+  AlgorithmOneOptions o;
+  o.tail_epsilon = rng.uniform_int(0, 1) != 0 ? 1e-12 : 0.0;
+  o.a_cap = rng.uniform_int(0, 3) == 0
+                ? static_cast<Count>(rng.uniform_int(8, 60))
+                : 0;
+  o.symmetry_cut = rng.uniform_int(0, 1) != 0;
+  o.threads = 1;
+  return o;
+}
+
+ShuffleProblem random_problem(util::Rng& rng) {
+  const auto n = static_cast<Count>(rng.uniform_int(24, 420));
+  const auto m =
+      static_cast<Count>(rng.uniform_int(0, std::min<Count>(n - 2, 16)));
+  const auto p = static_cast<Count>(rng.uniform_int(2, 8));
+  return {n, m, p};
+}
+
+std::string describe(const ShuffleProblem& pb, const AlgorithmOneOptions& o) {
+  return "N=" + std::to_string(pb.clients) + " M=" + std::to_string(pb.bots) +
+         " P=" + std::to_string(pb.replicas) +
+         " eps=" + std::to_string(o.tail_epsilon) +
+         " a_cap=" + std::to_string(o.a_cap) +
+         " sym=" + std::to_string(o.symmetry_cut);
+}
+
+// Each shard audits 26 independent configurations; 8 shards x 26 = 208
+// seeded configs total, comfortably above the 200-config floor.
+class PruningSafetySharded : public ::testing::TestWithParam<int> {};
+
+TEST_P(PruningSafetySharded, AuditedAndBitIdentical) {
+  util::Rng rng(338800 + GetParam());
+  for (int cfg = 0; cfg < 26; ++cfg) {
+    const AlgorithmOneOptions base = random_options(rng);
+    const ShuffleProblem pb = random_problem(rng);
+    const std::string ctx = describe(pb, base);
+
+    AlgorithmOneOptions off = base;
+    off.prune = false;
+    const SolveOutcome unpruned = run(pb, off);
+    EXPECT_EQ(unpruned.pruned, 0u) << ctx;
+
+    AlgorithmOneOptions on = base;
+    on.prune = true;
+    const SolveOutcome pruned = run(pb, on);
+    // Bit-identical, not merely close: pruning may only discard candidates
+    // that provably cannot win, so the surviving argmax and every value are
+    // the exact same doubles.
+    EXPECT_EQ(pruned.value, unpruned.value) << ctx;
+    EXPECT_EQ(pruned.plan, unpruned.plan) << ctx;
+
+    AlgorithmOneOptions audit = on;
+    audit.verify_pruning = true;
+    SolveOutcome audited;
+    // verify_pruning throws std::logic_error on any unsafe prune; reaching
+    // the assertions below proves every audit passed.
+    ASSERT_NO_THROW(audited = run(pb, audit)) << ctx;
+    EXPECT_EQ(audited.value, unpruned.value) << ctx;
+    EXPECT_EQ(audited.rechecks, audited.pruned)
+        << ctx << ": a pruned candidate escaped the verify recheck";
+    // value() + plan() each solve once; the audited pair must discard the
+    // exact same candidate set as the fast path.
+    EXPECT_EQ(audited.pruned, pruned.pruned)
+        << ctx << ": verify mode changed what was pruned";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PruningSafetySharded, ::testing::Range(0, 8));
+
+TEST(PruningSafety, PrunedCountIsThreadCountInvariant) {
+  util::Rng rng(900913);
+  for (int cfg = 0; cfg < 12; ++cfg) {
+    AlgorithmOneOptions o = random_options(rng);
+    const ShuffleProblem pb = random_problem(rng);
+    o.prune = true;
+    o.threads = 1;
+    const SolveOutcome serial = run(pb, o);
+    o.threads = 4;
+    const SolveOutcome parallel = run(pb, o);
+    EXPECT_EQ(serial.pruned, parallel.pruned) << describe(pb, o);
+    EXPECT_EQ(serial.value, parallel.value) << describe(pb, o);
+  }
+}
+
+TEST(PruningSafety, PruningActuallyFiresAtScale) {
+  // Guard against the trivial way to "pass" every safety test: never
+  // pruning.  At mid scale the bounds must discard a substantial share of
+  // the candidate space.
+  AlgorithmOneOptions o;
+  o.tail_epsilon = 1e-12;
+  o.threads = 1;
+  o.prune = true;
+  const SolveOutcome out = run({1500, 8, 6}, o);
+  EXPECT_GT(out.pruned, 0u);
+  obs::Registry reg;
+  AlgorithmOneOptions with_reg = o;
+  with_reg.registry = &reg;
+  const AlgorithmOnePlanner planner(with_reg);
+  (void)planner.value({1500, 8, 6});
+  const auto snap = reg.snapshot();
+  const auto cands = snap.counter("planner.algorithm1.kernel_candidates");
+  const auto pruned = snap.counter("planner.algorithm1.pruned_candidates");
+  ASSERT_GT(cands, 0u);
+  EXPECT_GT(static_cast<double>(pruned), 0.05 * static_cast<double>(cands))
+      << "pruning discarded under 5% of kernel candidates at mid scale";
+}
+
+TEST(PruningSafety, VerifyCountersZeroWhenDisabled) {
+  AlgorithmOneOptions o;
+  o.prune = true;
+  o.verify_pruning = false;
+  o.threads = 1;
+  const SolveOutcome out = run({300, 8, 5}, o);
+  EXPECT_EQ(out.rechecks, 0u);
+  AlgorithmOneOptions noprune = o;
+  noprune.prune = false;
+  noprune.verify_pruning = true;  // nothing pruned => nothing to recheck
+  const SolveOutcome idle = run({300, 8, 5}, noprune);
+  EXPECT_EQ(idle.pruned, 0u);
+  EXPECT_EQ(idle.rechecks, 0u);
+}
+
+}  // namespace
+}  // namespace shuffledef::core

@@ -1,0 +1,209 @@
+// Cross-round DP warm-starting (AlgorithmOneOptions::warm_start): retained
+// layer tables are reused when a later problem fits inside them and
+// extended incrementally when N or M drifted upward, and the contract is
+// *bit-identity* with a cold solve — same doubles, same plans — in every
+// path: pure table hits, incremental extensions, LRU eviction under a tiny
+// memory ceiling, cache clears, and separate entries per (P, options
+// fingerprint).
+//
+// The drift sequence mirrors the online re-planning loop the feature
+// exists for: each round deploys the previous plan, observes which
+// replicas were hit, re-estimates M with the MLE (paper §V), and re-plans
+// for a drifted pool size.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/algorithm_one.h"
+#include "core/estimator.h"
+#include "core/mle_estimator.h"
+#include "obs/registry.h"
+#include "util/random.h"
+
+namespace shuffledef::core {
+namespace {
+
+AlgorithmOneOptions base_options() {
+  AlgorithmOneOptions o;
+  o.tail_epsilon = 1e-12;
+  o.threads = 1;
+  return o;
+}
+
+double cold_value(const ShuffleProblem& pb, AlgorithmOneOptions o) {
+  o.warm_start = false;
+  return AlgorithmOnePlanner(o).value(pb);
+}
+
+std::vector<Count> cold_plan(const ShuffleProblem& pb, AlgorithmOneOptions o) {
+  o.warm_start = false;
+  return AlgorithmOnePlanner(o).plan(pb).counts();
+}
+
+struct WarmCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t extensions = 0;
+  std::uint64_t misses = 0;
+};
+
+WarmCounters read(const obs::Registry& reg) {
+  const auto snap = reg.snapshot();
+  return {snap.counter("planner.algorithm1.warm_hits"),
+          snap.counter("planner.algorithm1.warm_extensions"),
+          snap.counter("planner.algorithm1.warm_misses")};
+}
+
+// One online re-planning episode: N drifts with churn, M comes out of the
+// MLE on the previous round's (synthetic, deterministic) observation.
+TEST(WarmStart, DriftingRoundsWithMleEstimatesAreBitIdenticalToCold) {
+  obs::Registry reg;
+  AlgorithmOneOptions warm_opts = base_options();
+  warm_opts.registry = &reg;
+  const AlgorithmOnePlanner warm(warm_opts);
+  const MleEstimator mle;
+  util::Rng rng(20140624);
+
+  Count n = 220;
+  Count m_hat = 12;
+  const Count p = 6;
+  std::vector<Count> prev_counts;
+  for (int round = 0; round < 10; ++round) {
+    const ShuffleProblem pb{n, std::min<Count>(m_hat, n - 2), p};
+    const double warm_value = warm.value(pb);
+    const std::vector<Count> warm_plan = warm.plan(pb).counts();
+    EXPECT_EQ(warm_value, cold_value(pb, base_options()))
+        << "round " << round << " N=" << pb.clients << " M=" << pb.bots;
+    EXPECT_EQ(warm_plan, cold_plan(pb, base_options()))
+        << "round " << round << " N=" << pb.clients << " M=" << pb.bots;
+
+    // Deploy the plan, observe a deterministic attack pattern, re-estimate.
+    ShuffleObservation obs;
+    obs.plan = AssignmentPlan(warm_plan);
+    obs.attacked.assign(warm_plan.size(), false);
+    for (std::size_t i = 0; i < warm_plan.size(); i += 2) {
+      obs.attacked[i] = warm_plan[i] > 0;
+    }
+    m_hat = std::max<Count>(1, mle.estimate(obs));
+    // Pool churn: clients leave and join, net drift both directions.
+    n += static_cast<Count>(rng.uniform_int(-15, 25));
+    n = std::max<Count>(n, 40);
+  }
+  const WarmCounters wc = read(reg);
+  // The episode must actually exercise the warm paths, not fall back to
+  // cold solves every round (value+plan pairs re-solve, so counts are
+  // per-solve, not per-round).
+  EXPECT_GT(wc.hits + wc.extensions, 0u);
+  EXPECT_GE(wc.misses, 1u);  // the first solve has nothing to reuse
+}
+
+TEST(WarmStart, ShrinkingProblemIsAPureTableHit) {
+  obs::Registry reg;
+  AlgorithmOneOptions o = base_options();
+  o.registry = &reg;
+  const AlgorithmOnePlanner warm(o);
+  (void)warm.value({300, 10, 5});
+  const WarmCounters before = read(reg);
+  const double v = warm.value({260, 8, 5});
+  const WarmCounters after = read(reg);
+  EXPECT_EQ(after.hits, before.hits + 1);
+  EXPECT_EQ(after.extensions, before.extensions);
+  EXPECT_EQ(v, cold_value({260, 8, 5}, base_options()));
+}
+
+TEST(WarmStart, GrowingNAndMExtendIncrementally) {
+  obs::Registry reg;
+  AlgorithmOneOptions o = base_options();
+  o.registry = &reg;
+  const AlgorithmOnePlanner warm(o);
+  (void)warm.value({250, 9, 5});
+  const double vn = warm.value({310, 9, 5});   // N grew
+  const double vm = warm.value({310, 13, 5});  // M grew
+  const WarmCounters wc = read(reg);
+  EXPECT_GE(wc.extensions, 2u);
+  EXPECT_EQ(vn, cold_value({310, 9, 5}, base_options()));
+  EXPECT_EQ(vm, cold_value({310, 13, 5}, base_options()));
+}
+
+TEST(WarmStart, DistinctReplicaCountsKeepDistinctEntries) {
+  obs::Registry reg;
+  AlgorithmOneOptions o = base_options();
+  o.registry = &reg;
+  const AlgorithmOnePlanner warm(o);
+  (void)warm.value({200, 8, 4});
+  (void)warm.value({200, 8, 6});
+  const WarmCounters cold_pair = read(reg);
+  EXPECT_EQ(cold_pair.misses, 2u);  // different P never shares tables
+  const double v4 = warm.value({180, 8, 4});
+  const double v6 = warm.value({180, 8, 6});
+  const WarmCounters warm_pair = read(reg);
+  EXPECT_EQ(warm_pair.hits, cold_pair.hits + 2);
+  EXPECT_EQ(v4, cold_value({180, 8, 4}, base_options()));
+  EXPECT_EQ(v6, cold_value({180, 8, 6}, base_options()));
+}
+
+TEST(WarmStart, EvictionUnderTinyMemoryCeilingStaysBitIdentical) {
+  obs::Registry reg;
+  AlgorithmOneOptions o = base_options();
+  o.registry = &reg;
+  // Far below one retained layer stack at these sizes: every retained
+  // entry is evicted (or never admitted) and each solve behaves cold.
+  o.warm_memory_limit_bytes = 1 << 10;
+  const AlgorithmOnePlanner warm(o);
+  const ShuffleProblem a{240, 10, 5};
+  const ShuffleProblem b{220, 9, 5};
+  EXPECT_EQ(warm.value(a), cold_value(a, base_options()));
+  EXPECT_EQ(warm.value(b), cold_value(b, base_options()));
+  EXPECT_EQ(warm.plan(b).counts(), cold_plan(b, base_options()));
+  const WarmCounters wc = read(reg);
+  EXPECT_EQ(wc.hits, 0u) << "nothing should survive a 1 KiB ceiling";
+}
+
+TEST(WarmStart, ClearWarmCacheForcesColdResolve) {
+  obs::Registry reg;
+  AlgorithmOneOptions o = base_options();
+  o.registry = &reg;
+  const AlgorithmOnePlanner warm(o);
+  const ShuffleProblem pb{260, 10, 5};
+  (void)warm.value(pb);
+  warm.clear_warm_cache();
+  const double v = warm.value(pb);
+  const WarmCounters wc = read(reg);
+  EXPECT_EQ(wc.misses, 2u);
+  EXPECT_EQ(wc.hits, 0u);
+  EXPECT_EQ(v, cold_value(pb, base_options()));
+}
+
+TEST(WarmStart, FingerprintChangeNeverReusesForeignTables) {
+  // Same planner kind, different value-affecting options: the fingerprint
+  // in the warm key must keep the truncated and exact table stacks apart,
+  // and each must still match its own cold solve bitwise.
+  AlgorithmOneOptions exact = base_options();
+  exact.tail_epsilon = 0.0;
+  AlgorithmOneOptions truncated = base_options();
+  ASSERT_NE(exact.fingerprint(), truncated.fingerprint());
+  const ShuffleProblem pb{240, 11, 5};
+  const AlgorithmOnePlanner pe(exact);
+  const AlgorithmOnePlanner pt(truncated);
+  (void)pe.value(pb);
+  (void)pt.value(pb);
+  const ShuffleProblem smaller{200, 9, 5};
+  EXPECT_EQ(pe.value(smaller), cold_value(smaller, exact));
+  EXPECT_EQ(pt.value(smaller), cold_value(smaller, truncated));
+}
+
+TEST(WarmStart, WarmDisabledNeverTouchesWarmCounters) {
+  obs::Registry reg;
+  AlgorithmOneOptions o = base_options();
+  o.registry = &reg;
+  o.warm_start = false;
+  const AlgorithmOnePlanner planner(o);
+  (void)planner.value({200, 8, 5});
+  (void)planner.value({180, 8, 5});
+  const WarmCounters wc = read(reg);
+  EXPECT_EQ(wc.hits + wc.extensions + wc.misses, 0u);
+}
+
+}  // namespace
+}  // namespace shuffledef::core
