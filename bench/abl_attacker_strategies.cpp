@@ -34,22 +34,24 @@ int main(int argc, char** argv) {
     const char* label;
     sim::StrategyParams params;
   };
+  const auto make_params = [](const char* name,
+                              core::StrategyOptions options = {}) {
+    sim::StrategyParams params;
+    params.strategy = name;
+    params.options = options;
+    return params;
+  };
   std::vector<Row> strategies = {
-      {"always-on", {.strategy = sim::BotStrategy::kAlwaysOn}},
-      {"on-off p=0.5",
-       {.strategy = sim::BotStrategy::kOnOff, .on_probability = 0.5}},
-      {"on-off p=0.2",
-       {.strategy = sim::BotStrategy::kOnOff, .on_probability = 0.2}},
+      {"always-on", make_params("always-on")},
+      {"on-off p=0.5", make_params("on-off", {.on_probability = 0.5})},
+      {"on-off p=0.2", make_params("on-off", {.on_probability = 0.2})},
       {"quit-reenter (50% new IP)",
-       {.strategy = sim::BotStrategy::kQuitReenter,
-        .quit_probability = 0.3,
-        .reenter_delay = 2,
-        .new_ip_probability = 0.5}},
+       make_params("quit-reenter", {.quit_probability = 0.3,
+                                    .reenter_delay = 2,
+                                    .new_ip_probability = 0.5})},
       {"synchronized waves (3 of 6 rounds)",
-       {.strategy = sim::BotStrategy::kSynchronizedWaves,
-        .wave_period = 6,
-        .wave_duty = 0.5}},
-      {"naive (hit-list only)", {.strategy = sim::BotStrategy::kNaive}},
+       make_params("synchronized-waves", {.wave_period = 6, .wave_duty = 0.5})},
+      {"naive (hit-list only)", make_params("naive")},
   };
 
   util::Table table("Attacker strategies — " + std::to_string(benign) +

@@ -34,7 +34,7 @@ sim::ClientSimConfig scale_config(Count clients, Count rounds,
   sim::ClientSimConfig cfg;
   cfg.bots = std::max<Count>(10, clients / 2000);
   cfg.benign = clients - cfg.bots;
-  cfg.strategy.strategy = sim::BotStrategy::kAlwaysOn;
+  cfg.strategy.strategy = "always-on";
   cfg.controller.planner = "greedy";
   // Twice as many replicas as bots: ~40% of buckets catch a bot per round,
   // so most of the population is saved within a few shuffles — the regime

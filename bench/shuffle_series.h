@@ -50,10 +50,12 @@ class MetricsExport {
                              "write the bench's MetricsSnapshot as CSV here");
     json_ = &flags.add_string(
         "metrics-json", "", "write the bench's MetricsSnapshot as JSON here");
+    bench_json_ = &flags.add_string(
+        "bench-json", "", "alias for --metrics-json (CI artifact convention)");
   }
 
   [[nodiscard]] bool requested() const {
-    return !csv_->empty() || !json_->empty();
+    return !csv_->empty() || !json_->empty() || !bench_json_->empty();
   }
 
   /// Calls `make_snapshot` only when one of the flags was given.
@@ -71,11 +73,17 @@ class MetricsExport {
       obs::write_json(snapshot, out);
       std::cout << "metrics JSON written to " << *json_ << "\n";
     }
+    if (!bench_json_->empty()) {
+      std::ofstream out(*bench_json_);
+      obs::write_json(snapshot, out);
+      std::cout << "metrics JSON written to " << *bench_json_ << "\n";
+    }
   }
 
  private:
   std::string* csv_ = nullptr;
   std::string* json_ = nullptr;
+  std::string* bench_json_ = nullptr;
 };
 
 struct SeriesPoint {

@@ -39,6 +39,8 @@ CoordinationServer::CoordinationServer(World& world, std::string name,
         registry->counter(kMetricCoordReplicasPresumedCrashed);
     metrics_.late_spares_banked =
         registry->counter(kMetricCoordLateSparesBanked);
+    metrics_.shuffles_declined =
+        registry->counter(kMetricCoordShufflesDeclined);
   }
 }
 
@@ -155,6 +157,18 @@ void CoordinationServer::execute_round() {
 
   auto decision =
       controller_.decide(static_cast<core::Count>(pool.size()), obs);
+  if (!decision.execute) {
+    // Cost-aware decline: the expected saving does not pay for the
+    // migration.  This window's reports are dropped — replicas under
+    // continued attack keep reporting, so the round re-arms on fresh
+    // reports and executes once the economics change.
+    ++stats_.shuffles_declined;
+    metrics_.shuffles_declined.inc();
+    SDEF_LOG(Info) << name() << ": shuffle declined — expected net save "
+                   << decision.expected_net_save << " below threshold "
+                   << config_.controller.min_expected_net_save;
+    return;
+  }
 
   round_in_flight_ = true;
   const auto replica_count =

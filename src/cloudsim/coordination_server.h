@@ -70,6 +70,8 @@ inline constexpr std::string_view kMetricCoordReplicasPresumedCrashed =
     "coord.replicas_presumed_crashed";
 inline constexpr std::string_view kMetricCoordLateSparesBanked =
     "coord.late_spares_banked";
+inline constexpr std::string_view kMetricCoordShufflesDeclined =
+    "coord.shuffles_declined";
 
 struct CoordinatorConfig {
   core::ControllerConfig controller;
@@ -111,6 +113,7 @@ struct CoordinatorStats {
   std::int64_t command_retries = 0;     // kShuffleCommand re-sends
   std::int64_t replicas_presumed_crashed = 0;  // force-recycled, no ack
   std::int64_t late_spares_banked = 0;  // stragglers kept as hot spares
+  std::int64_t shuffles_declined = 0;   // cost-aware controller said no
 };
 
 class CoordinationServer final : public Node {
@@ -206,7 +209,8 @@ class CoordinationServer final : public Node {
   struct {
     obs::Counter attack_reports, rounds_executed, clients_migrated,
         replicas_recycled, provision_retries, rounds_degraded, rounds_aborted,
-        command_retries, replicas_presumed_crashed, late_spares_banked;
+        command_retries, replicas_presumed_crashed, late_spares_banked,
+        shuffles_declined;
   } metrics_;
 };
 

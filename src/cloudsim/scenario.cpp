@@ -39,8 +39,26 @@ std::vector<std::string> ScenarioConfig::validate() const {
   if (naive_junk_rate_pps < 0.0) {
     violations.push_back("naive_junk_rate_pps must be >= 0");
   }
-  for (auto& v : coordinator.controller.validate()) {
-    violations.push_back("coordinator.controller." + std::move(v));
+  if (!bot_strategy.empty()) {
+    const auto& names = core::strategy_names();
+    if (std::find(names.begin(), names.end(), bot_strategy) == names.end()) {
+      std::string known;
+      for (const auto& n : names) {
+        if (!known.empty()) known += "|";
+        known += n;
+      }
+      violations.push_back("bot_strategy unknown strategy '" + bot_strategy +
+                           "' (expected " + known + ")");
+    }
+    for (auto& v : bot_strategy_options.violations("bot_strategy_options.")) {
+      violations.push_back(std::move(v));
+    }
+  }
+  if (!(bot_strategy_round_s > 0.0)) {
+    violations.push_back("bot_strategy_round_s must be > 0");
+  }
+  for (auto& v : coordinator.controller.violations("coordinator.controller.")) {
+    violations.push_back(std::move(v));
   }
   for (auto& v : faults.violations("faults.")) {
     violations.push_back(std::move(v));
@@ -159,6 +177,16 @@ Scenario::Scenario(ScenarioConfig config) {
     botmaster_ = world_->spawn<Botmaster>(config.infra_nic, "botmaster",
                                           BotmasterConfig{});
   }
+  // One shared strategy object for the whole botnet; per-bot behavior
+  // streams fork off the scenario seed chain (Rng::fork is const, so an
+  // empty bot_strategy leaves the world's shared draw sequence — and thus
+  // fault-replay traces — untouched).
+  if (!config.bot_strategy.empty()) {
+    bot_strategy_ =
+        core::make_strategy(config.bot_strategy, config.bot_strategy_options);
+  }
+  constexpr std::uint64_t kBotBehaviorStreamSalt = 101;
+  const util::Rng behavior_root = world_->rng().fork(kBotBehaviorStreamSalt);
   for (std::int32_t b = 0; b < config.persistent_bots; ++b) {
     NicConfig nic = config.client_nic;
     nic.base_latency_s =
@@ -173,6 +201,11 @@ Scenario::Scenario(ScenarioConfig config) {
     pc.junk_rate_pps = config.bot_junk_rate_pps;
     pc.heavy_interval_s = config.bot_heavy_interval_s;
     pc.heavy_cpu_seconds = config.bot_heavy_cpu_seconds;
+    pc.strategy = bot_strategy_.get();
+    pc.strategy_round_s = config.bot_strategy_round_s;
+    pc.strategy_replicas = config.initial_replicas;
+    pc.strategy_state = core::BotState(
+        behavior_root.fork_small(static_cast<std::uint64_t>(b)));
     persistent_bots_.push_back(world_->spawn<PersistentBot>(
         nic, "pbot-" + std::to_string(b), pc));
   }

@@ -66,6 +66,16 @@ struct ScenarioConfig {
   double bot_heavy_interval_s = 0.0;
   double bot_heavy_cpu_seconds = 0.2;
   double naive_junk_rate_pps = 500.0;
+  /// Persistent-bot behaviour: a core::AttackerStrategy registry name
+  /// ("on-off", "coupon-collector", "churn", ...).  Empty = the legacy
+  /// unconditional flood, with a world event/draw sequence bit-identical to
+  /// the pre-registry scenario (fault_determinism_test relies on this).
+  /// Per-bot behavior streams fork off the scenario seed chain, never the
+  /// world's shared stream.
+  std::string bot_strategy;
+  core::StrategyOptions bot_strategy_options;
+  /// Sim-time length of one strategy round for the bots.
+  double bot_strategy_round_s = 1.0;
 
   NetworkConfig network;
 
@@ -118,6 +128,11 @@ class Scenario {
     return naive_bots_;
   }
   [[nodiscard]] Botmaster* botmaster() { return botmaster_; }
+  /// The shared persistent-bot strategy object (nullptr under the legacy
+  /// flood, i.e. when ScenarioConfig::bot_strategy is empty).
+  [[nodiscard]] const core::AttackerStrategy* bot_strategy() const {
+    return bot_strategy_.get();
+  }
 
   /// The installed fault injector, or nullptr when the fault config is
   /// inert.
@@ -155,6 +170,7 @@ class Scenario {
 
   std::unique_ptr<obs::Registry> owned_registry_;
   obs::Registry* registry_ = nullptr;  // effective sink (owned or external)
+  std::unique_ptr<core::AttackerStrategy> bot_strategy_;
   std::unique_ptr<World> world_;
   std::unique_ptr<FaultInjector> fault_;
   std::unique_ptr<CloudProvider> provider_;

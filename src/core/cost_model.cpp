@@ -56,6 +56,42 @@ Count expansion_replicas_for_fraction(Count clients, Count bots,
   return hi;
 }
 
+std::vector<std::string> CostRates::violations(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  const auto non_negative = [&](double v, const char* name) {
+    if (!(v >= 0.0)) out.push_back(prefix + name + " must be >= 0");
+  };
+  non_negative(replica_hour_usd, "replica_hour_usd");
+  non_negative(launch_usd, "launch_usd");
+  non_negative(egress_gb_usd, "egress_gb_usd");
+  non_negative(shuffle_round_seconds, "shuffle_round_seconds");
+  return out;
+}
+
+void CostRates::validate() const {
+  if (const auto violations = this->violations(); !violations.empty()) {
+    std::string message = "CostRates: " + std::to_string(violations.size()) +
+                          " violation(s)";
+    for (const auto& v : violations) message += "; " + v;
+    throw std::invalid_argument(message);
+  }
+}
+
+double shuffle_round_cost_usd(const CostRates& rates, Count replicas,
+                              Count migrated_clients,
+                              std::int64_t page_bytes) {
+  if (replicas < 0 || migrated_clients < 0 || page_bytes < 0) {
+    throw std::invalid_argument("shuffle_round_cost_usd: negative quantities");
+  }
+  const double replica_hours = static_cast<double>(replicas) *
+                               rates.shuffle_round_seconds / 3600.0;
+  const double migration_gb = static_cast<double>(migrated_clients) *
+                              static_cast<double>(page_bytes) / 1e9;
+  return replica_hours * rates.replica_hour_usd +
+         migration_gb * rates.egress_gb_usd;
+}
+
 DefenseCostModel::DefenseCostModel(CostRates rates) : rates_(rates) {}
 
 void DefenseCostModel::add_round(Count replicas, Count launched,

@@ -21,6 +21,10 @@
 // expansion".
 #pragma once
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "core/types.h"
 
 namespace shuffledef::core {
@@ -44,7 +48,24 @@ struct CostRates {
   double launch_usd = 0.0005;         // per instance launch (API + boot IO)
   double egress_gb_usd = 0.09;        // per GB served to clients
   double shuffle_round_seconds = 5.0; // wall-clock per round (Figure 12)
+
+  /// All violations at once, each prefixed (e.g. "cost_rates.") for
+  /// embedding in a composite config's report.
+  [[nodiscard]] std::vector<std::string> violations(
+      const std::string& prefix = {}) const;
+  /// Throws std::invalid_argument listing every violation.
+  void validate() const;
 };
+
+/// Price of one shuffle round that migrates `migrated_clients` clients
+/// (each re-fetching `page_bytes`) across `replicas` running instances:
+/// replica-time for the round plus migration egress.  This is the unit the
+/// cost-aware ShuffleController weighs against a candidate plan's expected
+/// saves (Zhou et al., arXiv:1903.10102).
+[[nodiscard]] double shuffle_round_cost_usd(const CostRates& rates,
+                                            Count replicas,
+                                            Count migrated_clients,
+                                            std::int64_t page_bytes);
 
 /// Accumulates the resources a defense run consumed.
 class DefenseCostModel {

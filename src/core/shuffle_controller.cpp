@@ -5,51 +5,68 @@
 #include <stdexcept>
 
 #include "core/moments_estimator.h"
+#include "core/plan_metrics.h"
 #include "core/provisioning.h"
 #include "obs/span.h"
 
 namespace shuffledef::core {
 
-std::vector<std::string> ControllerConfig::validate() const {
-  std::vector<std::string> violations;
+std::vector<std::string> ControllerConfig::violations(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
   if (planner != "even" && planner != "greedy" && planner != "dp" &&
       planner != "algorithm1") {
-    violations.push_back("unknown planner '" + planner +
-                         "' (expected even|greedy|dp|algorithm1)");
+    out.push_back(prefix + "unknown planner '" + planner +
+                  "' (expected even|greedy|dp|algorithm1)");
   }
   if (planner_threads < 0) {
-    violations.push_back("planner_threads must be >= 0");
+    out.push_back(prefix + "planner_threads must be >= 0");
   }
   if (replicas < 0) {
-    violations.push_back("replicas must be >= 0 (0 = adaptive)");
+    out.push_back(prefix + "replicas must be >= 0 (0 = adaptive)");
   }
   if (min_replicas < 2) {
-    violations.push_back("min_replicas must be >= 2 (P < 2 cannot shuffle)");
+    out.push_back(prefix + "min_replicas must be >= 2 (P < 2 cannot shuffle)");
   }
   if (!(provisioning_headroom >= 1.0)) {
-    violations.push_back("provisioning_headroom must be >= 1");
+    out.push_back(prefix + "provisioning_headroom must be >= 1");
   }
   if (estimator != "mle" && estimator != "moments") {
-    violations.push_back("unknown estimator '" + estimator +
-                         "' (expected mle|moments)");
+    out.push_back(prefix + "unknown estimator '" + estimator +
+                  "' (expected mle|moments)");
   }
   if (!(estimate_smoothing > 0.0) || estimate_smoothing > 1.0) {
-    violations.push_back("estimate_smoothing must be in (0, 1]");
+    out.push_back(prefix + "estimate_smoothing must be in (0, 1]");
   }
   if (mle.grid_points < 2) {
-    violations.push_back("mle.grid_points must be >= 2");
+    out.push_back(prefix + "mle.grid_points must be >= 2");
   }
-  return violations;
+  if (!(migration_cost_weight >= 0.0)) {
+    out.push_back(prefix + "migration_cost_weight must be >= 0");
+  }
+  if (!(min_expected_net_save >= 0.0)) {
+    out.push_back(prefix + "min_expected_net_save must be >= 0");
+  }
+  if (migration_page_bytes < 0) {
+    out.push_back(prefix + "migration_page_bytes must be >= 0");
+  }
+  const auto rate_violations = cost_rates.violations(prefix + "cost_rates.");
+  out.insert(out.end(), rate_violations.begin(), rate_violations.end());
+  return out;
 }
 
-ShuffleController::ShuffleController(ControllerConfig config)
-    : config_(std::move(config)) {
-  if (const auto violations = config_.validate(); !violations.empty()) {
+void ControllerConfig::validate() const {
+  if (const auto violations = this->violations(); !violations.empty()) {
     std::string message = "ControllerConfig: " +
                           std::to_string(violations.size()) + " violation(s)";
     for (const auto& v : violations) message += "; " + v;
     throw std::invalid_argument(message);
   }
+}
+
+ShuffleController::ShuffleController(ControllerConfig config)
+    : config_(std::move(config)) {
+  config_.validate();
   planner_ = make_planner(config_.planner,
                           PlannerOptions{.threads = config_.planner_threads,
                                          .registry = config_.registry});
@@ -67,6 +84,8 @@ ShuffleController::ShuffleController(ControllerConfig config)
     decisions_ = config_.registry->counter(kMetricControllerDecisions);
     cache_hits_ = config_.registry->counter(kMetricPlannerCacheHits);
     cache_misses_ = config_.registry->counter(kMetricPlannerCacheMisses);
+    shuffles_declined_ =
+        config_.registry->counter(kMetricControllerShufflesDeclined);
   }
 }
 
@@ -128,6 +147,26 @@ RoundDecision ShuffleController::decide(
     }
   } else {
     decision.plan = planner_->plan(problem);
+  }
+  // Cost-aware objective: price the candidate plan and decline the round
+  // when its expected net save falls below the configured floor.  With both
+  // knobs at 0 (cost-blind legacy mode) the economics are skipped entirely.
+  const bool cost_aware = config_.migration_cost_weight > 0.0 ||
+                          config_.min_expected_net_save > 0.0;
+  if (cost_aware) {
+    decision.expected_saved = saved_count_moments(problem, decision.plan).mean;
+    decision.shuffle_cost_usd =
+        shuffle_round_cost_usd(config_.cost_rates, p, pool_clients,
+                               config_.migration_page_bytes);
+    decision.expected_net_save =
+        decision.expected_saved -
+        config_.migration_cost_weight * decision.shuffle_cost_usd;
+    if (config_.min_expected_net_save > 0.0 &&
+        decision.expected_net_save < config_.min_expected_net_save) {
+      decision.execute = false;
+      ++declined_count_;
+      shuffles_declined_.inc();
+    }
   }
   return decision;
 }

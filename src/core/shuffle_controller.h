@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/cost_model.h"
 #include "core/estimator.h"
 #include "core/mle_estimator.h"
 #include "core/plan.h"
@@ -37,6 +38,8 @@ inline constexpr std::string_view kMetricPlannerCacheHits =
     "controller.planner_cache.hits";
 inline constexpr std::string_view kMetricPlannerCacheMisses =
     "controller.planner_cache.misses";
+inline constexpr std::string_view kMetricControllerShufflesDeclined =
+    "controller.shuffles_declined";
 
 struct ControllerConfig {
   std::string planner = "greedy";
@@ -64,21 +67,49 @@ struct ControllerConfig {
   /// Planners are deterministic, so cached decisions are bit-identical to
   /// uncached ones.
   std::size_t planner_cache_capacity = 128;
+  /// --- Cost-aware objective (Zhou et al., arXiv:1903.10102) ---
+  /// Weight converting the USD churn of a shuffle round into the plan's
+  /// saved-clients unit: net = E[S] - weight * shuffle_round_cost_usd.
+  /// 0 (default) = cost-blind — the economics are not even computed and
+  /// every decision executes, the legacy behaviour.
+  double migration_cost_weight = 0.0;
+  /// Decline threshold: a decision whose expected net save falls below this
+  /// is marked execute = false (the engine skips the shuffle and keeps the
+  /// current placement).  0 (default) = never decline — shuffles are forced
+  /// even when the priced net is negative.
+  double min_expected_net_save = 0.0;
+  /// Price book for the cost-aware objective.
+  CostRates cost_rates;
+  /// Bytes a migrated client re-fetches after a shuffle (egress churn).
+  std::int64_t migration_page_bytes = 64 * 1024;
   /// Observability sink for the controller, its planner and its estimator
-  /// (nullptr = uninstrumented).  Counters kMetricControllerDecisions and
-  /// kMetricPlannerCache{Hits,Misses}; spans "controller.decide" with
-  /// children "estimate" and "plan".
+  /// (nullptr = uninstrumented).  Counters kMetricControllerDecisions,
+  /// kMetricPlannerCache{Hits,Misses} and kMetricControllerShufflesDeclined;
+  /// spans "controller.decide" with children "estimate" and "plan".
   obs::Registry* registry = nullptr;
 
-  /// All configuration violations at once (empty = valid).  The controller
-  /// constructor throws std::invalid_argument listing every violation.
-  [[nodiscard]] std::vector<std::string> validate() const;
+  /// All configuration violations at once (empty = valid), each prefixed
+  /// (e.g. "controller.") for embedding in a composite config's report.
+  [[nodiscard]] std::vector<std::string> violations(
+      const std::string& prefix = {}) const;
+  /// Throws std::invalid_argument listing every violation.
+  void validate() const;
 };
 
 struct RoundDecision {
   AssignmentPlan plan;
   Count bot_estimate = 0;
   Count replicas = 0;
+  /// False when the cost-aware objective declined the shuffle: the engine
+  /// should keep the current placement this round.  Always true when the
+  /// controller is cost-blind (migration_cost_weight == 0 and
+  /// min_expected_net_save == 0).
+  bool execute = true;
+  /// Priced economics of the candidate plan (0 when cost-blind): exact
+  /// E[S] of the plan, the round's USD churn, and the weighted net.
+  double expected_saved = 0.0;
+  double shuffle_cost_usd = 0.0;
+  double expected_net_save = 0.0;
 };
 
 class ShuffleController {
@@ -98,6 +129,10 @@ class ShuffleController {
   [[nodiscard]] Count bot_estimate() const { return bot_estimate_; }
   [[nodiscard]] const ControllerConfig& config() const { return config_; }
 
+  /// Decisions returned with execute = false so far (mirrors the
+  /// kMetricControllerShufflesDeclined counter for registry-less callers).
+  [[nodiscard]] Count shuffles_declined() const { return declined_count_; }
+
   /// The planner-result cache, or nullptr when planner_cache_capacity == 0.
   [[nodiscard]] const PlannerCache* planner_cache() const {
     return cache_ ? &*cache_ : nullptr;
@@ -110,10 +145,12 @@ class ShuffleController {
   std::optional<PlannerCache> cache_;
   Count bot_estimate_ = 0;
   bool has_estimate_ = false;  // EWMA needs a first anchor
+  Count declined_count_ = 0;
   // Null handles when config_.registry is null (all ops no-op).
   obs::Counter decisions_;
   obs::Counter cache_hits_;
   obs::Counter cache_misses_;
+  obs::Counter shuffles_declined_;
 };
 
 }  // namespace shuffledef::core

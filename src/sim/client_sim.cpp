@@ -47,7 +47,7 @@ struct SoaState {
   std::vector<Count> bot_index;
 
   // Per-bot columns (indexed by bot id).
-  std::vector<BotBehavior> behaviors;
+  std::vector<core::BotState> bot_states;
   std::vector<std::uint8_t> bot_present;  // in pool or in a saved group
   std::vector<std::uint8_t> bot_active;
 
@@ -94,7 +94,7 @@ struct SoaState {
   std::vector<Count> next_off, grp_m_off, grp_b_off;
   std::vector<Count> next_ids;
   std::vector<Count> stay_ids;
-  std::vector<std::uint8_t> leave;
+  std::vector<Count> away_buf;  // on_shuffled results (kStays = bot stays)
 
   void compact_arenas() {
     const auto dead =
@@ -137,8 +137,8 @@ std::vector<std::string> ClientSimConfig::violations(
   for (auto& v : strategy.violations(prefix + "strategy.")) {
     out.push_back(std::move(v));
   }
-  for (const auto& v : controller.validate()) {
-    out.push_back(prefix + "controller." + v);
+  for (auto& v : controller.violations(prefix + "controller.")) {
+    out.push_back(std::move(v));
   }
   return out;
 }
@@ -201,7 +201,7 @@ namespace {
 // none, and the engine's running totals match a full recount.
 void audit_round(const ClientSimConfig& cfg, const SoaState& s, Count round) {
   const Count n_total = cfg.benign + cfg.bots;
-  const bool naive = cfg.strategy.strategy == BotStrategy::kNaive;
+  const bool naive = cfg.strategy.strategy == "naive";
   const auto fail = [&](const std::string& what) {
     throw std::logic_error("ClientLevelSimulator audit (round " +
                            std::to_string(round) + "): " + what);
@@ -304,9 +304,12 @@ ClientSimResult ClientLevelSimulator::run() {
   const Count n_benign = config_.benign;
   const Count n_bots = config_.bots;
   const Count n_total = n_benign + n_bots;
-  const bool naive = config_.strategy.strategy == BotStrategy::kNaive;
-  const bool quit_reenter =
-      config_.strategy.strategy == BotStrategy::kQuitReenter;
+  const std::unique_ptr<core::AttackerStrategy> strategy =
+      config_.strategy.make();
+  const bool naive = !strategy->follows_redirects();
+  const bool always_active = strategy->always_active();
+  const bool reacts = strategy->reacts_to_shuffle();
+  const bool departs = strategy->departs_on_shuffle();
 
   // Each run records into a private registry unless the caller scoped one
   // in; handles are created once, up front.
@@ -330,10 +333,10 @@ ClientSimResult ClientLevelSimulator::run() {
   // ---- SoA client store -------------------------------------------------
   SoaState s;
   s.bot_index.assign(static_cast<std::size_t>(n_total), -1);
-  s.behaviors.reserve(static_cast<std::size_t>(n_bots));
+  s.bot_states.reserve(static_cast<std::size_t>(n_bots));
   for (Count b = 0; b < n_bots; ++b) {
     s.bot_index[static_cast<std::size_t>(n_benign + b)] = b;
-    s.behaviors.emplace_back(
+    s.bot_states.emplace_back(
         behavior_rng.fork_small(static_cast<std::uint64_t>(b)));
   }
   s.bot_present.assign(static_cast<std::size_t>(n_bots), 1);
@@ -359,6 +362,11 @@ ClientSimResult ClientLevelSimulator::run() {
   ClientSimResult result;
   result.benign_total = n_benign;
   result.rounds.reserve(static_cast<std::size_t>(config_.rounds));
+
+  // The replica count the defense currently runs, as visible to the bots
+  // (coupon-collector scanners probe this address space).  0 until the
+  // first shuffle executes.
+  Count current_replicas = 0;
 
   std::optional<obs::Span> run_span;
   run_span.emplace(registry, "client_sim.run");
@@ -386,23 +394,31 @@ ClientSimResult ClientLevelSimulator::run() {
       s.away.resize(keep);
     }
 
-    // 2. Activity pass: one sharded contiguous sweep over the per-bot
-    //    columns (each bot draws from its own stream, so chunk order is
-    //    irrelevant).  The reference engine visits present bots via the
+    // 2. Activity pass: one sharded batched-decide sweep over the per-bot
+    //    columns (each bot draws from its own stream, so chunk boundaries
+    //    are irrelevant).  The reference engine visits present bots via the
     //    pool and group membership lists; the stepped set is identical.
+    //    Always-active strategies draw nothing and mutate nothing, so their
+    //    sweep degenerates to copying the present flags.
+    const core::StrategyContext ctx{round, current_replicas};
     Count active_total = 0;
     {
       s.active_partials.assign(chunk_slots(n_bots), 0);
       sweep(workers, n_bots, n_bots, kGrain,
             [&](std::int64_t lo, std::int64_t hi) {
+              const auto lo_s = static_cast<std::size_t>(lo);
+              const auto len = static_cast<std::size_t>(hi - lo);
+              if (!always_active) {
+                strategy->decide(ctx, {s.bot_states.data() + lo_s, len},
+                                 {s.bot_present.data() + lo_s, len},
+                                 {s.bot_active.data() + lo_s, len});
+              }
               Count local = 0;
               for (std::int64_t b = lo; b < hi; ++b) {
                 const auto bi = static_cast<std::size_t>(b);
                 if (s.bot_present[bi] != 0) {
-                  const bool active =
-                      s.behaviors[bi].step_attacks(config_.strategy);
-                  s.bot_active[bi] = active ? 1 : 0;
-                  local += active ? 1 : 0;
+                  if (always_active) s.bot_active[bi] = 1;
+                  local += s.bot_active[bi] != 0 ? 1 : 0;
                 } else {
                   s.bot_active[bi] = 0;
                 }
@@ -464,144 +480,164 @@ ClientSimResult ClientLevelSimulator::run() {
       const auto decision = controller.decide(
           static_cast<Count>(s.pool_ids.size()), prev_obs);
 
-      // The one serial data pass: the Fisher-Yates walk is a sequential
-      // swap chain on the shared shuffle stream.  Everything downstream of
-      // it is sharded.
-      shuffle_rng.shuffle(s.pool_ids);
+      if (!decision.execute) {
+        // Cost-aware decline: the plan's priced net save fell below the
+        // configured floor, so the defense keeps the current placement.
+        // Nobody moves, the shuffle stream draws nothing, and the previous
+        // observation carries over (this round produced none).
+        metrics.shuffle_declined = true;
+      } else {
+        current_replicas = decision.replicas;
 
-      const auto np = static_cast<std::int64_t>(s.pool_ids.size());
-      const std::size_t replica_count = decision.plan.replica_count();
-      const auto np_buckets = static_cast<std::int64_t>(replica_count);
-      s.offsets.resize(replica_count + 1);
-      s.offsets[0] = 0;
-      for (std::size_t r = 0; r < replica_count; ++r) {
-        s.offsets[r + 1] = s.offsets[r] + decision.plan[r];
-      }
+        // The one serial data pass: the Fisher-Yates walk is a sequential
+        // swap chain on the shared shuffle stream.  Everything downstream
+        // of it is sharded.
+        shuffle_rng.shuffle(s.pool_ids);
 
-      // Bucket scan: attacked flag + bot count per bucket, one contiguous
-      // read of the parallel pool arrays per bucket.
-      s.bucket_attacked.assign(replica_count, 0);
-      s.bucket_bots.assign(replica_count, 0);
-      sweep(workers, np_buckets, np, 1, [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t r = lo; r < hi; ++r) {
-          const auto rr = static_cast<std::size_t>(r);
-          Count bots_here = 0;
-          bool attacked = false;
-          for (Count i = s.offsets[rr]; i < s.offsets[rr + 1]; ++i) {
-            const Count id = s.pool_ids[static_cast<std::size_t>(i)];
-            if (id >= n_benign) {
-              ++bots_here;
-              attacked |=
-                  s.bot_active[static_cast<std::size_t>(id - n_benign)] != 0;
-            }
-          }
-          s.bucket_bots[rr] = bots_here;
-          s.bucket_attacked[rr] = attacked ? 1 : 0;
+        const auto np = static_cast<std::int64_t>(s.pool_ids.size());
+        const std::size_t replica_count = decision.plan.replica_count();
+        const auto np_buckets = static_cast<std::int64_t>(replica_count);
+        s.offsets.resize(replica_count + 1);
+        s.offsets[0] = 0;
+        for (std::size_t r = 0; r < replica_count; ++r) {
+          s.offsets[r + 1] = s.offsets[r] + decision.plan[r];
         }
-      });
 
-      // Partition destinations (serial over P — cheap), then parallel
-      // per-bucket copies into disjoint ranges: attacked buckets stay in
-      // the pool (in replica order, as the reference concatenates them),
-      // clean non-empty buckets become saved groups.
-      s.next_off.assign(replica_count, 0);
-      s.grp_m_off.assign(replica_count, 0);
-      s.grp_b_off.assign(replica_count, 0);
-      const auto m_base = static_cast<Count>(s.member_arena.size());
-      const auto b_base = static_cast<Count>(s.bot_arena.size());
-      Count next_n = 0, new_members = 0, new_group_bots = 0;
-      for (std::size_t r = 0; r < replica_count; ++r) {
-        const Count sz = s.offsets[r + 1] - s.offsets[r];
-        if (s.bucket_attacked[r] != 0) {
-          s.next_off[r] = next_n;
-          next_n += sz;
-        } else if (sz > 0) {
-          s.grp_m_off[r] = m_base + new_members;
-          s.grp_b_off[r] = b_base + new_group_bots;
-          new_members += sz;
-          new_group_bots += s.bucket_bots[r];
-        }
-      }
-      s.next_ids.resize(static_cast<std::size_t>(next_n));
-      s.member_arena.resize(static_cast<std::size_t>(m_base + new_members));
-      s.bot_arena.resize(static_cast<std::size_t>(b_base + new_group_bots));
-      sweep(workers, np_buckets, np, 1, [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t r = lo; r < hi; ++r) {
-          const auto rr = static_cast<std::size_t>(r);
-          const Count begin = s.offsets[rr];
-          const Count sz = s.offsets[rr + 1] - begin;
-          if (sz == 0) continue;
-          if (s.bucket_attacked[rr] != 0) {
-            std::copy_n(s.pool_ids.begin() + begin, sz,
-                        s.next_ids.begin() + s.next_off[rr]);
-          } else {
-            std::copy_n(s.pool_ids.begin() + begin, sz,
-                        s.member_arena.begin() + s.grp_m_off[rr]);
-            Count w = s.grp_b_off[rr];
-            for (Count i = begin; i < begin + sz; ++i) {
+        // Bucket scan: attacked flag + bot count per bucket, one contiguous
+        // read of the parallel pool arrays per bucket.
+        s.bucket_attacked.assign(replica_count, 0);
+        s.bucket_bots.assign(replica_count, 0);
+        sweep(workers, np_buckets, np,
+              1, [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t r = lo; r < hi; ++r) {
+            const auto rr = static_cast<std::size_t>(r);
+            Count bots_here = 0;
+            bool attacked = false;
+            for (Count i = s.offsets[rr]; i < s.offsets[rr + 1]; ++i) {
               const Count id = s.pool_ids[static_cast<std::size_t>(i)];
               if (id >= n_benign) {
-                s.bot_arena[static_cast<std::size_t>(w++)] = id - n_benign;
+                ++bots_here;
+                attacked |=
+                    s.bot_active[static_cast<std::size_t>(id - n_benign)] != 0;
+              }
+            }
+            s.bucket_bots[rr] = bots_here;
+            s.bucket_attacked[rr] = attacked ? 1 : 0;
+          }
+        });
+
+        // Partition destinations (serial over P — cheap), then parallel
+        // per-bucket copies into disjoint ranges: attacked buckets stay in
+        // the pool (in replica order, as the reference concatenates them),
+        // clean non-empty buckets become saved groups.
+        s.next_off.assign(replica_count, 0);
+        s.grp_m_off.assign(replica_count, 0);
+        s.grp_b_off.assign(replica_count, 0);
+        const auto m_base = static_cast<Count>(s.member_arena.size());
+        const auto b_base = static_cast<Count>(s.bot_arena.size());
+        Count next_n = 0, new_members = 0, new_group_bots = 0;
+        for (std::size_t r = 0; r < replica_count; ++r) {
+          const Count sz = s.offsets[r + 1] - s.offsets[r];
+          if (s.bucket_attacked[r] != 0) {
+            s.next_off[r] = next_n;
+            next_n += sz;
+          } else if (sz > 0) {
+            s.grp_m_off[r] = m_base + new_members;
+            s.grp_b_off[r] = b_base + new_group_bots;
+            new_members += sz;
+            new_group_bots += s.bucket_bots[r];
+          }
+        }
+        s.next_ids.resize(static_cast<std::size_t>(next_n));
+        s.member_arena.resize(static_cast<std::size_t>(m_base + new_members));
+        s.bot_arena.resize(static_cast<std::size_t>(b_base + new_group_bots));
+        sweep(workers, np_buckets, np,
+              1, [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t r = lo; r < hi; ++r) {
+            const auto rr = static_cast<std::size_t>(r);
+            const Count begin = s.offsets[rr];
+            const Count sz = s.offsets[rr + 1] - begin;
+            if (sz == 0) continue;
+            if (s.bucket_attacked[rr] != 0) {
+              std::copy_n(s.pool_ids.begin() + begin, sz,
+                          s.next_ids.begin() + s.next_off[rr]);
+            } else {
+              std::copy_n(s.pool_ids.begin() + begin, sz,
+                          s.member_arena.begin() + s.grp_m_off[rr]);
+              Count w = s.grp_b_off[rr];
+              for (Count i = begin; i < begin + sz; ++i) {
+                const Count id = s.pool_ids[static_cast<std::size_t>(i)];
+                if (id >= n_benign) {
+                  s.bot_arena[static_cast<std::size_t>(w++)] = id - n_benign;
+                }
               }
             }
           }
-        }
-      });
-      Count saved_this_round = 0;
-      Count next_pool_bots = 0;
-      std::vector<bool> attacked_flags(replica_count, false);
-      for (std::size_t r = 0; r < replica_count; ++r) {
-        const Count sz = s.offsets[r + 1] - s.offsets[r];
-        if (s.bucket_attacked[r] != 0) {
-          attacked_flags[r] = true;
-          ++metrics.attacked_replicas;
-          next_pool_bots += s.bucket_bots[r];
-        } else if (sz > 0) {
-          s.groups.push_back({s.grp_m_off[r], sz, s.grp_b_off[r],
-                              s.bucket_bots[r], true});
-          s.saved_benign += sz - s.bucket_bots[r];
-          s.arena_live += sz;
-          saved_this_round += sz;
-        }
-      }
-      s.pool_bot_count = next_pool_bots;
-      saved_counter.inc(static_cast<std::uint64_t>(saved_this_round));
-      prev_obs =
-          core::ShuffleObservation{decision.plan, std::move(attacked_flags)};
-
-      // 5. Every pool bot witnessed a shuffle; quit-reenter bots may leave.
-      //    (For every other strategy on_shuffled is a stateless no-op that
-      //    draws nothing, so the pass is skipped outright.)
-      if (quit_reenter && next_n > 0) {
-        s.leave.assign(static_cast<std::size_t>(next_n), 0);
-        sweep(workers, next_n, next_n, kGrain,
-              [&](std::int64_t lo, std::int64_t hi) {
-                for (std::int64_t i = lo; i < hi; ++i) {
-                  const auto ii = static_cast<std::size_t>(i);
-                  const Count id = s.next_ids[ii];
-                  if (id < n_benign) continue;
-                  auto& behavior =
-                      s.behaviors[static_cast<std::size_t>(id - n_benign)];
-                  behavior.on_shuffled(config_.strategy);
-                  s.leave[ii] = behavior.away() ? 1 : 0;
-                }
-              });
-        s.stay_ids.clear();
-        s.stay_ids.reserve(static_cast<std::size_t>(next_n));
-        for (std::int64_t i = 0; i < next_n; ++i) {
-          const auto ii = static_cast<std::size_t>(i);
-          if (s.leave[ii] != 0) {
-            const Count id = s.next_ids[ii];
-            s.away.push_back({id, config_.strategy.reenter_delay});
-            s.bot_present[static_cast<std::size_t>(id - n_benign)] = 0;
-            --s.pool_bot_count;
-          } else {
-            s.stay_ids.push_back(s.next_ids[ii]);
+        });
+        Count saved_this_round = 0;
+        Count next_pool_bots = 0;
+        std::vector<bool> attacked_flags(replica_count, false);
+        for (std::size_t r = 0; r < replica_count; ++r) {
+          const Count sz = s.offsets[r + 1] - s.offsets[r];
+          if (s.bucket_attacked[r] != 0) {
+            attacked_flags[r] = true;
+            ++metrics.attacked_replicas;
+            next_pool_bots += s.bucket_bots[r];
+          } else if (sz > 0) {
+            s.groups.push_back({s.grp_m_off[r], sz, s.grp_b_off[r],
+                                s.bucket_bots[r], true});
+            s.saved_benign += sz - s.bucket_bots[r];
+            s.arena_live += sz;
+            saved_this_round += sz;
           }
         }
-        s.pool_ids.swap(s.stay_ids);
-      } else {
-        s.pool_ids.swap(s.next_ids);
+        s.pool_bot_count = next_pool_bots;
+        saved_counter.inc(static_cast<std::uint64_t>(saved_this_round));
+        prev_obs =
+            core::ShuffleObservation{decision.plan, std::move(attacked_flags)};
+
+        // 5. Every pool bot witnessed a shuffle.  Strategies that react get
+        //    their on_shuffled pass (sharded; per-bot streams make chunk
+        //    order irrelevant); strategies that can depart additionally get
+        //    the away-list partition.  For everything else on_shuffled is a
+        //    stateless no-op that draws nothing, so the pass is skipped
+        //    outright.
+        if (reacts && next_n > 0) {
+          const core::StrategyContext shuffled_ctx{round, current_replicas};
+          s.away_buf.assign(static_cast<std::size_t>(next_n),
+                            core::AttackerStrategy::kStays);
+          sweep(workers, next_n, next_n, kGrain,
+                [&](std::int64_t lo, std::int64_t hi) {
+                  for (std::int64_t i = lo; i < hi; ++i) {
+                    const auto ii = static_cast<std::size_t>(i);
+                    const Count id = s.next_ids[ii];
+                    if (id < n_benign) continue;
+                    s.away_buf[ii] = strategy->on_shuffled_one(
+                        shuffled_ctx,
+                        s.bot_states[static_cast<std::size_t>(id - n_benign)]);
+                  }
+                });
+          if (departs) {
+            s.stay_ids.clear();
+            s.stay_ids.reserve(static_cast<std::size_t>(next_n));
+            for (std::int64_t i = 0; i < next_n; ++i) {
+              const auto ii = static_cast<std::size_t>(i);
+              if (s.away_buf[ii] >= 0) {
+                const Count id = s.next_ids[ii];
+                s.away.push_back({id, s.away_buf[ii]});
+                s.bot_present[static_cast<std::size_t>(id - n_benign)] = 0;
+                --s.pool_bot_count;
+              } else {
+                s.stay_ids.push_back(s.next_ids[ii]);
+              }
+            }
+            s.pool_ids.swap(s.stay_ids);
+          } else {
+            s.pool_ids.swap(s.next_ids);
+          }
+        } else {
+          s.pool_ids.swap(s.next_ids);
+        }
       }
     }
 

@@ -22,7 +22,7 @@
 // struct-of-arrays store — a flat per-client bot-index column, the shuffling
 // pool as parallel id/bot-index arrays, saved groups as slices of flat
 // member/bot arenas, and per-bot behavior state in a flat
-// `std::vector<BotBehavior>` — so a round's activity pass, re-pollution
+// `std::vector<core::BotState>` — so a round's activity pass, re-pollution
 // scan, bucket scan and partition are contiguous sweeps instead of
 // pointer-chasing, and benign-safety accounting is O(1) running totals
 // instead of a full rescan of every saved client per round.  The sweeps are
@@ -104,6 +104,8 @@ struct ClientRoundMetrics {
   Count attacked_replicas = 0;
   Count saved_clients = 0;       // all clients (benign + dormant bots) on
                                  // clean, non-shuffling replicas
+  bool shuffle_declined = false; // cost-aware controller skipped this round's
+                                 // shuffle (nobody moved, nothing was saved)
 
   friend bool operator==(const ClientRoundMetrics&,
                          const ClientRoundMetrics&) = default;

@@ -32,15 +32,18 @@ ClientSimResult ReferenceClientSimulator::run() {
   util::Rng shuffle_rng = root.fork(1);
   util::Rng behavior_rng = root.fork(2);
 
+  const std::unique_ptr<core::AttackerStrategy> strategy =
+      config_.strategy.make();
+
   // Client registry: ids are stable; clients sit either in the shuffling
   // pool, in a saved group, or (bots only) away.
   std::vector<Client> clients;
-  std::vector<BotBehavior> behaviors;
+  std::vector<core::BotState> states;
   clients.reserve(static_cast<std::size_t>(config_.benign + config_.bots));
   for (Count i = 0; i < config_.benign; ++i) clients.push_back({});
   for (Count b = 0; b < config_.bots; ++b) {
     clients.push_back({.bot_index = b});
-    behaviors.emplace_back(behavior_rng.fork_small(static_cast<std::uint64_t>(b)));
+    states.emplace_back(behavior_rng.fork_small(static_cast<std::uint64_t>(b)));
   }
 
   std::vector<Count> pool;  // client ids currently being shuffled
@@ -54,18 +57,23 @@ ClientSimResult ReferenceClientSimulator::run() {
   ClientSimResult result;
   result.benign_total = config_.benign;
 
-  // Naive bots cannot even reach the replicas after the very first server
-  // replacement; drop them from the pool immediately (they contribute only
-  // to the pre-defense flood, which is not modelled here).
-  if (config_.strategy.strategy == BotStrategy::kNaive) {
+  // Naive (hit-list) bots cannot even reach the replicas after the very
+  // first server replacement; drop them from the pool immediately (they
+  // contribute only to the pre-defense flood, which is not modelled here).
+  if (!strategy->follows_redirects()) {
     std::erase_if(pool, [&](Count id) {
       return clients[static_cast<std::size_t>(id)].is_bot();
     });
   }
 
+  // Replica count the defense currently runs, as visible to scanning bots;
+  // 0 until the first shuffle executes.
+  Count current_replicas = 0;
+
   for (Count round = 1; round <= config_.rounds; ++round) {
     ClientRoundMetrics metrics;
     metrics.round = round;
+    const core::StrategyContext ctx{round, current_replicas};
 
     // 1. Away bots tick down; returning bots are placed.
     for (auto it = away.begin(); it != away.end();) {
@@ -86,13 +94,12 @@ ClientSimResult ReferenceClientSimulator::run() {
     }
 
     // 2. Each present bot decides whether it attacks this round.
-    std::vector<bool> bot_active(behaviors.size(), false);
+    std::vector<bool> bot_active(states.size(), false);
     auto decide_activity = [&](Count id) {
       const auto& c = clients[static_cast<std::size_t>(id)];
       if (!c.is_bot()) return;
-      bot_active[static_cast<std::size_t>(c.bot_index)] =
-          behaviors[static_cast<std::size_t>(c.bot_index)].step_attacks(
-              config_.strategy);
+      bot_active[static_cast<std::size_t>(c.bot_index)] = strategy->decide_one(
+          ctx, states[static_cast<std::size_t>(c.bot_index)]);
     };
     for (const Count id : pool) decide_activity(id);
     for (const auto& group : saved_groups) {
@@ -138,53 +145,65 @@ ClientSimResult ReferenceClientSimulator::run() {
       }
       const auto decision =
           controller.decide(static_cast<Count>(pool.size()), prev_obs);
-      shuffle_rng.shuffle(pool);
+      if (!decision.execute) {
+        // Cost-aware decline: the defense keeps the current placement.
+        // Nobody moves, the shuffle stream draws nothing, and the previous
+        // observation carries over.
+        metrics.shuffle_declined = true;
+      } else {
+        current_replicas = decision.replicas;
+        shuffle_rng.shuffle(pool);
 
-      std::vector<bool> attacked_flags(decision.plan.replica_count(), false);
-      std::vector<Count> next_pool;
-      std::size_t cursor = 0;
-      for (std::size_t r = 0; r < decision.plan.replica_count(); ++r) {
-        const auto sz = static_cast<std::size_t>(decision.plan[r]);
-        const std::span<const Count> bucket(pool.data() + cursor, sz);
-        cursor += sz;
-        const bool attacked =
-            std::any_of(bucket.begin(), bucket.end(), [&](Count id) {
-              const auto& c = clients[static_cast<std::size_t>(id)];
-              return c.is_bot() &&
-                     bot_active[static_cast<std::size_t>(c.bot_index)];
-            });
-        if (attacked) {
-          attacked_flags[r] = true;
-          ++metrics.attacked_replicas;
-          next_pool.insert(next_pool.end(), bucket.begin(), bucket.end());
-        } else if (!bucket.empty()) {
-          // Clean bucket: becomes a non-shuffling replica.  Dormant bots
-          // that happened to sit here are "saved" too — until they wake.
-          saved_groups.emplace_back(bucket.begin(), bucket.end());
-        }
-      }
-      prev_obs = core::ShuffleObservation{decision.plan,
-                                          std::move(attacked_flags)};
-
-      // 5. Every pool bot witnessed a shuffle; quit-reenter bots may leave.
-      std::vector<Count> staying;
-      staying.reserve(next_pool.size());
-      for (const Count id : next_pool) {
-        auto& c = clients[static_cast<std::size_t>(id)];
-        if (c.is_bot()) {
-          auto& behavior = behaviors[static_cast<std::size_t>(c.bot_index)];
-          behavior.on_shuffled(config_.strategy);
-          if (behavior.away()) {
-            away.push_back({.client_id = id,
-                            .rounds_left = config_.strategy.reenter_delay,
-                            .new_ip = behavior.reenters_with_new_ip(),
-                            .recorded_group = -1});
-            continue;
+        std::vector<bool> attacked_flags(decision.plan.replica_count(), false);
+        std::vector<Count> next_pool;
+        std::size_t cursor = 0;
+        for (std::size_t r = 0; r < decision.plan.replica_count(); ++r) {
+          const auto sz = static_cast<std::size_t>(decision.plan[r]);
+          const std::span<const Count> bucket(pool.data() + cursor, sz);
+          cursor += sz;
+          const bool attacked =
+              std::any_of(bucket.begin(), bucket.end(), [&](Count id) {
+                const auto& c = clients[static_cast<std::size_t>(id)];
+                return c.is_bot() &&
+                       bot_active[static_cast<std::size_t>(c.bot_index)];
+              });
+          if (attacked) {
+            attacked_flags[r] = true;
+            ++metrics.attacked_replicas;
+            next_pool.insert(next_pool.end(), bucket.begin(), bucket.end());
+          } else if (!bucket.empty()) {
+            // Clean bucket: becomes a non-shuffling replica.  Dormant bots
+            // that happened to sit here are "saved" too — until they wake.
+            saved_groups.emplace_back(bucket.begin(), bucket.end());
           }
         }
-        staying.push_back(id);
+        prev_obs = core::ShuffleObservation{decision.plan,
+                                            std::move(attacked_flags)};
+
+        // 5. Every pool bot witnessed a shuffle; reacting strategies may
+        //    mutate state and departing ones may leave (on_shuffled_one is
+        //    a drawless no-op for everything else, so calling it
+        //    unconditionally is bit-identical to skipping it).
+        const core::StrategyContext shuffled_ctx{round, current_replicas};
+        std::vector<Count> staying;
+        staying.reserve(next_pool.size());
+        for (const Count id : next_pool) {
+          auto& c = clients[static_cast<std::size_t>(id)];
+          if (c.is_bot()) {
+            auto& st = states[static_cast<std::size_t>(c.bot_index)];
+            const Count away_rounds = strategy->on_shuffled_one(shuffled_ctx, st);
+            if (away_rounds >= 0) {
+              away.push_back({.client_id = id,
+                              .rounds_left = away_rounds,
+                              .new_ip = st.pending_new_ip(),
+                              .recorded_group = -1});
+              continue;
+            }
+          }
+          staying.push_back(id);
+        }
+        pool = std::move(staying);
       }
-      pool = std::move(staying);
     }
 
     // 6. Account benign safety.

@@ -32,6 +32,7 @@
 #include "core/types.h"
 #include "obs/snapshot.h"
 #include "sim/arrival.h"
+#include "sim/strategy.h"
 
 namespace shuffledef::obs {
 class Registry;
@@ -46,6 +47,8 @@ inline constexpr std::string_view kMetricSimRoundsExecuted =
     "sim.rounds_executed";
 inline constexpr std::string_view kMetricSimRoundsFaulted =
     "sim.rounds_faulted";
+inline constexpr std::string_view kMetricSimRoundsDeclined =
+    "sim.rounds_declined";
 inline constexpr std::string_view kMetricSimSavedTotal = "sim.saved_total";
 inline constexpr std::string_view kMetricSimLongestOutage =
     "sim.longest_outage";  // gauge (high-water mark)
@@ -55,6 +58,14 @@ inline constexpr std::string_view kMetricSimSavedPerRound =
 struct ShuffleSimConfig {
   ArrivalConfig benign;
   ArrivalConfig bots;
+  /// Which adversary the bot population runs (a core::AttackerStrategy
+  /// registry name plus its options).  The default "always-on" keeps the
+  /// legacy count-based fast path (bit-identical to the pre-registry
+  /// engine); any other strategy switches to a per-bot tracked engine in
+  /// which dormant bots can be "saved" onto clean replicas and later
+  /// re-pollute them, quit/churn bots leave and re-enter, and
+  /// coupon-collector bots re-scan for replicas after each shuffle.
+  StrategyParams strategy;
   core::ControllerConfig controller;
   /// When use_mle is off, the controller is fed the true bot-pool size each
   /// round (oracle mode) scaled by this factor (sensitivity ablations).
@@ -93,6 +104,9 @@ struct RoundStats {
   Count saved = 0;              // benign saved by this shuffle
   Count cumulative_saved = 0;
   bool faulted = false;         // round lost to an injected control failure
+  Count active_bots = 0;        // pool bots actually attacking this round
+  Count repolluted = 0;         // benign dragged back by waking dormant bots
+  bool declined = false;        // cost-aware controller skipped the shuffle
 };
 
 struct ShuffleSimResult {
@@ -119,6 +133,9 @@ class ShuffleSimulator {
   [[nodiscard]] ShuffleSimResult run();
 
  private:
+  [[nodiscard]] ShuffleSimResult run_counts();   // always-on fast path
+  [[nodiscard]] ShuffleSimResult run_tracked();  // per-bot strategy path
+
   ShuffleSimConfig config_;
 };
 

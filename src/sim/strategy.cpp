@@ -5,7 +5,9 @@
 
 namespace shuffledef::sim {
 
-const char* bot_strategy_name(BotStrategy strategy) noexcept {
+namespace {
+
+const char* legacy_name(BotStrategy strategy) noexcept {
   switch (strategy) {
     case BotStrategy::kAlwaysOn: return "always-on";
     case BotStrategy::kOnOff: return "on-off";
@@ -16,20 +18,31 @@ const char* bot_strategy_name(BotStrategy strategy) noexcept {
   return "?";
 }
 
+}  // namespace
+
+const char* bot_strategy_name(BotStrategy strategy) noexcept {
+  return legacy_name(strategy);
+}
+
+StrategyParams::StrategyParams(BotStrategy legacy)
+    : strategy(legacy_name(legacy)) {}
+
 std::vector<std::string> StrategyParams::violations(
     const std::string& prefix) const {
   std::vector<std::string> out;
-  const auto probability = [&](double p, const char* name) {
-    if (!(p >= 0.0 && p <= 1.0)) {
-      out.push_back(prefix + name + " must be in [0, 1]");
+  const auto& names = core::strategy_names();
+  if (std::find(names.begin(), names.end(), strategy) == names.end()) {
+    std::string known;
+    for (const auto& n : names) {
+      if (!known.empty()) known += "|";
+      known += n;
     }
-  };
-  probability(on_probability, "on_probability");
-  probability(quit_probability, "quit_probability");
-  probability(new_ip_probability, "new_ip_probability");
-  probability(wave_duty, "wave_duty");
-  if (reenter_delay < 0) out.push_back(prefix + "reenter_delay must be >= 0");
-  if (wave_period < 1) out.push_back(prefix + "wave_period must be >= 1");
+    out.push_back(prefix + "unknown strategy '" + strategy + "' (expected " +
+                  known + ")");
+  }
+  // Option violations keep the pre-registry field-level messages (no extra
+  // "options." segment), so existing reports and tests read unchanged.
+  for (auto& v : options.violations(prefix)) out.push_back(std::move(v));
   return out;
 }
 
@@ -39,41 +52,6 @@ void StrategyParams::validate() const {
                           std::to_string(violations.size()) + " violation(s)";
     for (const auto& v : violations) message += "; " + v;
     throw std::invalid_argument(message);
-  }
-}
-
-bool BotBehavior::step_attacks(const StrategyParams& params) {
-  if (away_rounds_ > 0) {
-    --away_rounds_;
-    return false;
-  }
-  switch (params.strategy) {
-    case BotStrategy::kAlwaysOn:
-      return true;
-    case BotStrategy::kOnOff:
-      return rng_.bernoulli(params.on_probability);
-    case BotStrategy::kQuitReenter:
-      return true;  // attacks while present; exit decisions on shuffles
-    case BotStrategy::kNaive:
-      return false;  // cannot follow moving replicas at all
-    case BotStrategy::kSynchronizedWaves: {
-      const Count period = std::max<Count>(1, params.wave_period);
-      const auto on_rounds = static_cast<Count>(
-          params.wave_duty * static_cast<double>(period));
-      const bool on = (round_counter_ % period) < std::max<Count>(1, on_rounds);
-      ++round_counter_;
-      return on;
-    }
-  }
-  return false;
-}
-
-void BotBehavior::on_shuffled(const StrategyParams& params) {
-  if (params.strategy != BotStrategy::kQuitReenter) return;
-  if (away_rounds_ > 0) return;
-  if (rng_.bernoulli(params.quit_probability)) {
-    away_rounds_ = std::max<Count>(1, params.reenter_delay);
-    pending_new_ip_ = rng_.bernoulli(params.new_ip_probability);
   }
 }
 

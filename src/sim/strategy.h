@@ -1,35 +1,29 @@
-// Attacker strategies (paper §II-B and §VII "Discussion").
+// Attacker-strategy selection for the round-based simulators.
 //
-//   kAlwaysOn    — persistent bots that attack every replica they land on,
-//                  every round (the paper's main threat model).
-//   kOnOff       — non-aggressive bots that attack only with probability
-//                  `on_probability` each round, hoping to blend with benign
-//                  clients; the paper argues they only reduce attack
-//                  intensity because the defense is stateless.
-//   kQuitReenter — bots that stop attacking when they notice a shuffle and
-//                  re-enter through the load balancers; the defense pins
-//                  re-entries with a known IP to their recorded replica for
-//                  `sticky_rounds` rounds, so only a fresh IP buys a new
-//                  placement.
-//   kNaive       — hit-list bots that can only flood static addresses; one
-//                  server replacement permanently evades them.
-//   kSynchronizedWaves — the whole botnet attacks in coordinated bursts
-//                  (`wave_duty` of every `wave_period` rounds), the
-//                  strongest form of the on-and-off strategy: maximal
-//                  damage while on, maximal blending while off.
+// The behaviours themselves live in the shared `core::AttackerStrategy`
+// registry (core/attacker_strategy.h) — stateful per-bot policy objects
+// built by name through `core::make_strategy`, consumed by this layer's
+// engines and by the full-fidelity cloudsim world alike.  This header only
+// keeps the simulator-facing parameter block (a registry name plus the
+// shared `core::StrategyOptions`) and the deprecated enum bridge from the
+// pre-registry API.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "core/attacker_strategy.h"
 #include "core/types.h"
-#include "util/random.h"
 
 namespace shuffledef::sim {
 
 using core::Count;
 
+/// Pre-registry closed strategy set.  Deprecated: select strategies by
+/// registry name (`StrategyParams::strategy`, see core::strategy_names()).
+/// Bridge kept for exactly one release per the repo's deprecation
+/// convention; scheduled for removal in the next release.
 enum class BotStrategy : std::uint8_t {
   kAlwaysOn,
   kOnOff,
@@ -38,64 +32,41 @@ enum class BotStrategy : std::uint8_t {
   kSynchronizedWaves,
 };
 
+/// Registry name of a legacy enum value ("always-on", "on-off", ...).
+/// Deprecated with the enum; new code names strategies directly.
+[[deprecated(
+    "select strategies by registry name; see core::strategy_names()")]]
 const char* bot_strategy_name(BotStrategy strategy) noexcept;
 
+/// Which adversary the simulator runs and with what knobs.  `strategy` is a
+/// `core::make_strategy` registry name; `options` is forwarded to the
+/// factory.  The five legacy enum behaviours keep their old names
+/// ("always-on", "on-off", "quit-reenter", "naive", "synchronized-waves");
+/// the adaptive tier adds "coupon-collector" and "churn".
 struct StrategyParams {
-  BotStrategy strategy = BotStrategy::kAlwaysOn;
-  /// kOnOff: probability a bot attacks in a given round.
-  double on_probability = 0.5;
-  /// kQuitReenter: probability a bot exits after observing a shuffle.
-  double quit_probability = 0.2;
-  /// kQuitReenter: rounds a quitted bot waits before re-entering.
-  Count reenter_delay = 2;
-  /// kQuitReenter: probability a re-entry uses a fresh IP address
-  /// (otherwise the sticky record pins it back to its old placement).
-  double new_ip_probability = 0.5;
-  /// kSynchronizedWaves: burst cycle length in rounds, and the fraction of
-  /// each cycle spent attacking.
-  Count wave_period = 6;
-  double wave_duty = 0.5;
+  std::string strategy = "always-on";
+  core::StrategyOptions options;
+
+  StrategyParams() = default;
+  /// Deprecated enum-accepting bridge (one release, like the PR 3 config
+  /// and PR 6 planner bridges): maps the enum onto its registry name.
+  [[deprecated("construct from a registry name instead of the enum")]]
+  StrategyParams(BotStrategy legacy);  // NOLINT(google-explicit-constructor)
 
   /// All violations at once, each prefixed (e.g. "strategy.") for embedding
-  /// in a composite config's report.
+  /// in a composite config's report.  Option violations keep their
+  /// pre-registry field names (e.g. "<prefix>on_probability must be in
+  /// [0, 1]").
   [[nodiscard]] std::vector<std::string> violations(
       const std::string& prefix = {}) const;
   /// Throws std::invalid_argument listing every violation.
   void validate() const;
-};
 
-/// Per-bot state machine for the round-based strategy simulator.
-///
-/// Each bot owns its forked `util::SmallRng` stream, so a bot's behavior
-/// depends only on its own state — never on the order bots are visited in.
-/// That is what lets `ClientLevelSimulator` shard its activity and quit
-/// sweeps across threads with bit-identical results at every thread count.
-/// The struct is a flat 32-byte record; a `std::vector<BotBehavior>` indexed
-/// by bot id is the per-bot column of the SoA client store.
-///
-/// Strategy parameters are shared by the whole botnet and are passed into
-/// each step instead of being copied per bot (a million bots would otherwise
-/// carry a million copies of the same StrategyParams).
-class BotBehavior {
- public:
-  explicit BotBehavior(util::SmallRng rng) : rng_(rng) {}
-
-  /// Advance one round.  Returns true when the bot actively attacks the
-  /// replica it is currently assigned to this round.
-  bool step_attacks(const StrategyParams& params);
-
-  /// Called when the bot's replica was shuffled (it noticed the defense).
-  void on_shuffled(const StrategyParams& params);
-
-  [[nodiscard]] bool away() const { return away_rounds_ > 0; }
-  [[nodiscard]] bool reenters_with_new_ip() const { return pending_new_ip_; }
-
- private:
-  util::SmallRng rng_;        // private behavior stream (order-independent)
-  Count away_rounds_ = 0;     // kQuitReenter: rounds left outside the system
-  Count round_counter_ = 0;   // kSynchronizedWaves: shared phase (all bots
-                              // step once per round, so counters align)
-  bool pending_new_ip_ = false;
+  /// The configured strategy object (factory call; throws on an unknown
+  /// name or invalid options, like validate()).
+  [[nodiscard]] std::unique_ptr<core::AttackerStrategy> make() const {
+    return core::make_strategy(strategy, options);
+  }
 };
 
 }  // namespace shuffledef::sim

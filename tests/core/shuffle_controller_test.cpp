@@ -22,7 +22,8 @@ TEST(ControllerConfig, Validation) {
 
 TEST(ControllerConfig, ValidateReportsAllViolationsAtOnce) {
   ControllerConfig good;
-  EXPECT_TRUE(good.validate().empty());
+  EXPECT_TRUE(good.violations().empty());
+  EXPECT_NO_THROW(good.validate());
 
   ControllerConfig bad;
   bad.planner = "bogus";
@@ -32,7 +33,7 @@ TEST(ControllerConfig, ValidateReportsAllViolationsAtOnce) {
   bad.estimator = "psychic";
   bad.estimate_smoothing = 0.0;
   bad.mle.grid_points = 1;
-  const auto violations = bad.validate();
+  const auto violations = bad.violations();
   EXPECT_EQ(violations.size(), 7u);
 
   // The constructor reports every violation in one message.

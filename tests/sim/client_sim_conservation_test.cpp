@@ -18,9 +18,11 @@
 namespace shuffledef::sim {
 namespace {
 
-constexpr BotStrategy kAllStrategies[] = {
-    BotStrategy::kAlwaysOn, BotStrategy::kOnOff, BotStrategy::kQuitReenter,
-    BotStrategy::kNaive, BotStrategy::kSynchronizedWaves};
+// The full registry, adaptive adversaries included: the conservation
+// invariant is strategy-agnostic.
+const std::vector<std::string>& all_strategies() {
+  return core::strategy_names();
+}
 
 TEST(ClientSimConservation, RandomizedConfigsHoldTheInvariantEveryRound) {
   std::mt19937 gen(20260806);
@@ -28,7 +30,8 @@ TEST(ClientSimConservation, RandomizedConfigsHoldTheInvariantEveryRound) {
   std::uniform_int_distribution<Count> bots_dist(0, 120);
   std::uniform_int_distribution<Count> rounds_dist(1, 50);
   std::uniform_int_distribution<Count> replicas_dist(2, 64);
-  std::uniform_int_distribution<int> strategy_dist(0, 4);
+  std::uniform_int_distribution<std::size_t> strategy_dist(
+      0, all_strategies().size() - 1);
   std::uniform_real_distribution<double> prob_dist(0.0, 1.0);
   std::uniform_int_distribution<Count> delay_dist(0, 4);
   std::uniform_int_distribution<std::uint64_t> seed_dist(1, 1u << 20);
@@ -40,13 +43,17 @@ TEST(ClientSimConservation, RandomizedConfigsHoldTheInvariantEveryRound) {
     cfg.bots = bots_dist(gen);
     cfg.rounds = rounds_dist(gen);
     cfg.seed = seed_dist(gen);
-    cfg.strategy.strategy = kAllStrategies[strategy_dist(gen)];
-    cfg.strategy.on_probability = prob_dist(gen);
-    cfg.strategy.quit_probability = prob_dist(gen);
-    cfg.strategy.new_ip_probability = prob_dist(gen);
-    cfg.strategy.reenter_delay = delay_dist(gen);
-    cfg.strategy.wave_period = 1 + delay_dist(gen);
-    cfg.strategy.wave_duty = prob_dist(gen);
+    cfg.strategy.strategy = all_strategies()[strategy_dist(gen)];
+    cfg.strategy.options.on_probability = prob_dist(gen);
+    cfg.strategy.options.quit_probability = prob_dist(gen);
+    cfg.strategy.options.new_ip_probability = prob_dist(gen);
+    cfg.strategy.options.reenter_delay = delay_dist(gen);
+    cfg.strategy.options.wave_period = 1 + delay_dist(gen);
+    cfg.strategy.options.wave_duty = prob_dist(gen);
+    cfg.strategy.options.probes_per_round = 1 + delay_dist(gen);
+    cfg.strategy.options.depart_probability = prob_dist(gen);
+    // rejoin_probability must sit in (0, 1].
+    cfg.strategy.options.rejoin_probability = 0.05 + 0.95 * prob_dist(gen);
     cfg.controller.planner = "greedy";
     cfg.controller.replicas = replicas_dist(gen);
     cfg.controller.use_mle = (trial % 2) == 0;
@@ -54,7 +61,7 @@ TEST(ClientSimConservation, RandomizedConfigsHoldTheInvariantEveryRound) {
     cfg.audit = true;
 
     SCOPED_TRACE("trial " + std::to_string(trial) + " strategy " +
-                 bot_strategy_name(cfg.strategy.strategy) + " benign " +
+                 cfg.strategy.strategy + " benign " +
                  std::to_string(cfg.benign) + " bots " +
                  std::to_string(cfg.bots) + " seed " +
                  std::to_string(cfg.seed) + " threads " +
@@ -81,7 +88,7 @@ TEST(ClientSimConservation, AlwaysOnPoolPlusSavedIsTotal) {
   ClientSimConfig cfg;
   cfg.benign = 800;
   cfg.bots = 60;
-  cfg.strategy.strategy = BotStrategy::kAlwaysOn;
+  cfg.strategy.strategy = "always-on";
   cfg.controller.planner = "greedy";
   cfg.controller.replicas = 50;
   cfg.controller.use_mle = false;
@@ -104,7 +111,7 @@ TEST(ClientSimConservation, NaiveDropLeavesExactlyBenignInTheSystem) {
   ClientSimConfig cfg;
   cfg.benign = 500;
   cfg.bots = 40;
-  cfg.strategy.strategy = BotStrategy::kNaive;
+  cfg.strategy.strategy = "naive";
   cfg.controller.planner = "greedy";
   cfg.controller.replicas = 30;
   cfg.controller.use_mle = false;

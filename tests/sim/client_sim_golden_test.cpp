@@ -22,17 +22,17 @@
 namespace shuffledef::sim {
 namespace {
 
-ClientSimConfig golden_config(BotStrategy strategy, bool use_mle) {
+ClientSimConfig golden_config(const std::string& strategy, bool use_mle) {
   ClientSimConfig cfg;
   cfg.benign = 950;
   cfg.bots = 50;
   cfg.strategy.strategy = strategy;
-  cfg.strategy.on_probability = 0.4;
-  cfg.strategy.quit_probability = 0.3;
-  cfg.strategy.reenter_delay = 2;
-  cfg.strategy.new_ip_probability = 0.5;
-  cfg.strategy.wave_period = 6;
-  cfg.strategy.wave_duty = 0.5;
+  cfg.strategy.options.on_probability = 0.4;
+  cfg.strategy.options.quit_probability = 0.3;
+  cfg.strategy.options.reenter_delay = 2;
+  cfg.strategy.options.new_ip_probability = 0.5;
+  cfg.strategy.options.wave_period = 6;
+  cfg.strategy.options.wave_duty = 0.5;
   cfg.controller.planner = "greedy";
   cfg.controller.replicas = 60;
   cfg.controller.use_mle = use_mle;
@@ -323,7 +323,7 @@ constexpr GoldenRow kGoldenAlwaysOnMle[] = {
 };
 
 template <std::size_t N>
-void run_golden_case(BotStrategy strategy, bool use_mle,
+void run_golden_case(const std::string& strategy, bool use_mle,
                      const GoldenRow (&golden)[N]) {
   auto cfg = golden_config(strategy, use_mle);
   cfg.threads = 1;
@@ -332,38 +332,37 @@ void run_golden_case(BotStrategy strategy, bool use_mle,
 }
 
 TEST(ClientSimGolden, AlwaysOn) {
-  run_golden_case(BotStrategy::kAlwaysOn, false, kGoldenAlwaysOn);
+  run_golden_case("always-on", false, kGoldenAlwaysOn);
 }
 TEST(ClientSimGolden, OnOff) {
-  run_golden_case(BotStrategy::kOnOff, false, kGoldenOnOff);
+  run_golden_case("on-off", false, kGoldenOnOff);
 }
 TEST(ClientSimGolden, QuitReenter) {
-  run_golden_case(BotStrategy::kQuitReenter, false, kGoldenQuitReenter);
+  run_golden_case("quit-reenter", false, kGoldenQuitReenter);
 }
 TEST(ClientSimGolden, Naive) {
-  run_golden_case(BotStrategy::kNaive, false, kGoldenNaive);
+  run_golden_case("naive", false, kGoldenNaive);
 }
 TEST(ClientSimGolden, SynchronizedWaves) {
-  run_golden_case(BotStrategy::kSynchronizedWaves, false, kGoldenWaves);
+  run_golden_case("synchronized-waves", false, kGoldenWaves);
 }
 TEST(ClientSimGolden, AlwaysOnWithMle) {
-  run_golden_case(BotStrategy::kAlwaysOn, true, kGoldenAlwaysOnMle);
+  run_golden_case("always-on", true, kGoldenAlwaysOnMle);
 }
 
 // The sharding determinism contract: the entire result — every round row
 // and the deterministic view of the metrics snapshot — is bit-identical at
 // every thread count.
 TEST(ClientSimGolden, ThreadCountsAreBitIdentical) {
-  for (const auto strategy :
-       {BotStrategy::kAlwaysOn, BotStrategy::kOnOff, BotStrategy::kQuitReenter,
-        BotStrategy::kNaive, BotStrategy::kSynchronizedWaves}) {
+  for (const char* strategy : {"always-on", "on-off", "quit-reenter",
+                               "naive", "synchronized-waves"}) {
     auto cfg = golden_config(strategy, true);
     cfg.threads = 1;
     const auto serial = ClientLevelSimulator(cfg).run();
     for (const Count threads : {Count{4}, Count{8}}) {
       cfg.threads = threads;
       const auto sharded = ClientLevelSimulator(cfg).run();
-      SCOPED_TRACE(std::string(bot_strategy_name(strategy)) + " threads " +
+      SCOPED_TRACE(std::string(strategy) + " threads " +
                    std::to_string(threads));
       ASSERT_EQ(serial.rounds.size(), sharded.rounds.size());
       for (std::size_t i = 0; i < serial.rounds.size(); ++i) {
@@ -379,20 +378,19 @@ TEST(ClientSimGolden, ThreadCountsAreBitIdentical) {
 // the pinned golden one (different population, replica count and seed), so
 // the SoA engine cannot overfit the golden scenario.
 TEST(ClientSimGolden, MatchesReferenceEngineOnFreshConfigs) {
-  for (const auto strategy :
-       {BotStrategy::kAlwaysOn, BotStrategy::kOnOff, BotStrategy::kQuitReenter,
-        BotStrategy::kNaive, BotStrategy::kSynchronizedWaves}) {
+  for (const char* strategy : {"always-on", "on-off", "quit-reenter",
+                               "naive", "synchronized-waves"}) {
     for (const std::uint64_t seed : {31ull, 1234ull}) {
       ClientSimConfig cfg;
       cfg.benign = 1700;
       cfg.bots = 90;
       cfg.strategy.strategy = strategy;
-      cfg.strategy.on_probability = 0.55;
-      cfg.strategy.quit_probability = 0.45;
-      cfg.strategy.reenter_delay = 3;
-      cfg.strategy.new_ip_probability = 0.7;
-      cfg.strategy.wave_period = 4;
-      cfg.strategy.wave_duty = 0.4;
+      cfg.strategy.options.on_probability = 0.55;
+      cfg.strategy.options.quit_probability = 0.45;
+      cfg.strategy.options.reenter_delay = 3;
+      cfg.strategy.options.new_ip_probability = 0.7;
+      cfg.strategy.options.wave_period = 4;
+      cfg.strategy.options.wave_duty = 0.4;
       cfg.controller.planner = "greedy";
       cfg.controller.replicas = 48;
       cfg.controller.use_mle = (seed % 2) == 0;
@@ -402,7 +400,7 @@ TEST(ClientSimGolden, MatchesReferenceEngineOnFreshConfigs) {
       cfg.threads = 3;
       cfg.audit = true;
       const auto soa = ClientLevelSimulator(cfg).run();
-      SCOPED_TRACE(std::string(bot_strategy_name(strategy)) + " seed " +
+      SCOPED_TRACE(std::string(strategy) + " seed " +
                    std::to_string(seed));
       ASSERT_EQ(ref.rounds.size(), soa.rounds.size());
       for (std::size_t i = 0; i < ref.rounds.size(); ++i) {

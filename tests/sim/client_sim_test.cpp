@@ -11,7 +11,7 @@ ClientSimConfig base_config() {
   ClientSimConfig cfg;
   cfg.benign = 400;
   cfg.bots = 20;
-  cfg.strategy.strategy = BotStrategy::kAlwaysOn;
+  cfg.strategy.strategy = "always-on";
   cfg.controller.planner = "greedy";
   cfg.controller.replicas = 40;
   cfg.controller.use_mle = false;  // oracle pool-bot count
@@ -36,7 +36,7 @@ TEST(ClientSim, ViolationsCollectsEverythingWithPrefixes) {
   auto cfg = base_config();
   cfg.rounds = 0;
   cfg.threads = -1;
-  cfg.strategy.on_probability = 1.5;
+  cfg.strategy.options.on_probability = 1.5;
   const auto violations = cfg.violations("client.");
   ASSERT_EQ(violations.size(), 3u);
   EXPECT_EQ(violations[0], "client.rounds must be > 0");
@@ -72,7 +72,7 @@ TEST(ClientSim, MetricsAreInternallyConsistent) {
 
 TEST(ClientSim, NaiveBotsAreEvadedImmediately) {
   auto cfg = base_config();
-  cfg.strategy.strategy = BotStrategy::kNaive;
+  cfg.strategy.strategy = "naive";
   cfg.rounds = 3;
   const auto result = ClientLevelSimulator(cfg).run();
   // Naive bots cannot follow the first shuffle: every benign client is safe
@@ -83,8 +83,8 @@ TEST(ClientSim, NaiveBotsAreEvadedImmediately) {
 
 TEST(ClientSim, OnOffBotsRepolluteButOnlyReduceIntensity) {
   auto cfg = base_config();
-  cfg.strategy.strategy = BotStrategy::kOnOff;
-  cfg.strategy.on_probability = 0.4;
+  cfg.strategy.strategy = "on-off";
+  cfg.strategy.options.on_probability = 0.4;
   cfg.rounds = 80;
   const auto result = ClientLevelSimulator(cfg).run();
 
@@ -103,10 +103,10 @@ TEST(ClientSim, OnOffBotsRepolluteButOnlyReduceIntensity) {
 
 TEST(ClientSim, QuitReenterBotsDoNotDefeatTheDefense) {
   auto cfg = base_config();
-  cfg.strategy.strategy = BotStrategy::kQuitReenter;
-  cfg.strategy.quit_probability = 0.3;
-  cfg.strategy.reenter_delay = 2;
-  cfg.strategy.new_ip_probability = 0.5;
+  cfg.strategy.strategy = "quit-reenter";
+  cfg.strategy.options.quit_probability = 0.3;
+  cfg.strategy.options.reenter_delay = 2;
+  cfg.strategy.options.new_ip_probability = 0.5;
   cfg.rounds = 80;
   const auto result = ClientLevelSimulator(cfg).run();
   // Churning through the load balancer buys the bots nothing durable: most
@@ -148,8 +148,8 @@ TEST(ClientSim, MeanAttackIntensitySkipsEmptyPoolRounds) {
   // pool before the round's metrics are taken.)
   auto cfg = base_config();
   cfg.bots = 8;
-  cfg.strategy.strategy = BotStrategy::kOnOff;
-  cfg.strategy.on_probability = 0.15;
+  cfg.strategy.strategy = "on-off";
+  cfg.strategy.options.on_probability = 0.15;
   cfg.rounds = 80;
   const auto result = ClientLevelSimulator(cfg).run();
 
@@ -214,19 +214,16 @@ TEST(ClientSim, ExternalRegistryAccumulatesAcrossRuns) {
 }
 
 TEST(ClientSim, AuditedRunAcceptsEveryStrategy) {
-  for (const auto strategy :
-       {BotStrategy::kAlwaysOn, BotStrategy::kOnOff, BotStrategy::kQuitReenter,
-        BotStrategy::kNaive, BotStrategy::kSynchronizedWaves}) {
+  for (const std::string& strategy : core::strategy_names()) {
     auto cfg = base_config();
     cfg.strategy.strategy = strategy;
-    cfg.strategy.on_probability = 0.4;
-    cfg.strategy.quit_probability = 0.3;
-    cfg.strategy.reenter_delay = 2;
-    cfg.strategy.new_ip_probability = 0.5;
+    cfg.strategy.options.on_probability = 0.4;
+    cfg.strategy.options.quit_probability = 0.3;
+    cfg.strategy.options.reenter_delay = 2;
+    cfg.strategy.options.new_ip_probability = 0.5;
     cfg.rounds = 30;
     cfg.audit = true;
-    EXPECT_NO_THROW((void)ClientLevelSimulator(cfg).run())
-        << bot_strategy_name(strategy);
+    EXPECT_NO_THROW((void)ClientLevelSimulator(cfg).run()) << strategy;
   }
 }
 

@@ -35,7 +35,7 @@ double client_level_rounds(Count benign, Count bots, Count replicas,
   ClientSimConfig cfg;
   cfg.benign = benign;
   cfg.bots = bots;
-  cfg.strategy.strategy = BotStrategy::kAlwaysOn;
+  cfg.strategy.strategy = "always-on";
   cfg.controller.planner = "greedy";
   cfg.controller.replicas = replicas;
   cfg.controller.use_mle = use_mle;

@@ -54,19 +54,20 @@ TEST(Trace, ClientTraceHasHeaderAndOneRowPerRound) {
 }
 
 TEST(Strategy, SynchronizedWavesAlternateDeterministically) {
-  StrategyParams params;
-  params.strategy = BotStrategy::kSynchronizedWaves;
-  params.wave_period = 4;
-  params.wave_duty = 0.5;
+  core::StrategyOptions options;
+  options.wave_period = 4;
+  options.wave_duty = 0.5;
+  const auto strategy = core::make_strategy("synchronized-waves", options);
   util::Rng rng(1);
-  BotBehavior a(rng.fork_small(1));
-  BotBehavior b(rng.fork_small(2));
+  core::BotState a(rng.fork_small(1));
+  core::BotState b(rng.fork_small(2));
   // Both bots share the phase (round counters align): attack on rounds
   // 0,1 of every 4, idle on 2,3 — identically.
+  const core::StrategyContext ctx{};
   std::vector<bool> pattern_a, pattern_b;
   for (int r = 0; r < 12; ++r) {
-    pattern_a.push_back(a.step_attacks(params));
-    pattern_b.push_back(b.step_attacks(params));
+    pattern_a.push_back(strategy->decide_one(ctx, a));
+    pattern_b.push_back(strategy->decide_one(ctx, b));
   }
   EXPECT_EQ(pattern_a, pattern_b);
   EXPECT_EQ(pattern_a, (std::vector<bool>{true, true, false, false, true, true,
@@ -78,9 +79,9 @@ TEST(Strategy, SynchronizedWavesStillLoseToTheDefense) {
   ClientSimConfig cfg;
   cfg.benign = 400;
   cfg.bots = 20;
-  cfg.strategy.strategy = BotStrategy::kSynchronizedWaves;
-  cfg.strategy.wave_period = 6;
-  cfg.strategy.wave_duty = 0.5;
+  cfg.strategy.strategy = "synchronized-waves";
+  cfg.strategy.options.wave_period = 6;
+  cfg.strategy.options.wave_duty = 0.5;
   cfg.controller.planner = "greedy";
   cfg.controller.replicas = 40;
   cfg.controller.use_mle = false;
