@@ -73,7 +73,7 @@ void PersistentBot::junk_tick() {
 void PersistentBot::heavy_tick() {
   if (active_ && current_replica() != kInvalidNode && connected()) {
     send(current_replica(), MessageType::kHeavyRequest, kHttpRequestBytes,
-         HeavyRequestPayload{ip(), bot_config_.heavy_cpu_seconds});
+         HeavyRequestPayload{ip_id(), bot_config_.heavy_cpu_seconds});
     ++heavy_sent_;
   }
   loop().schedule_after(bot_config_.heavy_interval_s, [this] { heavy_tick(); });
@@ -86,7 +86,7 @@ NaiveBot::NaiveBot(World& world, std::string name, NaiveBotConfig config)
 
 void NaiveBot::on_message(const Message& msg) {
   if (msg.type != MessageType::kFloodCommand) return;
-  const auto& cmd = std::any_cast<const FloodCommandPayload&>(msg.payload);
+  const auto& cmd = payload_as<FloodCommandPayload>(msg);
   targets_ = cmd.targets;
   next_target_ = 0;
   if (!ticking_ && !targets_.empty() && config_.junk_rate_pps > 0.0) {
@@ -121,7 +121,7 @@ void Botmaster::on_start() {
 
 void Botmaster::on_message(const Message& msg) {
   if (msg.type != MessageType::kBotReport) return;
-  const auto& report = std::any_cast<const BotReportPayload&>(msg.payload);
+  const auto& report = payload_as<BotReportPayload>(msg);
   if (report.observed_replica == kInvalidNode) return;
   if (hit_list_.insert(report.observed_replica).second) {
     hit_list_dirty_ = true;

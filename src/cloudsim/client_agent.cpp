@@ -10,7 +10,9 @@ ClientAgent::ClientAgent(World& world, std::string name, ClientConfig config)
 }
 
 void ClientAgent::on_start() {
-  world().register_ip(config_.ip, id());
+  service_id_ = world().intern_service(config_.service);
+  ip_id_ = world().intern_ip(config_.ip);
+  world().register_ip(ip_id_, id());
   loop().schedule_after(config_.start_time_s, [this] { start_join(); });
 }
 
@@ -21,7 +23,7 @@ void ClientAgent::start_join() {
   ws_replica_ = kInvalidNode;  // any previous WebSocket is considered dead
   ++hb_epoch_;                 // and its heartbeat chain with it
   send(config_.dns, MessageType::kDnsQuery, kDnsMessageBytes,
-       DnsQueryPayload{config_.service});
+       DnsQueryPayload{service_id_});
   arm_timeout();
 }
 
@@ -30,7 +32,7 @@ void ClientAgent::request_page() {
   ++generation_;
   page_requested_at_ = loop().now();
   send(replica_, MessageType::kHttpGet, kHttpRequestBytes,
-       HttpGetPayload{config_.ip, "/"});
+       HttpGetPayload{ip_id_});
   arm_timeout();
 }
 
@@ -96,19 +98,19 @@ void ClientAgent::handle_timeout(std::uint64_t generation) {
   switch (phase_) {
     case Phase::kResolving:
       send(config_.dns, MessageType::kDnsQuery, kDnsMessageBytes,
-           DnsQueryPayload{config_.service});
+           DnsQueryPayload{service_id_});
       break;
     case Phase::kContactingLb:
       send(lb_, MessageType::kClientHello, kHttpRequestBytes,
-           ClientHelloPayload{config_.ip});
+           ClientHelloPayload{ip_id_});
       break;
     case Phase::kLoadingPage:
       send(replica_, MessageType::kHttpGet, kHttpRequestBytes,
-           HttpGetPayload{config_.ip, "/"});
+           HttpGetPayload{ip_id_});
       break;
     case Phase::kOpeningWs:
       send(replica_, MessageType::kWsOpen, kWsFrameBytes,
-           WsOpenPayload{config_.ip});
+           WsOpenPayload{ip_id_});
       break;
     case Phase::kIdle:
     case Phase::kConnected:
@@ -121,20 +123,19 @@ void ClientAgent::on_message(const Message& msg) {
   switch (msg.type) {
     case MessageType::kDnsReply: {
       if (phase_ != Phase::kResolving) break;
-      const auto& reply = std::any_cast<const DnsReplyPayload&>(msg.payload);
+      const auto& reply = payload_as<DnsReplyPayload>(msg);
       lb_ = reply.load_balancer;
       phase_ = Phase::kContactingLb;
       ++generation_;
       retries_ = 0;
       send(lb_, MessageType::kClientHello, kHttpRequestBytes,
-           ClientHelloPayload{config_.ip});
+           ClientHelloPayload{ip_id_});
       arm_timeout();
       break;
     }
     case MessageType::kRedirect: {
       if (phase_ != Phase::kContactingLb) break;
-      const auto& redirect =
-          std::any_cast<const RedirectPayload&>(msg.payload);
+      const auto& redirect = payload_as<RedirectPayload>(msg);
       replica_ = redirect.target_replica;
       retries_ = 0;
       request_page();
@@ -156,7 +157,7 @@ void ClientAgent::on_message(const Message& msg) {
       }
       phase_ = Phase::kOpeningWs;
       send(replica_, MessageType::kWsOpen, kWsFrameBytes,
-           WsOpenPayload{config_.ip});
+           WsOpenPayload{ip_id_});
       arm_timeout();
       break;
     }
@@ -184,7 +185,7 @@ void ClientAgent::on_message(const Message& msg) {
     }
     case MessageType::kWsPush: {
       // Replica-initiated shuffle redirect: reload from the new location.
-      const auto& push = std::any_cast<const WsPushPayload&>(msg.payload);
+      const auto& push = payload_as<WsPushPayload>(msg);
       // Duplicate-safe: re-sent shuffle commands and injected network
       // duplicates can deliver the same push twice.  If we are already
       // heading to (or connected at) that replica, the extra push is a

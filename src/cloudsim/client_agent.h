@@ -70,6 +70,7 @@ class ClientAgent : public Node {
   [[nodiscard]] NodeId current_replica() const { return replica_; }
   [[nodiscard]] bool connected() const { return phase_ == Phase::kConnected; }
   [[nodiscard]] const std::string& ip() const { return config_.ip; }
+  [[nodiscard]] IpId ip_id() const { return ip_id_; }
 
  protected:
   enum class Phase {
@@ -91,6 +92,8 @@ class ClientAgent : public Node {
   [[nodiscard]] Phase phase() const { return phase_; }
 
   ClientConfig config_;
+  ServiceId service_id_ = kInvalidService;  // interned config_.service
+  IpId ip_id_ = kInvalidIp;                 // interned config_.ip
   NodeId lb_ = kInvalidNode;
   NodeId replica_ = kInvalidNode;
 

@@ -79,8 +79,7 @@ double CoordinationServer::backoff_s(int attempt) const {
 void CoordinationServer::on_message(const Message& msg) {
   switch (msg.type) {
     case MessageType::kAttackReport: {
-      const auto& report =
-          std::any_cast<const AttackReportPayload&>(msg.payload);
+      const auto& report = payload_as<AttackReportPayload>(msg);
       ++stats_.attack_reports;
       metrics_.attack_reports.inc();
       if (!active_replicas_.contains(report.replica)) break;  // stale
@@ -89,8 +88,7 @@ void CoordinationServer::on_message(const Message& msg) {
       break;
     }
     case MessageType::kDecommission: {
-      const auto& dec =
-          std::any_cast<const DecommissionPayload&>(msg.payload);
+      const auto& dec = payload_as<DecommissionPayload>(msg);
       pending_commands_.erase(dec.replica);  // command acknowledged
       // Duplicate-safe: only the first ack for a replica recycles it.
       if (active_replicas_.erase(dec.replica) == 0) break;
@@ -122,7 +120,7 @@ void CoordinationServer::execute_round() {
   // retry loop owns them until the kDecommission ack (or force-recycle).
   std::vector<NodeId> attacked(attacked_.begin(), attacked_.end());
   attacked_.clear();
-  std::vector<std::pair<std::string, NodeId>> pool;
+  std::vector<std::pair<IpId, NodeId>> pool;
   std::vector<NodeId> still_active;
   for (const NodeId r : attacked) {
     if (!active_replicas_.contains(r)) continue;
@@ -289,8 +287,7 @@ void CoordinationServer::finish_round(
 }
 
 void CoordinationServer::deploy_shuffle(
-    std::vector<NodeId> attacked,
-    std::vector<std::pair<std::string, NodeId>> pool,
+    std::vector<NodeId> attacked, std::vector<std::pair<IpId, NodeId>> pool,
     core::RoundDecision decision, const std::vector<NodeId>& new_replicas) {
   // Uniformly random client-to-bucket mapping: the controller fixed only
   // the bucket sizes (paper §III-D: the coordination server "does not
@@ -316,8 +313,11 @@ void CoordinationServer::deploy_shuffle(
   }
 
   // Pre-whitelist every client on its new replica and re-point sticky
-  // records, then order each attacked replica to push its redirects.
+  // records, then order each attacked replica to push its redirects.  The
+  // whitelist entries for one target travel together as a single
+  // kWhitelistBatch — one message per new replica instead of one per client.
   std::map<NodeId, ShuffleCommandPayload> commands;
+  std::map<NodeId, WhitelistBatchPayload> whitelists;
   std::map<NodeId, NodeId> current_home;  // client node -> old replica
   for (const NodeId r : attacked) {
     for (const auto& [ip, client] : replica_ptr(r)->connected_clients()) {
@@ -327,13 +327,18 @@ void CoordinationServer::deploy_shuffle(
   for (std::size_t i = 0; i < pool.size(); ++i) {
     const auto& [ip, client] = pool[i];
     const NodeId target = target_of[i];
-    send(target, MessageType::kWhitelistAdd, kControlMessageBytes,
-         WhitelistAddPayload{ip, client});
+    whitelists[target].entries.emplace_back(ip, client);
     for (auto* lb : load_balancers_) lb->update_binding(ip, target);
     commands[current_home[client]].client_to_replica.emplace_back(client,
                                                                   target);
     ++stats_.clients_migrated;
     metrics_.clients_migrated.inc();
+  }
+  for (auto& [target, batch] : whitelists) {
+    const auto wire =
+        kControlMessageBytes +
+        kWhitelistEntryBytes * static_cast<std::int64_t>(batch.entries.size());
+    send(target, MessageType::kWhitelistBatch, wire, std::move(batch));
   }
   for (const NodeId r : attacked) {
     pending_commands_[r] =

@@ -152,7 +152,7 @@ class CoordinationServer final : public Node {
   /// One in-flight shuffle round waiting on provisioning.
   struct PendingRound {
     std::vector<NodeId> attacked;
-    std::vector<std::pair<std::string, NodeId>> pool;
+    std::vector<std::pair<IpId, NodeId>> pool;
     core::RoundDecision decision;
     std::vector<NodeId> ready;
     std::int64_t target = 0;  // replicas wanted
@@ -173,7 +173,7 @@ class CoordinationServer final : public Node {
   void arm_provision_watchdog(const std::shared_ptr<PendingRound>& round);
   void finish_round(const std::shared_ptr<PendingRound>& round);
   void deploy_shuffle(std::vector<NodeId> attacked,
-                      std::vector<std::pair<std::string, NodeId>> pool,
+                      std::vector<std::pair<IpId, NodeId>> pool,
                       core::RoundDecision decision,
                       const std::vector<NodeId>& new_replicas);
   void send_shuffle_command(NodeId replica);

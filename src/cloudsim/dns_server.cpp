@@ -10,11 +10,19 @@ DnsServer::DnsServer(World& world, std::string name)
     : Node(world, std::move(name)) {}
 
 void DnsServer::register_load_balancer(const std::string& service, NodeId lb) {
+  register_load_balancer(world().intern_service(service), lb);
+}
+
+void DnsServer::register_load_balancer(ServiceId service, NodeId lb) {
   records_[service].load_balancers.push_back(lb);
 }
 
 void DnsServer::unregister_load_balancer(const std::string& service,
                                          NodeId lb) {
+  unregister_load_balancer(world().intern_service(service), lb);
+}
+
+void DnsServer::unregister_load_balancer(ServiceId service, NodeId lb) {
   auto it = records_.find(service);
   if (it == records_.end()) return;
   auto& lbs = it->second.load_balancers;
@@ -24,10 +32,10 @@ void DnsServer::unregister_load_balancer(const std::string& service,
 
 void DnsServer::on_message(const Message& msg) {
   if (msg.type != MessageType::kDnsQuery) return;
-  const auto& query = std::any_cast<const DnsQueryPayload&>(msg.payload);
+  const auto& query = payload_as<DnsQueryPayload>(msg);
   auto it = records_.find(query.service);
   if (it == records_.end() || it->second.load_balancers.empty()) {
-    SDEF_LOG(Warn) << name() << ": no record for service " << query.service;
+    SDEF_LOG(Warn) << name() << ": no record for service id " << query.service;
     return;  // NXDOMAIN: silently dropped, client will time out
   }
   auto& record = it->second;

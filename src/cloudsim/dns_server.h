@@ -3,6 +3,8 @@
 // Resolves a service name to one of the registered load balancers,
 // round-robin (RFC 1794 style), so clients are spread across cloud domains.
 // The paper assumes DNS itself is well-provisioned and out of attack scope.
+// Services are interned ids (World::intern_service); lookups never hash a
+// string on the message path.
 #pragma once
 
 #include <string>
@@ -18,7 +20,9 @@ class DnsServer final : public Node {
   DnsServer(World& world, std::string name);
 
   void register_load_balancer(const std::string& service, NodeId lb);
+  void register_load_balancer(ServiceId service, NodeId lb);
   void unregister_load_balancer(const std::string& service, NodeId lb);
+  void unregister_load_balancer(ServiceId service, NodeId lb);
 
   void on_message(const Message& msg) override;
 
@@ -29,7 +33,7 @@ class DnsServer final : public Node {
     std::vector<NodeId> load_balancers;
     std::size_t next = 0;  // round-robin cursor
   };
-  std::unordered_map<std::string, ServiceRecord> records_;
+  std::unordered_map<ServiceId, ServiceRecord> records_;
   std::uint64_t queries_ = 0;
 };
 

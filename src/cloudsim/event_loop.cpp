@@ -1,12 +1,13 @@
 #include "cloudsim/event_loop.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
 
 namespace shuffledef::cloudsim {
 
-void EventLoop::schedule_at(SimTime t, std::function<void()> fn) {
+void EventLoop::validate_time(SimTime t) const {
   // NaN compares false against everything, so `t < now_` alone would let a
   // NaN (or +inf) time into the queue and corrupt the heap ordering.
   if (!std::isfinite(t)) {
@@ -15,7 +16,12 @@ void EventLoop::schedule_at(SimTime t, std::function<void()> fn) {
   if (t < now_) {
     throw std::invalid_argument("EventLoop: scheduling into the past");
   }
-  queue_.push(Event{t, seq_++, std::move(fn)});
+}
+
+void EventLoop::schedule_at(SimTime t, std::function<void()> fn) {
+  validate_time(t);
+  queue_.push_back(Event{t, seq_++, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
 }
 
 void EventLoop::schedule_after(SimTime delay, std::function<void()> fn) {
@@ -28,31 +34,117 @@ void EventLoop::schedule_after(SimTime delay, std::function<void()> fn) {
   schedule_at(now_ + delay, std::move(fn));
 }
 
+std::uint16_t EventLoop::register_pod_handler(PodHandler handler, void* ctx) {
+  if (handler == nullptr) {
+    throw std::invalid_argument("EventLoop: null POD handler");
+  }
+  pod_kinds_.push_back(PodKind{handler, ctx});
+  return static_cast<std::uint16_t>(pod_kinds_.size() - 1);
+}
+
+void EventLoop::schedule_pod_at(SimTime t, std::uint16_t kind, std::uint32_t a,
+                                std::uint32_t b) {
+  validate_time(t);
+  if (kind >= pod_kinds_.size()) {
+    throw std::invalid_argument("EventLoop: unregistered POD kind");
+  }
+  push_pod(PodEvent{t, seq_++, a, b, kind});
+}
+
+void EventLoop::push_pod(const PodEvent& ev) {
+  // 4-ary sift-up: parent of i is (i - 1) / 4.
+  std::size_t i = pod_queue_.size();
+  pod_queue_.push_back(ev);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!pod_before(pod_queue_[i], pod_queue_[parent])) break;
+    std::swap(pod_queue_[i], pod_queue_[parent]);
+    i = parent;
+  }
+}
+
+EventLoop::Event EventLoop::pop_front() {
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
+  return ev;
+}
+
+EventLoop::PodEvent EventLoop::pop_pod() {
+  const PodEvent top = pod_queue_.front();
+  const PodEvent last = pod_queue_.back();
+  pod_queue_.pop_back();
+  const std::size_t n = pod_queue_.size();
+  if (n == 0) return top;
+  // 4-ary sift-down of `last` from the root: children of i start at 4i + 1.
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (pod_before(pod_queue_[c], pod_queue_[best])) best = c;
+    }
+    if (!pod_before(pod_queue_[best], last)) break;
+    pod_queue_[i] = pod_queue_[best];
+    i = best;
+  }
+  pod_queue_[i] = last;
+  return top;
+}
+
 bool EventLoop::run_until(SimTime t_end) {
-  while (!queue_.empty() && queue_.top().time <= t_end) {
+  while (true) {
+    const bool has_fn = !queue_.empty() && queue_.front().time <= t_end;
+    const bool has_pod = !pod_queue_.empty() && pod_queue_.front().time <= t_end;
+    if (!has_fn && !has_pod) break;
     if (processed_ >= budget_) return false;
-    // Moving out of a priority_queue requires the const_cast idiom; the
-    // element is popped immediately after.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
     ++processed_;
     dispatched_.inc();
-    ev.fn();
+    // Merge-pop: the earlier (time, seq) of the two heap fronts fires, so
+    // interleaving matches a single combined queue exactly.
+    const bool take_pod =
+        has_pod &&
+        (!has_fn || pod_queue_.front().time < queue_.front().time ||
+         (pod_queue_.front().time == queue_.front().time &&
+          pod_queue_.front().seq < queue_.front().seq));
+    if (take_pod) {
+      const PodEvent ev = pop_pod();
+      now_ = ev.time;
+      const PodKind& k = pod_kinds_[ev.kind];
+      k.handler(k.ctx, ev.a, ev.b);
+    } else {
+      Event ev = pop_front();
+      now_ = ev.time;
+      ev.fn();
+    }
   }
   if (now_ < t_end) now_ = t_end;
   return true;
 }
 
 bool EventLoop::run() {
-  while (!queue_.empty()) {
+  while (!empty()) {
     if (processed_ >= budget_) return false;
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
     ++processed_;
     dispatched_.inc();
-    ev.fn();
+    const bool has_fn = !queue_.empty();
+    const bool take_pod =
+        !pod_queue_.empty() &&
+        (!has_fn || pod_queue_.front().time < queue_.front().time ||
+         (pod_queue_.front().time == queue_.front().time &&
+          pod_queue_.front().seq < queue_.front().seq));
+    if (take_pod) {
+      const PodEvent ev = pop_pod();
+      now_ = ev.time;
+      const PodKind& k = pod_kinds_[ev.kind];
+      k.handler(k.ctx, ev.a, ev.b);
+    } else {
+      Event ev = pop_front();
+      now_ = ev.time;
+      ev.fn();
+    }
   }
   return true;
 }

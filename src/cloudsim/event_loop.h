@@ -4,11 +4,19 @@
 // scheduled for the same instant fire in schedule order (a monotonically
 // increasing sequence number breaks ties), which keeps every simulation
 // deterministic for a given seed.
+//
+// The heap is an explicit vector (std::push_heap / std::pop_heap with the
+// same comparator std::priority_queue would use) so large scenarios can
+// reserve() capacity up front and pop without the const_cast idiom.
+//
+// Two event flavours share one global (time, sequence) order: general
+// std::function closures, and POD fast-path events — a registered handler
+// index plus two 32-bit words — for subsystems that schedule millions of
+// events and cannot afford a 48-byte type-erased node per pop.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string_view>
 #include <vector>
 
@@ -23,15 +31,39 @@ inline constexpr std::string_view kMetricLoopEventsDispatched =
 
 class EventLoop {
  public:
+  /// Handler for POD fast-path events (see register_pod_handler).
+  using PodHandler = void (*)(void* ctx, std::uint32_t a, std::uint32_t b);
+
   /// Schedule `fn` at absolute simulated time `t` (finite, >= now).
   void schedule_at(SimTime t, std::function<void()> fn);
 
   /// Schedule `fn` after `delay` seconds (finite, >= 0).
   void schedule_after(SimTime delay, std::function<void()> fn);
 
+  /// Register a POD event kind: a plain function pointer plus an opaque
+  /// context, called as handler(ctx, a, b).  Hot subsystems (the network's
+  /// delivery walkers) register once and then schedule millions of events
+  /// that cost a 32-byte heap node each — no std::function, no allocation,
+  /// no destructor on pop.  The registrant must outlive the loop's run.
+  std::uint16_t register_pod_handler(PodHandler handler, void* ctx);
+
+  /// Schedule a POD event at absolute time `t` (finite, >= now).  POD and
+  /// std::function events pop in one global (time, schedule-order) sequence,
+  /// so determinism is exactly as if both lived in a single queue.
+  void schedule_pod_at(SimTime t, std::uint16_t kind, std::uint32_t a,
+                       std::uint32_t b);
+
   [[nodiscard]] SimTime now() const noexcept { return now_; }
-  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] bool empty() const noexcept {
+    return queue_.empty() && pod_queue_.empty();
+  }
   [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+  /// Pre-size the event heaps (large scenarios avoid growth reallocations).
+  void reserve(std::size_t events) {
+    queue_.reserve(events);
+    pod_queue_.reserve(events);
+  }
 
   /// Run events with time <= t_end; afterwards now() == t_end (or the time
   /// of the event that hit the event budget).  Returns false if the event
@@ -64,8 +96,34 @@ class EventLoop {
       return a.seq > b.seq;
     }
   };
+  struct PodEvent {
+    SimTime time;
+    std::uint64_t seq;  // shared counter with Event: one global tie order
+    std::uint32_t a;
+    std::uint32_t b;
+    std::uint16_t kind;
+  };
+  /// "a fires before b" — strict (time, seq) order.
+  static bool pod_before(const PodEvent& a, const PodEvent& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+  struct PodKind {
+    PodHandler handler = nullptr;
+    void* ctx = nullptr;
+  };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Pop the earliest event off the heap (caller checked non-empty).
+  Event pop_front();
+  PodEvent pop_pod();
+  void push_pod(const PodEvent& ev);
+  void validate_time(SimTime t) const;
+
+  std::vector<Event> queue_;  // binary heap ordered by Later
+  // 4-ary min-heap by (time, seq): POD events pop at half the sift depth
+  // of a binary heap, and a 32-byte element moves in one cache-line step.
+  std::vector<PodEvent> pod_queue_;
+  std::vector<PodKind> pod_kinds_;
   SimTime now_ = 0.0;
   std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;

@@ -22,8 +22,7 @@ void LoadBalancer::remove_replica(NodeId replica) {
   if (next_ >= replicas_.size()) next_ = 0;
 }
 
-void LoadBalancer::update_binding(const std::string& client_ip,
-                                  NodeId replica) {
+void LoadBalancer::update_binding(IpId client_ip, NodeId replica) {
   records_[client_ip] = {replica, loop().now() + record_ttl_s_};
 }
 
@@ -39,7 +38,7 @@ NodeId LoadBalancer::pick_replica() {
 
 void LoadBalancer::on_message(const Message& msg) {
   if (msg.type != MessageType::kClientHello) return;
-  const auto& hello = std::any_cast<const ClientHelloPayload&>(msg.payload);
+  const auto& hello = payload_as<ClientHelloPayload>(msg);
 
   // Two-way handshake: the redirect is routed to the *owner* of the claimed
   // source IP, never back to the raw sender.  A spoofer learns nothing, and

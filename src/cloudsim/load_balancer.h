@@ -10,7 +10,8 @@
 // Sticky sessions: a known IP is pinned to its recorded replica.  Records
 // outlive client departures for `record_ttl_s` (paper §VII: re-entering
 // bots with a known IP are sent straight back to their previous replica and
-// gain nothing by churning).
+// gain nothing by churning).  Records are keyed by interned IpId — the
+// request hot path never hashes an IP string.
 #pragma once
 
 #include <string>
@@ -38,7 +39,11 @@ class LoadBalancer final : public Node {
   [[nodiscard]] const std::vector<NodeId>& replicas() const { return replicas_; }
 
   /// Re-point a client's sticky record after a shuffle moved it.
-  void update_binding(const std::string& client_ip, NodeId replica);
+  void update_binding(IpId client_ip, NodeId replica);
+
+  /// Pre-size the sticky-record table (large populations avoid rehash
+  /// churn on the hello hot path).
+  void reserve_records(std::size_t n) { records_.reserve(n); }
 
   void on_message(const Message& msg) override;
 
@@ -55,7 +60,7 @@ class LoadBalancer final : public Node {
   double record_ttl_s_;
   std::vector<NodeId> replicas_;
   std::size_t next_ = 0;  // round-robin cursor
-  std::unordered_map<std::string, Record> records_;
+  std::unordered_map<IpId, Record> records_;
   LoadBalancerStats stats_;
 };
 

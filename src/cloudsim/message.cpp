@@ -9,6 +9,7 @@ const char* message_type_name(MessageType type) noexcept {
     case MessageType::kClientHello: return "lb.hello";
     case MessageType::kRedirect: return "redirect";
     case MessageType::kWhitelistAdd: return "lb.whitelist_add";
+    case MessageType::kWhitelistBatch: return "lb.whitelist_batch";
     case MessageType::kHttpGet: return "http.get";
     case MessageType::kHttpResponse: return "http.response";
     case MessageType::kWsOpen: return "ws.open";
@@ -32,6 +33,7 @@ bool is_priority_type(MessageType type) noexcept {
   switch (type) {
     case MessageType::kRedirect:
     case MessageType::kWhitelistAdd:
+    case MessageType::kWhitelistBatch:
     case MessageType::kWsOpen:     // tiny WS control frames: in reality TCP
     case MessageType::kWsOpenAck:  // fair-sharing never parks a 128-byte
     case MessageType::kWsPing:     // handshake or keepalive behind minutes

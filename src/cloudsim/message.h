@@ -5,17 +5,31 @@
 // coordination commands, and attack traffic — is a typed message with a
 // size in bytes.  Sizes matter: they drive the bandwidth/queueing model
 // that produces the user-perceived latencies of Figure 12.
+//
+// Payloads are a closed std::variant over POD-ish structs (no std::any, no
+// heap allocation for the common fixed-size payloads), and client IPs /
+// service names are interned to integer ids by the World.  Both choices are
+// what keep a million-client scenario's message traffic allocation-free on
+// the hot path.
 #pragma once
 
-#include <any>
 #include <cstdint>
-#include <string>
+#include <utility>
+#include <variant>
 #include <vector>
 
 namespace shuffledef::cloudsim {
 
 using NodeId = std::int32_t;
 inline constexpr NodeId kInvalidNode = -1;
+
+/// Interned identifier for a client IP string (see World::intern_ip).
+using IpId = std::int32_t;
+inline constexpr IpId kInvalidIp = -1;
+
+/// Interned identifier for a service name (see World::intern_service).
+using ServiceId = std::int32_t;
+inline constexpr ServiceId kInvalidService = -1;
 
 enum class MessageType : std::uint8_t {
   // DNS (step 1-2)
@@ -25,6 +39,7 @@ enum class MessageType : std::uint8_t {
   kClientHello,     // new client asks the LB for a replica
   kRedirect,        // LB or replica sends the client somewhere else
   kWhitelistAdd,    // LB informs a replica of an assignment
+  kWhitelistBatch,  // coordinator bulk-provisions a replica's whitelist
   // Application traffic (step 5-6)
   kHttpGet,
   kHttpResponse,
@@ -52,27 +67,19 @@ const char* message_type_name(MessageType type) noexcept;
 /// network"), so floods cannot starve the defense's own signalling.
 bool is_priority_type(MessageType type) noexcept;
 
-struct Message {
-  NodeId src = kInvalidNode;
-  NodeId dst = kInvalidNode;
-  MessageType type{};
-  std::int64_t size_bytes = 0;
-  std::any payload;  // one of the payload structs below (or empty)
-};
-
 // ---- payload structs -------------------------------------------------------
 
 struct DnsQueryPayload {
-  std::string service;
+  ServiceId service = kInvalidService;
 };
 
 struct DnsReplyPayload {
-  std::string service;
+  ServiceId service = kInvalidService;
   NodeId load_balancer = kInvalidNode;
 };
 
 struct ClientHelloPayload {
-  std::string client_ip;
+  IpId client_ip = kInvalidIp;
 };
 
 struct RedirectPayload {
@@ -80,22 +87,25 @@ struct RedirectPayload {
 };
 
 struct WhitelistAddPayload {
-  std::string client_ip;
+  IpId client_ip = kInvalidIp;
   NodeId client_node = kInvalidNode;
 };
 
+struct WhitelistBatchPayload {
+  // (client ip, client node) pairs, all destined for the receiving replica.
+  std::vector<std::pair<IpId, NodeId>> entries;
+};
+
 struct HttpGetPayload {
-  std::string client_ip;
-  std::string path = "/";
+  IpId client_ip = kInvalidIp;
 };
 
 struct HttpResponsePayload {
   int status = 200;
-  std::string path;
 };
 
 struct WsOpenPayload {
-  std::string client_ip;
+  IpId client_ip = kInvalidIp;
 };
 
 struct WsPushPayload {
@@ -103,7 +113,7 @@ struct WsPushPayload {
 };
 
 struct HeavyRequestPayload {
-  std::string client_ip;
+  IpId client_ip = kInvalidIp;
   double cpu_seconds = 0.0;  // work the request forces on the server
 };
 
@@ -135,11 +145,38 @@ struct FloodCommandPayload {
   std::vector<NodeId> targets;
 };
 
+/// The closed set of message payloads.  monostate = no payload.
+using Payload =
+    std::variant<std::monostate, DnsQueryPayload, DnsReplyPayload,
+                 ClientHelloPayload, RedirectPayload, WhitelistAddPayload,
+                 WhitelistBatchPayload, HttpGetPayload, HttpResponsePayload,
+                 WsOpenPayload, WsPushPayload, HeavyRequestPayload,
+                 AttackReportPayload, ShuffleCommandPayload,
+                 DecommissionPayload, ProvisionDonePayload, BotReportPayload,
+                 FloodCommandPayload>;
+
+struct Message {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  MessageType type{};
+  std::int64_t size_bytes = 0;
+  Payload payload;
+};
+
+/// Typed payload access; throws std::bad_variant_access on a type mismatch
+/// (a protocol bug, exactly like the old std::any_cast behaviour).
+template <typename T>
+[[nodiscard]] const T& payload_as(const Message& msg) {
+  return std::get<T>(msg.payload);
+}
+
 // Representative wire sizes (bytes).
 inline constexpr std::int64_t kDnsMessageBytes = 128;
 inline constexpr std::int64_t kControlMessageBytes = 256;
 inline constexpr std::int64_t kHttpRequestBytes = 512;
 inline constexpr std::int64_t kWsFrameBytes = 128;
 inline constexpr std::int64_t kJunkPacketBytes = 1400;
+/// Incremental wire cost per entry of a kWhitelistBatch message.
+inline constexpr std::int64_t kWhitelistEntryBytes = 16;
 
 }  // namespace shuffledef::cloudsim

@@ -9,7 +9,13 @@
 namespace shuffledef::cloudsim {
 
 Network::Network(EventLoop& loop, NetworkConfig config)
-    : loop_(loop), config_(config) {}
+    : loop_(loop), config_(config) {
+  pod_walk_kind_ = loop_.register_pod_handler(
+      [](void* ctx, std::uint32_t lane, std::uint32_t gen) {
+        static_cast<Network*>(ctx)->walk_lane(lane, gen);
+      },
+      this);
+}
 
 void Network::set_registry(obs::Registry* registry) {
   if (registry == nullptr) {
@@ -78,13 +84,18 @@ double Network::propagation_s(const Port& src, const Port& dst) const {
 }
 
 void Network::resolve(const Message& msg, NetTraceEvent::Outcome outcome) {
+  resolve_at(loop_.now(), msg, outcome);
+}
+
+void Network::resolve_at(double t, const Message& msg,
+                         NetTraceEvent::Outcome outcome) {
   if (trace_enabled_) {
-    trace_.push_back(NetTraceEvent{loop_.now(), msg.src, msg.dst, msg.type,
-                                   msg.size_bytes, outcome});
+    trace_.push_back(
+        NetTraceEvent{t, msg.src, msg.dst, msg.type, msg.size_bytes, outcome});
   }
 }
 
-void Network::send(Message msg) {
+bool Network::admit(Message& msg) {
   ++stats_.sends;
   metrics_.sends.inc();
   Port& src = port_at(msg.src);
@@ -92,13 +103,13 @@ void Network::send(Message msg) {
     ++stats_.dropped_detached;
     metrics_.dropped_detached.inc();
     resolve(msg, NetTraceEvent::Outcome::kDroppedDetached);
-    return;
+    return false;
   }
   if (msg.dst < 0 || static_cast<std::size_t>(msg.dst) >= ports_.size()) {
     ++stats_.dropped_detached;  // address never existed (stale reference)
     metrics_.dropped_detached.inc();
     resolve(msg, NetTraceEvent::Outcome::kDroppedDetached);
-    return;
+    return false;
   }
 
   if (fault_ != nullptr) {
@@ -107,7 +118,7 @@ void Network::send(Message msg) {
         ++stats_.dropped_faulted;
         metrics_.dropped_faulted.inc();
         resolve(msg, NetTraceEvent::Outcome::kDroppedFaulted);
-        return;
+        return false;
       case FaultAction::kDuplicate: {
         // The original delivers normally below; an extra copy re-enters the
         // sender's NIC after a small delay.  The copy skips the fault gate
@@ -118,11 +129,16 @@ void Network::send(Message msg) {
         metrics_.in_flight.add(1);
         resolve(msg, NetTraceEvent::Outcome::kDuplicated);
         Message copy = msg;
-        loop_.schedule_after(
-            fault_->config().dup_extra_delay_s,
-            [this, copy = std::move(copy)]() mutable {
-              transmit(std::move(copy));
-            });
+        const double delay = fault_->config().dup_extra_delay_s;
+        if (pooled_) {
+          const std::uint32_t slot = acquire(std::move(copy));
+          loop_.schedule_after(delay, [this, slot] { dispatch_pooled(slot); });
+        } else {
+          loop_.schedule_after(delay,
+                               [this, copy = std::move(copy)]() mutable {
+                                 transmit(std::move(copy));
+                               });
+        }
         break;
       }
       case FaultAction::kDeliver:
@@ -132,8 +148,299 @@ void Network::send(Message msg) {
 
   ++stats_.in_flight;
   metrics_.in_flight.add(1);
-  transmit(std::move(msg));
+  return true;
 }
+
+void Network::send(Message msg) {
+  if (!admit(msg)) return;
+  if (pooled_) {
+    dispatch_pooled(acquire(std::move(msg)));
+  } else {
+    transmit(std::move(msg));
+  }
+}
+
+void Network::send_batch(NodeId src, MessageType type, std::int64_t size_bytes,
+                         std::vector<BatchItem> items) {
+  // Identical to a loop of send() calls by construction; the per-lane
+  // walkers are what amortize the fan-out (each receiving lane drains its
+  // span of arrivals with one scheduled event).
+  for (auto& item : items) {
+    send(Message{src, item.dst, type, size_bytes, std::move(item.payload)});
+  }
+}
+
+// ---- pooled engine ---------------------------------------------------------
+
+std::uint32_t Network::acquire(Message&& msg) {
+  if (free_slots_.empty()) {
+    slots_.push_back(std::move(msg));
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  slots_[static_cast<std::size_t>(slot)] = std::move(msg);
+  return slot;
+}
+
+void Network::release(std::uint32_t slot) {
+  slots_[static_cast<std::size_t>(slot)].payload = {};
+  free_slots_.push_back(slot);
+}
+
+double Network::egress_admit(Message& msg) {
+  Port& src = port_at(msg.src);
+  if (!src.attached) {
+    // A duplicated copy can outlive its sender's NIC.
+    --stats_.in_flight;
+    ++stats_.dropped_detached;
+    metrics_.in_flight.add(-1);
+    metrics_.dropped_detached.inc();
+    resolve(msg, NetTraceEvent::Outcome::kDroppedDetached);
+    return -1.0;
+  }
+  Port& dst = port_at(msg.dst);
+  const bool priority = is_priority_type(msg.type);
+  const double now = loop_.now();
+  Lane& out_lane = priority ? src.egress_ctrl : src.egress_data;
+  const double out_bps = priority
+                             ? src.nic.egress_bps * src.nic.control_share
+                             : src.nic.egress_bps * (1.0 - src.nic.control_share);
+  const double out_backlog = std::max(0.0, out_lane.busy_until - now);
+  if (out_backlog > src.nic.max_queue_s) {
+    --stats_.in_flight;
+    ++stats_.dropped_egress;
+    metrics_.in_flight.add(-1);
+    metrics_.dropped_egress.inc();
+    resolve(msg, NetTraceEvent::Outcome::kDroppedEgress);
+    return -1.0;
+  }
+  const double out_ser = static_cast<double>(msg.size_bytes) * 8.0 / out_bps;
+  const double departs = std::max(now, out_lane.busy_until) + out_ser;
+  out_lane.busy_until = departs;
+  return departs + propagation_s(src, dst);
+}
+
+void Network::dispatch_pooled(std::uint32_t slot) {
+  if (!batch_enabled_) {
+    transmit_pooled(slot);
+    return;
+  }
+  const double arrives = egress_admit(slots_[static_cast<std::size_t>(slot)]);
+  if (arrives < 0) {
+    release(slot);
+    return;
+  }
+  ingress_enqueue(slot, arrives);
+}
+
+void Network::transmit_pooled(std::uint32_t slot) {
+  const double arrives = egress_admit(slots_[static_cast<std::size_t>(slot)]);
+  if (arrives < 0) {
+    release(slot);
+    return;
+  }
+  loop_.schedule_at(arrives, [this, slot] { arrive_pooled(slot); });
+}
+
+// ---- per-lane delivery walkers ---------------------------------------------
+//
+// One IngressQueue per (port, priority) lane.  Arrivals enqueue into the
+// lane's pending heap at send time; fates (detached / tail-drop / delivery
+// instant) are sealed strictly in (arrival, send-order) sequence with the
+// lane's busy horizon as of the arrival instant — exactly the values the
+// per-closure engine computes — but lazily, at walker firings.  The walker
+// is armed at the lane's next delivery instant: when the head's predicted
+// instant holds (the common case on quiet lanes), one POD event finalizes
+// and delivers it in a single pop.  Predictions can only go stale upward
+// (busy horizons never shrink), so a walker never fires after the true
+// instant — a stale early firing just re-arms.  Drops are recorded with
+// the arrival timestamp (resolve_at), matching the per-closure engine;
+// only the position in the trace log shifts.
+
+void Network::ingress_enqueue(std::uint32_t slot, double arr) {
+  const Message& msg = slots_[static_cast<std::size_t>(slot)];
+  const auto lane = static_cast<std::size_t>(msg.dst) * 2 +
+                    (is_priority_type(msg.type) ? 1 : 0);
+  if (lane >= ingress_.size()) ingress_.resize(ports_.size() * 2);
+  IngressQueue& q = ingress_[lane];
+  q.pending.push_back(Pending{arr, arrival_order_++, slot});
+  std::push_heap(q.pending.begin(), q.pending.end(), PendingLater{});
+  arm_lane(static_cast<std::uint32_t>(lane));
+}
+
+void Network::finalize_arrival(std::uint32_t lane, const Pending& p,
+                               double now) {
+  Message& msg = slots_[static_cast<std::size_t>(p.slot)];
+  Port& d = ports_[static_cast<std::size_t>(msg.dst)];
+  if (!d.attached) {
+    --stats_.in_flight;
+    ++stats_.dropped_detached;
+    metrics_.in_flight.add(-1);
+    metrics_.dropped_detached.inc();
+    resolve_at(p.arr, msg, NetTraceEvent::Outcome::kDroppedDetached);
+    release(p.slot);
+    return;
+  }
+  const bool priority = (lane & 1u) != 0;
+  Lane& in_lane = priority ? d.ingress_ctrl : d.ingress_data;
+  const double in_bps = priority
+                            ? d.nic.ingress_bps * d.nic.control_share
+                            : d.nic.ingress_bps * (1.0 - d.nic.control_share);
+  const double in_backlog = std::max(0.0, in_lane.busy_until - p.arr);
+  if (in_backlog > d.nic.max_queue_s) {
+    --stats_.in_flight;
+    ++stats_.dropped_ingress;
+    metrics_.in_flight.add(-1);
+    metrics_.dropped_ingress.inc();
+    resolve_at(p.arr, msg, NetTraceEvent::Outcome::kDroppedIngress);
+    release(p.slot);
+    return;
+  }
+  const double in_ser = static_cast<double>(msg.size_bytes) * 8.0 / in_bps;
+  const double done = std::max(p.arr, in_lane.busy_until) + in_ser;
+  in_lane.busy_until = done;
+  if (done <= now) {
+    // The armed prediction held exactly: finalize and deliver in one pop.
+    deliver_pooled(p.slot);
+  } else {
+    ingress_[static_cast<std::size_t>(lane)].ready.push_back(
+        Ready{done, p.slot});
+  }
+}
+
+void Network::walk_lane(std::uint32_t lane, std::uint32_t gen) {
+  if (ingress_[static_cast<std::size_t>(lane)].gen != gen) return;  // stale
+  const double now = loop_.now();
+  // Park armed_at at `now` for the duration: re-entrant sends from
+  // on_message (whose arrivals are strictly in the future) must not arm a
+  // second event — the re-arm at the end covers them.
+  ingress_[static_cast<std::size_t>(lane)].armed_at = now;
+  // Deliver matured finalized messages (done times are monotone per lane).
+  // Re-fetch the queue every iteration: on_message may send, which can
+  // grow ingress_ (new ports) or this lane's own vectors.
+  for (;;) {
+    IngressQueue& q = ingress_[static_cast<std::size_t>(lane)];
+    if (q.ready_head >= q.ready.size() || q.ready[q.ready_head].done > now) {
+      break;
+    }
+    const std::uint32_t slot = q.ready[q.ready_head].slot;
+    ++q.ready_head;
+    deliver_pooled(slot);
+  }
+  // Seal matured arrivals in (arr, order) sequence.
+  for (;;) {
+    IngressQueue& q = ingress_[static_cast<std::size_t>(lane)];
+    if (q.pending.empty() || q.pending.front().arr > now) break;
+    std::pop_heap(q.pending.begin(), q.pending.end(), PendingLater{});
+    const Pending p = q.pending.back();
+    q.pending.pop_back();
+    finalize_arrival(lane, p, now);  // may deliver inline (done == now)
+  }
+  IngressQueue& q = ingress_[static_cast<std::size_t>(lane)];
+  if (q.ready_head >= q.ready.size()) {
+    q.ready.clear();
+    q.ready_head = 0;
+  } else if (q.ready_head > 1024 && q.ready_head * 2 > q.ready.size()) {
+    q.ready.erase(q.ready.begin(),
+                  q.ready.begin() + static_cast<std::ptrdiff_t>(q.ready_head));
+    q.ready_head = 0;
+  }
+  q.armed_at = -1.0;
+  arm_lane(lane);
+}
+
+void Network::arm_lane(std::uint32_t lane) {
+  IngressQueue& q = ingress_[static_cast<std::size_t>(lane)];
+  double next = -1.0;
+  if (q.ready_head < q.ready.size()) {
+    // Finalized deliveries always precede the pending head's instant (done
+    // times are the lane's busy chain).
+    next = q.ready[q.ready_head].done;
+  } else if (!q.pending.empty()) {
+    const Pending& head = q.pending.front();
+    const Message& msg = slots_[static_cast<std::size_t>(head.slot)];
+    const Port& d = ports_[static_cast<std::size_t>(msg.dst)];
+    const bool priority = (lane & 1u) != 0;
+    const double in_bps =
+        priority ? d.nic.ingress_bps * d.nic.control_share
+                 : d.nic.ingress_bps * (1.0 - d.nic.control_share);
+    const double busy =
+        (priority ? d.ingress_ctrl : d.ingress_data).busy_until;
+    next = std::max(head.arr, busy) +
+           static_cast<double>(msg.size_bytes) * 8.0 / in_bps;
+  }
+  if (next < 0.0) {
+    q.armed_at = -1.0;
+    return;
+  }
+  // The live event at or before `next` will re-arm when it fires; only
+  // schedule when nothing fires early enough.  Predictions grow stale
+  // upward only (busy horizons never shrink), so an early firing is safe
+  // (it re-computes and re-arms) and a too-late firing cannot happen.
+  if (q.armed_at >= 0.0 && q.armed_at <= next) return;
+  ++q.gen;  // supersede any later-firing event
+  q.armed_at = next;
+  loop_.schedule_pod_at(next, pod_walk_kind_, lane, q.gen);
+}
+
+void Network::arrive_pooled(std::uint32_t slot) {
+  Message& msg = slots_[static_cast<std::size_t>(slot)];
+  Port& d = ports_[static_cast<std::size_t>(msg.dst)];
+  if (!d.attached) {
+    --stats_.in_flight;
+    ++stats_.dropped_detached;
+    metrics_.in_flight.add(-1);
+    metrics_.dropped_detached.inc();
+    resolve(msg, NetTraceEvent::Outcome::kDroppedDetached);
+    release(slot);
+    return;
+  }
+  const bool priority = is_priority_type(msg.type);
+  const double now = loop_.now();
+  Lane& in_lane = priority ? d.ingress_ctrl : d.ingress_data;
+  const double in_bps = priority
+                            ? d.nic.ingress_bps * d.nic.control_share
+                            : d.nic.ingress_bps * (1.0 - d.nic.control_share);
+  const double in_backlog = std::max(0.0, in_lane.busy_until - now);
+  if (in_backlog > d.nic.max_queue_s) {
+    --stats_.in_flight;
+    ++stats_.dropped_ingress;
+    metrics_.in_flight.add(-1);
+    metrics_.dropped_ingress.inc();
+    resolve(msg, NetTraceEvent::Outcome::kDroppedIngress);
+    release(slot);
+    return;
+  }
+  const double in_ser = static_cast<double>(msg.size_bytes) * 8.0 / in_bps;
+  const double done = std::max(now, in_lane.busy_until) + in_ser;
+  in_lane.busy_until = done;
+  loop_.schedule_at(done, [this, slot] { deliver_pooled(slot); });
+}
+
+void Network::deliver_pooled(std::uint32_t slot) {
+  // Move out before running the receiver: on_message may send, and a send
+  // can grow the arena, invalidating references into slots_.
+  Message msg = std::move(slots_[static_cast<std::size_t>(slot)]);
+  release(slot);
+  Port& d = ports_[static_cast<std::size_t>(msg.dst)];
+  --stats_.in_flight;
+  metrics_.in_flight.add(-1);
+  if (!d.attached) {
+    ++stats_.dropped_detached;
+    metrics_.dropped_detached.inc();
+    resolve(msg, NetTraceEvent::Outcome::kDroppedDetached);
+    return;
+  }
+  ++stats_.delivered;
+  stats_.bytes_delivered += msg.size_bytes;
+  metrics_.delivered.inc();
+  metrics_.bytes_delivered.inc(static_cast<std::uint64_t>(msg.size_bytes));
+  resolve(msg, NetTraceEvent::Outcome::kDelivered);
+  d.node->on_message(msg);
+}
+
+// ---- legacy engine ---------------------------------------------------------
 
 void Network::transmit(Message msg) {
   Port& src = port_at(msg.src);

@@ -16,6 +16,22 @@
 //
 // Domains model the paper's separately-managed cloud regions: traffic
 // between different domains pays `inter_domain_extra_s` more propagation.
+//
+// Two delivery engines share this model:
+//
+//  * legacy (default): each in-flight message rides inside two heap-
+//    allocated std::function closures.  Simple, and retained as the
+//    reference the pooled engine is differentially tested against.
+//  * pooled (set_pooled_delivery): messages live in a slot arena and the
+//    network schedules POD fast-path events against it — no per-message
+//    heap allocation.  With batched delivery on (the default), each ingress
+//    lane runs a *walker*: arrivals enqueue into a per-lane pending heap
+//    and one POD event per lane fires at the next delivery instant,
+//    draining every matured arrival in (arrival, send-order) sequence.
+//    Quiet lanes pay a single 32-byte event per delivered message instead
+//    of two 48-byte closures.  set_batch_delivery(false) degrades to one
+//    scheduled closure per arrival and per delivery — the within-pooled
+//    differential oracle; delivery instants are identical either way.
 #pragma once
 
 #include <cstdint>
@@ -105,6 +121,12 @@ struct NetTraceEvent {
   bool operator==(const NetTraceEvent&) const = default;
 };
 
+/// One element of a send_batch fan-out.
+struct BatchItem {
+  NodeId dst = kInvalidNode;
+  Payload payload;
+};
+
 class Network {
  public:
   Network(EventLoop& loop, NetworkConfig config);
@@ -122,6 +144,28 @@ class Network {
   /// Queue a message for delivery; applies the full latency model (and the
   /// fault injector, when one is installed).
   void send(Message msg);
+
+  /// Fan one sender's same-type messages out to many receivers.  Semantics
+  /// match a loop of send() calls in item order (same stats, same fault
+  /// gating, same shared-egress serialization); the per-lane walkers then
+  /// amortize the whole span into one scheduled event per receiving lane.
+  void send_batch(NodeId src, MessageType type, std::int64_t size_bytes,
+                  std::vector<BatchItem> items);
+
+  /// Route messages through the slot arena (no per-message heap
+  /// allocation).  Delivery instants and outcomes are identical to the
+  /// legacy engine — the pooled-vs-legacy differential tests pin it.
+  void set_pooled_delivery(bool on) noexcept { pooled_ = on; }
+  [[nodiscard]] bool pooled_delivery() const noexcept { return pooled_; }
+
+  /// When off, every pooled arrival and delivery rides its own scheduled
+  /// closure instead of the per-lane walker (differential oracle for the
+  /// batched engine).  Only meaningful with pooled delivery.
+  void set_batch_delivery(bool on) noexcept { batch_enabled_ = on; }
+  [[nodiscard]] bool batch_delivery() const noexcept { return batch_enabled_; }
+
+  /// Pre-size the message arena (large scenarios).
+  void reserve_messages(std::size_t n) { slots_.reserve(n); }
 
   /// Install a fault injector consulted on every send (nullptr = fault-free;
   /// non-owning, must outlive the network or be cleared).
@@ -159,6 +203,31 @@ class Network {
     bool attached = false;
     Lane egress_data, egress_ctrl, ingress_data, ingress_ctrl;
   };
+  /// One not-yet-finalized arrival waiting in an ingress lane's heap.
+  struct Pending {
+    double arr = 0.0;         // instant the message reaches the receiver NIC
+    std::uint64_t order = 0;  // admission order: equal-arr ties keep send order
+    std::uint32_t slot = 0;
+  };
+  struct PendingLater {
+    bool operator()(const Pending& a, const Pending& b) const noexcept {
+      if (a.arr != b.arr) return a.arr > b.arr;
+      return a.order > b.order;
+    }
+  };
+  /// A finalized arrival awaiting its delivery instant.  Per lane, done
+  /// times are strictly increasing (busy-chain order), so a FIFO suffices.
+  struct Ready {
+    double done = 0.0;
+    std::uint32_t slot = 0;
+  };
+  struct IngressQueue {
+    std::vector<Pending> pending;  // min-heap by (arr, order)
+    std::vector<Ready> ready;      // FIFO; ready_head indexes the front
+    std::uint32_t ready_head = 0;
+    std::uint32_t gen = 0;   // invalidates superseded walker events
+    double armed_at = -1.0;  // instant of the live walker event; -1 = none
+  };
 
   Port& port_at(NodeId id);
   const Port& port_at(NodeId id) const;
@@ -168,6 +237,40 @@ class Network {
   /// Callers must have counted it into stats_.in_flight.
   void transmit(Message msg);
   void resolve(const Message& msg, NetTraceEvent::Outcome outcome);
+  /// Trace with an explicit timestamp: lazily finalized walker drops record
+  /// the instant the fate was sealed (the NIC arrival), not discovery time.
+  void resolve_at(double t, const Message& msg, NetTraceEvent::Outcome outcome);
+
+  /// Pre-gate shared by send()/send_batch(): sends counter, src/dst checks,
+  /// fault injection.  Returns false when the message already resolved
+  /// (dropped); on true the caller owns one in_flight unit.
+  bool admit(Message& msg);
+
+  // ---- pooled engine -------------------------------------------------------
+  std::uint32_t acquire(Message&& msg);
+  void release(std::uint32_t slot);
+  /// Route an admitted arena message: per-lane walker when batching is on,
+  /// otherwise one scheduled closure per arrival and per delivery.
+  void dispatch_pooled(std::uint32_t slot);
+  /// Egress + propagation for the arena message; drops or schedules arrival.
+  void transmit_pooled(std::uint32_t slot);
+  /// Ingress evaluation at the receiver NIC; drops or schedules delivery.
+  void arrive_pooled(std::uint32_t slot);
+  void deliver_pooled(std::uint32_t slot);
+  /// Egress only; returns the NIC-arrival time, or a negative value when the
+  /// message was tail-dropped at egress (already accounted + resolved).
+  double egress_admit(Message& msg);
+
+  // ---- per-lane delivery walkers (pooled + batched) ------------------------
+  void ingress_enqueue(std::uint32_t slot, double arr);
+  /// Seal the fate of one matured arrival with busy-as-of-arrival semantics:
+  /// drop (detached / backlog) or commit a delivery instant.
+  void finalize_arrival(std::uint32_t lane, const Pending& p, double now);
+  /// Deliver matured ready messages, finalize matured arrivals, re-arm.
+  /// Firings whose generation was superseded are no-ops.
+  void walk_lane(std::uint32_t lane, std::uint32_t gen);
+  /// Schedule the lane's next walker event if none fires early enough.
+  void arm_lane(std::uint32_t lane);
 
   EventLoop& loop_;
   NetworkConfig config_;
@@ -175,7 +278,14 @@ class Network {
   NetworkStats stats_;
   FaultInjector* fault_ = nullptr;
   bool trace_enabled_ = false;
+  bool pooled_ = false;
+  bool batch_enabled_ = true;
+  std::uint16_t pod_walk_kind_ = 0;
+  std::uint64_t arrival_order_ = 0;
   std::vector<NetTraceEvent> trace_;
+  std::vector<Message> slots_;  // arena: in-flight pooled messages
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<IngressQueue> ingress_;  // indexed 2 * port + priority
   // Null handles when no registry is set (all mirror ops no-op).
   struct {
     obs::Counter sends, delivered, dropped_egress, dropped_ingress,

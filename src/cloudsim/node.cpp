@@ -8,9 +8,14 @@ Node::Node(World& world, std::string name)
     : world_(world), name_(std::move(name)) {}
 
 void Node::send(NodeId dst, MessageType type, std::int64_t size_bytes,
-                std::any payload) {
+                Payload payload) {
+  send_from(id_, dst, type, size_bytes, std::move(payload));
+}
+
+void Node::send_from(NodeId src_port, NodeId dst, MessageType type,
+                     std::int64_t size_bytes, Payload payload) {
   Message msg;
-  msg.src = id_;
+  msg.src = src_port;
   msg.dst = dst;
   msg.type = type;
   msg.size_bytes = size_bytes;
@@ -26,10 +31,10 @@ World::World(WorldConfig config)
     : network_(loop_, config.network), rng_(config.seed) {}
 
 Node* World::node(NodeId id) {
-  if (id < 0 || static_cast<std::size_t>(id) >= nodes_.size()) {
+  if (id < 0 || static_cast<std::size_t>(id) >= by_port_.size()) {
     throw std::out_of_range("World: unknown node id");
   }
-  return nodes_[static_cast<std::size_t>(id)].get();
+  return by_port_[static_cast<std::size_t>(id)];
 }
 
 }  // namespace shuffledef::cloudsim

@@ -5,10 +5,19 @@
 // receive messages via on_message, and reply through send().  Retiring a
 // node (server recycling) detaches its NIC: in-flight traffic to it is
 // dropped, exactly like packets racing a terminated cloud instance.
+//
+// The World also owns the string interner: client IPs and service names are
+// mapped to dense integer ids (IpId / ServiceId) once, at setup, so the
+// per-message hot path never hashes a string.  A node may additionally
+// attach extra ports (attach_port) — the flat ClientSwarm gives each of its
+// million clients an own network address while staying one object.
 #pragma once
 
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -22,6 +31,40 @@ namespace shuffledef::cloudsim {
 
 class World;
 
+/// Dense string -> id mapping.  Ids are assigned in interning order and
+/// never reused; anonymous ids (alloc) get an empty name and skip the map.
+class StringInterner {
+ public:
+  std::int32_t intern(std::string_view s) {
+    const auto it = ids_.find(std::string(s));
+    if (it != ids_.end()) return it->second;
+    const auto id = static_cast<std::int32_t>(names_.size());
+    names_.emplace_back(s);
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+  /// -1 when the string was never interned.
+  [[nodiscard]] std::int32_t lookup(std::string_view s) const {
+    const auto it = ids_.find(std::string(s));
+    return it == ids_.end() ? -1 : it->second;
+  }
+  /// Allocate an id with no name (bulk client populations that never need
+  /// their dotted-quad spelled out).
+  std::int32_t alloc() {
+    const auto id = static_cast<std::int32_t>(names_.size());
+    names_.emplace_back();
+    return id;
+  }
+  [[nodiscard]] const std::string& name(std::int32_t id) const {
+    return names_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::int32_t> ids_;
+  std::vector<std::string> names_;
+};
+
 class Node {
  public:
   Node(World& world, std::string name);
@@ -30,7 +73,8 @@ class Node {
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
-  /// Deliver a message to this node (called by the Network).
+  /// Deliver a message to this node (called by the Network).  `msg.dst` is
+  /// the port it arrived on (== id() unless the node attached extra ports).
   virtual void on_message(const Message& msg) = 0;
 
   /// Called once, right after the node is attached.
@@ -42,7 +86,10 @@ class Node {
  protected:
   /// Send a typed message.
   void send(NodeId dst, MessageType type, std::int64_t size_bytes,
-            std::any payload = {});
+            Payload payload = {});
+  /// Send from a specific owned port (nodes with extra ports).
+  void send_from(NodeId src_port, NodeId dst, MessageType type,
+                 std::int64_t size_bytes, Payload payload = {});
 
   [[nodiscard]] EventLoop& loop();
   [[nodiscard]] util::Rng& rng();
@@ -71,10 +118,18 @@ class World {
   T* spawn(const NicConfig& nic, Args&&... args) {
     auto owned = std::make_unique<T>(*this, std::forward<Args>(args)...);
     T* node = owned.get();
-    node->id_ = network_.attach(node, nic);
+    node->id_ = attach_port(node, nic);
     nodes_.push_back(std::move(owned));
     node->on_start();
     return node;
+  }
+
+  /// Attach an additional port delivering to `node` (the flat ClientSwarm
+  /// gives every client its own address this way).  Returns the new port id.
+  NodeId attach_port(Node* node, const NicConfig& nic) {
+    const NodeId id = network_.attach(node, nic);
+    by_port_.push_back(node);
+    return id;
   }
 
   /// Recycle a node: detach its NIC.  The object stays alive (ids and
@@ -86,19 +141,50 @@ class World {
   [[nodiscard]] util::Rng& rng() noexcept { return rng_; }
   [[nodiscard]] SimTime now() const noexcept { return loop_.now(); }
 
+  /// The node behind a port id (spawned nodes answer to their primary id;
+  /// extra ports resolve to their owning node).
   [[nodiscard]] Node* node(NodeId id);
 
-  /// IP ownership registry: the routing substrate knows which host an IP
-  /// belongs to, so replies to a *claimed* source IP reach its real owner —
-  /// this is what makes redirection a two-way handshake that spoofed
-  /// senders cannot complete (paper §VII).
+  // ---- string interning ----------------------------------------------------
+
+  /// Intern a client IP string; repeated calls return the same id.
+  IpId intern_ip(std::string_view ip) { return interner_.intern(ip); }
+  /// Allocate an anonymous IP id (bulk populations; no string kept).
+  IpId alloc_ip() { return interner_.alloc(); }
+  /// Intern a service name (shares the id space with IPs).
+  ServiceId intern_service(std::string_view service) {
+    return interner_.intern(service);
+  }
+  /// The interned string ("" for anonymous ids).
+  [[nodiscard]] const std::string& interned_name(std::int32_t id) const {
+    return interner_.name(id);
+  }
+
+  // ---- IP ownership --------------------------------------------------------
+  // The routing substrate knows which host an IP belongs to, so replies to a
+  // *claimed* source IP reach its real owner — this is what makes redirection
+  // a two-way handshake that spoofed senders cannot complete (paper §VII).
+
+  void register_ip(IpId ip, NodeId owner) {
+    if (ip < 0) return;
+    if (static_cast<std::size_t>(ip) >= ip_owners_.size()) {
+      ip_owners_.resize(static_cast<std::size_t>(ip) + 1, kInvalidNode);
+    }
+    ip_owners_[static_cast<std::size_t>(ip)] = owner;
+  }
   void register_ip(const std::string& ip, NodeId owner) {
-    ip_owners_[ip] = owner;
+    register_ip(intern_ip(ip), owner);
   }
   /// kInvalidNode when the IP is unknown (unroutable / never registered).
+  [[nodiscard]] NodeId ip_owner(IpId ip) const {
+    if (ip < 0 || static_cast<std::size_t>(ip) >= ip_owners_.size()) {
+      return kInvalidNode;
+    }
+    return ip_owners_[static_cast<std::size_t>(ip)];
+  }
   [[nodiscard]] NodeId ip_owner(const std::string& ip) const {
-    const auto it = ip_owners_.find(ip);
-    return it == ip_owners_.end() ? kInvalidNode : it->second;
+    const std::int32_t id = interner_.lookup(ip);
+    return id < 0 ? kInvalidNode : ip_owner(id);
   }
 
  private:
@@ -106,7 +192,9 @@ class World {
   Network network_;
   util::Rng rng_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::unordered_map<std::string, NodeId> ip_owners_;
+  std::vector<Node*> by_port_;  // port id -> owning node
+  StringInterner interner_;
+  std::vector<NodeId> ip_owners_;  // IpId -> owner port (kInvalidNode = none)
 };
 
 }  // namespace shuffledef::cloudsim

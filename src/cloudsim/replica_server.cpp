@@ -3,12 +3,18 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace shuffledef::cloudsim {
 
 ReplicaServer::ReplicaServer(World& world, std::string name,
                              ReplicaConfig config, NodeId coordinator)
-    : Node(world, std::move(name)), config_(config), coordinator_(coordinator) {}
+    : Node(world, std::move(name)), config_(config), coordinator_(coordinator) {
+  // Shuffle assignments land thousands of clients per replica; pre-sizing
+  // the per-client tables keeps rehashing off the request hot path.
+  whitelist_.reserve(1024);
+  websockets_.reserve(1024);
+}
 
 void ReplicaServer::on_start() {
   loop().schedule_after(config_.detect_window_s, [this] { detection_tick(); });
@@ -56,9 +62,8 @@ void ReplicaServer::detection_tick() {
   loop().schedule_after(config_.detect_window_s, [this] { detection_tick(); });
 }
 
-void ReplicaServer::serve(const Message& msg, double cpu_seconds,
-                          std::int64_t reply_bytes, MessageType reply_type,
-                          std::any reply_payload) {
+void ReplicaServer::serve(NodeId reply_to, double cpu_seconds,
+                          std::int32_t reply_bytes) {
   const double now = loop().now();
   const double start = std::max(now, cpu_busy_until_);
   if (start + cpu_seconds - now > config_.cpu_queue_limit_s) {
@@ -66,46 +71,50 @@ void ReplicaServer::serve(const Message& msg, double cpu_seconds,
     return;
   }
   cpu_busy_until_ = start + cpu_seconds;
-  const NodeId dst = msg.src;
-  loop().schedule_at(cpu_busy_until_, [this, dst, reply_bytes, reply_type,
-                                       payload = std::move(reply_payload)]() mutable {
+  loop().schedule_at(cpu_busy_until_, [this, reply_to, reply_bytes] {
     if (decommissioned_) return;
-    send(dst, reply_type, reply_bytes, std::move(payload));
+    send(reply_to, MessageType::kHttpResponse, reply_bytes,
+         HttpResponsePayload{200});
   });
 }
 
 void ReplicaServer::on_message(const Message& msg) {
   switch (msg.type) {
     case MessageType::kWhitelistAdd: {
-      const auto& add = std::any_cast<const WhitelistAddPayload&>(msg.payload);
+      const auto& add = payload_as<WhitelistAddPayload>(msg);
       whitelist_[add.client_ip] = add.client_node;
       break;
     }
+    case MessageType::kWhitelistBatch: {
+      const auto& batch = payload_as<WhitelistBatchPayload>(msg);
+      whitelist_.reserve(whitelist_.size() + batch.entries.size());
+      for (const auto& [ip, node] : batch.entries) whitelist_[ip] = node;
+      break;
+    }
     case MessageType::kHttpGet: {
-      const auto& get = std::any_cast<const HttpGetPayload&>(msg.payload);
+      const auto& get = payload_as<HttpGetPayload>(msg);
       if (!whitelist_.contains(get.client_ip)) {
         ++stats_.rejected_not_whitelisted;  // silently dropped (filtering)
         break;
       }
       ++stats_.pages_served;
-      serve(msg, config_.cpu_per_request_s, config_.page_bytes,
-            MessageType::kHttpResponse, HttpResponsePayload{200, get.path});
+      serve(msg.src, config_.cpu_per_request_s,
+            static_cast<std::int32_t>(config_.page_bytes));
       break;
     }
     case MessageType::kHeavyRequest: {
-      const auto& heavy =
-          std::any_cast<const HeavyRequestPayload&>(msg.payload);
+      const auto& heavy = payload_as<HeavyRequestPayload>(msg);
       if (!whitelist_.contains(heavy.client_ip)) {
         ++stats_.rejected_not_whitelisted;
         break;
       }
       ++stats_.heavy_served;
-      serve(msg, heavy.cpu_seconds, kControlMessageBytes,
-            MessageType::kHttpResponse, HttpResponsePayload{200, "/heavy"});
+      serve(msg.src, heavy.cpu_seconds,
+            static_cast<std::int32_t>(kControlMessageBytes));
       break;
     }
     case MessageType::kWsOpen: {
-      const auto& open = std::any_cast<const WsOpenPayload&>(msg.payload);
+      const auto& open = payload_as<WsOpenPayload>(msg);
       if (!whitelist_.contains(open.client_ip)) {
         ++stats_.rejected_not_whitelisted;
         break;
@@ -124,25 +133,41 @@ void ReplicaServer::on_message(const Message& msg) {
       break;
     }
     case MessageType::kShuffleCommand: {
-      const auto& cmd =
-          std::any_cast<const ShuffleCommandPayload&>(msg.payload);
+      const auto& cmd = payload_as<ShuffleCommandPayload>(msg);
       // Idempotent: a re-sent command (the coordinator's ack-retry loop, or
       // an injected duplicate) re-pushes the redirects — giving any lost
       // kWsPush another chance — and re-acks, but decommissions only once.
       if (decommissioned_) ++stats_.duplicate_shuffle_commands;
       // Client redirection is prioritized over all application logic (paper
       // §III-C); the pushes ride the control lane, so they get out even when
-      // the data plane is saturated.
-      for (const auto& [client, new_replica] : cmd.client_to_replica) {
-        send(client, MessageType::kWsPush, kWsFrameBytes,
-             WsPushPayload{new_replica});
-        ++stats_.redirects_pushed;
+      // the data plane is saturated.  The whole span goes out as one batch:
+      // one walking event instead of one closure per client.
+      const auto n = static_cast<std::int64_t>(cmd.client_to_replica.size());
+      std::vector<BatchItem> pushes(static_cast<std::size_t>(n));
+      const auto build = [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const auto& [client, new_replica] =
+              cmd.client_to_replica[static_cast<std::size_t>(i)];
+          pushes[static_cast<std::size_t>(i)] =
+              BatchItem{client, WsPushPayload{new_replica}};
+        }
+      };
+      if (config_.shard_threads > 1 && n >= 1024) {
+        // Disjoint writes + fixed grain: bit-identical at any thread count.
+        auto job = util::ThreadPool::shared().submit(
+            0, n, build, /*grain=*/4096,
+            static_cast<std::size_t>(config_.shard_threads));
+        util::ThreadPool::shared().wait(job);
+      } else {
+        build(0, n);
       }
+      world().network().send_batch(id(), MessageType::kWsPush, kWsFrameBytes,
+                                   std::move(pushes));
+      stats_.redirects_pushed += static_cast<std::uint64_t>(n);
       decommissioned_ = true;
       if (coordinator_ != kInvalidNode) {
         send(coordinator_, MessageType::kDecommission, kControlMessageBytes,
-             DecommissionPayload{
-                 id(), static_cast<std::int64_t>(cmd.client_to_replica.size())});
+             DecommissionPayload{id(), n});
       }
       break;
     }
@@ -163,9 +188,9 @@ void ReplicaServer::crash() {
   decommissioned_ = true;  // stops detection ticks and queued replies
 }
 
-std::vector<std::pair<std::string, NodeId>> ReplicaServer::connected_clients()
+std::vector<std::pair<IpId, NodeId>> ReplicaServer::connected_clients()
     const {
-  std::vector<std::pair<std::string, NodeId>> out;
+  std::vector<std::pair<IpId, NodeId>> out;
   out.reserve(whitelist_.size());
   for (const auto& [ip, node] : whitelist_) out.emplace_back(ip, node);
   std::sort(out.begin(), out.end());  // deterministic iteration for the sim

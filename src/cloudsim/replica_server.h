@@ -17,6 +17,12 @@
 // Detection: a periodic tick compares the junk-packet arrival rate and the
 // CPU backlog against thresholds and raises kAttackReport once per episode
 // (paper §II-B assumes detection from congestion / traffic surges).
+//
+// At scale: the whitelist and WebSocket tables are keyed by interned IpId
+// (no string hashing per request), queued replies capture 16 bytes (inside
+// std::function's small buffer), shuffle redirects go out as one message
+// batch, and building a large batch is sharded across util::ThreadPool
+// under the deterministic-chunk contract (`shard_threads`).
 #pragma once
 
 #include <string>
@@ -38,6 +44,9 @@ struct ReplicaConfig {
   /// the previous one, so a lost report (or a lost/failed shuffle round)
   /// cannot silence the defense forever.  0 = report once per episode.
   double report_renew_s = 2.0;
+  /// Threads for building large shuffle-redirect batches (deterministic
+  /// chunks: the result is bit-identical at every value).  1 = serial.
+  int shard_threads = 1;
 };
 
 struct ReplicaStats {
@@ -63,7 +72,7 @@ class ReplicaServer final : public Node {
 
   /// Clients currently whitelisted here, as (ip, client node) pairs — read
   /// by the coordination server when it builds a shuffle plan.
-  [[nodiscard]] std::vector<std::pair<std::string, NodeId>> connected_clients() const;
+  [[nodiscard]] std::vector<std::pair<IpId, NodeId>> connected_clients() const;
 
   /// Force the detection path to fire now (used by the prototype-latency
   /// experiment, which triggers a *simulated* attack exactly like the
@@ -84,14 +93,15 @@ class ReplicaServer final : public Node {
  private:
   void detection_tick();
   void send_attack_report(double junk_rate);
-  void serve(const Message& msg, double cpu_seconds, std::int64_t reply_bytes,
-             MessageType reply_type, std::any reply_payload);
+  /// Queue a kHttpResponse{200} reply behind the CPU; the deferred closure
+  /// captures {this, dst, bytes} — 16 bytes, no heap allocation.
+  void serve(NodeId reply_to, double cpu_seconds, std::int32_t reply_bytes);
   [[nodiscard]] double world_now() const;
 
   ReplicaConfig config_;
   NodeId coordinator_;
-  std::unordered_map<std::string, NodeId> whitelist_;  // ip -> client node
-  std::unordered_map<std::string, NodeId> websockets_;
+  std::unordered_map<IpId, NodeId> whitelist_;  // ip -> client node
+  std::unordered_map<IpId, NodeId> websockets_;
   double cpu_busy_until_ = 0.0;
   std::uint64_t junk_in_window_ = 0;
   bool attack_reported_ = false;

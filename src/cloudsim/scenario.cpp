@@ -57,6 +57,10 @@ std::vector<std::string> ScenarioConfig::validate() const {
   if (!(bot_strategy_round_s > 0.0)) {
     violations.push_back("bot_strategy_round_s must be > 0");
   }
+  if (shard_threads < 1) violations.push_back("shard_threads must be >= 1");
+  if (!(swarm_sweep_dt_s > 0.0)) {
+    violations.push_back("swarm_sweep_dt_s must be > 0");
+  }
   for (auto& v : coordinator.controller.violations("coordinator.controller.")) {
     violations.push_back(std::move(v));
   }
@@ -73,6 +77,9 @@ Scenario::Scenario(ScenarioConfig config) {
     for (const auto& v : violations) message += "; " + v;
     throw std::invalid_argument(message);
   }
+  engine_ = config.client_engine;
+  // Replica-side shuffle fan-out shards on the same knob as the swarm.
+  config.replica.shard_threads = config.shard_threads;
 
   // One registry observes the whole world: owned by default, external when
   // the caller wants to scope several scenarios onto one sink.
@@ -89,6 +96,17 @@ Scenario::Scenario(ScenarioConfig config) {
   world_->loop().set_registry(registry_);
   world_->network().set_registry(registry_);
   if (config.record_net_trace) world_->network().enable_trace();
+  // The flat engine requires the pooled arena (its per-member start events
+  // and the batched redirect fan-outs assume POD closures + slot storage).
+  world_->network().set_pooled_delivery(config.pooled_delivery ||
+                                        engine_ == ClientEngine::kFlat);
+  world_->network().set_batch_delivery(config.batch_delivery);
+  if (engine_ == ClientEngine::kFlat) {
+    const auto population = static_cast<std::size_t>(
+        config.clients + config.persistent_bots + config.naive_bots);
+    world_->network().reserve_messages(population / 4 + 1024);
+    world_->loop().reserve(population + 1024);
+  }
 
   // Fault injection: the injector draws from its own substream (forked off
   // the scenario seed), so a given seed replays bit-identically and an
@@ -128,6 +146,8 @@ Scenario::Scenario(ScenarioConfig config) {
       nic.domain = d;
       auto* lb = world_->spawn<LoadBalancer>(
           nic, "lb-" + std::to_string(d) + "-" + std::to_string(i));
+      lb->reserve_records(static_cast<std::size_t>(
+          std::max<std::int32_t>(config.clients, 16)));
       load_balancers_.push_back(lb);
       dns_->register_load_balancer(config.service, lb->id());
     }
@@ -153,27 +173,17 @@ Scenario::Scenario(ScenarioConfig config) {
     coordinator_->add_hot_spare(spare->id());
   }
 
-  // Benign clients: geo spread via per-client base latency.
-  auto& rng = world_->rng();
-  for (std::int32_t c = 0; c < config.clients; ++c) {
-    NicConfig nic = config.client_nic;
-    nic.base_latency_s =
-        config.client_latency_min_s +
-        rng.uniform() * (config.client_latency_max_s - config.client_latency_min_s);
-    ClientConfig cc;
-    cc.service = config.service;
-    cc.ip = "10.0." + std::to_string(c / 250) + "." + std::to_string(c % 250);
-    cc.dns = dns_->id();
-    cc.start_time_s = rng.uniform() * config.client_start_spread_s;
-    cc.request_timeout_s = config.client_request_timeout_s;
-    cc.browse_think_s = config.client_browse_think_s;
-    cc.heartbeat_s = config.client_heartbeat_s;
-    clients_.push_back(world_->spawn<ClientAgent>(
-        nic, "client-" + std::to_string(c), cc));
-  }
+  build_population(config);
+}
 
-  // Botnet.
-  if (config.persistent_bots > 0 || config.naive_bots > 0) {
+void Scenario::build_population(const ScenarioConfig& config) {
+  // Botmaster first under the flat engine (swarm member ports must stay a
+  // contiguous range, so no other node may attach between add_* calls);
+  // after the clients under the per-object engine (the historical spawn
+  // order, which fault-replay goldens pin via port ids).
+  const bool flat = engine_ == ClientEngine::kFlat;
+  const bool botnet = config.persistent_bots > 0 || config.naive_bots > 0;
+  if (flat && botnet) {
     botmaster_ = world_->spawn<Botmaster>(config.infra_nic, "botmaster",
                                           BotmasterConfig{});
   }
@@ -186,17 +196,78 @@ Scenario::Scenario(ScenarioConfig config) {
         core::make_strategy(config.bot_strategy, config.bot_strategy_options);
   }
   constexpr std::uint64_t kBotBehaviorStreamSalt = 101;
+  constexpr std::uint64_t kClientBehaviorStreamSalt = 202;
   const util::Rng behavior_root = world_->rng().fork(kBotBehaviorStreamSalt);
+
+  if (flat) {
+    SwarmConfig sc;
+    sc.service = config.service;
+    sc.dns = dns_->id();
+    sc.request_timeout_s = config.client_request_timeout_s;
+    sc.browse_think_s = config.client_browse_think_s;
+    sc.heartbeat_s = config.client_heartbeat_s;
+    sc.botmaster = botmaster_ != nullptr ? botmaster_->id() : kInvalidNode;
+    sc.bot_junk_rate_pps = config.bot_junk_rate_pps;
+    sc.bot_heavy_interval_s = config.bot_heavy_interval_s;
+    sc.bot_heavy_cpu_seconds = config.bot_heavy_cpu_seconds;
+    sc.strategy = bot_strategy_.get();
+    sc.strategy_round_s = config.bot_strategy_round_s;
+    sc.strategy_replicas = config.initial_replicas;
+    sc.sweep_dt_s = config.swarm_sweep_dt_s;
+    sc.shard_threads = config.shard_threads;
+    sc.behavior_root = world_->rng().fork(kClientBehaviorStreamSalt);
+    swarm_ = world_->spawn<ClientSwarm>(config.infra_nic, "swarm",
+                                        std::move(sc));
+  }
+
+  // Benign clients: geo spread via per-client base latency.  Both engines
+  // consume the identical world-rng draw sequence (latency, start) per
+  // member, so the infrastructure's stream stays aligned across engines.
+  auto& rng = world_->rng();
+  for (std::int32_t c = 0; c < config.clients; ++c) {
+    NicConfig nic = config.client_nic;
+    nic.base_latency_s =
+        config.client_latency_min_s +
+        rng.uniform() * (config.client_latency_max_s - config.client_latency_min_s);
+    const double start = rng.uniform() * config.client_start_spread_s;
+    if (flat) {
+      swarm_->add_client(nic, start);
+      continue;
+    }
+    ClientConfig cc;
+    cc.service = config.service;
+    cc.ip = "10.0." + std::to_string(c / 250) + "." + std::to_string(c % 250);
+    cc.dns = dns_->id();
+    cc.start_time_s = start;
+    cc.request_timeout_s = config.client_request_timeout_s;
+    cc.browse_think_s = config.client_browse_think_s;
+    cc.heartbeat_s = config.client_heartbeat_s;
+    clients_.push_back(world_->spawn<ClientAgent>(
+        nic, "client-" + std::to_string(c), cc));
+  }
+
+  // Botnet.
+  if (!flat && botnet) {
+    botmaster_ = world_->spawn<Botmaster>(config.infra_nic, "botmaster",
+                                          BotmasterConfig{});
+  }
   for (std::int32_t b = 0; b < config.persistent_bots; ++b) {
     NicConfig nic = config.client_nic;
     nic.base_latency_s =
         config.client_latency_min_s +
         rng.uniform() * (config.client_latency_max_s - config.client_latency_min_s);
+    const double start = rng.uniform() * config.bot_start_spread_s;
+    core::BotState state(
+        behavior_root.fork_small(static_cast<std::uint64_t>(b)));
+    if (flat) {
+      swarm_->add_bot(nic, start, state);
+      continue;
+    }
     PersistentBotConfig pc;
     pc.client.service = config.service;
     pc.client.ip = "66.6." + std::to_string(b / 250) + "." + std::to_string(b % 250);
     pc.client.dns = dns_->id();
-    pc.client.start_time_s = rng.uniform() * config.bot_start_spread_s;
+    pc.client.start_time_s = start;
     pc.botmaster = botmaster_ != nullptr ? botmaster_->id() : kInvalidNode;
     pc.junk_rate_pps = config.bot_junk_rate_pps;
     pc.heavy_interval_s = config.bot_heavy_interval_s;
@@ -204,11 +275,11 @@ Scenario::Scenario(ScenarioConfig config) {
     pc.strategy = bot_strategy_.get();
     pc.strategy_round_s = config.bot_strategy_round_s;
     pc.strategy_replicas = config.initial_replicas;
-    pc.strategy_state = core::BotState(
-        behavior_root.fork_small(static_cast<std::uint64_t>(b)));
+    pc.strategy_state = state;
     persistent_bots_.push_back(world_->spawn<PersistentBot>(
         nic, "pbot-" + std::to_string(b), pc));
   }
+  if (flat && swarm_ != nullptr) swarm_->finalize();
   for (std::int32_t b = 0; b < config.naive_bots; ++b) {
     NicConfig nic = config.client_nic;
     auto* bot = world_->spawn<NaiveBot>(
@@ -245,6 +316,7 @@ ReplicaServer* Scenario::replica(NodeId id) {
 }
 
 std::int64_t Scenario::clients_connected() const {
+  if (swarm_ != nullptr) return swarm_->clients_connected();
   std::int64_t n = 0;
   for (const auto* c : clients_) {
     if (c->connected()) ++n;
@@ -254,6 +326,16 @@ std::int64_t Scenario::clients_connected() const {
 
 std::int64_t Scenario::replicas_hosting_bots() const {
   std::set<NodeId> bot_homes;
+  if (swarm_ != nullptr) {
+    const std::int32_t benign = swarm_->benign_members();
+    for (std::int32_t k = 0; k < swarm_->bot_members(); ++k) {
+      const NodeId r = swarm_->current_replica(benign + k);
+      if (r != kInvalidNode && world_->network().is_attached(r)) {
+        bot_homes.insert(r);
+      }
+    }
+    return static_cast<std::int64_t>(bot_homes.size());
+  }
   for (const auto* b : persistent_bots_) {
     if (b->current_replica() != kInvalidNode &&
         world_->network().is_attached(b->current_replica())) {
@@ -265,10 +347,24 @@ std::int64_t Scenario::replicas_hosting_bots() const {
 
 std::int64_t Scenario::benign_clients_isolated_from_bots() const {
   std::set<NodeId> bot_homes;
+  std::int64_t n = 0;
+  if (swarm_ != nullptr) {
+    const std::int32_t benign = swarm_->benign_members();
+    for (std::int32_t k = 0; k < swarm_->bot_members(); ++k) {
+      bot_homes.insert(swarm_->current_replica(benign + k));
+    }
+    for (std::int32_t i = 0; i < benign; ++i) {
+      const NodeId r = swarm_->current_replica(i);
+      if (r != kInvalidNode && world_->network().is_attached(r) &&
+          !bot_homes.contains(r)) {
+        ++n;
+      }
+    }
+    return n;
+  }
   for (const auto* b : persistent_bots_) {
     bot_homes.insert(b->current_replica());
   }
-  std::int64_t n = 0;
   for (const auto* c : clients_) {
     if (c->current_replica() != kInvalidNode &&
         world_->network().is_attached(c->current_replica()) &&

@@ -12,6 +12,7 @@
 
 #include "cloudsim/botnet.h"
 #include "cloudsim/client_agent.h"
+#include "cloudsim/client_swarm.h"
 #include "cloudsim/cloud_provider.h"
 #include "cloudsim/coordination_server.h"
 #include "cloudsim/dns_server.h"
@@ -23,6 +24,16 @@
 #include "obs/snapshot.h"
 
 namespace shuffledef::cloudsim {
+
+/// Which client/bot engine a Scenario builds.
+///
+///  * kPerObject — one ClientAgent / PersistentBot heap object per member
+///    (the original engine; per-member record vectors, per-timer closures).
+///  * kFlat — one ClientSwarm node holding the whole population as SoA
+///    columns, with pooled message delivery forced on.  Scales to 10^6
+///    members; timers are quantized to `swarm_sweep_dt_s` and per-member
+///    stats collapse to aggregates (see cloudsim/client_swarm.h).
+enum class ClientEngine { kPerObject, kFlat };
 
 struct ScenarioConfig {
   std::uint64_t seed = 1;
@@ -77,6 +88,24 @@ struct ScenarioConfig {
   /// Sim-time length of one strategy round for the bots.
   double bot_strategy_round_s = 1.0;
 
+  // ---- engine selection ------------------------------------------------------
+  /// Per-object agents (default) or the flat SoA ClientSwarm.
+  ClientEngine client_engine = ClientEngine::kPerObject;
+  /// Worker threads for the flat engine's sweep scan, its batched strategy
+  /// rounds, and the replicas' shuffle-push fan-out build (1 = serial;
+  /// results are bit-identical at every setting).
+  std::int32_t shard_threads = 1;
+  /// Flat engine timer granularity (timeouts/heartbeats/bot cadences fire
+  /// on sweep boundaries).
+  double swarm_sweep_dt_s = 0.25;
+  /// Route traffic through the network's pooled slot arena (POD closures,
+  /// no per-message allocation).  Forced on by the flat engine; off by
+  /// default so the legacy engine stays the differential reference.
+  bool pooled_delivery = false;
+  /// Allow send_batch fan-outs to ride one walking event per batch (off
+  /// degrades them to per-message sends — the batching oracle).
+  bool batch_delivery = true;
+
   NetworkConfig network;
 
   /// Fault injection (deterministic in `seed`): message loss/duplication,
@@ -118,9 +147,12 @@ class Scenario {
   [[nodiscard]] const std::vector<NodeId>& initial_replicas() const {
     return initial_replicas_;
   }
+  /// Per-object engine only (empty under ClientEngine::kFlat).
   [[nodiscard]] const std::vector<ClientAgent*>& clients() const {
     return clients_;
   }
+  /// Flat engine only (nullptr under ClientEngine::kPerObject).
+  [[nodiscard]] ClientSwarm* swarm() { return swarm_; }
   [[nodiscard]] const std::vector<PersistentBot*>& persistent_bots() const {
     return persistent_bots_;
   }
@@ -167,7 +199,9 @@ class Scenario {
 
  private:
   void crash_one_replica();
+  void build_population(const ScenarioConfig& config);
 
+  ClientEngine engine_ = ClientEngine::kPerObject;
   std::unique_ptr<obs::Registry> owned_registry_;
   obs::Registry* registry_ = nullptr;  // effective sink (owned or external)
   std::unique_ptr<core::AttackerStrategy> bot_strategy_;
@@ -179,6 +213,7 @@ class Scenario {
   std::vector<LoadBalancer*> load_balancers_;
   std::vector<NodeId> initial_replicas_;
   std::vector<ClientAgent*> clients_;
+  ClientSwarm* swarm_ = nullptr;
   std::vector<PersistentBot*> persistent_bots_;
   std::vector<NaiveBot*> naive_bots_;
   Botmaster* botmaster_ = nullptr;

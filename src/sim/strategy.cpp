@@ -5,28 +5,6 @@
 
 namespace shuffledef::sim {
 
-namespace {
-
-const char* legacy_name(BotStrategy strategy) noexcept {
-  switch (strategy) {
-    case BotStrategy::kAlwaysOn: return "always-on";
-    case BotStrategy::kOnOff: return "on-off";
-    case BotStrategy::kQuitReenter: return "quit-reenter";
-    case BotStrategy::kNaive: return "naive";
-    case BotStrategy::kSynchronizedWaves: return "synchronized-waves";
-  }
-  return "?";
-}
-
-}  // namespace
-
-const char* bot_strategy_name(BotStrategy strategy) noexcept {
-  return legacy_name(strategy);
-}
-
-StrategyParams::StrategyParams(BotStrategy legacy)
-    : strategy(legacy_name(legacy)) {}
-
 std::vector<std::string> StrategyParams::violations(
     const std::string& prefix) const {
   std::vector<std::string> out;

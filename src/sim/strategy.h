@@ -4,12 +4,10 @@
 // registry (core/attacker_strategy.h) — stateful per-bot policy objects
 // built by name through `core::make_strategy`, consumed by this layer's
 // engines and by the full-fidelity cloudsim world alike.  This header only
-// keeps the simulator-facing parameter block (a registry name plus the
-// shared `core::StrategyOptions`) and the deprecated enum bridge from the
-// pre-registry API.
+// keeps the simulator-facing parameter block: a registry name plus the
+// shared `core::StrategyOptions`.
 #pragma once
 
-#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -20,38 +18,14 @@ namespace shuffledef::sim {
 
 using core::Count;
 
-/// Pre-registry closed strategy set.  Deprecated: select strategies by
-/// registry name (`StrategyParams::strategy`, see core::strategy_names()).
-/// Bridge kept for exactly one release per the repo's deprecation
-/// convention; scheduled for removal in the next release.
-enum class BotStrategy : std::uint8_t {
-  kAlwaysOn,
-  kOnOff,
-  kQuitReenter,
-  kNaive,
-  kSynchronizedWaves,
-};
-
-/// Registry name of a legacy enum value ("always-on", "on-off", ...).
-/// Deprecated with the enum; new code names strategies directly.
-[[deprecated(
-    "select strategies by registry name; see core::strategy_names()")]]
-const char* bot_strategy_name(BotStrategy strategy) noexcept;
-
 /// Which adversary the simulator runs and with what knobs.  `strategy` is a
 /// `core::make_strategy` registry name; `options` is forwarded to the
-/// factory.  The five legacy enum behaviours keep their old names
+/// factory.  The five legacy behaviours keep their pre-registry names
 /// ("always-on", "on-off", "quit-reenter", "naive", "synchronized-waves");
 /// the adaptive tier adds "coupon-collector" and "churn".
 struct StrategyParams {
   std::string strategy = "always-on";
   core::StrategyOptions options;
-
-  StrategyParams() = default;
-  /// Deprecated enum-accepting bridge (one release, like the PR 3 config
-  /// and PR 6 planner bridges): maps the enum onto its registry name.
-  [[deprecated("construct from a registry name instead of the enum")]]
-  StrategyParams(BotStrategy legacy);  // NOLINT(google-explicit-constructor)
 
   /// All violations at once, each prefixed (e.g. "strategy.") for embedding
   /// in a composite config's report.  Option violations keep their

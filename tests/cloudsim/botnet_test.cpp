@@ -48,7 +48,7 @@ TEST(Botnet, PersistentBotJoinsLikeAClientAndIsWhitelisted) {
   EXPECT_EQ(bot->current_replica(), rig.replica->id());
   const auto clients = rig.replica->connected_clients();
   ASSERT_EQ(clients.size(), 1u);  // indistinguishable from a benign client
-  EXPECT_EQ(clients[0].first, "66.1.1.1");
+  EXPECT_EQ(rig.world.interned_name(clients[0].first), "66.1.1.1");
 }
 
 TEST(Botnet, PersistentBotFloodsItsReplica) {

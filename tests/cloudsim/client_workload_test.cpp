@@ -74,7 +74,7 @@ TEST(BrowsingClient, KeepsBrowsingAcrossAMigration) {
   rig.world.loop().schedule_at(10.5, [&] {
     Message wl{rig.lb->id(), rig.r2->id(), MessageType::kWhitelistAdd,
                kControlMessageBytes,
-               WhitelistAddPayload{"1.1.1.3", c->id()}};
+               WhitelistAddPayload{rig.world.intern_ip("1.1.1.3"), c->id()}};
     rig.world.network().send(std::move(wl));
     ShuffleCommandPayload cmd;
     cmd.client_to_replica.emplace_back(c->id(), rig.r2->id());
@@ -145,7 +145,8 @@ TEST(HeartbeatClient, SurvivesAPushMigrationWithoutFalseAlarms) {
 
   rig.world.loop().schedule_at(6.0, [&] {
     Message wl{rig.lb->id(), rig.r2->id(), MessageType::kWhitelistAdd,
-               kControlMessageBytes, WhitelistAddPayload{"2.2.2.3", c->id()}};
+               kControlMessageBytes,
+               WhitelistAddPayload{rig.world.intern_ip("2.2.2.3"), c->id()}};
     rig.world.network().send(std::move(wl));
     ShuffleCommandPayload cmd;
     cmd.client_to_replica.emplace_back(c->id(), rig.r2->id());

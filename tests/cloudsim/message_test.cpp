@@ -10,7 +10,8 @@ namespace {
 constexpr MessageType kAllTypes[] = {
     MessageType::kDnsQuery,      MessageType::kDnsReply,
     MessageType::kClientHello,   MessageType::kRedirect,
-    MessageType::kWhitelistAdd,  MessageType::kHttpGet,
+    MessageType::kWhitelistAdd,  MessageType::kWhitelistBatch,
+    MessageType::kHttpGet,
     MessageType::kHttpResponse,  MessageType::kWsOpen,
     MessageType::kWsOpenAck,     MessageType::kWsPush,
     MessageType::kWsPing,        MessageType::kWsPong,
@@ -33,7 +34,8 @@ TEST(MessageType, ControlPlaneAndRedirectionArePrioritized) {
   // The defense's own signalling must never starve behind a flood.
   for (const auto type :
        {MessageType::kRedirect, MessageType::kWhitelistAdd,
-        MessageType::kWsPush, MessageType::kWsOpen, MessageType::kWsOpenAck,
+        MessageType::kWhitelistBatch, MessageType::kWsPush,
+        MessageType::kWsOpen, MessageType::kWsOpenAck,
         MessageType::kWsPing, MessageType::kWsPong,
         MessageType::kAttackReport, MessageType::kShuffleCommand,
         MessageType::kDecommission}) {
@@ -58,8 +60,11 @@ TEST(Message, WireSizesArePositive) {
   EXPECT_GT(kHttpRequestBytes, 0);
   EXPECT_GT(kWsFrameBytes, 0);
   EXPECT_GT(kJunkPacketBytes, 0);
+  EXPECT_GT(kWhitelistEntryBytes, 0);
   // Junk packets are MTU-sized (bandwidth exhaustion), control is small.
   EXPECT_GT(kJunkPacketBytes, kControlMessageBytes);
+  // A batched whitelist entry costs less wire than a kWhitelistAdd message.
+  EXPECT_LT(kWhitelistEntryBytes, kControlMessageBytes);
 }
 
 }  // namespace

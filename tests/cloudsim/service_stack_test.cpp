@@ -83,7 +83,7 @@ TEST(ServiceStack, NonWhitelistedRequestsAreDropped) {
     int responses = 0;
     void on_start() override {
       send(target, MessageType::kHttpGet, kHttpRequestBytes,
-           HttpGetPayload{"6.6.6.6", "/"});
+           HttpGetPayload{world().intern_ip("6.6.6.6")});
     }
     void on_message(const Message& msg) override {
       if (msg.type == MessageType::kHttpResponse) ++responses;
@@ -129,7 +129,7 @@ TEST(ServiceStack, ShuffleCommandMigratesClientViaWsPush) {
     // Whitelist on the target first, as the coordinator does.
     Message wl{s.lb->id(), s.r2->id(), MessageType::kWhitelistAdd,
                kControlMessageBytes,
-               WhitelistAddPayload{"5.5.5.5", c->id()}};
+               WhitelistAddPayload{s.world.intern_ip("5.5.5.5"), c->id()}};
     s.world.network().send(std::move(wl));
     ShuffleCommandPayload cmd;
     cmd.client_to_replica.emplace_back(c->id(), s.r2->id());
@@ -156,7 +156,8 @@ TEST(ServiceStack, ComputationalAttackRaisesCpuBacklog) {
   // Whitelisted heavy requests burn server CPU.
   for (int i = 0; i < 10; ++i) {
     Message m{c->id(), s.r1->id(), MessageType::kHeavyRequest,
-              kHttpRequestBytes, HeavyRequestPayload{"7.7.7.7", 0.3}};
+              kHttpRequestBytes,
+              HeavyRequestPayload{s.world.intern_ip("7.7.7.7"), 0.3}};
     s.world.network().send(std::move(m));
   }
   s.world.loop().run_until(5.5);

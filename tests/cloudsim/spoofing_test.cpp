@@ -24,12 +24,11 @@ class SpoofingBot final : public Node {
 
   void on_start() override {
     send(lb_, MessageType::kClientHello, kHttpRequestBytes,
-         ClientHelloPayload{claimed_});
+         ClientHelloPayload{world().intern_ip(claimed_)});
   }
   void on_message(const Message& msg) override {
     if (msg.type == MessageType::kRedirect) {
-      learned_replica_ =
-          std::any_cast<const RedirectPayload&>(msg.payload).target_replica;
+      learned_replica_ = payload_as<RedirectPayload>(msg).target_replica;
     }
   }
 
@@ -97,7 +96,8 @@ TEST(Spoofing, WhitelistKeysToTheIpOwnerNode) {
   ASSERT_TRUE(client->connected());
   const auto clients = rig.replica->connected_clients();
   ASSERT_EQ(clients.size(), 1u);
-  EXPECT_EQ(clients[0].first, "9.9.9.9");
+  EXPECT_EQ(clients[0].first, rig.world.intern_ip("9.9.9.9"));
+  EXPECT_EQ(rig.world.interned_name(clients[0].first), "9.9.9.9");
   EXPECT_EQ(clients[0].second, client->id());
 }
 
@@ -116,7 +116,7 @@ TEST(Spoofing, ReconnaissanceProbeGetsNoService) {
   auto* prober = rig.world.spawn<Prober>(nic(), "prober");
   prober->target = rig.replica->id();
   Message m{prober->id(), rig.replica->id(), MessageType::kHttpGet,
-            kHttpRequestBytes, HttpGetPayload{"8.8.4.4", "/"}};
+            kHttpRequestBytes, HttpGetPayload{rig.world.intern_ip("8.8.4.4")}};
   rig.world.network().send(std::move(m));
   rig.world.loop().run_until(3.0);
   EXPECT_EQ(prober->responses, 0);

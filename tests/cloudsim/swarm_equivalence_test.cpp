@@ -1,0 +1,228 @@
+// Flat-engine equivalence and delivery-mode differentials.
+//
+// The ClientSwarm (SoA columns, pooled arena, batched delivery) is a
+// performance engine, not a new model: a quiet world must produce exactly
+// the same aggregate outcomes as the per-object ClientAgent engine, and the
+// delivery-mode knobs (pooled arena on/off, batch walker on/off) must be
+// invisible in the network trace — every delivery, drop, and duplicate at
+// the same timestamp in the same order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "cloudsim/scenario.h"
+
+namespace shuffledef::cloudsim {
+namespace {
+
+ScenarioConfig quiet_world(std::uint64_t seed = 21) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.domains = 2;
+  cfg.initial_replicas = 2;
+  cfg.clients = 12;
+  cfg.client_start_spread_s = 0.5;
+  cfg.boot_delay_s = 0.2;
+  return cfg;
+}
+
+ScenarioConfig attacked_world(std::uint64_t seed = 22) {
+  auto cfg = quiet_world(seed);
+  cfg.clients = 20;
+  cfg.persistent_bots = 2;
+  cfg.bot_junk_rate_pps = 400.0;
+  cfg.client_heartbeat_s = 0.5;
+  cfg.coordinator.controller.replicas = 6;
+  cfg.replica.detect_window_s = 0.25;
+  cfg.replica.junk_rate_threshold = 100.0;
+  return cfg;
+}
+
+void expect_identical_traces(Scenario& a, Scenario& b) {
+  const auto& ta = a.world().network().trace();
+  const auto& tb = b.world().network().trace();
+  ASSERT_FALSE(ta.empty());
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    ASSERT_EQ(ta[i], tb[i]) << "trace diverges at event " << i;
+  }
+}
+
+/// Deliveries only, in a canonical order.  The lane-walker engine seals
+/// drop fates lazily, so drop entries sit at different log positions (same
+/// timestamps) and a tail arrival can still be pending at the horizon where
+/// the eager engine already dropped it — but every *delivery* must happen
+/// at the identical instant with identical bytes under every engine.
+std::vector<NetTraceEvent> delivered_sorted(Scenario& s) {
+  std::vector<NetTraceEvent> out;
+  for (const auto& ev : s.world().network().trace()) {
+    if (ev.outcome == NetTraceEvent::Outcome::kDelivered) out.push_back(ev);
+  }
+  std::sort(out.begin(), out.end(), [](const NetTraceEvent& a,
+                                       const NetTraceEvent& b) {
+    return std::tie(a.time, a.src, a.dst, a.size_bytes) <
+           std::tie(b.time, b.src, b.dst, b.size_bytes);
+  });
+  return out;
+}
+
+void expect_identical_deliveries(Scenario& a, Scenario& b) {
+  const auto da = delivered_sorted(a);
+  const auto db = delivered_sorted(b);
+  ASSERT_FALSE(da.empty());
+  ASSERT_EQ(da.size(), db.size());
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    ASSERT_EQ(da[i], db[i]) << "deliveries diverge at event " << i;
+  }
+  EXPECT_EQ(a.world().network().stats().delivered,
+            b.world().network().stats().delivered);
+  EXPECT_EQ(a.world().network().stats().bytes_delivered,
+            b.world().network().stats().bytes_delivered);
+  EXPECT_TRUE(a.world().network().stats().conserved());
+  EXPECT_TRUE(b.world().network().stats().conserved());
+}
+
+TEST(SwarmEquivalence, QuietWorldMatchesPerObjectAggregates) {
+  auto cfg = quiet_world();
+
+  cfg.client_engine = ClientEngine::kPerObject;
+  Scenario ref(cfg);
+  ASSERT_TRUE(ref.run_until(10.0));
+
+  cfg.client_engine = ClientEngine::kFlat;
+  Scenario flat(cfg);
+  ASSERT_TRUE(flat.run_until(10.0));
+
+  // Everyone joins under both engines, with the same page count (browse
+  // think time 0 = exactly one page per member).
+  EXPECT_EQ(ref.clients_connected(), 12);
+  EXPECT_EQ(flat.clients_connected(), 12);
+  std::int64_t ref_pages = 0;
+  for (const auto* c : ref.clients()) {
+    ref_pages += static_cast<std::int64_t>(c->stats().page_loads.size());
+  }
+  ASSERT_NE(flat.swarm(), nullptr);
+  EXPECT_EQ(flat.swarm()->stats().page_loads, ref_pages);
+  EXPECT_EQ(flat.swarm()->stats().timeouts, 0);
+  EXPECT_EQ(flat.swarm()->stats().rejoins, 0);
+  EXPECT_TRUE(ref.world().network().stats().conserved());
+  EXPECT_TRUE(flat.world().network().stats().conserved());
+}
+
+TEST(SwarmEquivalence, FlatEngineDefendsLikeThePerObjectEngine) {
+  // Under attack the engines' message interleavings differ (quantized
+  // timers, batched whitelists), so the comparison is behavioural: the
+  // defense detects, shuffles, isolates, and keeps everyone served.
+  auto cfg = attacked_world();
+
+  cfg.client_engine = ClientEngine::kPerObject;
+  Scenario ref(cfg);
+  ASSERT_TRUE(ref.run_until(60.0));
+
+  cfg.client_engine = ClientEngine::kFlat;
+  Scenario flat(cfg);
+  ASSERT_TRUE(flat.run_until(60.0));
+
+  for (Scenario* s : {&ref, &flat}) {
+    EXPECT_GT(s->coordinator()->stats().attack_reports, 0);
+    EXPECT_GT(s->coordinator()->stats().rounds_executed, 0);
+    EXPECT_LE(s->replicas_hosting_bots(), 2);
+    EXPECT_GE(s->benign_clients_isolated_from_bots(), 15);
+    EXPECT_GE(s->clients_connected(), 18);
+    EXPECT_TRUE(s->world().network().stats().conserved());
+  }
+  // The flat engine's aggregate stats actually moved.
+  const auto& st = flat.swarm()->stats();
+  EXPECT_GT(st.page_loads, 0);
+  EXPECT_GT(st.migrations_completed, 0);
+  EXPECT_GT(st.junk_sent, 0);
+}
+
+TEST(SwarmEquivalence, BatchDeliveryIsTraceInvisible) {
+  // The per-lane delivery walkers (batch_delivery on) versus one scheduled
+  // closure per arrival and delivery (batch_delivery off): every delivery —
+  // shuffle pushes, whitelist batches, page traffic under a junk flood —
+  // must land at the identical instant either way.
+  auto cfg = attacked_world(23);
+  cfg.client_engine = ClientEngine::kFlat;
+  cfg.record_net_trace = true;
+
+  cfg.batch_delivery = true;
+  Scenario batched(cfg);
+  ASSERT_TRUE(batched.run_until(30.0));
+  EXPECT_GT(batched.coordinator()->stats().clients_migrated, 0);
+
+  cfg.batch_delivery = false;
+  Scenario unbatched(cfg);
+  ASSERT_TRUE(unbatched.run_until(30.0));
+
+  expect_identical_deliveries(batched, unbatched);
+}
+
+TEST(SwarmEquivalence, PooledArenaIsTraceInvisible) {
+  // The per-object engine with the pooled slot arena (walkers off: one
+  // closure per arrival and delivery, like the legacy engine) must replay
+  // the legacy per-message heap path event for event — same timestamps,
+  // same order, drops included.
+  auto cfg = attacked_world(24);
+  cfg.client_engine = ClientEngine::kPerObject;
+  cfg.record_net_trace = true;
+  cfg.batch_delivery = false;
+
+  cfg.pooled_delivery = false;
+  Scenario legacy(cfg);
+  ASSERT_TRUE(legacy.run_until(30.0));
+
+  cfg.pooled_delivery = true;
+  Scenario pooled(cfg);
+  ASSERT_TRUE(pooled.run_until(30.0));
+
+  expect_identical_traces(legacy, pooled);
+  EXPECT_EQ(legacy.world().network().stats().delivered,
+            pooled.world().network().stats().delivered);
+}
+
+TEST(SwarmEquivalence, LaneWalkersDeliverLikeTheLegacyEngine) {
+  // Strongest cross-engine differential: legacy heap-closure engine vs the
+  // pooled engine with per-lane walkers.  Drop bookkeeping is lazy under
+  // the walkers, but the deliveries themselves are the model — identical
+  // instants, identical bytes.
+  auto cfg = attacked_world(26);
+  cfg.client_engine = ClientEngine::kPerObject;
+  cfg.record_net_trace = true;
+
+  cfg.pooled_delivery = false;
+  Scenario legacy(cfg);
+  ASSERT_TRUE(legacy.run_until(30.0));
+
+  cfg.pooled_delivery = true;
+  cfg.batch_delivery = true;
+  Scenario walkers(cfg);
+  ASSERT_TRUE(walkers.run_until(30.0));
+
+  expect_identical_deliveries(legacy, walkers);
+}
+
+TEST(SwarmEquivalence, FlatEngineReplaysBitIdenticallyUnderFaults) {
+  auto cfg = attacked_world(25);
+  cfg.client_engine = ClientEngine::kFlat;
+  cfg.record_net_trace = true;
+  cfg.faults.data_loss_prob = 0.02;
+  cfg.faults.ctrl_loss_prob = 0.05;
+  cfg.faults.ctrl_dup_prob = 0.02;
+  cfg.faults.replica_crash_times_s = {8.0};
+
+  Scenario a(cfg);
+  Scenario b(cfg);
+  ASSERT_TRUE(a.run_until(25.0));
+  ASSERT_TRUE(b.run_until(25.0));
+  EXPECT_GT(a.fault_stats().drops_ctrl + a.fault_stats().drops_data, 0u);
+  EXPECT_EQ(a.fault_stats().crashes_executed, 1u);
+  expect_identical_traces(a, b);
+  EXPECT_EQ(a.swarm()->stats().page_loads, b.swarm()->stats().page_loads);
+  EXPECT_EQ(a.swarm()->stats().rejoins, b.swarm()->stats().rejoins);
+}
+
+}  // namespace
+}  // namespace shuffledef::cloudsim

@@ -194,32 +194,22 @@ TEST(CostAwareDecline, MinZeroForcesExecutionInBothEngines) {
 }
 
 // ---------------------------------------------------------------------------
-// Deprecated enum bridge (kept for exactly one release).
+// Registry-name pins (the pre-registry enum names remain valid forever).
 // ---------------------------------------------------------------------------
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(DeprecatedEnumBridge, EnumValuesMapOntoRegistryNames) {
-  struct Case {
-    BotStrategy legacy;
-    const char* name;
+TEST(StrategyRegistryNames, LegacyNamesStayRegistered) {
+  // These five names predate the registry (they were a closed enum); they
+  // are public API and must never disappear or change spelling.
+  constexpr const char* kLegacyNames[] = {
+      "always-on", "on-off", "quit-reenter", "naive", "synchronized-waves",
   };
-  constexpr Case kCases[] = {
-      {BotStrategy::kAlwaysOn, "always-on"},
-      {BotStrategy::kOnOff, "on-off"},
-      {BotStrategy::kQuitReenter, "quit-reenter"},
-      {BotStrategy::kNaive, "naive"},
-      {BotStrategy::kSynchronizedWaves, "synchronized-waves"},
-  };
-  for (const auto& c : kCases) {
-    EXPECT_STREQ(bot_strategy_name(c.legacy), c.name);
-    const StrategyParams params = c.legacy;  // implicit bridge conversion
-    EXPECT_EQ(params.strategy, c.name);
-    EXPECT_TRUE(params.violations().empty());
-    EXPECT_EQ(params.make()->name(), c.name);
+  for (const char* name : kLegacyNames) {
+    StrategyParams params;
+    params.strategy = name;
+    EXPECT_TRUE(params.violations().empty()) << name;
+    EXPECT_EQ(params.make()->name(), name);
   }
 }
-#pragma GCC diagnostic pop
 
 TEST(StrategyParamsValidation, UnknownNameAndBadOptionsReportTogether) {
   StrategyParams params;
