@@ -18,6 +18,19 @@ CloudProvider::CloudProvider(World& world, CloudProviderConfig config)
   }
 }
 
+void CloudProvider::set_registry(obs::Registry* registry) {
+  if (registry == nullptr) return;
+  provisioned_metric_ = registry->counter(kMetricProviderProvisioned);
+  recycled_metric_ = registry->counter(kMetricProviderRecycled);
+  active_metric_ = registry->gauge(kMetricProviderActiveReplicas);
+  active_peak_metric_ = registry->gauge(kMetricProviderActiveReplicasPeak);
+}
+
+void CloudProvider::note_active() {
+  active_metric_.set(active());
+  active_peak_metric_.max_with(active());
+}
+
 void CloudProvider::provision(std::function<void(NodeId)> ready) {
   const std::int32_t domain =
       config_.domains[next_domain_ % config_.domains.size()];
@@ -34,6 +47,8 @@ void CloudProvider::provision(std::function<void(NodeId)> ready) {
           return;
         }
         ++provisioned_;
+        provisioned_metric_.inc();
+        note_active();
         NicConfig nic = config_.replica_nic;
         nic.domain = domain;
         auto* replica = world_.spawn<ReplicaServer>(
@@ -60,9 +75,19 @@ void CloudProvider::provision_many(
   }
 }
 
+void CloudProvider::adopt(std::int64_t count) {
+  if (count < 0) {
+    throw std::invalid_argument("adopt: count must be non-negative");
+  }
+  adopted_ += count;
+  note_active();
+}
+
 void CloudProvider::recycle(NodeId replica) {
   world_.retire(replica);
   ++recycled_;
+  recycled_metric_.inc();
+  note_active();
 }
 
 }  // namespace shuffledef::cloudsim

@@ -18,14 +18,26 @@
 
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <vector>
 
 #include "cloudsim/node.h"
 #include "cloudsim/replica_server.h"
+#include "obs/registry.h"
 
 namespace shuffledef::cloudsim {
 
 class FaultInjector;
+
+// Registry metric names mirroring the provider's lifecycle counters.
+inline constexpr std::string_view kMetricProviderProvisioned =
+    "provider.provisioned";
+inline constexpr std::string_view kMetricProviderRecycled =
+    "provider.recycled";
+inline constexpr std::string_view kMetricProviderActiveReplicas =
+    "provider.active_replicas";
+inline constexpr std::string_view kMetricProviderActiveReplicasPeak =
+    "provider.active_replicas_peak";
 
 struct CloudProviderConfig {
   double boot_delay_s = 0.5;  // hot-spare activation, not a cold boot
@@ -46,6 +58,10 @@ class CloudProvider {
     fault_ = injector;
   }
 
+  /// Record lifecycle counters + the active-replica gauge (and its peak —
+  /// the autoscaler's footprint) into `registry` (nullptr = uninstrumented).
+  void set_registry(obs::Registry* registry);
+
   /// Boot one replica in the next domain; `ready` fires with its address
   /// after the (possibly fault-stretched) boot delay.  Under injected
   /// provisioning failures `ready` may never fire.
@@ -61,11 +77,18 @@ class CloudProvider {
   /// Terminate an instance: its NIC detaches, in-flight traffic is dropped.
   void recycle(NodeId replica);
 
+  /// Take over `count` replicas that were spawned outside provision() (the
+  /// world-start fleet).  They join the active ledger so a later recycle of
+  /// one of them balances; provisioned() keeps counting only actual boots.
+  void adopt(std::int64_t count);
+
   [[nodiscard]] std::int64_t requested() const { return requested_; }
   [[nodiscard]] std::int64_t provisioned() const { return provisioned_; }
   [[nodiscard]] std::int64_t failed() const { return failed_; }
   [[nodiscard]] std::int64_t recycled() const { return recycled_; }
-  [[nodiscard]] std::int64_t active() const { return provisioned_ - recycled_; }
+  [[nodiscard]] std::int64_t active() const {
+    return adopted_ + provisioned_ - recycled_;
+  }
 
  private:
   World& world_;
@@ -74,9 +97,14 @@ class CloudProvider {
   FaultInjector* fault_ = nullptr;
   std::size_t next_domain_ = 0;
   std::int64_t requested_ = 0;    // provision() calls (also names instances)
+  std::int64_t adopted_ = 0;      // world-start fleet taken over via adopt()
   std::int64_t provisioned_ = 0;  // instances that actually came up
   std::int64_t failed_ = 0;       // instances that never booted
   std::int64_t recycled_ = 0;
+  void note_active();
+  // Null handles until set_registry.
+  obs::Counter provisioned_metric_, recycled_metric_;
+  obs::Gauge active_metric_, active_peak_metric_;
 };
 
 }  // namespace shuffledef::cloudsim

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/provisioning.h"
 #include "obs/span.h"
 #include "util/logging.h"
 
@@ -24,6 +25,12 @@ CoordinationServer::CoordinationServer(World& world, std::string name,
   if (config_.provision_max_retries < 0 || config_.command_max_retries < 0) {
     throw std::invalid_argument("CoordinatorConfig: negative retry limit");
   }
+  if (config_.fixed_cadence_s < 0) {
+    throw std::invalid_argument("CoordinatorConfig: negative fixed cadence");
+  }
+  if (config_.qos.enabled) {
+    phase_machine_.emplace(config_.qos);  // validates config_.qos
+  }
   if (auto* registry = config_.controller.registry; registry != nullptr) {
     metrics_.attack_reports = registry->counter(kMetricCoordAttackReports);
     metrics_.rounds_executed = registry->counter(kMetricCoordRoundsExecuted);
@@ -41,7 +48,34 @@ CoordinationServer::CoordinationServer(World& world, std::string name,
         registry->counter(kMetricCoordLateSparesBanked);
     metrics_.shuffles_declined =
         registry->counter(kMetricCoordShufflesDeclined);
+    metrics_.qos_reports = registry->counter(kMetricCoordQosReports);
+    metrics_.phase_switches = registry->counter(kMetricCoordPhaseSwitches);
+    metrics_.autoscale_provisioned =
+        registry->counter(kMetricCoordAutoscaleProvisioned);
+    metrics_.autoscale_released =
+        registry->counter(kMetricCoordAutoscaleReleased);
+    metrics_.phase = registry->gauge(kMetricCoordPhase);
+    metrics_.overloaded_replicas =
+        registry->gauge(kMetricCoordOverloadedReplicas);
+    metrics_.remaps_inflight = registry->gauge(kMetricCoordRemapsInflight);
+    metrics_.remaps_inflight_peak =
+        registry->gauge(kMetricCoordRemapsInflightPeak);
   }
+}
+
+void CoordinationServer::on_start() {
+  if (config_.fixed_cadence_s > 0) {
+    loop().schedule_after(config_.fixed_cadence_s, [this] { cadence_tick(); });
+  }
+}
+
+void CoordinationServer::cadence_tick() {
+  // The paper's proactive model: every T seconds, every active replica
+  // shuffles — no feedback consulted.  This is the baseline the closed loop
+  // is benchmarked against (bench/abl_qos_feedback).
+  for (const NodeId r : active_replicas_) attacked_.insert(r);
+  if (!attacked_.empty()) schedule_round();
+  loop().schedule_after(config_.fixed_cadence_s, [this] { cadence_tick(); });
 }
 
 void CoordinationServer::set_infrastructure(
@@ -87,19 +121,145 @@ void CoordinationServer::on_message(const Message& msg) {
       schedule_round();
       break;
     }
+    case MessageType::kQosReport: {
+      if (!phase_machine_.has_value()) break;  // loop disabled
+      const auto& report = payload_as<QosReportPayload>(msg);
+      ++stats_.qos_reports;
+      metrics_.qos_reports.inc();
+      if (!active_replicas_.contains(report.replica)) break;  // stale
+      qos_table_[report.replica] =
+          QosSample{report.latency_ewma_s, report.queue_depth_s, loop().now()};
+      evaluate_qos();
+      break;
+    }
     case MessageType::kDecommission: {
       const auto& dec = payload_as<DecommissionPayload>(msg);
       pending_commands_.erase(dec.replica);  // command acknowledged
+      note_remaps_inflight();
+      qos_table_.erase(dec.replica);
       // Duplicate-safe: only the first ack for a replica recycles it.
       if (active_replicas_.erase(dec.replica) == 0) break;
       for (auto* lb : load_balancers_) lb->remove_replica(dec.replica);
       provider_->recycle(dec.replica);
       ++stats_.replicas_recycled;
       metrics_.replicas_recycled.inc();
+      // A drained remap frees cap budget; anything the cap deferred can go.
+      if (config_.qos.enabled && !attacked_.empty()) schedule_round();
       break;
     }
     default:
       break;
+  }
+}
+
+void CoordinationServer::note_remaps_inflight() {
+  const auto n = static_cast<std::int64_t>(pending_commands_.size());
+  stats_.remaps_inflight_peak = std::max(stats_.remaps_inflight_peak, n);
+  metrics_.remaps_inflight.set(n);
+  metrics_.remaps_inflight_peak.max_with(n);
+}
+
+void CoordinationServer::evaluate_qos() {
+  const double now = loop().now();
+  // Forget silent replicas (crashed, or their control lane lossy): a dead
+  // sample must not pin the overloaded set — or the recovery — forever.
+  std::erase_if(qos_table_, [&](const auto& kv) {
+    return !active_replicas_.contains(kv.first) ||
+           now - kv.second.at > config_.qos.stale_after_s;
+  });
+
+  // Threshold each replica into the overloaded set (memec: per-server load
+  // vs threshold).  Either signal suffices: latency EWMA catches the CPU
+  // queue, queue depth catches a flooded NIC the CPU never notices.
+  std::vector<NodeId> overloaded;
+  for (const auto& [replica, sample] : qos_table_) {
+    if (sample.latency_s > config_.qos.overload_latency_s ||
+        sample.queue_s > config_.qos.overload_queue_s) {
+      overloaded.push_back(replica);
+    }
+  }
+  const auto total = static_cast<std::int32_t>(active_replicas_.size());
+  metrics_.overloaded_replicas.set(
+      static_cast<std::int64_t>(overloaded.size()));
+
+  const auto switched = phase_machine_->update(
+      now, static_cast<std::int32_t>(overloaded.size()), total);
+  if (switched.has_value()) {
+    ++stats_.phase_switches;
+    metrics_.phase_switches.inc();
+    metrics_.phase.set(*switched == QosPhase::kOverload ? 1 : 0);
+    SDEF_LOG(Info) << name() << ": phase -> " << qos_phase_name(*switched)
+                   << " (" << overloaded.size() << "/" << total
+                   << " overloaded)";
+    if (*switched == QosPhase::kNormal) release_spares();
+  }
+  if (phase_machine_->phase() == QosPhase::kOverload) {
+    // The latency-feedback trigger: overloaded replicas shuffle.  Theorem-1
+    // autoscaling keeps the spare pool sized while the overload lasts, so
+    // rounds skip the boot delay.
+    for (const NodeId r : overloaded) attacked_.insert(r);
+    if (!attacked_.empty()) schedule_round();
+    autoscale_up();
+  }
+}
+
+void CoordinationServer::autoscale_up() {
+  if (!config_.qos.autoscale || provider_ == nullptr) return;
+  // Keep enough warm spares for the *next* shuffle round to skip the boot
+  // delay entirely: Theorem 1 gives the replica count that keeps the bot
+  // estimate identifiable at the observed attack intensity (the
+  // controller's current M-hat), and that is exactly what the round will
+  // consume.  The overall fleet (active + spares + boots in flight) stays
+  // capped at max_autoscale_replicas.
+  const auto headroom =
+      static_cast<std::int64_t>(config_.qos.max_autoscale_replicas) -
+      static_cast<std::int64_t>(active_replicas_.size());
+  const auto want = std::min<std::int64_t>(
+      core::min_replicas_for_estimation(controller_.bot_estimate()),
+      headroom);
+  const auto have = static_cast<std::int64_t>(hot_spares_.size()) +
+                    autoscale_pending_;
+  for (std::int64_t i = have; i < want; ++i) {
+    ++autoscale_pending_;
+    provider_->provision([this](NodeId fresh) {
+      --autoscale_pending_;
+      ++stats_.autoscale_provisioned;
+      metrics_.autoscale_provisioned.inc();
+      if (phase_machine_->phase() == QosPhase::kNormal &&
+          static_cast<std::int64_t>(hot_spares_.size()) >=
+              config_.qos.reserve_spares) {
+        // Recovery beat the boot: release the straggler immediately
+        // instead of parking capacity nobody will consume.
+        provider_->recycle(fresh);
+        ++stats_.replicas_recycled;
+        metrics_.replicas_recycled.inc();
+        ++stats_.autoscale_released;
+        metrics_.autoscale_released.inc();
+        return;
+      }
+      add_hot_spare(fresh);
+      ++autoscale_spares_;
+    });
+  }
+}
+
+void CoordinationServer::release_spares() {
+  // Latency recovered: scale the warm pool back down to the configured
+  // reserve, but only ever release spares the autoscaler booted itself —
+  // the world-start seed spares stay parked.  Counted into
+  // replicas_recycled so the conservation invariant (coordinator recycles
+  // == provider recycles) keeps holding.
+  while (autoscale_spares_ > 0 &&
+         static_cast<std::int64_t>(hot_spares_.size()) >
+             config_.qos.reserve_spares) {
+    const NodeId spare = hot_spares_.back();
+    hot_spares_.pop_back();
+    --autoscale_spares_;
+    provider_->recycle(spare);
+    ++stats_.replicas_recycled;
+    metrics_.replicas_recycled.inc();
+    ++stats_.autoscale_released;
+    metrics_.autoscale_released.inc();
   }
 }
 
@@ -115,23 +275,51 @@ void CoordinationServer::execute_round() {
   round_pending_ = false;
   if (attacked_.empty() || provider_ == nullptr) return;
 
-  // Snapshot the attacked replicas and the affected client pool.  Replicas
-  // that already have a shuffle command in flight are not re-shuffled; their
-  // retry loop owns them until the kDecommission ack (or force-recycle).
+  // Snapshot the attacked replicas.  Replicas that already have a shuffle
+  // command in flight are not re-shuffled; their retry loop owns them until
+  // the kDecommission ack (or force-recycle).
   std::vector<NodeId> attacked(attacked_.begin(), attacked_.end());
   attacked_.clear();
-  std::vector<std::pair<IpId, NodeId>> pool;
   std::vector<NodeId> still_active;
   for (const NodeId r : attacked) {
     if (!active_replicas_.contains(r)) continue;
     if (pending_commands_.contains(r)) continue;
     still_active.push_back(r);
-    auto* replica = replica_ptr(r);
-    const auto clients = replica->connected_clients();
-    pool.insert(pool.end(), clients.begin(), clients.end());
   }
   attacked = std::move(still_active);
-  if (attacked.empty()) return;
+
+  // Concurrent-remap cap (memec `states.maximum`): this round may only
+  // start as many remaps as the budget left by still-unacked commands.  The
+  // overflow goes back into attacked_ for the next round.
+  if (config_.qos.enabled && config_.qos.max_concurrent_remaps > 0) {
+    const auto budget = std::max<std::int64_t>(
+        0, config_.qos.max_concurrent_remaps -
+               static_cast<std::int64_t>(pending_commands_.size()));
+    if (static_cast<std::int64_t>(attacked.size()) > budget) {
+      const auto deferred =
+          static_cast<std::int64_t>(attacked.size()) - budget;
+      for (std::size_t i = static_cast<std::size_t>(budget);
+           i < attacked.size(); ++i) {
+        attacked_.insert(attacked[i]);
+      }
+      attacked.resize(static_cast<std::size_t>(budget));
+      stats_.remap_cap_deferred += deferred;
+      SDEF_LOG(Info) << name() << ": remap cap defers " << deferred
+                     << " replica(s) to a later round";
+    }
+  }
+  if (attacked.empty()) {
+    // Everything deferred: the deferred set re-arms once in-flight remaps
+    // drain (the next kQosReport / attack report reschedules).
+    return;
+  }
+
+  // The affected client pool, in deterministic replica order.
+  std::vector<std::pair<IpId, NodeId>> pool;
+  for (const NodeId r : attacked) {
+    const auto clients = replica_ptr(r)->connected_clients();
+    pool.insert(pool.end(), clients.begin(), clients.end());
+  }
 
   // MLE observation: which of the previous round's replicas were attacked?
   std::optional<core::ShuffleObservation> obs;
@@ -188,6 +376,10 @@ void CoordinationServer::execute_round() {
     round->ready.push_back(hot_spares_.back());
     hot_spares_.pop_back();
   }
+  // Spares are consumed newest-first, so autoscaler-booted ones go first;
+  // clamp what recovery may later release to what is actually still parked.
+  autoscale_spares_ = std::min(
+      autoscale_spares_, static_cast<std::int64_t>(hot_spares_.size()));
   const std::int64_t shortfall =
       round->target - static_cast<std::int64_t>(round->ready.size());
   if (shortfall == 0) {
@@ -346,6 +538,7 @@ void CoordinationServer::deploy_shuffle(
     send_shuffle_command(r);
     arm_command_watchdog(r, pending_commands_[r].epoch);
   }
+  note_remaps_inflight();
 
   // The new replicas join the active set (and serve fresh arrivals too).
   for (const NodeId r : new_replicas) register_replica(r);
@@ -384,6 +577,7 @@ void CoordinationServer::arm_command_watchdog(NodeId replica,
       SDEF_LOG(Warn) << name() << ": replica " << replica
                      << " never acked its shuffle command — force-recycling";
       pending_commands_.erase(itw);
+      note_remaps_inflight();
       drop_replica(replica);
       ++stats_.replicas_presumed_crashed;
       metrics_.replicas_presumed_crashed.inc();
@@ -399,6 +593,7 @@ void CoordinationServer::arm_command_watchdog(NodeId replica,
 }
 
 void CoordinationServer::drop_replica(NodeId replica) {
+  qos_table_.erase(replica);
   if (active_replicas_.erase(replica) == 0) return;
   for (auto* lb : load_balancers_) lb->remove_replica(replica);
   provider_->recycle(replica);

@@ -42,6 +42,7 @@
 #include "cloudsim/cloud_provider.h"
 #include "cloudsim/load_balancer.h"
 #include "cloudsim/node.h"
+#include "cloudsim/qos.h"
 #include "core/shuffle_controller.h"
 #include "obs/registry.h"
 
@@ -73,6 +74,22 @@ inline constexpr std::string_view kMetricCoordLateSparesBanked =
 inline constexpr std::string_view kMetricCoordShufflesDeclined =
     "coord.shuffles_declined";
 
+// Closed-loop control plane (cloudsim/qos.h).
+inline constexpr std::string_view kMetricCoordPhase = "coord.phase";
+inline constexpr std::string_view kMetricCoordOverloadedReplicas =
+    "coord.overloaded_replicas";
+inline constexpr std::string_view kMetricCoordRemapsInflight =
+    "coord.remaps_inflight";
+inline constexpr std::string_view kMetricCoordRemapsInflightPeak =
+    "coord.remaps_inflight_peak";
+inline constexpr std::string_view kMetricCoordPhaseSwitches =
+    "coord.phase_switches";
+inline constexpr std::string_view kMetricCoordQosReports = "coord.qos_reports";
+inline constexpr std::string_view kMetricCoordAutoscaleProvisioned =
+    "coord.autoscale_provisioned";
+inline constexpr std::string_view kMetricCoordAutoscaleReleased =
+    "coord.autoscale_released";
+
 struct CoordinatorConfig {
   core::ControllerConfig controller;
   /// Collect attack reports for this long before acting, so one round
@@ -98,6 +115,18 @@ struct CoordinatorConfig {
   /// Re-sends beyond the first command; afterwards the replica is presumed
   /// crashed and force-recycled.
   int command_max_retries = 4;
+
+  // ---- shuffle triggering ----------------------------------------------------
+  /// Closed-loop latency feedback (cloudsim/qos.h).  When `qos.enabled`,
+  /// replicas stream kQosReport samples, the phase machine thresholds them
+  /// into kNormal/kOverload, overloaded replicas are shuffled (capped at
+  /// `qos.max_concurrent_remaps` in flight) and the Theorem-1 autoscaler
+  /// keeps a spare pool sized from the current bot estimate.
+  QosConfig qos;
+  /// Fixed-cadence baseline (the paper's model: shuffle every T seconds,
+  /// attacked or not).  > 0 schedules a periodic tick that marks every
+  /// active replica for shuffling.  0 = off (report/feedback driven only).
+  double fixed_cadence_s = 0.0;
 };
 
 struct CoordinatorStats {
@@ -114,6 +143,14 @@ struct CoordinatorStats {
   std::int64_t replicas_presumed_crashed = 0;  // force-recycled, no ack
   std::int64_t late_spares_banked = 0;  // stragglers kept as hot spares
   std::int64_t shuffles_declined = 0;   // cost-aware controller said no
+
+  // Closed-loop control plane.
+  std::int64_t qos_reports = 0;           // kQosReport samples ingested
+  std::int64_t phase_switches = 0;        // kNormal <-> kOverload flips
+  std::int64_t remap_cap_deferred = 0;    // shuffles pushed to a later round
+  std::int64_t remaps_inflight_peak = 0;  // high-water mark of unacked remaps
+  std::int64_t autoscale_provisioned = 0;  // spares booted by the autoscaler
+  std::int64_t autoscale_released = 0;     // spares recycled after recovery
 };
 
 class CoordinationServer final : public Node {
@@ -133,6 +170,7 @@ class CoordinationServer final : public Node {
   /// maintained at runtime to expedite the shuffling process").
   void add_hot_spare(NodeId replica);
 
+  void on_start() override;
   void on_message(const Message& msg) override;
 
   [[nodiscard]] const CoordinatorStats& stats() const { return stats_; }
@@ -146,6 +184,22 @@ class CoordinationServer final : public Node {
   /// Shuffle commands awaiting a kDecommission ack (pending retry state).
   [[nodiscard]] std::size_t pending_commands() const {
     return pending_commands_.size();
+  }
+  /// Warm standby replicas available to the next shuffle round.
+  [[nodiscard]] std::size_t hot_spare_count() const {
+    return hot_spares_.size();
+  }
+
+  /// Current control-plane phase (kNormal when the loop is disabled).
+  [[nodiscard]] QosPhase qos_phase() const {
+    return phase_machine_ ? phase_machine_->phase() : QosPhase::kNormal;
+  }
+  /// Full phase-switch trace — part of the determinism contract (compared
+  /// bit-for-bit across replays, shard_threads settings, and engines).
+  [[nodiscard]] const std::vector<QosPhaseTransition>& phase_transitions()
+      const {
+    static const std::vector<QosPhaseTransition> kNone;
+    return phase_machine_ ? phase_machine_->transitions() : kNone;
   }
 
  private:
@@ -166,8 +220,20 @@ class CoordinationServer final : public Node {
     std::uint64_t epoch = 0;  // invalidates stale watchdog timers
   };
 
+  /// Latest accepted kQosReport from one replica.
+  struct QosSample {
+    double latency_s = 0.0;
+    double queue_s = 0.0;
+    double at = 0.0;
+  };
+
   void schedule_round();
   void execute_round();
+  void cadence_tick();
+  void evaluate_qos();
+  void autoscale_up();
+  void release_spares();
+  void note_remaps_inflight();
   void request_wave(const std::shared_ptr<PendingRound>& round,
                     std::int64_t count);
   void arm_provision_watchdog(const std::shared_ptr<PendingRound>& round);
@@ -197,6 +263,15 @@ class CoordinationServer final : public Node {
   std::map<NodeId, PendingCommand> pending_commands_;
   std::uint64_t command_epoch_ = 0;
 
+  // Closed-loop control plane (all containers ordered => deterministic).
+  std::optional<QosPhaseMachine> phase_machine_;
+  std::map<NodeId, QosSample> qos_table_;
+  std::int64_t autoscale_pending_ = 0;  // spare boots requested, not yet up
+  // Warm spares in hot_spares_ that the autoscaler booted (vs seeded at
+  // world start).  Recovery only releases these: recycling a spare the
+  // provider never provisioned would drive its active count negative.
+  std::int64_t autoscale_spares_ = 0;
+
   // Previous round's deployment, used as the MLE observation.
   struct LastRound {
     std::vector<NodeId> replicas;
@@ -211,6 +286,10 @@ class CoordinationServer final : public Node {
         replicas_recycled, provision_retries, rounds_degraded, rounds_aborted,
         command_retries, replicas_presumed_crashed, late_spares_banked,
         shuffles_declined;
+    obs::Counter qos_reports, phase_switches, autoscale_provisioned,
+        autoscale_released;
+    obs::Gauge phase, overloaded_replicas, remaps_inflight,
+        remaps_inflight_peak;
   } metrics_;
 };
 

@@ -20,6 +20,7 @@ const char* message_type_name(MessageType type) noexcept {
     case MessageType::kJunkPacket: return "attack.junk";
     case MessageType::kHeavyRequest: return "attack.heavy";
     case MessageType::kAttackReport: return "coord.attack_report";
+    case MessageType::kQosReport: return "coord.qos_report";
     case MessageType::kShuffleCommand: return "coord.shuffle";
     case MessageType::kDecommission: return "coord.decommission";
     case MessageType::kProvisionDone: return "coord.provision_done";
@@ -40,6 +41,7 @@ bool is_priority_type(MessageType type) noexcept {
     case MessageType::kWsPong:     // of bulk data
     case MessageType::kWsPush:
     case MessageType::kAttackReport:
+    case MessageType::kQosReport:
     case MessageType::kShuffleCommand:
     case MessageType::kDecommission:
     case MessageType::kProvisionDone:

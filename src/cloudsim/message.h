@@ -53,6 +53,7 @@ enum class MessageType : std::uint8_t {
   kHeavyRequest,    // computational DDoS (expensive application request)
   // Coordination plane (dedicated command & control channel)
   kAttackReport,    // replica -> coordinator: I am being flooded
+  kQosReport,       // replica -> coordinator: periodic latency/queue sample
   kShuffleCommand,  // coordinator -> replica: redirect these clients
   kDecommission,    // replica -> coordinator: all clients notified, recycle me
   kProvisionDone,   // cloud provider -> coordinator: replica instance booted
@@ -122,6 +123,16 @@ struct AttackReportPayload {
   double observed_rate = 0.0;  // packets+requests per second
 };
 
+/// Periodic per-replica QoS sample (the closed-loop control plane's input):
+/// EWMA of request service latency and the instantaneous queue depth (CPU
+/// backlog + egress backlog), both sampled on a deterministic event-loop
+/// tick (cloudsim/qos.h).
+struct QosReportPayload {
+  NodeId replica = kInvalidNode;
+  double latency_ewma_s = 0.0;
+  double queue_depth_s = 0.0;
+};
+
 struct ShuffleCommandPayload {
   // For each client currently on the replica: where it must move.
   std::vector<std::pair<NodeId, NodeId>> client_to_replica;
@@ -151,7 +162,7 @@ using Payload =
                  ClientHelloPayload, RedirectPayload, WhitelistAddPayload,
                  WhitelistBatchPayload, HttpGetPayload, HttpResponsePayload,
                  WsOpenPayload, WsPushPayload, HeavyRequestPayload,
-                 AttackReportPayload, ShuffleCommandPayload,
+                 AttackReportPayload, QosReportPayload, ShuffleCommandPayload,
                  DecommissionPayload, ProvisionDonePayload, BotReportPayload,
                  FloodCommandPayload>;
 

@@ -1,6 +1,7 @@
 #include "cloudsim/replica_server.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -14,14 +15,46 @@ ReplicaServer::ReplicaServer(World& world, std::string name,
   // the per-client tables keeps rehashing off the request hot path.
   whitelist_.reserve(1024);
   websockets_.reserve(1024);
+  if (config_.registry != nullptr) {
+    latency_ewma_us_ = config_.registry->gauge(kMetricReplicaLatencyEwmaUs);
+    queue_depth_peak_us_ =
+        config_.registry->gauge(kMetricReplicaQueueDepthPeakUs);
+    qos_reports_ = config_.registry->counter(kMetricReplicaQosReports);
+  }
 }
 
 void ReplicaServer::on_start() {
   loop().schedule_after(config_.detect_window_s, [this] { detection_tick(); });
+  if (config_.qos_report_interval_s > 0.0) {
+    loop().schedule_after(config_.qos_report_interval_s,
+                          [this] { qos_tick(); });
+  }
 }
 
 double ReplicaServer::cpu_backlog_s() const {
   return std::max(0.0, cpu_busy_until_ - world_now());
+}
+
+double ReplicaServer::queue_depth_s() const {
+  // Both halves of the resource model: the CPU service queue (computational
+  // DDoS) and the NIC egress queue (network DDoS — a flooded 30 Mbps link
+  // shows up here long before the CPU notices anything).
+  return cpu_backlog_s() +
+         const_cast<ReplicaServer*>(this)->world().network().egress_backlog_s(
+             id());
+}
+
+void ReplicaServer::qos_tick() {
+  if (decommissioned_) return;  // crash() implies decommissioned_
+  const double queue_depth = queue_depth_s();
+  latency_ewma_us_.set(std::llround(latency_ewma_s_ * 1e6));
+  queue_depth_peak_us_.max_with(std::llround(queue_depth * 1e6));
+  qos_reports_.inc();
+  if (coordinator_ != kInvalidNode) {
+    send(coordinator_, MessageType::kQosReport, kControlMessageBytes,
+         QosReportPayload{id(), latency_ewma_s_, queue_depth});
+  }
+  loop().schedule_after(config_.qos_report_interval_s, [this] { qos_tick(); });
 }
 
 // Node has no const accessor for the loop; keep a tiny helper.
@@ -71,6 +104,11 @@ void ReplicaServer::serve(NodeId reply_to, double cpu_seconds,
     return;
   }
   cpu_busy_until_ = start + cpu_seconds;
+  // Service latency (queueing + CPU) is known at admission; folding it into
+  // the EWMA here keeps the reply closure at 16 captured bytes (small-buffer
+  // constraint above).  Egress delay is tracked separately via queue depth.
+  latency_ewma_s_ = config_.qos_latency_alpha * (cpu_busy_until_ - now) +
+                    (1.0 - config_.qos_latency_alpha) * latency_ewma_s_;
   loop().schedule_at(cpu_busy_until_, [this, reply_to, reply_bytes] {
     if (decommissioned_) return;
     send(reply_to, MessageType::kHttpResponse, reply_bytes,

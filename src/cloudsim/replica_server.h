@@ -26,12 +26,23 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "cloudsim/node.h"
+#include "obs/registry.h"
 
 namespace shuffledef::cloudsim {
+
+// Registry metric names of the replica-side QoS signal (the closed-loop
+// control plane's input; see cloudsim/qos.h and ARCHITECTURE.md).
+inline constexpr std::string_view kMetricReplicaLatencyEwmaUs =
+    "replica.latency_ewma_us";
+inline constexpr std::string_view kMetricReplicaQosReports =
+    "replica.qos_reports";
+inline constexpr std::string_view kMetricReplicaQueueDepthPeakUs =
+    "replica.queue_depth_peak_us";
 
 struct ReplicaConfig {
   std::int64_t page_bytes = 246 * 1024;  // the prototype's 246 KB page
@@ -47,6 +58,16 @@ struct ReplicaConfig {
   /// Threads for building large shuffle-redirect batches (deterministic
   /// chunks: the result is bit-identical at every value).  1 = serial.
   int shard_threads = 1;
+
+  // ---- closed-loop QoS signal (cloudsim/qos.h) ------------------------------
+  /// Sample-and-report cadence of the QoS tick (0 = QoS reporting off, the
+  /// legacy world: no extra events, no extra messages).  Each tick sends a
+  /// kQosReport{latency EWMA, queue depth} to the coordinator.
+  double qos_report_interval_s = 0.0;
+  /// EWMA weight on each completed request's service latency.
+  double qos_latency_alpha = 0.3;
+  /// Sink for the replica.* metric family (nullptr = uninstrumented).
+  obs::Registry* registry = nullptr;
 };
 
 struct ReplicaStats {
@@ -90,8 +111,15 @@ class ReplicaServer final : public Node {
   [[nodiscard]] bool crashed() const { return crashed_; }
   [[nodiscard]] double cpu_backlog_s() const;
 
+  /// The QoS signal pair as the next kQosReport would carry it: EWMA of
+  /// request service latency (0 until the first request) and the current
+  /// queue depth (CPU backlog + egress backlog), in seconds.
+  [[nodiscard]] double latency_ewma_s() const { return latency_ewma_s_; }
+  [[nodiscard]] double queue_depth_s() const;
+
  private:
   void detection_tick();
+  void qos_tick();
   void send_attack_report(double junk_rate);
   /// Queue a kHttpResponse{200} reply behind the CPU; the deferred closure
   /// captures {this, dst, bytes} — 16 bytes, no heap allocation.
@@ -108,7 +136,12 @@ class ReplicaServer final : public Node {
   double last_report_at_ = 0.0;
   bool decommissioned_ = false;
   bool crashed_ = false;
+  double latency_ewma_s_ = 0.0;  // updated per admitted request (event loop)
   ReplicaStats stats_;
+  // Null handles when config_.registry is null.
+  obs::Gauge latency_ewma_us_;
+  obs::Gauge queue_depth_peak_us_;
+  obs::Counter qos_reports_;
 };
 
 }  // namespace shuffledef::cloudsim

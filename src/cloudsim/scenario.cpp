@@ -30,6 +30,9 @@ std::vector<std::string> ScenarioConfig::validate() const {
   if (bot_start_spread_s < 0.0) {
     violations.push_back("bot_start_spread_s must be >= 0");
   }
+  if (bot_start_offset_s < 0.0) {
+    violations.push_back("bot_start_offset_s must be >= 0");
+  }
   if (bot_junk_rate_pps < 0.0) {
     violations.push_back("bot_junk_rate_pps must be >= 0");
   }
@@ -64,6 +67,11 @@ std::vector<std::string> ScenarioConfig::validate() const {
   for (auto& v : coordinator.controller.violations("coordinator.controller.")) {
     violations.push_back(std::move(v));
   }
+  if (qos.enabled) {
+    for (auto& v : qos.violations("qos.")) {
+      violations.push_back(std::move(v));
+    }
+  }
   for (auto& v : faults.violations("faults.")) {
     violations.push_back(std::move(v));
   }
@@ -90,6 +98,16 @@ Scenario::Scenario(ScenarioConfig config) {
     registry_ = owned_registry_.get();
   }
   config.coordinator.controller.registry = registry_;
+
+  // Close the QoS loop: replicas sample/report, the coordinator decides.
+  // Set on config.replica *before* the provider config is built below, so
+  // autoscale-provisioned replicas report exactly like the initial ones.
+  if (config.qos.enabled) {
+    config.coordinator.qos = config.qos;
+    config.replica.qos_report_interval_s = config.qos.report_interval_s;
+    config.replica.qos_latency_alpha = config.qos.latency_alpha;
+    config.replica.registry = registry_;
+  }
 
   world_ = std::make_unique<World>(
       WorldConfig{.seed = config.seed, .network = config.network});
@@ -131,6 +149,7 @@ Scenario::Scenario(ScenarioConfig config) {
     provider_config.domains.push_back(d);
   }
   provider_ = std::make_unique<CloudProvider>(*world_, provider_config);
+  provider_->set_registry(registry_);
   if (fault_) provider_->set_fault_injector(fault_.get());
 
   // Control plane.
@@ -172,6 +191,9 @@ Scenario::Scenario(ScenarioConfig config) {
         coordinator_->id());
     coordinator_->add_hot_spare(spare->id());
   }
+  // The pre-existing fleet joins the provider's active ledger so recycling
+  // an initial replica (or releasing a seed spare) balances its books.
+  provider_->adopt(config.initial_replicas + config.hot_spares);
 
   build_population(config);
 }
@@ -256,7 +278,8 @@ void Scenario::build_population(const ScenarioConfig& config) {
     nic.base_latency_s =
         config.client_latency_min_s +
         rng.uniform() * (config.client_latency_max_s - config.client_latency_min_s);
-    const double start = rng.uniform() * config.bot_start_spread_s;
+    const double start =
+        config.bot_start_offset_s + rng.uniform() * config.bot_start_spread_s;
     core::BotState state(
         behavior_root.fork_small(static_cast<std::uint64_t>(b)));
     if (flat) {

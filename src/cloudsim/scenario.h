@@ -73,6 +73,11 @@ struct ScenarioConfig {
   std::int32_t persistent_bots = 0;
   std::int32_t naive_bots = 0;
   double bot_start_spread_s = 1.0;
+  /// Delay before any bot starts (a step-function attack wave: the world
+  /// runs clean until the offset, then the whole botnet arrives within the
+  /// spread).  Both engines draw the same rng sequence, so the step keeps
+  /// them aligned.
+  double bot_start_offset_s = 0.0;
   double bot_junk_rate_pps = 0.0;
   double bot_heavy_interval_s = 0.0;
   double bot_heavy_cpu_seconds = 0.2;
@@ -107,6 +112,13 @@ struct ScenarioConfig {
   bool batch_delivery = true;
 
   NetworkConfig network;
+
+  /// Closed-loop QoS control plane (cloudsim/qos.h).  When `qos.enabled`
+  /// the Scenario wires the whole loop: every replica (initial, spare, and
+  /// autoscale-provisioned) samples and reports latency/queue depth, and
+  /// the coordinator runs the phase machine + Theorem-1 autoscaler.  Off by
+  /// default — the world stays bit-identical to a pre-QoS build.
+  QosConfig qos;
 
   /// Fault injection (deterministic in `seed`): message loss/duplication,
   /// link flaps, replica crashes, provisioning faults.  A default-constructed

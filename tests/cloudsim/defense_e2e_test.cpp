@@ -2,6 +2,10 @@
 // coordination -> replication -> shuffling -> isolation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <vector>
+
 #include "cloudsim/scenario.h"
 
 namespace shuffledef::cloudsim {
@@ -116,6 +120,134 @@ TEST(DefenseE2E, DeterministicAcrossRuns) {
             b.coordinator()->stats().clients_migrated);
   EXPECT_EQ(a.world().network().stats().delivered,
             b.world().network().stats().delivered);
+}
+
+// ---- closed-loop acceptance ------------------------------------------------
+//
+// Step-function attack: a quiet service absorbs a sudden computational
+// flood at t=10s.  The latency-feedback trigger must restore the benign
+// p90 page-load latency at least as fast as the paper's proactive
+// fixed-cadence shuffle, then scale the autoscaled capacity back down.
+
+constexpr double kStepAttackAt = 10.0;
+constexpr double kStepHorizon = 40.0;
+// The quiet world's p90 sits at ~0.46 s (browse think + service); 0.6 s
+// separates "recovered" cleanly from both the attack spikes (>1 s) and the
+// fixed-cadence variant's permanent full-reshuffle churn tax (~0.7 s).
+constexpr double kP90ThresholdS = 0.6;
+constexpr double kP90WindowS = 2.0;
+
+ScenarioConfig step_attack_world(std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.domains = 2;
+  cfg.initial_replicas = 2;
+  cfg.clients = 16;
+  cfg.client_start_spread_s = 0.5;
+  cfg.client_browse_think_s = 1.0;
+  cfg.client_heartbeat_s = 0.5;
+  cfg.persistent_bots = 2;
+  cfg.bot_junk_rate_pps = 0.0;
+  cfg.bot_heavy_interval_s = 0.05;    // 20 heavy requests/s per bot...
+  cfg.bot_heavy_cpu_seconds = 0.15;   // ...at 3 cpu-s/s: hopeless backlog
+  cfg.bot_start_offset_s = kStepAttackAt;
+  cfg.bot_start_spread_s = 0.25;
+  // One ~10 s burst, then quiet: a step up and a step back down, so full
+  // restoration (stragglers included) is reachable within the horizon.
+  cfg.bot_strategy = "synchronized-waves";
+  cfg.bot_strategy_options.wave_period = 1000;
+  cfg.bot_strategy_options.wave_duty = 0.01;
+  // Both variants rely purely on their trigger, not on attack detection.
+  cfg.replica.detect_window_s = 0.25;
+  cfg.replica.junk_rate_threshold = 1e12;
+  cfg.replica.cpu_backlog_threshold_s = 1e12;
+  cfg.coordinator.controller.planner = "greedy";
+  cfg.coordinator.controller.replicas = 4;
+  cfg.coordinator.controller.use_mle = true;
+  cfg.boot_delay_s = 0.2;
+  return cfg;
+}
+
+// p90 of benign page-load durations completing in [from, to).
+double p90_page_load_s(Scenario& s, double from, double to) {
+  std::vector<double> durations;
+  for (const auto* c : s.clients()) {
+    for (const auto& load : c->stats().page_loads) {
+      if (load.completed_at >= from && load.completed_at < to) {
+        durations.push_back(load.duration());
+      }
+    }
+  }
+  if (durations.empty()) return 0.0;
+  std::sort(durations.begin(), durations.end());
+  const auto idx = static_cast<std::size_t>(
+      0.9 * static_cast<double>(durations.size() - 1));
+  return durations[idx];
+}
+
+// Time-to-QoS-restoration: the end of the last sliding window (after the
+// step) whose p90 violates the threshold.  Sustained by construction —
+// every later window is clean.
+double restoration_time_s(Scenario& s) {
+  double restored_at = kStepAttackAt;
+  for (double t = kStepAttackAt; t + kP90WindowS <= kStepHorizon; t += 0.5) {
+    if (p90_page_load_s(s, t, t + kP90WindowS) >= kP90ThresholdS) {
+      restored_at = t + kP90WindowS;
+    }
+  }
+  return restored_at;
+}
+
+TEST(DefenseE2E, ClosedLoopRestoresQosFasterThanFixedCadenceAndScalesDown) {
+  auto closed_cfg = step_attack_world(21);
+  closed_cfg.qos.enabled = true;
+  closed_cfg.qos.report_interval_s = 0.25;
+  closed_cfg.qos.overload_latency_s = 0.2;
+  closed_cfg.qos.overload_queue_s = 0.5;
+  closed_cfg.qos.start_fraction = 0.4;   // 1 of 2 initial replicas trips it
+  closed_cfg.qos.stop_fraction = 0.3;    // 1 of 4+ post-round replicas clears
+  closed_cfg.qos.hysteresis_s = 1.5;
+  closed_cfg.qos.max_autoscale_replicas = 8;
+  Scenario closed(closed_cfg);
+  ASSERT_TRUE(closed.run_until(kStepHorizon));
+
+  // The step degraded QoS and the feedback loop reacted: overload entered,
+  // shuffles ran, spares were pre-booted and released again on recovery.
+  const auto& cs = closed.coordinator()->stats();
+  EXPECT_GT(cs.phase_switches, 0);
+  EXPECT_GT(cs.rounds_executed, 0);
+  EXPECT_GT(cs.qos_reports, 0);
+  EXPECT_GT(cs.autoscale_provisioned, 0);
+  EXPECT_GT(cs.autoscale_released, 0);
+  EXPECT_EQ(closed.coordinator()->qos_phase(), QosPhase::kNormal)
+      << "latency must have recovered by the horizon";
+  // Scaled back down: everything the autoscaler still owned was released.
+  EXPECT_LE(closed.coordinator()->hot_spare_count(),
+            static_cast<std::size_t>(cs.autoscale_provisioned -
+                                     cs.autoscale_released) +
+                static_cast<std::size_t>(closed_cfg.qos.reserve_spares));
+  // QoS genuinely degraded (some window violated after the step) and
+  // genuinely recovered (sustained clean windows before the horizon).
+  const double closed_restored_at = restoration_time_s(closed);
+  EXPECT_GT(closed_restored_at, kStepAttackAt);
+  EXPECT_LT(closed_restored_at, kStepHorizon - 2 * kP90WindowS);
+  EXPECT_LT(p90_page_load_s(closed, kStepHorizon - 2 * kP90WindowS,
+                            kStepHorizon),
+            kP90ThresholdS);
+
+  // The paper's proactive baseline: shuffle everything on a fixed cadence,
+  // no feedback.  The closed loop must restore p90 at least as fast.
+  double best_fixed = std::numeric_limits<double>::infinity();
+  for (const double cadence : {2.0, 4.0}) {
+    auto fixed_cfg = step_attack_world(21);
+    fixed_cfg.coordinator.fixed_cadence_s = cadence;
+    Scenario fixed(fixed_cfg);
+    ASSERT_TRUE(fixed.run_until(kStepHorizon));
+    EXPECT_GT(fixed.coordinator()->stats().rounds_executed, 0);
+    best_fixed = std::min(best_fixed, restoration_time_s(fixed));
+  }
+  EXPECT_LE(closed_restored_at, best_fixed)
+      << "feedback trigger must not be slower than the best fixed cadence";
 }
 
 // ---- fault matrix ----------------------------------------------------------

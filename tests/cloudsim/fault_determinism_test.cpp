@@ -82,6 +82,66 @@ TEST(FaultDeterminism, PlannerThreadCountDoesNotPerturbTheWorld) {
   expect_identical(serial, pooled);
 }
 
+ScenarioConfig faulted_qos_config(ClientEngine engine) {
+  // The closed QoS loop layered on top of the fault battery: replica crash,
+  // lossy/duplicating control lane, delayed and failing provisioning.  The
+  // phase trace is part of the determinism contract, so it must replay
+  // bit-identically through all of it.
+  auto cfg = faulted_config();
+  cfg.client_engine = engine;
+  cfg.qos.enabled = true;
+  cfg.qos.report_interval_s = 0.25;
+  cfg.qos.overload_latency_s = 0.2;
+  cfg.qos.overload_queue_s = 0.5;
+  cfg.qos.start_fraction = 0.25;
+  cfg.qos.stop_fraction = 0.1;
+  cfg.qos.hysteresis_s = 1.0;
+  cfg.qos.max_concurrent_remaps = 2;
+  cfg.qos.max_autoscale_replicas = 8;
+  // Computational load so the latency EWMA actually moves under faults.
+  cfg.bot_heavy_interval_s = 0.05;
+  cfg.bot_heavy_cpu_seconds = 0.1;
+  return cfg;
+}
+
+void expect_same_phase_trace(Scenario& a, Scenario& b) {
+  const auto& pa = a.coordinator()->phase_transitions();
+  const auto& pb = b.coordinator()->phase_transitions();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i], pb[i]) << "phase trace diverges at switch " << i;
+  }
+}
+
+TEST(FaultDeterminism, QosPhaseTraceReplaysBitIdenticallyUnderFaults) {
+  for (const auto engine : {ClientEngine::kPerObject, ClientEngine::kFlat}) {
+    const auto cfg = faulted_qos_config(engine);
+    Scenario a(cfg);
+    Scenario b(cfg);
+    ASSERT_TRUE(a.run_until(20.0));
+    ASSERT_TRUE(b.run_until(20.0));
+    EXPECT_GT(a.fault_stats().drops_ctrl + a.fault_stats().drops_data, 0u);
+    EXPECT_GT(a.coordinator()->stats().qos_reports, 0);
+    expect_identical(a, b);
+    expect_same_phase_trace(a, b);
+  }
+}
+
+TEST(FaultDeterminism, QosShardThreadsDoNotPerturbFaultedPhaseTrace) {
+  auto cfg = faulted_qos_config(ClientEngine::kFlat);
+  cfg.shard_threads = 1;
+  Scenario serial(cfg);
+  ASSERT_TRUE(serial.run_until(20.0));
+
+  cfg.shard_threads = 4;
+  Scenario sharded(cfg);
+  ASSERT_TRUE(sharded.run_until(20.0));
+
+  EXPECT_GT(serial.coordinator()->stats().qos_reports, 0);
+  expect_identical(serial, sharded);
+  expect_same_phase_trace(serial, sharded);
+}
+
 TEST(FaultDeterminism, DifferentSeedsDiverge) {
   // Sanity check that the trace comparison has teeth: a different seed
   // produces a different world.

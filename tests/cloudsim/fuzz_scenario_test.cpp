@@ -27,6 +27,30 @@ ScenarioConfig random_config(util::Rng& rng) {
   cfg.replica.detect_window_s = 0.25;
   cfg.replica.junk_rate_threshold = 150.0;
   cfg.boot_delay_s = rng.uniform() * 0.5;
+  // Both client engines must uphold the same invariants under fuzz.
+  cfg.client_engine =
+      rng.bernoulli(0.5) ? ClientEngine::kFlat : ClientEngine::kPerObject;
+  if (cfg.client_engine == ClientEngine::kFlat) {
+    cfg.shard_threads = static_cast<std::int32_t>(rng.uniform_int(1, 4));
+  }
+  // Half the worlds run the closed QoS loop on top of whatever else the
+  // fuzzer picked: phase machine, remap cap, and Theorem-1 autoscaling all
+  // get exercised against random shapes (and, below, injected faults).
+  if (rng.bernoulli(0.5)) {
+    cfg.qos.enabled = true;
+    cfg.qos.report_interval_s = 0.25 + rng.uniform() * 0.5;
+    cfg.qos.overload_latency_s = 0.1 + rng.uniform() * 0.3;
+    cfg.qos.overload_queue_s = 0.25 + rng.uniform() * 0.75;
+    cfg.qos.start_fraction = 0.2 + rng.uniform() * 0.3;
+    cfg.qos.stop_fraction = cfg.qos.start_fraction * rng.uniform() * 0.5;
+    cfg.qos.hysteresis_s = 0.5 + rng.uniform() * 2.0;
+    cfg.qos.max_concurrent_remaps =
+        rng.bernoulli(0.5) ? static_cast<std::int32_t>(rng.uniform_int(1, 3))
+                           : 0;
+    cfg.qos.autoscale = rng.bernoulli(0.5);
+    cfg.qos.max_autoscale_replicas = 8;
+    cfg.qos.reserve_spares = static_cast<std::int32_t>(rng.uniform_int(0, 2));
+  }
   // Half the worlds run under injected faults: lossy/duplicating lanes,
   // provisioning trouble, and (sometimes) a mid-run replica crash.
   if (rng.bernoulli(0.5)) {
@@ -90,12 +114,72 @@ TEST_P(FuzzScenario, RunsCleanAndDeterministic) {
     EXPECT_EQ(a.fault_stats().duplicated, b.fault_stats().duplicated);
     EXPECT_EQ(a.fault_stats().crashes_executed,
               b.fault_stats().crashes_executed);
+    EXPECT_EQ(a.coordinator()->stats().phase_switches,
+              b.coordinator()->stats().phase_switches);
+    EXPECT_EQ(a.coordinator()->phase_transitions(),
+              b.coordinator()->phase_transitions());
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzScenario,
                          ::testing::Values(101u, 202u, 303u, 404u, 505u,
                                            606u));
+
+class FuzzCrossEngine : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzCrossEngine, EnginesAgreeOnPhaseCountUnderFaults) {
+  // The two engines are behaviourally equivalent but not trace-identical
+  // under attack (the flat engine quantizes timers), so the cross-engine
+  // contract is aggregate: with a decisive overload — sustained heavy load,
+  // thresholds far from the noise floor, one hysteresis-pinned switch —
+  // both must count the same phase transitions, faults and all.
+  ScenarioConfig cfg;
+  cfg.seed = GetParam();
+  cfg.initial_replicas = 2;
+  cfg.clients = 10;
+  cfg.client_heartbeat_s = 0.5;
+  cfg.client_browse_think_s = 1.0;
+  cfg.persistent_bots = 3;
+  cfg.bot_heavy_interval_s = 0.05;
+  cfg.bot_heavy_cpu_seconds = 0.2;  // hopeless backlog: decisively overloaded
+  cfg.replica.detect_window_s = 0.25;
+  cfg.replica.junk_rate_threshold = 1e12;   // feedback loop, not detection
+  cfg.replica.cpu_backlog_threshold_s = 1e12;
+  cfg.coordinator.controller.replicas = 3;
+  cfg.qos.enabled = true;
+  cfg.qos.report_interval_s = 0.25;
+  cfg.qos.overload_latency_s = 0.1;
+  cfg.qos.overload_queue_s = 0.25;
+  cfg.qos.start_fraction = 0.25;
+  cfg.qos.stop_fraction = 0.05;
+  cfg.qos.hysteresis_s = 60.0;  // longer than the run: at most one switch
+  cfg.faults.ctrl_loss_prob = 0.02;
+  cfg.faults.ctrl_dup_prob = 0.02;
+  cfg.faults.data_loss_prob = 0.02;
+
+  cfg.client_engine = ClientEngine::kPerObject;
+  Scenario per_object(cfg);
+  ASSERT_TRUE(per_object.run_until(15.0));
+
+  cfg.client_engine = ClientEngine::kFlat;
+  Scenario flat(cfg);
+  ASSERT_TRUE(flat.run_until(15.0));
+
+  for (Scenario* s : {&per_object, &flat}) {
+    EXPECT_TRUE(s->world().network().stats().conserved());
+    EXPECT_GT(s->coordinator()->stats().qos_reports, 0);
+    EXPECT_EQ(s->coordinator()->stats().replicas_recycled,
+              s->provider().recycled());
+  }
+  EXPECT_EQ(per_object.coordinator()->stats().phase_switches, 1);
+  EXPECT_EQ(per_object.coordinator()->stats().phase_switches,
+            flat.coordinator()->stats().phase_switches);
+  EXPECT_EQ(per_object.coordinator()->qos_phase(),
+            flat.coordinator()->qos_phase());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzCrossEngine,
+                         ::testing::Values(11u, 22u, 33u));
 
 }  // namespace
 }  // namespace shuffledef::cloudsim
